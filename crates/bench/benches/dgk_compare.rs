@@ -1,0 +1,37 @@
+//! Microbenches of the DGK cryptosystem and the comparison-bit-width
+//! ablation from DESIGN.md §5 (ℓ drives the cost of steps 4/5/8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgk::{comparison, DgkKeypair, DgkParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_dgk_primitives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = DgkKeypair::generate(&mut rng, &DgkParams::insecure_test());
+    let ct = keys.public_key().encrypt_u64(5, &mut rng);
+    c.bench_function("dgk_encrypt", |b| b.iter(|| keys.public_key().encrypt_u64(7, &mut rng)));
+    c.bench_function("dgk_zero_test", |b| b.iter(|| keys.private_key().is_zero(&ct).unwrap()));
+    c.bench_function("dgk_table_decrypt", |b| b.iter(|| keys.private_key().decrypt(&ct).unwrap()));
+}
+
+fn bench_compare_bit_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgk_compare_gt");
+    group.sample_size(10);
+    for ell in [8u32, 16, 24, 40] {
+        let mut rng = StdRng::seed_from_u64(ell as u64);
+        let params = DgkParams { modulus_bits: 192, subgroup_bits: 24, compare_bits: ell };
+        let keys = DgkKeypair::generate(&mut rng, &params);
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+            b.iter(|| {
+                let a = rng.gen_range(0..(1u64 << ell));
+                let bb = rng.gen_range(0..(1u64 << ell));
+                comparison::compare_gt_plain(a, bb, &keys, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dgk_primitives, bench_compare_bit_widths);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Fig. 2 — User (teacher) accuracy.** (a) even distribution: mean user
+//! accuracy vs number of users; (b)(c)(d) uneven distributions 2-8 / 3-7 /
+//! 4-6: majority-group vs minority-group accuracy, for the mnist-like,
+//! svhn-like and celeba-like workloads.
+//!
+//! Usage: `cargo run --release -p benches --bin fig2_user_accuracy -- [--train N] [--rounds R]`
+
+use benches::{f3, Args, Table, USER_GRID};
+use mlsim::model::TrainConfig;
+use mlsim::partition::{division_split, even_split, Division};
+use mlsim::synthetic::{GaussianMixtureSpec, SparseAttributeSpec};
+use mlsim::teacher::{MultiLabelEnsemble, TeacherEnsemble};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::capture();
+    let train_size: usize = args.get("train", 4000);
+    let test_size: usize = args.get("test", 800);
+    let rounds: usize = args.get("rounds", 2);
+    let seed: u64 = args.get("seed", 2);
+    let train_config = TrainConfig { epochs: args.get("epochs", 25), ..TrainConfig::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    println!("Fig. 2(a): average user accuracy, even distribution\n");
+    let mut table = Table::new(&["users", "mnist-like", "svhn-like", "celeba-like"]);
+    for &users in &USER_GRID {
+        let mut cells = vec![users.to_string()];
+        for name in ["mnist", "svhn"] {
+            let spec = if name == "mnist" {
+                GaussianMixtureSpec::mnist_like()
+            } else {
+                GaussianMixtureSpec::svhn_like()
+            };
+            let mut acc = 0.0;
+            for _ in 0..rounds {
+                let train = spec.generate(train_size, &mut rng);
+                let test = spec.generate(test_size, &mut rng);
+                let p = even_split(train.len(), users, &mut rng);
+                let e = TeacherEnsemble::train(&train, &p, &train_config, &mut rng);
+                acc += e.user_accuracy(&test, &p).mean;
+            }
+            cells.push(f3(acc / rounds as f64));
+        }
+        // CelebA surrogate.
+        let spec = SparseAttributeSpec::celeba_like();
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            let train = spec.generate(train_size.min(3000), &mut rng);
+            let test = spec.generate(test_size, &mut rng);
+            let p = even_split(train.len(), users, &mut rng);
+            let e = MultiLabelEnsemble::train(&train, &p, &train_config, &mut rng);
+            acc += e.user_accuracy(&test, &p).mean;
+        }
+        cells.push(f3(acc / rounds as f64));
+        table.row(cells);
+    }
+    table.print();
+    println!("\nPaper shape: accuracy decreases monotonically with the number of users.\n");
+
+    for (spec_name, which) in [("mnist-like", 0), ("svhn-like", 1), ("celeba-like", 2)] {
+        println!("Fig. 2(b-d) [{spec_name}]: majority (80/70/60% of users, small shards) vs minority accuracy\n");
+        let mut table =
+            Table::new(&["users", "2-8 maj/min", "3-7 maj/min", "4-6 maj/min"]);
+        for &users in &USER_GRID {
+            let mut cells = vec![users.to_string()];
+            for division in Division::ALL {
+                let (maj, min) = match which {
+                    2 => {
+                        let spec = SparseAttributeSpec::celeba_like();
+                        let train = spec.generate(train_size.min(3000), &mut rng);
+                        let test = spec.generate(test_size, &mut rng);
+                        let p = division_split(train.len(), users, division, &mut rng);
+                        let e = MultiLabelEnsemble::train(&train, &p, &train_config, &mut rng);
+                        let acc = e.user_accuracy(&test, &p);
+                        (acc.majority.unwrap_or(0.0), acc.minority.unwrap_or(0.0))
+                    }
+                    _ => {
+                        let spec = if which == 0 {
+                            GaussianMixtureSpec::mnist_like()
+                        } else {
+                            GaussianMixtureSpec::svhn_like()
+                        };
+                        let train = spec.generate(train_size, &mut rng);
+                        let test = spec.generate(test_size, &mut rng);
+                        let p = division_split(train.len(), users, division, &mut rng);
+                        let e = TeacherEnsemble::train(&train, &p, &train_config, &mut rng);
+                        let acc = e.user_accuracy(&test, &p);
+                        (acc.majority.unwrap_or(0.0), acc.minority.unwrap_or(0.0))
+                    }
+                };
+                cells.push(format!("{}/{}", f3(maj), f3(min)));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+    println!("Paper shape: the more unbalanced the division, the larger the majority/minority accuracy gap.");
+}

@@ -1,0 +1,90 @@
+//! **Fig. 3 — Label accuracy and aggregator accuracy, consensus vs
+//! baseline.** For the mnist-like and svhn-like workloads, sweeps the
+//! number of users and the privacy level; at each point runs both the
+//! private consensus protocol and the same-noise noisy-max baseline.
+//!
+//! Privacy levels are expressed as noise scales σ (= σ₁ = σ₂, in votes);
+//! the table also prints the *campaign* ε our conservative
+//! data-independent Theorem 5 accounting assigns to each run. (The
+//! paper's quoted ε values use PATE-style data-dependent accounting and
+//! are not directly comparable; the reproduced signal is the *shape*
+//! across privacy levels and user counts.)
+//!
+//! Usage: `cargo run --release -p benches --bin fig3_consensus_vs_baseline -- [--train N] [--rounds R]`
+
+use benches::{f3, Args, Table, USER_GRID};
+use consensus_core::config::ConsensusConfig;
+use consensus_core::pipeline::{LabelingMode, SingleLabelExperiment};
+use mlsim::model::TrainConfig;
+use mlsim::synthetic::GaussianMixtureSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Privacy levels, high → low (σ in votes).
+const SIGMA_GRID: [f64; 3] = [8.0, 4.0, 1.5];
+
+fn main() {
+    let args = Args::capture();
+    let rounds: usize = args.get("rounds", 1);
+    let seed: u64 = args.get("seed", 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for (name, spec) in [
+        ("mnist-like", GaussianMixtureSpec::mnist_like()),
+        ("svhn-like", GaussianMixtureSpec::svhn_like()),
+    ] {
+        println!("Fig. 3 [{name}]: label accuracy / aggregator accuracy (consensus | baseline)\n");
+        let mut table = Table::new(&[
+            "users",
+            "sigma",
+            "campaign eps",
+            "label cons",
+            "label base",
+            "agg cons",
+            "agg base",
+        ]);
+        for &sigma in &SIGMA_GRID {
+            for &users in &USER_GRID {
+                let mut acc = [0.0f64; 4];
+                let mut eps = 0.0;
+                for _ in 0..rounds {
+                    let mut exp = SingleLabelExperiment::new(
+                        spec,
+                        users,
+                        ConsensusConfig::paper_default(sigma, sigma),
+                    );
+                    exp.train_size = args.get("train", 4000);
+                    exp.public_size = args.get("public", 500);
+                    exp.test_size = args.get("test", 800);
+                    exp.train_config =
+                        TrainConfig { epochs: args.get("epochs", 25), ..TrainConfig::default() };
+                    let cons = exp.clone().with_mode(LabelingMode::Consensus).run(&mut rng);
+                    let base = exp.with_mode(LabelingMode::Baseline).run(&mut rng);
+                    acc[0] += cons.label_stats.label_accuracy;
+                    acc[1] += base.label_stats.label_accuracy;
+                    acc[2] += cons.aggregator_accuracy;
+                    acc[3] += base.aggregator_accuracy;
+                    eps = cons.epsilon;
+                }
+                let r = rounds as f64;
+                table.row(vec![
+                    users.to_string(),
+                    format!("{sigma}"),
+                    format!("{eps:.1}"),
+                    f3(acc[0] / r),
+                    f3(acc[1] / r),
+                    f3(acc[2] / r),
+                    f3(acc[3] / r),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "Paper shape: consensus beats the baseline at 50+ users (it filters invalid \
+         instances); at 25 users it can trail slightly (threshold discards useful votes); \
+         accuracy rises as privacy loosens (smaller sigma); baseline accuracy falls \
+         monotonically with user count while consensus does not."
+    );
+}

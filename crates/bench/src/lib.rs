@@ -1,0 +1,175 @@
+//! Shared plumbing for the experiment binaries: a minimal `--key value`
+//! argument parser, table rendering, and common sweep grids.
+//!
+//! Every binary prints a self-describing table to stdout in the same
+//! units the paper reports, so `cargo run -p benches --bin <exp>` directly
+//! regenerates the corresponding table/figure series (see DESIGN.md §3
+//! for the experiment index and EXPERIMENTS.md for recorded runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::fmt::Display;
+
+/// Minimal `--key value` CLI parser over `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Args {
+        Args { raw: env::args().skip(1).collect() }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from_vec(raw: Vec<String>) -> Args {
+        Args { raw }
+    }
+
+    /// Looks up `--name v`, parsing `v`; falls back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: Display,
+    {
+        let flag = format!("--{name}");
+        for pair in self.raw.windows(2) {
+            if pair[0] == flag {
+                return pair[1]
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+            }
+        }
+        default
+    }
+
+    /// Whether a bare `--name` flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::capture()
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (stringifies every cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The user-count grid every accuracy figure sweeps (Fig. 2-6).
+pub const USER_GRID: [usize; 5] = [10, 25, 50, 75, 100];
+
+/// Default privacy levels (ε targets at δ = 1e-6) swept by Fig. 3/4.
+pub const EPSILON_GRID: [f64; 3] = [2.0, 8.19, 20.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_defaults() {
+        let args = Args::from_vec(vec![
+            "--users".into(),
+            "25".into(),
+            "--sigma".into(),
+            "4.5".into(),
+            "--fast".into(),
+        ]);
+        assert_eq!(args.get("users", 10usize), 25);
+        assert_eq!(args.get("sigma", 1.0f64), 4.5);
+        assert_eq!(args.get("rounds", 7u64), 7);
+        assert!(args.has("fast"));
+        assert!(!args.has("slow"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        let args = Args::from_vec(vec!["--users".into(), "abc".into()]);
+        let _ = args.get("users", 1usize);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].find('|'), lines[2].find('|'), "columns aligned");
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,229 @@
+//! Addition and subtraction for [`Ubig`].
+
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::{Limb, Ubig};
+
+/// Adds `b` into `a` in place (`a += b`).
+pub(crate) fn add_assign_limbs(a: &mut Vec<Limb>, b: &[Limb]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut carry = 0u64;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let rhs = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = limb.overflowing_add(rhs);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *limb = s2;
+        carry = (c1 as u64) + (c2 as u64);
+        if carry == 0 && i >= b.len() {
+            break;
+        }
+    }
+    if carry != 0 {
+        a.push(carry);
+    }
+}
+
+/// Subtracts `b` from `a` in place (`a -= b`); returns `true` on borrow
+/// (i.e. when `b > a`), in which case `a` holds the wrapped result.
+pub(crate) fn sub_assign_limbs(a: &mut Vec<Limb>, b: &[Limb]) -> bool {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut borrow = 0u64;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let rhs = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = limb.overflowing_sub(rhs);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *limb = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    borrow != 0
+}
+
+impl Ubig {
+    /// Subtracts `other` from `self`, returning `None` if the result would be
+    /// negative.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// let five = Ubig::from(5u64);
+    /// let three = Ubig::from(3u64);
+    /// assert_eq!(five.checked_sub(&three), Some(Ubig::from(2u64)));
+    /// assert_eq!(three.checked_sub(&five), None);
+    /// ```
+    pub fn checked_sub(&self, other: &Ubig) -> Option<Ubig> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let borrow = sub_assign_limbs(&mut limbs, &other.limbs);
+        debug_assert!(!borrow);
+        Some(Ubig::from_limbs(limbs))
+    }
+
+    /// `|self - other|`: the absolute difference.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// let a = Ubig::from(3u64);
+    /// let b = Ubig::from(10u64);
+    /// assert_eq!(a.abs_diff(&b), Ubig::from(7u64));
+    /// assert_eq!(b.abs_diff(&a), Ubig::from(7u64));
+    /// ```
+    pub fn abs_diff(&self, other: &Ubig) -> Ubig {
+        if self >= other {
+            self.checked_sub(other).expect("self >= other")
+        } else {
+            other.checked_sub(self).expect("other > self")
+        }
+    }
+}
+
+impl Add<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        let mut limbs = self.limbs.clone();
+        add_assign_limbs(&mut limbs, &rhs.limbs);
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Add for Ubig {
+    type Output = Ubig;
+    fn add(mut self, rhs: Ubig) -> Ubig {
+        add_assign_limbs(&mut self.limbs, &rhs.limbs);
+        self
+    }
+}
+
+impl Add<u64> for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: u64) -> Ubig {
+        self + &Ubig::from(rhs)
+    }
+}
+
+impl AddAssign<&Ubig> for Ubig {
+    fn add_assign(&mut self, rhs: &Ubig) {
+        add_assign_limbs(&mut self.limbs, &rhs.limbs);
+    }
+}
+
+impl Sub<&Ubig> for &Ubig {
+    type Output = Ubig;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned subtraction underflow).
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        self.checked_sub(rhs)
+            .expect("Ubig subtraction underflow: rhs > self")
+    }
+}
+
+impl Sub for Ubig {
+    type Output = Ubig;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned subtraction underflow).
+    fn sub(self, rhs: Ubig) -> Ubig {
+        (&self).sub(&rhs)
+    }
+}
+
+impl Sub<u64> for &Ubig {
+    type Output = Ubig;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned subtraction underflow).
+    fn sub(self, rhs: u64) -> Ubig {
+        self - &Ubig::from(rhs)
+    }
+}
+
+impl SubAssign<&Ubig> for Ubig {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned subtraction underflow).
+    fn sub_assign(&mut self, rhs: &Ubig) {
+        let borrow = sub_assign_limbs(&mut self.limbs, &rhs.limbs);
+        assert!(!borrow, "Ubig subtraction underflow: rhs > self");
+        self.normalize();
+    }
+}
+
+impl std::iter::Sum for Ubig {
+    fn sum<I: Iterator<Item = Ubig>>(iter: I) -> Ubig {
+        iter.fold(Ubig::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = Ubig::from(u64::MAX);
+        let b = Ubig::one();
+        let s = &a + &b;
+        assert_eq!(s.as_limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn add_across_lengths() {
+        let a = Ubig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = Ubig::one();
+        assert_eq!((&a + &b).as_limbs(), &[0, 0, 1]);
+        assert_eq!(&b + &a, &a + &b);
+    }
+
+    #[test]
+    fn sub_cancels_add() {
+        let a = Ubig::from_limbs(vec![123, 456]);
+        let b = Ubig::from_limbs(vec![789, 12]);
+        assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = Ubig::from_limbs(vec![0, 1]); // 2^64
+        let b = Ubig::one();
+        assert_eq!((&a - &b).as_limbs(), &[u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &Ubig::one() - &Ubig::two();
+    }
+
+    #[test]
+    fn checked_sub_none_on_underflow() {
+        assert_eq!(Ubig::zero().checked_sub(&Ubig::one()), None);
+        assert_eq!(Ubig::one().checked_sub(&Ubig::one()), Some(Ubig::zero()));
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut acc = Ubig::zero();
+        for i in 1..=10u64 {
+            acc += &Ubig::from(i);
+        }
+        assert_eq!(acc, Ubig::from(55u64));
+        let total: Ubig = (1..=10u64).map(Ubig::from).sum();
+        assert_eq!(total, Ubig::from(55u64));
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Ubig::from_limbs(vec![5, 9]);
+        let b = Ubig::from_limbs(vec![7, 2]);
+        assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+        assert_eq!(a.abs_diff(&a), Ubig::zero());
+    }
+}

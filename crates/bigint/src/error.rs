@@ -1,0 +1,45 @@
+//! Error types for the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::Ubig`] or [`crate::Ibig`] from a
+/// string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBigIntError {
+    /// The input contained no digits.
+    Empty,
+    /// The input contained a character that is not a digit in the requested
+    /// radix.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigIntError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseBigIntError::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} for the requested radix")
+            }
+        }
+    }
+}
+
+impl Error for ParseBigIntError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ParseBigIntError::Empty.to_string().contains("empty"));
+        assert!(ParseBigIntError::InvalidDigit('z').to_string().contains("'z'"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ParseBigIntError>();
+    }
+}

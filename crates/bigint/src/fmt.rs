@@ -1,0 +1,169 @@
+//! Formatting and parsing for [`Ubig`]: decimal `Display`/`FromStr`,
+//! hexadecimal via `LowerHex`/`UpperHex`, and radix-parameterized parsing.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseBigIntError;
+use crate::Ubig;
+
+impl Ubig {
+    /// Parses a string in the given radix (2..=36). Accepts an optional
+    /// `0x`/`0b`/`0o` prefix matching the radix, and `_` separators.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::from_str_radix("ff", 16).unwrap(), Ubig::from(255u64));
+    /// assert_eq!(Ubig::from_str_radix("1_000", 10).unwrap(), Ubig::from(1000u64));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigIntError`] on an empty string or a digit outside
+    /// the radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is outside `2..=36`.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Self, ParseBigIntError> {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        let s = match radix {
+            16 => s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s),
+            8 => s.strip_prefix("0o").or_else(|| s.strip_prefix("0O")).unwrap_or(s),
+            2 => s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")).unwrap_or(s),
+            _ => s,
+        };
+        let mut any = false;
+        let mut acc = Ubig::zero();
+        let radix_big = Ubig::from(radix as u64);
+        for ch in s.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let digit = ch.to_digit(radix).ok_or(ParseBigIntError::InvalidDigit(ch))?;
+            acc = &(&acc * &radix_big) + &Ubig::from(digit as u64);
+            any = true;
+        }
+        if !any {
+            return Err(ParseBigIntError::Empty);
+        }
+        Ok(acc)
+    }
+
+    /// Renders the value in the given radix (2..=36), lowercase digits.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::from(255u64).to_str_radix(16), "ff");
+    /// assert_eq!(Ubig::from(5u64).to_str_radix(2), "101");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is outside `2..=36`.
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(radix as u64);
+            digits.push(std::char::from_digit(r as u32, radix).expect("digit < radix"));
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_str_radix(10))
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig({})", self.to_str_radix(10))
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_str_radix(16))
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_str_radix(16).to_uppercase())
+    }
+}
+
+impl fmt::Binary for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0b", &self.to_str_radix(2))
+    }
+}
+
+impl fmt::Octal for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0o", &self.to_str_radix(8))
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ubig::from_str_radix(s, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_decimal() {
+        let cases = ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"];
+        for c in cases {
+            let v: Ubig = c.parse().unwrap();
+            assert_eq!(v.to_string(), c);
+        }
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let v = Ubig::from_str_radix("deadbeefcafebabe1122334455667788", 16).unwrap();
+        assert_eq!(format!("{v:x}"), "deadbeefcafebabe1122334455667788");
+        assert_eq!(format!("{v:X}"), "DEADBEEFCAFEBABE1122334455667788");
+    }
+
+    #[test]
+    fn prefix_and_separators_accepted() {
+        assert_eq!(Ubig::from_str_radix("0xff", 16).unwrap(), Ubig::from(255u64));
+        assert_eq!(Ubig::from_str_radix("0b1010", 2).unwrap(), Ubig::from(10u64));
+        assert_eq!(Ubig::from_str_radix("1_000_000", 10).unwrap(), Ubig::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!("".parse::<Ubig>(), Err(ParseBigIntError::Empty)));
+        assert!(matches!("12a".parse::<Ubig>(), Err(ParseBigIntError::InvalidDigit('a'))));
+        assert!(matches!(Ubig::from_str_radix("_", 10), Err(ParseBigIntError::Empty)));
+    }
+
+    #[test]
+    fn binary_and_octal_formatting() {
+        let v = Ubig::from(64u64);
+        assert_eq!(format!("{v:b}"), "1000000");
+        assert_eq!(format!("{v:o}"), "100");
+        assert_eq!(format!("{:#x}", Ubig::from(255u64)), "0xff");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Ubig::zero()), "Ubig(0)");
+    }
+}

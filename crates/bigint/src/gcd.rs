@@ -1,0 +1,154 @@
+//! Greatest common divisor, extended Euclidean algorithm, least common
+//! multiple and modular inverse.
+
+use crate::{Ibig, Ubig};
+
+/// Greatest common divisor of `a` and `b` (Euclid's algorithm).
+///
+/// `gcd(x, 0) == x` by convention.
+///
+/// ```
+/// use bigint::{gcd::gcd, Ubig};
+/// assert_eq!(gcd(&Ubig::from(48u64), &Ubig::from(18u64)), Ubig::from(6u64));
+/// ```
+pub fn gcd(a: &Ubig, b: &Ubig) -> Ubig {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple: `a*b / gcd(a,b)`. `lcm(x, 0) == 0`.
+///
+/// ```
+/// use bigint::{gcd::lcm, Ubig};
+/// assert_eq!(lcm(&Ubig::from(4u64), &Ubig::from(6u64)), Ubig::from(12u64));
+/// ```
+pub fn lcm(a: &Ubig, b: &Ubig) -> Ubig {
+    if a.is_zero() || b.is_zero() {
+        return Ubig::zero();
+    }
+    let g = gcd(a, b);
+    &(a / &g) * b
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a*x + b*y == g == gcd(a, b)`.
+///
+/// ```
+/// use bigint::{gcd::extended_gcd, Ubig, Ibig};
+/// let (g, x, y) = extended_gcd(&Ubig::from(240u64), &Ubig::from(46u64));
+/// assert_eq!(g, Ubig::from(2u64));
+/// let check = &(&Ibig::from(240u64) * &x) + &(&Ibig::from(46u64) * &y);
+/// assert_eq!(check, Ibig::from(2u64));
+/// ```
+pub fn extended_gcd(a: &Ubig, b: &Ubig) -> (Ubig, Ibig, Ibig) {
+    let mut r0 = Ibig::from(a.clone());
+    let mut r1 = Ibig::from(b.clone());
+    let mut s0 = Ibig::one();
+    let mut s1 = Ibig::zero();
+    let mut t0 = Ibig::zero();
+    let mut t1 = Ibig::one();
+
+    while !r1.is_zero() {
+        let (q, _) = r0.magnitude().div_rem(r1.magnitude());
+        let q = Ibig::from(q);
+        let r2 = &r0 - &(&q * &r1);
+        let s2 = &s0 - &(&q * &s1);
+        let t2 = &t0 - &(&q * &t1);
+        r0 = r1;
+        r1 = r2;
+        s0 = s1;
+        s1 = s2;
+        t0 = t1;
+        t1 = t2;
+    }
+    (r0.into_magnitude(), s0, t0)
+}
+
+/// Modular inverse of `a` modulo `m`: the unique `x` in `[0, m)` with
+/// `a*x ≡ 1 (mod m)`, or `None` if `gcd(a, m) != 1`.
+///
+/// ```
+/// use bigint::{gcd::modinv, Ubig};
+/// let inv = modinv(&Ubig::from(3u64), &Ubig::from(7u64)).unwrap();
+/// assert_eq!(inv, Ubig::from(5u64)); // 3*5 = 15 ≡ 1 (mod 7)
+/// ```
+pub fn modinv(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    if m.is_zero() {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(a, m);
+    if !g.is_one() {
+        return None;
+    }
+    Some(x.rem_euclid(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic_identities() {
+        let a = Ubig::from(360u64);
+        assert_eq!(gcd(&a, &Ubig::zero()), a);
+        assert_eq!(gcd(&Ubig::zero(), &a), a);
+        assert_eq!(gcd(&a, &Ubig::one()), Ubig::one());
+        assert_eq!(gcd(&a, &a), a);
+    }
+
+    #[test]
+    fn gcd_multi_limb() {
+        // gcd(2^100 * 3, 2^80 * 9) = 2^80 * 3
+        let a = &(Ubig::one() << 100) * &Ubig::from(3u64);
+        let b = &(Ubig::one() << 80) * &Ubig::from(9u64);
+        let expect = &(Ubig::one() << 80) * &Ubig::from(3u64);
+        assert_eq!(gcd(&a, &b), expect);
+    }
+
+    #[test]
+    fn lcm_times_gcd_is_product() {
+        let a = Ubig::from(123456u64);
+        let b = Ubig::from(789012u64);
+        assert_eq!(&lcm(&a, &b) * &gcd(&a, &b), &a * &b);
+        assert_eq!(lcm(&a, &Ubig::zero()), Ubig::zero());
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let pairs = [(240u64, 46u64), (17, 5), (1, 1), (u64::MAX, 2)];
+        for (a, b) in pairs {
+            let (ua, ub) = (Ubig::from(a), Ubig::from(b));
+            let (g, x, y) = extended_gcd(&ua, &ub);
+            let lhs = &(&Ibig::from(ua) * &x) + &(&Ibig::from(ub) * &y);
+            assert_eq!(lhs, Ibig::from(g), "bezout for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn modinv_roundtrip() {
+        let m = Ubig::from(1_000_000_007u64); // prime
+        for a in [2u64, 3, 999_999_999, 123_456] {
+            let a = Ubig::from(a);
+            let inv = modinv(&a, &m).expect("prime modulus, nonzero a");
+            assert_eq!(&(&a * &inv) % &m, Ubig::one());
+        }
+    }
+
+    #[test]
+    fn modinv_fails_when_not_coprime() {
+        assert_eq!(modinv(&Ubig::from(6u64), &Ubig::from(9u64)), None);
+        assert_eq!(modinv(&Ubig::from(5u64), &Ubig::zero()), None);
+    }
+
+    #[test]
+    fn modinv_of_one_is_one() {
+        let m = Ubig::from(97u64);
+        assert_eq!(modinv(&Ubig::one(), &m), Some(Ubig::one()));
+    }
+}

@@ -1,0 +1,338 @@
+//! Signed arbitrary-precision integers: a sign-and-magnitude wrapper over
+//! [`Ubig`], used by the extended Euclidean algorithm and by protocol code
+//! that manipulates signed additive shares.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::str::FromStr;
+
+use crate::error::ParseBigIntError;
+use crate::Ubig;
+
+/// Sign of an [`Ibig`]. Zero is canonically [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// Invariant: the magnitude of a [`Sign::Minus`] value is never zero.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::Ibig;
+///
+/// let a = Ibig::from(-5i64);
+/// let b = Ibig::from(3i64);
+/// assert_eq!((&a + &b).to_string(), "-2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ibig {
+    sign: Sign,
+    magnitude: Ubig,
+}
+
+impl Ibig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ibig { sign: Sign::Plus, magnitude: Ubig::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ibig { sign: Sign::Plus, magnitude: Ubig::one() }
+    }
+
+    /// Builds from a sign and magnitude, normalizing `-0` to `+0`.
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Ubig) -> Self {
+        if magnitude.is_zero() {
+            Ibig::zero()
+        } else {
+            Ibig { sign, magnitude }
+        }
+    }
+
+    /// The sign of the value (zero is `Plus`).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Borrow the magnitude `|self|`.
+    pub fn magnitude(&self) -> &Ubig {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> Ubig {
+        self.magnitude
+    }
+
+    /// Whether `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Whether `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The non-negative canonical residue of `self` modulo `m`, in `[0, m)`.
+    ///
+    /// ```
+    /// use bigint::{Ibig, Ubig};
+    /// let x = Ibig::from(-3i64);
+    /// assert_eq!(x.rem_euclid(&Ubig::from(10u64)), Ubig::from(7u64));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &Ubig) -> Ubig {
+        let r = &self.magnitude % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Plus => i128::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag == 1u128 << 127 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(mag).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+}
+
+impl From<Ubig> for Ibig {
+    fn from(magnitude: Ubig) -> Self {
+        Ibig { sign: Sign::Plus, magnitude }
+    }
+}
+
+impl From<i64> for Ibig {
+    fn from(v: i64) -> Self {
+        Ibig::from(v as i128)
+    }
+}
+
+impl From<u64> for Ibig {
+    fn from(v: u64) -> Self {
+        Ibig::from(Ubig::from(v))
+    }
+}
+
+impl From<i128> for Ibig {
+    fn from(v: i128) -> Self {
+        if v < 0 {
+            Ibig::from_sign_magnitude(Sign::Minus, Ubig::from(v.unsigned_abs()))
+        } else {
+            Ibig::from(Ubig::from(v as u128))
+        }
+    }
+}
+
+impl Neg for Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_magnitude(self.sign.flip(), self.magnitude)
+    }
+}
+
+impl Neg for &Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_magnitude(self.sign.flip(), self.magnitude.clone())
+    }
+}
+
+impl Add<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn add(self, rhs: &Ibig) -> Ibig {
+        if self.sign == rhs.sign {
+            Ibig::from_sign_magnitude(self.sign, &self.magnitude + &rhs.magnitude)
+        } else {
+            // Opposite signs: subtract smaller magnitude from larger.
+            match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => Ibig::zero(),
+                Ordering::Greater => Ibig::from_sign_magnitude(
+                    self.sign,
+                    self.magnitude.checked_sub(&rhs.magnitude).expect("self larger"),
+                ),
+                Ordering::Less => Ibig::from_sign_magnitude(
+                    rhs.sign,
+                    rhs.magnitude.checked_sub(&self.magnitude).expect("rhs larger"),
+                ),
+            }
+        }
+    }
+}
+
+impl Add for Ibig {
+    type Output = Ibig;
+    fn add(self, rhs: Ibig) -> Ibig {
+        (&self) + (&rhs)
+    }
+}
+
+impl Sub<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn sub(self, rhs: &Ibig) -> Ibig {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Ibig {
+    type Output = Ibig;
+    fn sub(self, rhs: Ibig) -> Ibig {
+        (&self) - (&rhs)
+    }
+}
+
+impl Mul<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: &Ibig) -> Ibig {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        Ibig::from_sign_magnitude(sign, &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl Mul for Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: Ibig) -> Ibig {
+        (&self) * (&rhs)
+    }
+}
+
+impl Ord for Ibig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.magnitude.cmp(&other.magnitude),
+            (Sign::Minus, Sign::Minus) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for Ibig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.magnitude.to_str_radix(10);
+        f.pad_integral(self.sign == Sign::Plus, "", &s)
+    }
+}
+
+impl fmt::Debug for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ibig({self})")
+    }
+}
+
+impl FromStr for Ibig {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            Ok(Ibig::from_sign_magnitude(Sign::Minus, rest.parse()?))
+        } else {
+            let rest = s.strip_prefix('+').unwrap_or(s);
+            Ok(Ibig::from(rest.parse::<Ubig>()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let z = Ibig::from_sign_magnitude(Sign::Minus, Ubig::zero());
+        assert_eq!(z, Ibig::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128() {
+        let pairs = [(5i128, 3i128), (-5, 3), (5, -3), (-5, -3), (0, -7), (1 << 62, -(1 << 61))];
+        for (a, b) in pairs {
+            let (ba, bb) = (Ibig::from(a), Ibig::from(b));
+            assert_eq!((&ba + &bb).to_i128(), Some(a + b), "{a}+{b}");
+            assert_eq!((&ba - &bb).to_i128(), Some(a - b), "{a}-{b}");
+            assert_eq!((&ba * &bb).to_i128(), Some(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        let vals = [-10i64, -1, 0, 1, 10];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(Ibig::from(x).cmp(&Ibig::from(y)), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rem_euclid_always_canonical() {
+        let m = Ubig::from(7u64);
+        for v in [-20i64, -7, -1, 0, 1, 6, 7, 20] {
+            let got = Ibig::from(v).rem_euclid(&m).to_u64().unwrap() as i64;
+            assert_eq!(got, v.rem_euclid(7), "value {v}");
+        }
+    }
+
+    #[test]
+    fn display_and_parse() {
+        for s in ["-123456789012345678901234567890", "0", "42"] {
+            let v: Ibig = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("+5".parse::<Ibig>().unwrap(), Ibig::from(5i64));
+    }
+
+    #[test]
+    fn neg_is_involutive() {
+        let v = Ibig::from(-99i64);
+        assert_eq!(-(-v.clone()), v);
+    }
+
+    #[test]
+    fn i128_min_roundtrip() {
+        assert_eq!(Ibig::from(i128::MIN).to_i128(), Some(i128::MIN));
+    }
+}

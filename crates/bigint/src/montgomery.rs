@@ -1,0 +1,238 @@
+//! Montgomery-form modular arithmetic.
+//!
+//! Modular exponentiation dominates every cryptographic operation in this
+//! workspace (Paillier `r^n mod n²`, DGK `g^m h^r mod n`, bitwise
+//! comparison blinding). The plain [`crate::modular::modpow`] pays a full
+//! division per multiply; Montgomery's REDC replaces those divisions with
+//! word-level multiplications, which is the standard production-grade
+//! approach. The `paillier_ops`/`bigint_ops` benches quantify the win as
+//! one of DESIGN.md's ablations.
+//!
+//! Only odd moduli are supported (always true for RSA-like `n`, `n²` and
+//! the DGK modulus).
+
+use crate::ubig::wide_mul;
+use crate::{Limb, Ubig, LIMB_BITS};
+
+/// Precomputed context for arithmetic modulo a fixed odd `n`.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::{montgomery::MontgomeryContext, Ubig};
+///
+/// let n = Ubig::from(101u64);
+/// let ctx = MontgomeryContext::new(n).expect("odd modulus");
+/// let result = ctx.modpow(&Ubig::from(7u64), &Ubig::from(100u64));
+/// assert_eq!(result, Ubig::one()); // Fermat
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontgomeryContext {
+    n: Ubig,
+    /// Limb count `k`; the Montgomery radix is `R = 2^(64k)`.
+    k: usize,
+    /// `−n⁻¹ mod 2^64`.
+    n_prime: Limb,
+    /// `R² mod n`, for converting into Montgomery form.
+    r_squared: Ubig,
+    /// `R mod n` — the Montgomery representation of 1.
+    one_mont: Ubig,
+}
+
+/// `n⁻¹ mod 2^64` for odd `n`, by Newton–Hensel lifting.
+fn inv_mod_word(n0: Limb) -> Limb {
+    debug_assert!(n0 & 1 == 1, "modulus must be odd");
+    let mut inv: Limb = n0; // correct mod 2^3 already for odd n0
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(inv), 1);
+    inv
+}
+
+impl MontgomeryContext {
+    /// Builds a context for odd `n > 1`; returns `None` for even or
+    /// trivial moduli.
+    pub fn new(n: Ubig) -> Option<Self> {
+        if n.is_even() || n <= Ubig::one() {
+            return None;
+        }
+        let k = n.as_limbs().len();
+        let n_prime = inv_mod_word(n.as_limbs()[0]).wrapping_neg();
+        // R mod n and R² mod n via shifting (cheap, done once).
+        let r = Ubig::one() << (k as u32 * LIMB_BITS);
+        let one_mont = &r % &n;
+        let r_squared = &(&one_mont * &one_mont) % &n;
+        Some(MontgomeryContext { n, k, n_prime, r_squared, one_mont })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Montgomery reduction: given `t < n·R`, returns `t·R⁻¹ mod n`.
+    fn redc(&self, t: &Ubig) -> Ubig {
+        let k = self.k;
+        let n_limbs = self.n.as_limbs();
+        // Working buffer of 2k+1 limbs.
+        let mut buf: Vec<Limb> = vec![0; 2 * k + 1];
+        let t_limbs = t.as_limbs();
+        buf[..t_limbs.len()].copy_from_slice(t_limbs);
+
+        for i in 0..k {
+            let m = buf[i].wrapping_mul(self.n_prime);
+            // buf += m * n << (64 i)
+            let mut carry: Limb = 0;
+            for j in 0..k {
+                let (lo, hi) = wide_mul(m, n_limbs[j]);
+                let (s1, c1) = buf[i + j].overflowing_add(lo);
+                let (s2, c2) = s1.overflowing_add(carry);
+                buf[i + j] = s2;
+                carry = hi.wrapping_add(c1 as Limb).wrapping_add(c2 as Limb);
+                // hi + c1 + c2 cannot wrap: hi <= 2^64 - 2 when lo exists.
+            }
+            // Propagate the final carry upward.
+            let mut idx = i + k;
+            while carry != 0 {
+                let (s, c) = buf[idx].overflowing_add(carry);
+                buf[idx] = s;
+                carry = c as Limb;
+                idx += 1;
+            }
+        }
+        let reduced = Ubig::from_limbs(buf[k..].to_vec());
+        if reduced >= self.n {
+            reduced - self.n.clone()
+        } else {
+            reduced
+        }
+    }
+
+    /// Converts `x < n` into Montgomery form `x·R mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x >= n`.
+    pub fn to_mont(&self, x: &Ubig) -> Ubig {
+        debug_assert!(x < &self.n, "operand must be reduced");
+        self.redc(&(x * &self.r_squared))
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, x_mont: &Ubig) -> Ubig {
+        self.redc(x_mont)
+    }
+
+    /// Multiplies two Montgomery-form values.
+    pub fn mul_mont(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.redc(&(a * b))
+    }
+
+    /// `base^exp mod n` with all multiplications in Montgomery form.
+    ///
+    /// Matches [`crate::modular::modpow`] exactly (property-tested).
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let base = base % &self.n;
+        if exp.is_zero() {
+            return if self.n.is_one() { Ubig::zero() } else { Ubig::one() };
+        }
+        let base_mont = self.to_mont(&base);
+        let mut acc = self.one_mont.clone();
+        for i in (0..exp.bits()).rev() {
+            acc = self.mul_mont(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul_mont(&acc, &base_mont);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::modpow_basic;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_even_or_trivial_moduli() {
+        assert!(MontgomeryContext::new(Ubig::from(10u64)).is_none());
+        assert!(MontgomeryContext::new(Ubig::one()).is_none());
+        assert!(MontgomeryContext::new(Ubig::zero()).is_none());
+        assert!(MontgomeryContext::new(Ubig::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn word_inverse_is_exact() {
+        for n0 in [1u64, 3, 5, 0xffff_ffff_ffff_fff1, 0x1234_5678_9abc_def1] {
+            let inv = inv_mod_word(n0);
+            assert_eq!(n0.wrapping_mul(inv), 1, "inverse of {n0:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_to_from_mont() {
+        let n = Ubig::from(1_000_003u64);
+        let ctx = MontgomeryContext::new(n.clone()).unwrap();
+        for x in [0u64, 1, 2, 999_999, 500_000] {
+            let x = Ubig::from(x);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mul_matches_plain_modmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut n = random::gen_exact_bits(&mut rng, 192);
+        n.set_bit(0, true);
+        let ctx = MontgomeryContext::new(n.clone()).unwrap();
+        for _ in 0..50 {
+            let a = random::gen_below(&mut rng, &n);
+            let b = random::gen_below(&mut rng, &n);
+            let expect = crate::modular::modmul(&a, &b, &n);
+            let got = ctx.from_mont(&ctx.mul_mont(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn modpow_matches_plain_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [64u64, 128, 256, 521] {
+            let mut n = random::gen_exact_bits(&mut rng, bits);
+            n.set_bit(0, true);
+            let ctx = MontgomeryContext::new(n.clone()).unwrap();
+            for _ in 0..5 {
+                let base = random::gen_below(&mut rng, &n);
+                let exp = random::gen_bits(&mut rng, bits);
+                assert_eq!(ctx.modpow(&base, &exp), modpow_basic(&base, &exp, &n), "bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_edge_exponents() {
+        let n = Ubig::from(101u64);
+        let ctx = MontgomeryContext::new(n).unwrap();
+        assert_eq!(ctx.modpow(&Ubig::from(7u64), &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.modpow(&Ubig::from(7u64), &Ubig::one()), Ubig::from(7u64));
+        assert_eq!(ctx.modpow(&Ubig::zero(), &Ubig::from(5u64)), Ubig::zero());
+        // Unreduced base is reduced first.
+        assert_eq!(ctx.modpow(&Ubig::from(108u64), &Ubig::two()), Ubig::from(49u64));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = crate::prime::gen_prime(&mut rng, 96);
+        let ctx = MontgomeryContext::new(p.clone()).unwrap();
+        let exp = &p - &Ubig::one();
+        for _ in 0..5 {
+            let a = random::gen_range(&mut rng, &Ubig::two(), &p);
+            assert_eq!(ctx.modpow(&a, &exp), Ubig::one());
+        }
+    }
+}

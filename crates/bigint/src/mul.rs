@@ -1,0 +1,187 @@
+//! Multiplication for [`Ubig`].
+//!
+//! Schoolbook multiplication with a Karatsuba branch for large operands.
+//! Cryptographic moduli in this workspace are small (64–2048 bits), so the
+//! Karatsuba threshold is chosen conservatively.
+
+use std::ops::{Mul, MulAssign};
+
+use crate::ubig::wide_mul;
+use crate::{Limb, Ubig};
+
+/// Limb count above which Karatsuba is used instead of schoolbook.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook `O(n*m)` multiplication.
+fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = wide_mul(ai, bj);
+            let (s1, c1) = out[i + j].overflowing_add(lo);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i + j] = s2;
+            carry = hi + c1 as Limb + c2 as Limb;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Karatsuba multiplication: splits both operands at `half` limbs and
+/// recombines with three recursive products.
+fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let n = a.len().max(b.len());
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = n / 2;
+    let (a0, a1) = split(a, half);
+    let (b0, b1) = split(b, half);
+
+    let z0 = Ubig::from_limbs(mul_karatsuba(&a0.limbs, &b0.limbs));
+    let z2 = Ubig::from_limbs(mul_karatsuba(&a1.limbs, &b1.limbs));
+    let sa = &a0 + &a1;
+    let sb = &b0 + &b1;
+    let z1_full = Ubig::from_limbs(mul_karatsuba(&sa.limbs, &sb.limbs));
+    // z1 = (a0+a1)(b0+b1) - z0 - z2 >= 0 always.
+    let z1 = &(&z1_full - &z0) - &z2;
+
+    let mut result = z0;
+    let mut mid = z1;
+    mid.shl_limbs(half);
+    result += &mid;
+    let mut top = z2;
+    top.shl_limbs(2 * half);
+    result += &top;
+    result.limbs
+}
+
+fn split(x: &[Limb], at: usize) -> (Ubig, Ubig) {
+    if x.len() <= at {
+        (Ubig::from_limbs(x.to_vec()), Ubig::zero())
+    } else {
+        (
+            Ubig::from_limbs(x[..at].to_vec()),
+            Ubig::from_limbs(x[at..].to_vec()),
+        )
+    }
+}
+
+impl Ubig {
+    /// Shifts left by whole limbs (multiply by `2^(64*n)`).
+    pub(crate) fn shl_limbs(&mut self, n: usize) {
+        if self.is_zero() || n == 0 {
+            return;
+        }
+        let mut limbs = vec![0; n];
+        limbs.extend_from_slice(&self.limbs);
+        self.limbs = limbs;
+    }
+
+    /// Squares `self`.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::from(12u64).square(), Ubig::from(144u64));
+    /// ```
+    pub fn square(&self) -> Ubig {
+        self * self
+    }
+}
+
+impl Mul<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: &Ubig) -> Ubig {
+        Ubig::from_limbs(mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: Ubig) -> Ubig {
+        (&self).mul(&rhs)
+    }
+}
+
+impl Mul<u64> for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: u64) -> Ubig {
+        self * &Ubig::from(rhs)
+    }
+}
+
+impl MulAssign<&Ubig> for Ubig {
+    fn mul_assign(&mut self, rhs: &Ubig) {
+        let out = (&*self) * rhs;
+        *self = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let x = Ubig::from_limbs(vec![1, 2, 3]);
+        assert_eq!(&x * &Ubig::zero(), Ubig::zero());
+        assert_eq!(&x * &Ubig::one(), x);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xffff_ffff_ffffu64;
+        let b = 0x1234_5678_9abcu64;
+        let prod = a as u128 * b as u128;
+        assert_eq!((&Ubig::from(a) * &Ubig::from(b)).to_u128(), Some(prod));
+    }
+
+    #[test]
+    fn mul_is_commutative_multi_limb() {
+        let a = Ubig::from_limbs(vec![u64::MAX, 5, 17]);
+        let b = Ubig::from_limbs(vec![3, u64::MAX]);
+        assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Build operands wide enough to trip the Karatsuba branch.
+        let a: Vec<Limb> = (0..80).map(|i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let b: Vec<Limb> = (0..70).map(|i| (i as u64).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ 0xff).collect();
+        let kara = mul_karatsuba(&a, &b);
+        let school = mul_schoolbook(&a, &b);
+        assert_eq!(Ubig::from_limbs(kara), Ubig::from_limbs(school));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let x = Ubig::from_limbs(vec![0xdead_beef, 42, 7]);
+        assert_eq!(x.square(), &x * &x);
+    }
+
+    #[test]
+    fn shl_limbs_scales_by_2_64() {
+        let mut x = Ubig::from(3u64);
+        x.shl_limbs(2);
+        assert_eq!(x.as_limbs(), &[0, 0, 3]);
+        let mut z = Ubig::zero();
+        z.shl_limbs(5);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        let a = Ubig::from_limbs(vec![11, 13]);
+        let b = Ubig::from_limbs(vec![17, 19]);
+        let c = Ubig::from_limbs(vec![23, 29]);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

@@ -1,0 +1,172 @@
+//! Uniform random generation of big integers.
+
+use rand::Rng;
+
+use crate::{Limb, Ubig, LIMB_BITS};
+
+/// Samples a uniform integer in `[0, bound)` by rejection sampling.
+///
+/// ```
+/// use bigint::{random, Ubig};
+/// let mut rng = rand::thread_rng();
+/// let bound = Ubig::from(1000u64);
+/// let x = random::gen_below(&mut rng, &bound);
+/// assert!(x < bound);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn gen_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+    assert!(!bound.is_zero(), "gen_below bound must be positive");
+    let bits = bound.bits();
+    loop {
+        let candidate = gen_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Samples a uniform integer in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn gen_range<R: Rng + ?Sized>(rng: &mut R, low: &Ubig, high: &Ubig) -> Ubig {
+    assert!(low < high, "gen_range requires low < high");
+    let width = high.checked_sub(low).expect("high > low");
+    low + &gen_below(rng, &width)
+}
+
+/// Samples a uniform integer with *at most* `bits` bits (i.e. in `[0, 2^bits)`).
+pub fn gen_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Ubig {
+    if bits == 0 {
+        return Ubig::zero();
+    }
+    let limbs_needed = bits.div_ceil(LIMB_BITS as u64) as usize;
+    let mut limbs: Vec<Limb> = (0..limbs_needed).map(|_| rng.gen()).collect();
+    let top_bits = bits % LIMB_BITS as u64;
+    if top_bits != 0 {
+        let mask = (1u64 << top_bits) - 1;
+        *limbs.last_mut().expect("at least one limb") &= mask;
+    }
+    Ubig::from_limbs(limbs)
+}
+
+/// Samples a uniform integer with *exactly* `bits` bits (top bit set), i.e.
+/// in `[2^(bits-1), 2^bits)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn gen_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Ubig {
+    assert!(bits > 0, "gen_exact_bits requires bits > 0");
+    let mut v = gen_bits(rng, bits);
+    v.set_bit(bits - 1, true);
+    v
+}
+
+/// Samples a uniform integer in `[1, bound)` — handy for unit-group elements.
+///
+/// # Panics
+///
+/// Panics if `bound <= 1`.
+pub fn gen_positive_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+    assert!(*bound > Ubig::one(), "bound must exceed 1");
+    loop {
+        let candidate = gen_below(rng, bound);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+/// Samples a uniform element of the multiplicative group `Z_n^*`, i.e. a
+/// value in `[1, n)` coprime to `n`.
+///
+/// # Panics
+///
+/// Panics if `n <= 1`.
+pub fn gen_coprime<R: Rng + ?Sized>(rng: &mut R, n: &Ubig) -> Ubig {
+    loop {
+        let candidate = gen_positive_below(rng, n);
+        if crate::gcd::gcd(&candidate, n).is_one() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed_beef)
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut r = rng();
+        let bound = Ubig::from(17u64);
+        for _ in 0..200 {
+            assert!(gen_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn gen_below_covers_small_range() {
+        let mut r = rng();
+        let bound = Ubig::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[gen_below(&mut r, &bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn gen_exact_bits_sets_top_bit() {
+        let mut r = rng();
+        for bits in [1u64, 5, 64, 65, 130] {
+            let v = gen_exact_bits(&mut r, bits);
+            assert_eq!(v.bits(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn gen_bits_zero_is_zero() {
+        let mut r = rng();
+        assert!(gen_bits(&mut r, 0).is_zero());
+    }
+
+    #[test]
+    fn gen_range_within() {
+        let mut r = rng();
+        let low = Ubig::from(100u64);
+        let high = Ubig::from(110u64);
+        for _ in 0..100 {
+            let v = gen_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn gen_coprime_is_coprime() {
+        let mut r = rng();
+        let n = Ubig::from(360u64);
+        for _ in 0..50 {
+            let v = gen_coprime(&mut r, &n);
+            assert!(crate::gcd::gcd(&v, &n).is_one());
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = gen_bits(&mut rng(), 256);
+        let b = gen_bits(&mut rng(), 256);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Bit-shift operators for [`Ubig`].
+
+use std::ops::{Shl, Shr};
+
+use crate::{Limb, Ubig, LIMB_BITS};
+
+impl Shl<u32> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: u32) -> Ubig {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        let bit_shift = shift % LIMB_BITS;
+        let mut limbs = vec![0 as Limb; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Shl<u32> for Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: u32) -> Ubig {
+        (&self) << shift
+    }
+}
+
+impl Shr<u32> for &Ubig {
+    type Output = Ubig;
+    fn shr(self, shift: u32) -> Ubig {
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let bit_shift = shift % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for (i, &l) in src.iter().enumerate() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((l >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Shr<u32> for Ubig {
+    type Output = Ubig;
+    fn shr(self, shift: u32) -> Ubig {
+        (&self) >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_matches_u128() {
+        for shift in [0u32, 1, 7, 63, 64, 65, 100] {
+            let v = 0x0123_4567_89ab_cdefu64;
+            let expect = (v as u128) << shift.min(64);
+            if shift <= 64 {
+                assert_eq!((Ubig::from(v) << shift).to_u128(), Some(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn shl_by_multiple_of_limb() {
+        let v = Ubig::from(9u64);
+        assert_eq!((&v << 128).as_limbs(), &[0, 0, 9]);
+    }
+
+    #[test]
+    fn shr_matches_u128() {
+        let v = 0xfedc_ba98_7654_3210_0123_4567_89ab_cdefu128;
+        for shift in [0u32, 1, 8, 63, 64, 65, 127] {
+            assert_eq!((Ubig::from(v) >> shift).to_u128(), Some(v >> shift));
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        assert!((Ubig::from(u64::MAX) >> 64).is_zero());
+        assert!((Ubig::zero() >> 3).is_zero());
+    }
+
+    #[test]
+    fn shl_then_shr_roundtrips() {
+        let v = Ubig::from_limbs(vec![0xdead_beef, 0xcafe]);
+        for s in [0u32, 5, 64, 130] {
+            assert_eq!(&(&v << s) >> s, v);
+        }
+    }
+}

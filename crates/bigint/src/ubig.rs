@@ -1,0 +1,359 @@
+//! The unsigned arbitrary-precision integer type.
+
+use std::cmp::Ordering;
+
+use crate::{DoubleLimb, Limb, LIMB_BITS};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Internally a little-endian vector of 64-bit limbs with the invariant that
+/// the most significant limb is non-zero (zero is the empty vector). All
+/// constructors and arithmetic preserve this normalization.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::Ubig;
+///
+/// let a = Ubig::from(10u64);
+/// let b = Ubig::from(32u64);
+/// assert_eq!((&a * &b).to_string(), "320");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    /// Little-endian limbs; no trailing zeros.
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl Ubig {
+    /// The value `0`.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert!(Ubig::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::one(), Ubig::from(1u64));
+    /// ```
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    pub fn two() -> Self {
+        Ubig { limbs: vec![2] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<Limb>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Returns the little-endian limbs of `self`.
+    pub fn as_limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Whether `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether `self == 1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the lowest bit is zero. Zero counts as even.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert!(Ubig::from(4u64).is_even());
+    /// assert!(!Ubig::from(7u64).is_even());
+    /// ```
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Whether the lowest bit is one.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::from(255u64).bits(), 8);
+    /// assert_eq!(Ubig::zero().bits(), 0);
+    /// ```
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => {
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
+                    + (LIMB_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian, bit 0 is least significant).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the representation if needed.
+    pub fn set_bit(&mut self, i: u64, value: bool) {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (idx, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(idx as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << LIMB_BITS),
+            _ => None,
+        }
+    }
+
+    /// Little-endian byte representation without trailing zero bytes.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// assert_eq!(Ubig::from(0x0102u64).to_le_bytes(), vec![0x02, 0x01]);
+    /// ```
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for l in &self.limbs {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Parses a little-endian byte slice.
+    ///
+    /// ```
+    /// use bigint::Ubig;
+    /// let x = Ubig::from(0xdead_beefu64);
+    /// assert_eq!(Ubig::from_le_bytes(&x.to_le_bytes()), x);
+    /// ```
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// `self % 2^k`, i.e. keeps only the low `k` bits.
+    pub fn low_bits(&self, k: u64) -> Ubig {
+        let full = (k / LIMB_BITS as u64) as usize;
+        let rem = (k % LIMB_BITS as u64) as u32;
+        if full >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut limbs = self.limbs[..=full].to_vec();
+        if rem == 0 {
+            limbs.pop();
+        } else {
+            let last = limbs.last_mut().expect("non-empty by construction");
+            *last &= (1u64 << rem) - 1;
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Drops trailing zero limbs to restore the representation invariant.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Ubig::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig::from_limbs(vec![v as Limb, (v >> LIMB_BITS) as Limb])
+    }
+}
+
+impl From<usize> for Ubig {
+    fn from(v: usize) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for Ubig {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+/// Widening product of two limbs.
+pub(crate) fn wide_mul(a: Limb, b: Limb) -> (Limb, Limb) {
+    let p = a as DoubleLimb * b as DoubleLimb;
+    (p as Limb, (p >> LIMB_BITS) as Limb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_no_limbs() {
+        assert!(Ubig::zero().as_limbs().is_empty());
+        assert!(Ubig::from(0u64).is_zero());
+        assert_eq!(Ubig::zero(), Ubig::default());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let x = Ubig::from_limbs(vec![5, 0, 0]);
+        assert_eq!(x.as_limbs(), &[5]);
+    }
+
+    #[test]
+    fn bit_accessors_roundtrip() {
+        let mut x = Ubig::zero();
+        x.set_bit(0, true);
+        x.set_bit(100, true);
+        assert!(x.bit(0));
+        assert!(x.bit(100));
+        assert!(!x.bit(50));
+        assert_eq!(x.bits(), 101);
+        x.set_bit(100, false);
+        assert_eq!(x.bits(), 1);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Ubig::zero().is_even());
+        assert!(Ubig::one().is_odd());
+        assert!(Ubig::from(u64::MAX).is_odd());
+    }
+
+    #[test]
+    fn ordering_across_lengths() {
+        let small = Ubig::from(u64::MAX);
+        let big = Ubig::from_limbs(vec![0, 1]); // 2^64
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        assert_eq!(Ubig::from(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn le_bytes_roundtrip() {
+        let v = Ubig::from_limbs(vec![0x1122_3344_5566_7788, 0x99]);
+        assert_eq!(Ubig::from_le_bytes(&v.to_le_bytes()), v);
+        assert_eq!(Ubig::from_le_bytes(&[]), Ubig::zero());
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let v = Ubig::from(0b1011_0110u64);
+        assert_eq!(v.low_bits(4), Ubig::from(0b0110u64));
+        assert_eq!(v.low_bits(64), v);
+        assert_eq!(v.low_bits(0), Ubig::zero());
+        let w = Ubig::from_limbs(vec![u64::MAX, u64::MAX]);
+        assert_eq!(w.low_bits(64), Ubig::from(u64::MAX));
+        assert_eq!(w.low_bits(65).bits(), 65);
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(Ubig::zero().trailing_zeros(), None);
+        assert_eq!(Ubig::from(8u64).trailing_zeros(), Some(3));
+        assert_eq!(Ubig::from_limbs(vec![0, 2]).trailing_zeros(), Some(65));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the bigint substrate, checked against `u128`
+//! reference arithmetic and against algebraic identities for multi-limb
+//! values.
+
+use bigint::gcd::{extended_gcd, gcd, lcm, modinv};
+use bigint::modular::{modadd, modmul, modpow, modpow_basic, modsub};
+use bigint::{Ibig, Ubig};
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary multi-limb Ubig (0..2^256).
+fn ubig() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 0..4).prop_map(Ubig::from_limbs)
+}
+
+/// Strategy for a non-zero Ubig.
+fn ubig_nonzero() -> impl Strategy<Value = Ubig> {
+    ubig().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = a as u128 + b as u128;
+        prop_assert_eq!((&Ubig::from(a) + &Ubig::from(b)).to_u128(), Some(sum));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = a as u128 * b as u128;
+        prop_assert_eq!((&Ubig::from(a) * &Ubig::from(b)).to_u128(), Some(prod));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = Ubig::from(a).div_rem(&Ubig::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn add_commutative_associative(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative_associative(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shifts_roundtrip(a in ubig(), s in 0u32..200) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in ubig(), s in 0u32..100) {
+        let pow = Ubig::one() << s;
+        prop_assert_eq!(&a << s, &a * &pow);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ubig>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig()) {
+        let s = a.to_str_radix(16);
+        prop_assert_eq!(Ubig::from_str_radix(&s, 16).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_le_bytes(&a.to_le_bytes()), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = gcd(&a, &b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in 1u64.., b in 1u64..) {
+        let (ba, bb) = (Ubig::from(a), Ubig::from(b));
+        prop_assert_eq!(&gcd(&ba, &bb) * &lcm(&ba, &bb), &ba * &bb);
+    }
+
+    #[test]
+    fn bezout_identity(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let (g, x, y) = extended_gcd(&a, &b);
+        let lhs = &(&Ibig::from(a) * &x) + &(&Ibig::from(b) * &y);
+        prop_assert_eq!(lhs, Ibig::from(g));
+    }
+
+    #[test]
+    fn modinv_multiplies_to_one(a in 1u64.., ) {
+        // Prime modulus guarantees invertibility of non-multiples.
+        let m = Ubig::from(4_294_967_311u64); // prime > 2^32
+        let a = Ubig::from(a);
+        if (&a % &m).is_zero() { return Ok(()); }
+        let inv = modinv(&a, &m).unwrap();
+        prop_assert_eq!(modmul(&a, &inv, &m), Ubig::one());
+    }
+
+    #[test]
+    fn modpow_adds_exponents(base in ubig_nonzero(), e1 in 0u64..64, e2 in 0u64..64, m in 2u64..) {
+        let m = Ubig::from(m);
+        let lhs = modpow(&base, &Ubig::from(e1 + e2), &m);
+        let rhs = modmul(
+            &modpow(&base, &Ubig::from(e1), &m),
+            &modpow(&base, &Ubig::from(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modpow_dispatch_matches_basic(base in ubig(), exp in ubig(), m in ubig_nonzero()) {
+        // The Montgomery fast path must be observationally identical to
+        // the division-based reference, odd or even modulus alike.
+        prop_assert_eq!(modpow(&base, &exp, &m), modpow_basic(&base, &exp, &m));
+    }
+
+    #[test]
+    fn modular_ops_stay_reduced(a in ubig(), b in ubig(), m in ubig_nonzero()) {
+        for v in [modadd(&a, &b, &m), modsub(&a, &b, &m), modmul(&a, &b, &m)] {
+            prop_assert!(v < m);
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (Ibig::from(a), Ibig::from(b));
+        prop_assert_eq!((&ba + &bb).to_i128(), Some(a as i128 + b as i128));
+        prop_assert_eq!((&ba - &bb).to_i128(), Some(a as i128 - b as i128));
+        prop_assert_eq!((&ba * &bb).to_i128(), Some(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn rem_euclid_matches_i128(a in any::<i64>(), m in 1u64..) {
+        let got = Ibig::from(a).rem_euclid(&Ubig::from(m));
+        let expect = (a as i128).rem_euclid(m as i128) as u128;
+        prop_assert_eq!(got.to_u128(), Some(expect));
+    }
+
+    #[test]
+    fn low_bits_is_mod_pow2(a in ubig(), k in 0u64..200) {
+        let m = Ubig::one() << (k as u32);
+        prop_assert_eq!(a.low_bits(k), &a % &m);
+    }
+}

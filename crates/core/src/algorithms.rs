@@ -1,0 +1,210 @@
+//! The paper's plaintext algorithms.
+//!
+//! * [`aggregate`] — Alg. 1, Aggregation of Teacher Ensembles: return the
+//!   top label iff its (exact) vote count reaches the threshold.
+//! * [`private_aggregate`] — Alg. 4, the differentially private variant:
+//!   Sparse-Vector threshold test with `σ₁` noise, then Report Noisy Max
+//!   with `σ₂`.
+//! * [`baseline_noisy_max`] — the evaluation section's baseline: "the
+//!   aggregator simply aggregates all noisy votes and picks the highest
+//!   one as the label", i.e. Report Noisy Max with no threshold.
+//! * [`threshold_decision_scaled`] — the fixed-point integer decision
+//!   function shared verbatim by the clear and secure paths of Alg. 5
+//!   (Theorem 3: the secure path computes exactly this, in blind).
+
+use dp::mechanisms::{noisy_argmax, plain_argmax};
+use rand::Rng;
+
+use crate::config::ConsensusConfig;
+
+/// Alg. 1 — plain aggregation with threshold. Returns the top label, or
+/// `None` (`⊥`) if its count is below `T = threshold_fraction·|U|`.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn aggregate(counts: &[f64], num_users: usize, config: &ConsensusConfig) -> Option<usize> {
+    let i_star = plain_argmax(counts);
+    if counts[i_star] >= config.threshold_votes(num_users) {
+        Some(i_star)
+    } else {
+        None
+    }
+}
+
+/// Alg. 4 — Private Aggregation of Teacher Ensembles: releases
+/// `argmax_i(c_i + N(0, σ₂²))` iff `c_{i*} + N(0, σ₁²) ≥ T`.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn private_aggregate<R: Rng + ?Sized>(
+    counts: &[f64],
+    num_users: usize,
+    config: &ConsensusConfig,
+    rng: &mut R,
+) -> Option<usize> {
+    let i_star = plain_argmax(counts);
+    let noise = dp::Gaussian::new(0.0, config.sigma1).sample(rng);
+    if counts[i_star] + noise >= config.threshold_votes(num_users) {
+        Some(noisy_argmax(counts, config.sigma2, rng))
+    } else {
+        None
+    }
+}
+
+/// The §VI-C baseline: Report Noisy Max with **no** threshold — every
+/// query is answered. Uses the same `σ₂` (and, for privacy parity in the
+/// experiments, the baseline is granted the same total privacy budget).
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn baseline_noisy_max<R: Rng + ?Sized>(
+    counts: &[f64],
+    config: &ConsensusConfig,
+    rng: &mut R,
+) -> usize {
+    noisy_argmax(counts, config.sigma2, rng)
+}
+
+/// The scaled-integer decision function of Alg. 5.
+///
+/// Inputs are on the `2^16` fixed-point grid: exact vote counts
+/// `counts`, aggregated threshold noise vector `z1`, aggregated argmax
+/// noise vector `z2`, and the scaled threshold. Returns the released
+/// label or `None`.
+///
+/// The secure protocol computes exactly this function (correctness,
+/// Theorem 3): step 4 finds `argmax(counts)`, step 5 tests
+/// `counts[i*] + z1[i*] ≥ T`, step 8 finds `argmax(counts + z2)`.
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or disagree in length.
+pub fn threshold_decision_scaled(
+    counts: &[i64],
+    z1: &[i64],
+    z2: &[i64],
+    threshold_scaled: i64,
+) -> Option<usize> {
+    assert!(!counts.is_empty(), "counts must be non-empty");
+    assert_eq!(counts.len(), z1.len(), "z1 arity");
+    assert_eq!(counts.len(), z2.len(), "z2 arity");
+    let i_star = argmax_i64(counts);
+    if counts[i_star] + z1[i_star] >= threshold_scaled {
+        let noisy: Vec<i64> = counts.iter().zip(z2).map(|(&c, &z)| c + z).collect();
+        Some(argmax_i64(&noisy))
+    } else {
+        None
+    }
+}
+
+/// First-maximum argmax over `i64` values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax_i64(values: &[i64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn alg1_threshold_gate() {
+        let config = ConsensusConfig::paper_default(1.0, 1.0);
+        // 10 users, threshold 6 votes.
+        assert_eq!(aggregate(&[1.0, 7.0, 2.0], 10, &config), Some(1));
+        assert_eq!(aggregate(&[1.0, 6.0, 3.0], 10, &config), Some(1)); // ≥ T
+        assert_eq!(aggregate(&[4.0, 5.0, 1.0], 10, &config), None);
+    }
+
+    #[test]
+    fn alg4_reduces_to_alg1_with_tiny_noise() {
+        let config = ConsensusConfig::paper_default(1e-12, 1e-12);
+        let mut r = rng();
+        for counts in [[1.0, 8.0, 1.0], [3.0, 3.0, 4.0], [9.0, 0.0, 1.0]] {
+            assert_eq!(
+                private_aggregate(&counts, 10, &config, &mut r),
+                aggregate(&counts, 10, &config),
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alg4_threshold_rejects_weak_consensus() {
+        let config = ConsensusConfig::paper_default(2.0, 2.0);
+        let mut r = rng();
+        // 100 users, threshold 60; top vote 30 is ~15σ below the bar.
+        let rejections = (0..200)
+            .filter(|_| private_aggregate(&[30.0, 25.0, 45.0 - 30.0], 100, &config, &mut r).is_none())
+            .count();
+        assert_eq!(rejections, 200, "deep-below-threshold queries must all abort");
+    }
+
+    #[test]
+    fn baseline_always_answers() {
+        let config = ConsensusConfig::paper_default(5.0, 1e-12);
+        let mut r = rng();
+        // Even a hopeless 1-1-1 split gets a label from the baseline.
+        let l = baseline_noisy_max(&[1.0, 1.0, 1.0], &config, &mut r);
+        assert!(l < 3);
+        assert_eq!(baseline_noisy_max(&[0.0, 9.0, 0.0], &config, &mut r), 1);
+    }
+
+    #[test]
+    fn scaled_decision_matches_float_semantics() {
+        // 10 users, T = 6 votes = 393216 scaled.
+        let t = 6 * 65536;
+        let counts = [2 * 65536i64, 7 * 65536, 65536];
+        let zeros = [0i64; 3];
+        assert_eq!(threshold_decision_scaled(&counts, &zeros, &zeros, t), Some(1));
+        // Noise pushes the max under the threshold.
+        let z1 = [0i64, -2 * 65536, 0];
+        assert_eq!(threshold_decision_scaled(&counts, &z1, &zeros, t), None);
+        // z2 flips the released label without affecting the gate.
+        let z2 = [6 * 65536i64, 0, 0];
+        assert_eq!(threshold_decision_scaled(&counts, &zeros, &z2, t), Some(0));
+    }
+
+    #[test]
+    fn decision_uses_true_argmax_for_the_gate() {
+        // The gate checks c[i*] + z1[i*] with i* from the *unnoised*
+        // counts, per Alg. 5 step 4-5.
+        let t = 5 * 65536;
+        let counts = [4 * 65536i64, 6 * 65536];
+        // Huge z1 on the loser must not help.
+        let z1 = [100 * 65536i64, -2 * 65536];
+        let zeros = [0i64; 2];
+        assert_eq!(threshold_decision_scaled(&counts, &z1, &zeros, t), None);
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax_i64(&[3, 7, 7, 1]), 1);
+        assert_eq!(argmax_i64(&[-5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_counts_panic() {
+        let _ = threshold_decision_scaled(&[], &[], &[], 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! The clear fast path of Alg. 5.
+//!
+//! By Theorem 3 (correctness), the secure protocol releases exactly
+//! `threshold_decision_scaled(counts, z1, z2, T)` for the aggregate noise
+//! vectors the users contributed. This module computes that same function
+//! directly from the users' votes and noise shares — same fixed-point
+//! grid, same distributed noise statistics, no cryptography — which is
+//! what the large accuracy sweeps (Figs. 2–6) run. The `secure` module's
+//! tests pin the two paths to each other.
+
+use dp::gaussian::DistributedNoise;
+use rand::Rng;
+
+use crate::algorithms::threshold_decision_scaled;
+use crate::config::{scale_vote_vector, scale_votes, ConsensusConfig};
+
+/// Per-user noise shares for one mechanism: the vector bound for S1 and
+/// the vector bound for S2, already on the fixed-point grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserNoiseShares {
+    /// Share embedded in the S1-bound message.
+    pub for_s1: Vec<i64>,
+    /// Share embedded in the S2-bound message.
+    pub for_s2: Vec<i64>,
+}
+
+/// Draws one user's pair of independent noise-share vectors for a
+/// mechanism with aggregate scale `sigma` (in votes): each entry of each
+/// share is `N(0, σ²/(2|U|))`, scaled to the fixed-point grid.
+pub fn draw_user_noise_shares<R: Rng + ?Sized>(
+    sigma: f64,
+    num_users: usize,
+    num_classes: usize,
+    rng: &mut R,
+) -> UserNoiseShares {
+    let dist = DistributedNoise::new(sigma, num_users);
+    let mut for_s1 = Vec::with_capacity(num_classes);
+    let mut for_s2 = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let (a, b) = dist.user_share_pair(rng);
+        for_s1.push(scale_votes(a));
+        for_s2.push(scale_votes(b));
+    }
+    UserNoiseShares { for_s1, for_s2 }
+}
+
+/// Result of one clear-path consensus query, including the aggregate
+/// quantities the decision was made on (useful to cross-check the secure
+/// path and to compute diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClearOutcome {
+    /// The released label, or `None` when the threshold test failed.
+    pub label: Option<usize>,
+    /// Exact scaled vote counts `c`.
+    pub counts_scaled: Vec<i64>,
+    /// Aggregated scaled threshold noise `z1`.
+    pub z1_scaled: Vec<i64>,
+    /// Aggregated scaled argmax noise `z2`.
+    pub z2_scaled: Vec<i64>,
+    /// The scaled threshold `T`.
+    pub threshold_scaled: i64,
+}
+
+/// Clear-path engine: applies Alg. 5's decision function per instance,
+/// drawing distributed noise exactly as the users of the secure path
+/// would.
+#[derive(Debug, Clone)]
+pub struct ClearEngine {
+    config: ConsensusConfig,
+    num_users: usize,
+    num_classes: usize,
+}
+
+impl ClearEngine {
+    /// Creates an engine for `num_users` users voting over `num_classes`
+    /// classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero users or classes.
+    pub fn new(config: ConsensusConfig, num_users: usize, num_classes: usize) -> Self {
+        assert!(num_users > 0, "need at least one user");
+        assert!(num_classes > 0, "need at least one class");
+        ClearEngine { config, num_users, num_classes }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ConsensusConfig {
+        &self.config
+    }
+
+    /// Decides one query given every user's vote vector (vote units:
+    /// one-hot indicators or softmax probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vote matrix shape disagrees with the engine.
+    pub fn decide<R: Rng + ?Sized>(&self, votes: &[Vec<f64>], rng: &mut R) -> ClearOutcome {
+        assert_eq!(votes.len(), self.num_users, "one vote vector per user");
+        let mut counts = vec![0i64; self.num_classes];
+        for v in votes {
+            assert_eq!(v.len(), self.num_classes, "vote arity");
+            for (slot, &x) in counts.iter_mut().zip(scale_vote_vector(v).iter()) {
+                *slot += x;
+            }
+        }
+        let mut z1 = vec![0i64; self.num_classes];
+        let mut z2 = vec![0i64; self.num_classes];
+        for _ in 0..self.num_users {
+            let s1 = draw_user_noise_shares(self.config.sigma1, self.num_users, self.num_classes, rng);
+            let s2 = draw_user_noise_shares(self.config.sigma2, self.num_users, self.num_classes, rng);
+            for k in 0..self.num_classes {
+                z1[k] += s1.for_s1[k] + s1.for_s2[k];
+                z2[k] += s2.for_s1[k] + s2.for_s2[k];
+            }
+        }
+        let threshold_scaled = scale_votes(self.config.threshold_votes(self.num_users));
+        let label = threshold_decision_scaled(&counts, &z1, &z2, threshold_scaled);
+        ClearOutcome { label, counts_scaled: counts, z1_scaled: z1, z2_scaled: z2, threshold_scaled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn onehot(k: usize, classes: usize) -> Vec<f64> {
+        let mut v = vec![0.0; classes];
+        v[k] = 1.0;
+        v
+    }
+
+    #[test]
+    fn strong_consensus_is_released() {
+        let engine = ClearEngine::new(ConsensusConfig::paper_default(0.5, 0.5), 10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let votes: Vec<Vec<f64>> = (0..10).map(|_| onehot(2, 3)).collect();
+        let out = engine.decide(&votes, &mut rng);
+        assert_eq!(out.label, Some(2));
+        assert_eq!(out.counts_scaled[2], 10 * 65536);
+    }
+
+    #[test]
+    fn split_votes_are_rejected() {
+        // 10 users split 4/3/3 against a 60% threshold, small noise.
+        let engine = ClearEngine::new(ConsensusConfig::paper_default(0.3, 0.3), 10, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let votes: Vec<Vec<f64>> = (0..10)
+            .map(|u| onehot(if u < 4 { 0 } else if u < 7 { 1 } else { 2 }, 3))
+            .collect();
+        for _ in 0..20 {
+            assert_eq!(engine.decide(&votes, &mut rng).label, None);
+        }
+    }
+
+    #[test]
+    fn noise_totals_have_target_scale() {
+        let sigma = 8.0;
+        let engine = ClearEngine::new(ConsensusConfig::paper_default(sigma, sigma), 25, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let votes: Vec<Vec<f64>> = (0..25).map(|_| onehot(0, 2)).collect();
+        let samples: Vec<f64> = (0..3000)
+            .map(|_| engine.decide(&votes, &mut rng).z1_scaled[0] as f64 / 65536.0)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!(mean.abs() < 0.6, "mean {mean}");
+        assert!((var - sigma * sigma).abs() < 6.0, "var {var} vs {}", sigma * sigma);
+    }
+
+    #[test]
+    fn softmax_votes_accumulate_fractionally() {
+        let engine = ClearEngine::new(ConsensusConfig::paper_default(1e-9, 1e-9), 4, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let votes = vec![vec![0.7, 0.3]; 4];
+        let out = engine.decide(&votes, &mut rng);
+        // 4·0.7 = 2.8 votes ≥ T = 2.4 → released.
+        assert_eq!(out.label, Some(0));
+        assert_eq!(out.counts_scaled[0], 4 * scale_votes(0.7));
+    }
+
+    #[test]
+    fn noise_shares_are_independent_across_sides() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shares = draw_user_noise_shares(10.0, 4, 6, &mut rng);
+        assert_eq!(shares.for_s1.len(), 6);
+        assert_ne!(shares.for_s1, shares.for_s2, "sides must draw independently");
+    }
+
+    #[test]
+    #[should_panic(expected = "one vote vector per user")]
+    fn wrong_user_count_panics() {
+        let engine = ClearEngine::new(ConsensusConfig::paper_default(1.0, 1.0), 3, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = engine.decide(&[vec![1.0, 0.0]], &mut rng);
+    }
+}

@@ -1,0 +1,621 @@
+//! The full secure execution of Alg. 5 over real channels.
+//!
+//! One [`SecureEngine::run_instance`] call performs, for a single query
+//! instance:
+//!
+//! 1. **Setup** — each user splits its scaled vote vector into additive
+//!    shares, draws distributed noise shares, and embeds its slice of the
+//!    threshold (`T/(2|U|)` per share side, split exactly);
+//! 2. **Secure sum (step 2)** — users upload `E_pk2[a^u]`,
+//!    `E_pk2[a^u − T/(2|U|) + z₁ₐ^u]` to S1 and the mirrored vectors to
+//!    S2; servers aggregate homomorphically;
+//! 3. **Blind-and-Permute (step 3)** — both aggregated vectors pass
+//!    through Alg. 2 under one shared hidden permutation `π`;
+//! 4. **Secure comparison (step 4)** — pairwise DGK ranking finds the
+//!    permuted winner slot `π(i*)`;
+//! 5. **Threshold check (step 5)** — one DGK comparison of the two
+//!    threshold sequences at `π(i*)` decides
+//!    `c_{i*} + N(0, σ₁²) ≥ T`; on failure both servers output `⊥`;
+//! 6. **Secure sum (step 6)** — the noisy vote shares
+//!    `a^u + z₂ₐ^u` / `b^u + z₂ᵦ^u` are aggregated;
+//! 7. **Blind-and-Permute (step 7)** — under a fresh permutation `π′`;
+//! 8. **Secure comparison (step 8)** — pairwise ranking of the noisy
+//!    votes finds `π′(ĩ*)`;
+//! 9. **Restoration (step 9)** — Alg. 3 recovers and publishes `ĩ*`.
+//!
+//! The engine runs users up-front (they are non-interactive senders) and
+//! the two servers on real threads. Every message is metered per step,
+//! and S1's thread records per-step wall time — together regenerating
+//! Tables I and II.
+
+use std::sync::Arc;
+
+use paillier::Ciphertext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smc::argmax::{
+    server1_argmax_pairwise, server1_argmax_tournament, server2_argmax_pairwise,
+    server2_argmax_tournament,
+};
+use smc::batch::{server1_argmax_batched, server2_argmax_batched};
+use smc::blind_permute::{server1_blind_permute, server2_blind_permute};
+use smc::compare::{server1_compare_geq, server2_compare_geq};
+use smc::restoration::{server1_restore, server2_restore};
+use smc::secure_sum::{aggregate_user_vectors, send_share_to_server1, send_share_to_server2};
+use smc::{ServerContext, SessionConfig, SessionKeys, SmcError};
+use transport::{Endpoint, Meter, Network, Step};
+
+use crate::clear::draw_user_noise_shares;
+use crate::config::{scale_vote_vector, scale_votes, split_evenly, ConsensusConfig};
+
+/// Aggregate quantities the simulation driver observed while playing all
+/// users — the ground truth the secure output can be checked against
+/// (Theorem 3 correctness). A real deployment has no such observer; this
+/// exists because the harness legitimately controls every party.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureWitness {
+    /// Exact scaled vote counts.
+    pub counts_scaled: Vec<i64>,
+    /// Aggregated scaled threshold noise.
+    pub z1_scaled: Vec<i64>,
+    /// Aggregated scaled argmax noise.
+    pub z2_scaled: Vec<i64>,
+    /// The scaled threshold.
+    pub threshold_scaled: i64,
+}
+
+/// Output of one secure consensus query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureOutcome {
+    /// The released label (`None` = `⊥`, threshold failed).
+    pub label: Option<usize>,
+    /// Driver-side ground truth for verification.
+    pub witness: SecureWitness,
+}
+
+/// How the servers rank the permuted sequences in steps 4 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankingStrategy {
+    /// The paper's sequential all-pairs comparisons — `K(K−1)/2`
+    /// three-message dialogues.
+    #[default]
+    Pairwise,
+    /// Linear-scan champion tournament — `K−1` comparisons.
+    Tournament,
+    /// All pairs batched into three messages (same computation, minimal
+    /// rounds; see `smc::batch`).
+    Batched,
+}
+
+/// A provisioned secure deployment: session keys plus consensus
+/// parameters.
+pub struct SecureEngine {
+    keys: SessionKeys,
+    consensus: ConsensusConfig,
+    ranking: RankingStrategy,
+}
+
+impl std::fmt::Debug for SecureEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecureEngine({:?})", self.keys.config())
+    }
+}
+
+impl SecureEngine {
+    /// Generates key material for `session` and binds the consensus
+    /// parameters.
+    pub fn new<R: Rng + ?Sized>(
+        session: SessionConfig,
+        consensus: ConsensusConfig,
+        rng: &mut R,
+    ) -> Self {
+        SecureEngine {
+            keys: SessionKeys::generate(session, rng),
+            consensus,
+            ranking: RankingStrategy::default(),
+        }
+    }
+
+    /// Builds an engine from pre-generated keys.
+    pub fn with_keys(keys: SessionKeys, consensus: ConsensusConfig) -> Self {
+        SecureEngine { keys, consensus, ranking: RankingStrategy::default() }
+    }
+
+    /// Selects the ranking strategy for steps 4 and 8.
+    #[must_use]
+    pub fn with_ranking(mut self, ranking: RankingStrategy) -> Self {
+        self.ranking = ranking;
+        self
+    }
+
+    /// The configured ranking strategy.
+    pub fn ranking(&self) -> RankingStrategy {
+        self.ranking
+    }
+
+    /// The session configuration.
+    pub fn session_config(&self) -> &SessionConfig {
+        self.keys.config()
+    }
+
+    /// The consensus configuration.
+    pub fn consensus_config(&self) -> &ConsensusConfig {
+        &self.consensus
+    }
+
+    /// Runs a batch of queries sequentially, sharing the key material and
+    /// meter — how the cost-table binaries drive multi-instance runs.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing instance and propagates its error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instance's vote matrix shape disagrees with the
+    /// session.
+    pub fn run_batch<R: Rng + ?Sized>(
+        &self,
+        instances: &[Vec<Vec<f64>>],
+        meter: Arc<Meter>,
+        rng: &mut R,
+    ) -> Result<Vec<SecureOutcome>, SmcError> {
+        instances
+            .iter()
+            .map(|votes| self.run_instance(votes, Arc::clone(&meter), rng))
+            .collect()
+    }
+
+    /// Runs one query end to end. `votes` holds each user's vote vector
+    /// in vote units (one-hot or softmax). Traffic and timing are
+    /// recorded into `meter`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures ([`SmcError`]). A threshold rejection
+    /// is *not* an error: it returns `label: None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vote matrix shape disagrees with the session, or if
+    /// a server thread panics.
+    pub fn run_instance<R: Rng + ?Sized>(
+        &self,
+        votes: &[Vec<f64>],
+        meter: Arc<Meter>,
+        rng: &mut R,
+    ) -> Result<SecureOutcome, SmcError> {
+        let num_users = self.keys.config().num_users;
+        let num_classes = self.keys.config().num_classes;
+        assert_eq!(votes.len(), num_users, "one vote vector per user");
+
+        let threshold_scaled = scale_votes(self.consensus.threshold_votes(num_users));
+        // Exact integer split of T across 2|U| share slots: the first |U|
+        // are subtracted on the S1 side, the rest added on the S2 side.
+        let offsets = split_evenly(threshold_scaled, 2 * num_users);
+        let (off1, off2) = offsets.split_at(num_users);
+
+        let mut net = Network::with_meter(num_users, meter);
+        let mut s1_endpoint = net.take_endpoint(transport::PartyId::Server1);
+        let mut s2_endpoint = net.take_endpoint(transport::PartyId::Server2);
+        let user_ctx = self.keys.user();
+        let domain = user_ctx.domain();
+
+        // ---- User phase: share, add noise, send. ----
+        let mut witness = SecureWitness {
+            counts_scaled: vec![0i64; num_classes],
+            z1_scaled: vec![0i64; num_classes],
+            z2_scaled: vec![0i64; num_classes],
+            threshold_scaled,
+        };
+        for (u, vote) in votes.iter().enumerate() {
+            assert_eq!(vote.len(), num_classes, "vote arity for user {u}");
+            let endpoint = net.take_endpoint(transport::PartyId::User(u));
+            let scaled = scale_vote_vector(vote);
+            let z1 = draw_user_noise_shares(self.consensus.sigma1, num_users, num_classes, rng);
+            let z2 = draw_user_noise_shares(self.consensus.sigma2, num_users, num_classes, rng);
+            for k in 0..num_classes {
+                witness.counts_scaled[k] += scaled[k];
+                witness.z1_scaled[k] += z1.for_s1[k] + z1.for_s2[k];
+                witness.z2_scaled[k] += z2.for_s1[k] + z2.for_s2[k];
+            }
+
+            let as_i128: Vec<i128> = scaled.iter().map(|&v| v as i128).collect();
+            let (a, b) = domain.split_vec(&as_i128, rng);
+
+            // Step 2 payloads.
+            let thresh_a: Vec<i128> = (0..num_classes)
+                .map(|k| a[k] - off1[u] as i128 + z1.for_s1[k] as i128)
+                .collect();
+            let thresh_b: Vec<i128> = (0..num_classes)
+                .map(|k| off2[u] as i128 - b[k] - z1.for_s2[k] as i128)
+                .collect();
+            // Step 6 payloads.
+            let noisy_a: Vec<i128> =
+                (0..num_classes).map(|k| a[k] + z2.for_s1[k] as i128).collect();
+            let noisy_b: Vec<i128> =
+                (0..num_classes).map(|k| b[k] + z2.for_s2[k] as i128).collect();
+
+            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &a, rng)?;
+            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &thresh_a, rng)?;
+            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumNoisy, &noisy_a, rng)?;
+            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &b, rng)?;
+            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &thresh_b, rng)?;
+            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumNoisy, &noisy_b, rng)?;
+        }
+
+        // ---- Server phase: two real threads. ----
+        let ctx1 = self.keys.server1();
+        let ctx2 = self.keys.server2();
+        let seed1: u64 = rng.gen();
+        let seed2: u64 = rng.gen();
+        let ranking = self.ranking;
+        let (r1, r2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| {
+                server1_run(&mut s1_endpoint, &ctx1, num_users, num_classes, seed1, ranking)
+            });
+            let h2 = scope.spawn(|| {
+                server2_run(&mut s2_endpoint, &ctx2, num_users, num_classes, seed2, ranking)
+            });
+            (h1.join().expect("S1 thread panicked"), h2.join().expect("S2 thread panicked"))
+        });
+        // When one server fails mid-protocol the other times out waiting;
+        // surface the root cause, not the timeout it induced.
+        let (label1, label2) = match (r1, r2) {
+            (Ok(l1), Ok(l2)) => (l1, l2),
+            (Err(SmcError::Transport(_)), Err(root)) => return Err(root),
+            (Err(root), _) => return Err(root),
+            (_, Err(root)) => return Err(root),
+        };
+        assert_eq!(label1, label2, "servers must agree on the outcome");
+        Ok(SecureOutcome { label: label1, witness })
+    }
+}
+
+/// S1's full Alg. 5 run. Records per-step wall time (S2's work overlaps
+/// this wall clock, matching how the paper reports per-step costs).
+fn server1_rank<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    ranking: RankingStrategy,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    match ranking {
+        RankingStrategy::Pairwise => server1_argmax_pairwise(endpoint, ctx, sequence, step, rng),
+        RankingStrategy::Tournament => {
+            server1_argmax_tournament(endpoint, ctx, sequence, step, rng)
+        }
+        RankingStrategy::Batched => server1_argmax_batched(endpoint, ctx, sequence, step, rng),
+    }
+}
+
+fn server2_rank<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    ranking: RankingStrategy,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    match ranking {
+        RankingStrategy::Pairwise => server2_argmax_pairwise(endpoint, ctx, sequence, step, rng),
+        RankingStrategy::Tournament => {
+            server2_argmax_tournament(endpoint, ctx, sequence, step, rng)
+        }
+        RankingStrategy::Batched => server2_argmax_batched(endpoint, ctx, sequence, step, rng),
+    }
+}
+
+fn server1_run(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    num_users: usize,
+    num_classes: usize,
+    seed: u64,
+    ranking: RankingStrategy,
+) -> Result<Option<usize>, SmcError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let meter = Arc::clone(endpoint.meter());
+    let pk2 = ctx.peer_public().clone();
+
+    // Step 2: aggregate the vote shares and threshold shares.
+    let (enc_votes, enc_thresh): (Vec<Ciphertext>, Vec<Ciphertext>) =
+        meter.time(Step::SecureSumVotes, || -> Result<_, SmcError> {
+            let votes =
+                aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk2)?;
+            let thresh =
+                aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk2)?;
+            Ok((votes, thresh))
+        })?;
+
+    // Step 3: Blind-and-Permute over both vectors, one shared π.
+    let bp1 = meter.time(Step::BlindPermute1, || {
+        server1_blind_permute(endpoint, ctx, &[enc_votes, enc_thresh], Step::BlindPermute1, &mut rng)
+    })?;
+
+    // Step 4: ranking → permuted winner slot.
+    let slot = meter.time(Step::CompareRank, || {
+        server1_rank(endpoint, ctx, &bp1.sequences[0], Step::CompareRank, ranking, &mut rng)
+    })?;
+
+    // Step 5: noisy threshold check at that slot.
+    let passed = meter.time(Step::ThresholdCheck, || {
+        server1_compare_geq(endpoint, ctx, bp1.sequences[1][slot], Step::ThresholdCheck, &mut rng)
+    })?;
+    if !passed {
+        return Ok(None);
+    }
+
+    // Step 6: aggregate the noisy vote shares.
+    let enc_noisy = meter.time(Step::SecureSumNoisy, || {
+        aggregate_user_vectors(endpoint, Step::SecureSumNoisy, num_users, num_classes, &pk2)
+    })?;
+
+    // Step 7: second Blind-and-Permute, fresh π′.
+    let bp2 = meter.time(Step::BlindPermute2, || {
+        server1_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)
+    })?;
+
+    // Step 8: rank the noisy votes.
+    let noisy_slot = meter.time(Step::CompareNoisyRank, || {
+        server1_rank(endpoint, ctx, &bp2.sequences[0], Step::CompareNoisyRank, ranking, &mut rng)
+    })?;
+    let _ = noisy_slot; // S2 drives restoration from the same slot.
+
+    // Step 9: restore the true label.
+    let label = meter.time(Step::Restoration, || {
+        server1_restore(endpoint, ctx, &bp2.own_permutation, Step::Restoration, &mut rng)
+    })?;
+    Ok(Some(label))
+}
+
+/// S2's full Alg. 5 run (mirror of [`server1_run`], no timing records).
+fn server2_run(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    num_users: usize,
+    num_classes: usize,
+    seed: u64,
+    ranking: RankingStrategy,
+) -> Result<Option<usize>, SmcError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pk1 = ctx.peer_public().clone();
+
+    let enc_votes =
+        aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk1)?;
+    let enc_thresh =
+        aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk1)?;
+
+    let bp1 = server2_blind_permute(
+        endpoint,
+        ctx,
+        &[enc_votes, enc_thresh],
+        Step::BlindPermute1,
+        &mut rng,
+    )?;
+
+    let slot =
+        server2_rank(endpoint, ctx, &bp1.sequences[0], Step::CompareRank, ranking, &mut rng)?;
+
+    let passed = server2_compare_geq(
+        endpoint,
+        ctx,
+        bp1.sequences[1][slot],
+        Step::ThresholdCheck,
+        &mut rng,
+    )?;
+    if !passed {
+        return Ok(None);
+    }
+
+    let enc_noisy =
+        aggregate_user_vectors(endpoint, Step::SecureSumNoisy, num_users, num_classes, &pk1)?;
+
+    let bp2 = server2_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)?;
+
+    let noisy_slot = server2_rank(
+        endpoint,
+        ctx,
+        &bp2.sequences[0],
+        Step::CompareNoisyRank,
+        ranking,
+        &mut rng,
+    )?;
+
+    let label = server2_restore(
+        endpoint,
+        ctx,
+        &bp2.own_permutation,
+        noisy_slot,
+        Step::Restoration,
+        &mut rng,
+    )?;
+    Ok(Some(label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::threshold_decision_scaled;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// Shared small-parameter engine: keygen dominates otherwise.
+    fn engine() -> &'static SecureEngine {
+        static ENGINE: OnceLock<SecureEngine> = OnceLock::new();
+        ENGINE.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(2024);
+            SecureEngine::new(
+                SessionConfig::test(4, 3),
+                ConsensusConfig::paper_default(1e-6, 1e-6),
+                &mut rng,
+            )
+        })
+    }
+
+    fn onehot(k: usize) -> Vec<f64> {
+        let mut v = vec![0.0; 3];
+        v[k] = 1.0;
+        v
+    }
+
+    #[test]
+    fn unanimous_vote_released() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let votes: Vec<Vec<f64>> = (0..4).map(|_| onehot(1)).collect();
+        let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
+        assert_eq!(out.label, Some(1));
+        assert_eq!(out.witness.counts_scaled[1], 4 * 65536);
+    }
+
+    #[test]
+    fn split_vote_rejected_at_threshold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 2/1/1 split over 4 users: top vote 2 < T = 2.4.
+        let votes = vec![onehot(0), onehot(0), onehot(1), onehot(2)];
+        let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
+        assert_eq!(out.label, None);
+    }
+
+    #[test]
+    fn secure_path_matches_clear_decision_function() {
+        // Theorem 3 pinned by test: the secure label equals the decision
+        // function applied to the witness aggregates.
+        let mut rng = StdRng::seed_from_u64(3);
+        let vote_sets = [
+            vec![onehot(0), onehot(0), onehot(0), onehot(2)],
+            vec![onehot(2), onehot(2), onehot(2), onehot(2)],
+            vec![onehot(0), onehot(1), onehot(1), onehot(1)],
+            vec![vec![0.5, 0.25, 0.25], vec![0.6, 0.2, 0.2], vec![0.7, 0.2, 0.1], vec![0.9, 0.05, 0.05]],
+        ];
+        for votes in vote_sets {
+            let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
+            let expect = threshold_decision_scaled(
+                &out.witness.counts_scaled,
+                &out.witness.z1_scaled,
+                &out.witness.z2_scaled,
+                out.witness.threshold_scaled,
+            );
+            assert_eq!(out.label, expect, "votes {votes:?}");
+        }
+    }
+
+    #[test]
+    fn per_step_traffic_and_time_recorded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let votes: Vec<Vec<f64>> = (0..4).map(|_| onehot(0)).collect();
+        let meter = Meter::new();
+        let out = engine().run_instance(&votes, Arc::clone(&meter), &mut rng).unwrap();
+        assert_eq!(out.label, Some(0));
+        let report = meter.report();
+        for step in [
+            Step::SecureSumVotes,
+            Step::BlindPermute1,
+            Step::CompareRank,
+            Step::ThresholdCheck,
+            Step::SecureSumNoisy,
+            Step::BlindPermute2,
+            Step::CompareNoisyRank,
+            Step::Restoration,
+        ] {
+            assert!(report.step_bytes(step) > 0, "no traffic recorded for {step}");
+        }
+        assert!(report.step_time(Step::CompareRank) > std::time::Duration::ZERO);
+        // The ranking step compares K(K−1)/2 pairs vs 1 threshold compare.
+        assert!(
+            report.step_bytes(Step::CompareRank) > report.step_bytes(Step::ThresholdCheck),
+            "pairwise ranking must dominate the single threshold check"
+        );
+    }
+
+    #[test]
+    fn rejected_queries_skip_late_steps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let votes = vec![onehot(0), onehot(1), onehot(2), onehot(0)];
+        let meter = Meter::new();
+        let out = engine().run_instance(&votes, Arc::clone(&meter), &mut rng).unwrap();
+        assert_eq!(out.label, None);
+        let report = meter.report();
+        // Steps 7-9 never run on a rejection; step 6 shares were sent by
+        // users but never aggregated into server traffic beyond that.
+        assert_eq!(report.step_bytes(Step::BlindPermute2), 0);
+        assert_eq!(report.step_bytes(Step::Restoration), 0);
+    }
+
+    #[test]
+    fn batched_ranking_matches_decision_function() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let batched = SecureEngine::with_keys(
+            SessionKeys::generate(SessionConfig::test(4, 3), &mut rng),
+            ConsensusConfig::paper_default(1e-6, 1e-6),
+        )
+        .with_ranking(RankingStrategy::Batched);
+        for votes in [
+            vec![onehot(2), onehot(2), onehot(2), onehot(0)],
+            vec![onehot(1), onehot(0), onehot(1), onehot(1)],
+        ] {
+            let out = batched.run_instance(&votes, Meter::new(), &mut rng).unwrap();
+            let expect = threshold_decision_scaled(
+                &out.witness.counts_scaled,
+                &out.witness.z1_scaled,
+                &out.witness.z2_scaled,
+                out.witness.threshold_scaled,
+            );
+            assert_eq!(out.label, expect, "batched ranking, votes {votes:?}");
+        }
+    }
+
+    #[test]
+    fn batched_ranking_uses_fewer_messages() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let keys = SessionKeys::generate(SessionConfig::test(4, 3), &mut rng);
+        let votes: Vec<Vec<f64>> = (0..4).map(|_| onehot(1)).collect();
+        let run_with = |ranking: RankingStrategy, rng: &mut StdRng| {
+            let engine = SecureEngine::with_keys(
+                SessionKeys::generate(SessionConfig::test(4, 3), rng),
+                ConsensusConfig::paper_default(1e-6, 1e-6),
+            )
+            .with_ranking(ranking);
+            let meter = Meter::new();
+            engine.run_instance(&votes, Arc::clone(&meter), rng).unwrap();
+            meter.report().link_stats(Step::CompareRank, transport::LinkKind::ServerToServer).messages
+        };
+        let _ = keys;
+        let sequential = run_with(RankingStrategy::Pairwise, &mut rng);
+        let batched = run_with(RankingStrategy::Batched, &mut rng);
+        assert_eq!(batched, 3, "batched ranking is 3 messages");
+        assert!(sequential > batched, "{sequential} vs {batched}");
+    }
+
+    #[test]
+    fn noise_changes_released_label_with_large_sigma2() {
+        // With σ2 comparable to the margin the noisy winner sometimes
+        // differs from the true winner — that is the DP mechanism working.
+        let mut rng = StdRng::seed_from_u64(6);
+        let noisy_engine = SecureEngine::with_keys(
+            SessionKeys::generate(SessionConfig::test(4, 3), &mut rng),
+            ConsensusConfig::paper_default(1e-6, 8.0),
+        );
+        let votes = vec![onehot(0), onehot(0), onehot(0), onehot(1)];
+        let mut flips = 0;
+        for _ in 0..12 {
+            let out = noisy_engine.run_instance(&votes, Meter::new(), &mut rng).unwrap();
+            // Threshold noise is tiny, so the gate always passes (3 ≥ 2.4).
+            let label = out.label.expect("gate passes");
+            let expect = threshold_decision_scaled(
+                &out.witness.counts_scaled,
+                &out.witness.z1_scaled,
+                &out.witness.z2_scaled,
+                out.witness.threshold_scaled,
+            );
+            assert_eq!(Some(label), expect, "secure must track the noisy decision");
+            if label != 0 {
+                flips += 1;
+            }
+        }
+        assert!(flips > 0, "σ2 = 8 over a 2-vote margin must flip sometimes");
+    }
+}

@@ -1,0 +1,306 @@
+//! The DGK two-party secure comparison protocol.
+//!
+//! Party **B** (the *evaluator*) holds a private `ℓ`-bit integer `b` and
+//! the DGK private key. Party **A** (the *blinder*) holds a private
+//! `ℓ`-bit integer `a`. The protocol decides `a > b`:
+//!
+//! 1. **Round 1 (B → A):** B sends bitwise encryptions `E(b_i)` for
+//!    `i = 0..ℓ`.
+//! 2. **Round 2 (A → B):** for each bit position `i`, A homomorphically
+//!    forms `c_i = E(a_i − b_i − 1 + 3·Σ_{j>i} (a_j ⊕ b_j))`. The value
+//!    `c_i` is zero iff `a_i = 1, b_i = 0` and all higher bits agree —
+//!    i.e. iff position `i` witnesses `a > b`. A blinds each `c_i` by a
+//!    random exponent in `[1, u)` (zero stays zero, non-zero stays
+//!    non-zero and uniform), rerandomizes, shuffles, and returns the list.
+//! 3. **Finish (B):** B zero-tests every entry; some entry is zero iff
+//!    `a > b`. In the consensus protocol the result bit is then shared
+//!    with A (both servers are allowed to learn comparison outcomes).
+//!
+//! The round functions here are transport-agnostic (pure data in, message
+//! out), so the `smc` crate can run them over real channels while tests
+//! use the in-memory driver [`compare_gt_plain`].
+
+use bigint::{random, Ubig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DgkError;
+use crate::keys::{DgkCiphertext, DgkKeypair, DgkPrivateKey, DgkPublicKey};
+
+/// Round-1 message: the evaluator's encrypted bits, least significant
+/// first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvaluatorBits {
+    /// `E(b_0), …, E(b_{ℓ−1})`.
+    pub encrypted_bits: Vec<DgkCiphertext>,
+}
+
+/// Round-2 message: the blinder's blinded, shuffled per-position
+/// witnesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlindedWitnesses {
+    /// Blinded `E(r_i · c_i)` in random order.
+    pub witnesses: Vec<DgkCiphertext>,
+}
+
+/// Validates that `v` fits the protocol's `ℓ`-bit input domain.
+fn check_width(v: u64, pk: &DgkPublicKey) -> Result<(), DgkError> {
+    let max_bits = pk.compare_bits();
+    let value_bits = 64 - v.leading_zeros() as u64;
+    if value_bits > max_bits as u64 {
+        return Err(DgkError::InputTooWide { value_bits, max_bits });
+    }
+    Ok(())
+}
+
+/// **Round 1** — run by the evaluator B: encrypt the bits of `b`.
+///
+/// # Errors
+///
+/// Returns [`DgkError::InputTooWide`] if `b` does not fit `ℓ` bits.
+pub fn evaluator_encrypt_bits<R: Rng + ?Sized>(
+    b: u64,
+    pk: &DgkPublicKey,
+    rng: &mut R,
+) -> Result<EvaluatorBits, DgkError> {
+    check_width(b, pk)?;
+    let encrypted_bits = (0..pk.compare_bits())
+        .map(|i| pk.encrypt_bit((b >> i) & 1 == 1, rng))
+        .collect();
+    Ok(EvaluatorBits { encrypted_bits })
+}
+
+/// **Round 2** — run by the blinder A: form, blind and shuffle the
+/// per-position witnesses for `a > b`.
+///
+/// # Errors
+///
+/// Returns [`DgkError::InputTooWide`] if `a` does not fit `ℓ` bits, or
+/// [`DgkError::MalformedCiphertext`] if the round-1 message has the wrong
+/// arity.
+pub fn blinder_build_witnesses<R: Rng + ?Sized>(
+    a: u64,
+    round1: &EvaluatorBits,
+    pk: &DgkPublicKey,
+    rng: &mut R,
+) -> Result<BlindedWitnesses, DgkError> {
+    check_width(a, pk)?;
+    let ell = pk.compare_bits() as usize;
+    if round1.encrypted_bits.len() != ell {
+        return Err(DgkError::MalformedCiphertext);
+    }
+    let u = pk.plaintext_space().clone();
+    let u_minus_1 = &u - &Ubig::one();
+    let three = Ubig::from(3u64);
+
+    // xor_enc[j] = E(a_j ⊕ b_j): equals E(b_j) when a_j = 0, and
+    // E(1 − b_j) = g · E(b_j)^{u−1} when a_j = 1.
+    let xor_enc: Vec<DgkCiphertext> = round1
+        .encrypted_bits
+        .iter()
+        .enumerate()
+        .map(|(j, e_bj)| {
+            if (a >> j) & 1 == 0 {
+                e_bj.clone()
+            } else {
+                pk.add_plain(&pk.neg(e_bj), &Ubig::one())
+            }
+        })
+        .collect();
+
+    // Walk positions from the top down, keeping the running product
+    // Π_{j>i} E(a_j ⊕ b_j) = E(Σ_{j>i} w_j).
+    let mut witnesses = Vec::with_capacity(ell);
+    let mut suffix_sum: Option<DgkCiphertext> = None; // None encodes E(0)·(empty)
+    for i in (0..ell).rev() {
+        let a_i = (a >> i) & 1;
+        // Plain part: a_i − 1 ∈ {−1, 0}, encoded mod u.
+        let plain = if a_i == 1 { Ubig::zero() } else { u_minus_1.clone() };
+        // c_i = g^{a_i − 1} · E(b_i)^{u−1} · E(Σ_{j>i} w_j)^3.
+        let mut c = pk.mul_plain(&round1.encrypted_bits[i], &u_minus_1);
+        c = pk.add_plain(&c, &plain);
+        if let Some(suffix) = &suffix_sum {
+            c = pk.add(&c, &pk.mul_plain(suffix, &three));
+        }
+        // Blind by a random unit of Z_u and rerandomize the h component.
+        let r = random::gen_range(rng, &Ubig::one(), &u);
+        c = pk.mul_plain(&c, &r);
+        c = pk.rerandomize(&c, rng);
+        witnesses.push(c);
+
+        // Extend the suffix sum with position i for the next iteration.
+        suffix_sum = Some(match suffix_sum {
+            None => xor_enc[i].clone(),
+            Some(s) => pk.add(&s, &xor_enc[i]),
+        });
+    }
+
+    // Fisher–Yates shuffle so B cannot tell which position witnessed.
+    for i in (1..witnesses.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        witnesses.swap(i, j);
+    }
+    Ok(BlindedWitnesses { witnesses })
+}
+
+/// **Finish** — run by the evaluator B: `a > b` iff some witness is zero.
+///
+/// # Errors
+///
+/// Propagates [`DgkError::MalformedCiphertext`] from the zero test.
+pub fn evaluator_decide(
+    round2: &BlindedWitnesses,
+    sk: &DgkPrivateKey,
+) -> Result<bool, DgkError> {
+    for w in &round2.witnesses {
+        if sk.is_zero(w)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// In-memory reference driver: runs all three steps locally. The
+/// transport-layer version (two threads, real channels, byte accounting)
+/// lives in the `smc` crate.
+///
+/// Returns `a > b`.
+///
+/// ```
+/// use dgk::{comparison, DgkKeypair, DgkParams};
+/// let mut rng = rand::thread_rng();
+/// let keys = DgkKeypair::generate(&mut rng, &DgkParams::insecure_test());
+/// assert!(comparison::compare_gt_plain(9, 4, &keys, &mut rng)?);
+/// assert!(!comparison::compare_gt_plain(4, 9, &keys, &mut rng)?);
+/// assert!(!comparison::compare_gt_plain(7, 7, &keys, &mut rng)?);
+/// # Ok::<(), dgk::DgkError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates width and ciphertext errors from the individual rounds.
+pub fn compare_gt_plain<R: Rng + ?Sized>(
+    a: u64,
+    b: u64,
+    keys: &DgkKeypair,
+    rng: &mut R,
+) -> Result<bool, DgkError> {
+    let round1 = evaluator_encrypt_bits(b, keys.public_key(), rng)?;
+    let round2 = blinder_build_witnesses(a, &round1, keys.public_key(), rng)?;
+    evaluator_decide(&round2, keys.private_key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::DgkParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    fn keys() -> &'static DgkKeypair {
+        static KEYS: OnceLock<DgkKeypair> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            DgkKeypair::generate(&mut StdRng::seed_from_u64(21), &DgkParams::insecure_test())
+        })
+    }
+
+    #[test]
+    fn exhaustive_small_pairs() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(1);
+        for a in 0..12u64 {
+            for b in 0..12u64 {
+                let got = compare_gt_plain(a, b, kp, &mut rng).unwrap();
+                assert_eq!(got, a > b, "compare {a} > {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        let max = (1u64 << kp.public_key().compare_bits()) - 1;
+        assert!(compare_gt_plain(max, 0, kp, &mut rng).unwrap());
+        assert!(compare_gt_plain(max, max - 1, kp, &mut rng).unwrap());
+        assert!(!compare_gt_plain(max, max, kp, &mut rng).unwrap());
+        assert!(!compare_gt_plain(0, max, kp, &mut rng).unwrap());
+        assert!(!compare_gt_plain(0, 0, kp, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn adjacent_values() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in [0u64, 1, 100, 1000, 30000] {
+            assert!(compare_gt_plain(v + 1, v, kp, &mut rng).unwrap());
+            assert!(!compare_gt_plain(v, v + 1, kp, &mut rng).unwrap());
+        }
+    }
+
+    #[test]
+    fn too_wide_inputs_rejected() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(4);
+        let over = 1u64 << kp.public_key().compare_bits();
+        assert!(matches!(
+            compare_gt_plain(over, 0, kp, &mut rng),
+            Err(DgkError::InputTooWide { .. })
+        ));
+        assert!(matches!(
+            evaluator_encrypt_bits(over, kp.public_key(), &mut rng),
+            Err(DgkError::InputTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_round1_rejected() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        let short = EvaluatorBits { encrypted_bits: vec![kp.public_key().encrypt_bit(true, &mut rng)] };
+        assert_eq!(
+            blinder_build_witnesses(3, &short, kp.public_key(), &mut rng),
+            Err(DgkError::MalformedCiphertext)
+        );
+    }
+
+    #[test]
+    fn at_most_one_zero_witness() {
+        // Structural sanity: for any pair there is at most one witnessing
+        // position, so at most one zero among the blinded list.
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(6);
+        for (a, b) in [(9u64, 4u64), (255, 254), (37, 21)] {
+            let r1 = evaluator_encrypt_bits(b, kp.public_key(), &mut rng).unwrap();
+            let r2 = blinder_build_witnesses(a, &r1, kp.public_key(), &mut rng).unwrap();
+            let zeros = r2
+                .witnesses
+                .iter()
+                .filter(|w| kp.private_key().is_zero(w).unwrap())
+                .count();
+            assert_eq!(zeros, 1, "exactly one witness expected for {a} > {b}");
+        }
+    }
+
+    #[test]
+    fn witness_count_matches_width() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r1 = evaluator_encrypt_bits(5, kp.public_key(), &mut rng).unwrap();
+        let r2 = blinder_build_witnesses(3, &r1, kp.public_key(), &mut rng).unwrap();
+        assert_eq!(r2.witnesses.len(), kp.public_key().compare_bits() as usize);
+    }
+
+    #[test]
+    fn random_pairs_match_plain_comparison() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(8);
+        let max = 1u64 << kp.public_key().compare_bits();
+        for _ in 0..30 {
+            let a = rng.gen_range(0..max);
+            let b = rng.gen_range(0..max);
+            assert_eq!(compare_gt_plain(a, b, kp, &mut rng).unwrap(), a > b, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for DGK operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by DGK key generation, encryption and comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DgkError {
+    /// The plaintext is outside `Z_u`.
+    MessageOutOfRange,
+    /// A value passed to the comparison protocol exceeds its `ℓ`-bit input
+    /// domain.
+    InputTooWide {
+        /// The offending value's bit length.
+        value_bits: u64,
+        /// The protocol's configured input width.
+        max_bits: u32,
+    },
+    /// The ciphertext is not an element of `Z_n`.
+    MalformedCiphertext,
+    /// Decryption lookup failed (table decryption only covers `Z_u`).
+    DecryptionFailed,
+}
+
+impl fmt::Display for DgkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgkError::MessageOutOfRange => write!(f, "plaintext not in Z_u"),
+            DgkError::InputTooWide { value_bits, max_bits } => write!(
+                f,
+                "comparison input has {value_bits} bits but the protocol is configured for {max_bits}"
+            ),
+            DgkError::MalformedCiphertext => write!(f, "ciphertext not in Z_n"),
+            DgkError::DecryptionFailed => write!(f, "plaintext not found in decryption table"),
+        }
+    }
+}
+
+impl Error for DgkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DgkError::InputTooWide { value_bits: 70, max_bits: 40 };
+        assert!(e.to_string().contains("70"));
+        assert!(e.to_string().contains("40"));
+    }
+}

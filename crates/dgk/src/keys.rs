@@ -1,0 +1,486 @@
+//! DGK key generation, encryption, decryption and the zero test.
+//!
+//! Key structure (following DGK 2007/2009):
+//!
+//! * `u` — a small prime bounding the plaintext space `Z_u`;
+//! * `v_p`, `v_q` — secret `t`-bit primes;
+//! * `p`, `q` — primes with `u·v_p | p−1` and `u·v_q | q−1`; `n = p·q`;
+//! * `g` — an element of `Z_n^*` of order `u·v_p·v_q`;
+//! * `h` — an element of `Z_n^*` of order `v_p·v_q`.
+//!
+//! Encryption: `E(m) = g^m · h^r mod n` for random `r`. The private-key
+//! holder tests `m = 0` by checking `E(m)^{v_p} ≡ 1 (mod p)`, because
+//! raising to `v_p` kills the `h` component mod `p` and leaves
+//! `(g^{v_p})^m`, which is 1 iff `u | m`. Full decryption walks a small
+//! lookup table of `(g^{v_p})^m mod p` for `m ∈ Z_u`.
+
+use std::collections::HashMap;
+
+use bigint::modular::{crt_pair, modmul, modpow};
+use bigint::prime::{gen_prime, gen_prime_with_divisor, next_prime};
+use bigint::{random, Ubig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DgkError;
+
+/// Size parameters for DGK key generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DgkParams {
+    /// Bits of the RSA-like modulus `n`.
+    pub modulus_bits: u64,
+    /// Bits of the secret subgroup primes `v_p`, `v_q`.
+    pub subgroup_bits: u64,
+    /// Input bit width `ℓ` of the comparison protocol; determines the
+    /// plaintext prime `u > 3ℓ + 5`.
+    pub compare_bits: u32,
+}
+
+impl DgkParams {
+    /// Parameters matching the paper's prototype scale: a small modulus
+    /// in line with its 64-bit Paillier keys. **Not cryptographically
+    /// strong** — reproduction scale, like the paper's.
+    pub fn paper() -> Self {
+        DgkParams { modulus_bits: 256, subgroup_bits: 40, compare_bits: 40 }
+    }
+
+    /// Tiny parameters for fast unit tests. Insecure by construction.
+    /// `compare_bits` matches `smc::ShareDomain::test()`.
+    pub fn insecure_test() -> Self {
+        DgkParams { modulus_bits: 128, subgroup_bits: 24, compare_bits: 26 }
+    }
+
+    /// The plaintext-space prime `u`: smallest prime exceeding `3ℓ + 5`,
+    /// large enough that every value the comparison protocol encrypts
+    /// (`a_i − b_i − 1 + 3·Σ w_j ∈ [−2, 3ℓ+1]`) is distinguishable mod `u`.
+    pub fn plaintext_prime<R: Rng + ?Sized>(&self, rng: &mut R) -> Ubig {
+        next_prime(&Ubig::from(3 * self.compare_bits as u64 + 6), rng)
+    }
+}
+
+impl Default for DgkParams {
+    fn default() -> Self {
+        DgkParams::paper()
+    }
+}
+
+/// DGK public key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DgkPublicKey {
+    n: Ubig,
+    g: Ubig,
+    h: Ubig,
+    u: Ubig,
+    /// Blinding exponent bit length for `h^r` (2.5·t in DGK; we use 2t+16).
+    blind_bits: u64,
+    /// Comparison input width carried with the key so both parties agree.
+    compare_bits: u32,
+}
+
+/// DGK private key: the factors, subgroup primes and decryption table.
+#[derive(Debug, Clone)]
+pub struct DgkPrivateKey {
+    public: DgkPublicKey,
+    p: Ubig,
+    v_p: Ubig,
+    /// `g^{v_p} mod p`, the generator of the order-`u` subgroup used by
+    /// table decryption.
+    g_vp: Ubig,
+    /// Lookup table `(g^{v_p})^m mod p → m` for all `m ∈ Z_u`.
+    table: HashMap<Ubig, u64>,
+}
+
+/// A DGK public/private keypair.
+#[derive(Debug, Clone)]
+pub struct DgkKeypair {
+    public: DgkPublicKey,
+    private: DgkPrivateKey,
+}
+
+/// A DGK ciphertext: an element of `Z_n^*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DgkCiphertext(Ubig);
+
+impl DgkCiphertext {
+    /// Wraps a raw group element.
+    pub fn from_raw(value: Ubig) -> Self {
+        DgkCiphertext(value)
+    }
+
+    /// Borrow the raw group element.
+    pub fn as_raw(&self) -> &Ubig {
+        &self.0
+    }
+
+    /// Serialized size in bytes, for communication accounting.
+    pub fn byte_len(&self) -> usize {
+        self.0.to_le_bytes().len()
+    }
+}
+
+/// Finds an element of order exactly `target_order` in `Z_p^*`, where
+/// `target_order | p−1` and `order_prime_factors` are the distinct primes
+/// dividing `target_order`.
+fn find_element_of_order<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: &Ubig,
+    target_order: &Ubig,
+    order_prime_factors: &[&Ubig],
+) -> Ubig {
+    let p_minus_1 = p - &Ubig::one();
+    let cofactor = &p_minus_1 / target_order;
+    loop {
+        let r = random::gen_range(rng, &Ubig::two(), &p_minus_1);
+        let candidate = modpow(&r, &cofactor, p);
+        if candidate.is_one() {
+            continue;
+        }
+        // candidate has order dividing target_order; verify it is exact by
+        // checking no proper divisor (target_order / f) is an order.
+        let exact = order_prime_factors
+            .iter()
+            .all(|f| !modpow(&candidate, &(target_order / *f), p).is_one());
+        if exact {
+            return candidate;
+        }
+    }
+}
+
+impl DgkKeypair {
+    /// Generates a DGK keypair.
+    ///
+    /// ```
+    /// use dgk::{DgkKeypair, DgkParams};
+    /// let keys = DgkKeypair::generate(&mut rand::thread_rng(), &DgkParams::insecure_test());
+    /// assert!(keys.public_key().modulus().bits() > 100);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (modulus too small to fit
+    /// the subgroup structure).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, params: &DgkParams) -> DgkKeypair {
+        let u = params.plaintext_prime(rng);
+        let t = params.subgroup_bits;
+        let half = params.modulus_bits / 2;
+        assert!(
+            half > t + u.bits() + 2,
+            "modulus_bits too small for subgroup_bits + plaintext prime"
+        );
+
+        let (p, v_p) = loop {
+            let v_p = gen_prime(rng, t);
+            if v_p == u {
+                continue;
+            }
+            let p = gen_prime_with_divisor(rng, half, &(&u * &v_p));
+            break (p, v_p);
+        };
+        let (q, v_q) = loop {
+            let v_q = gen_prime(rng, t);
+            if v_q == v_p || v_q == u {
+                continue;
+            }
+            let q = gen_prime_with_divisor(rng, half, &(&u * &v_q));
+            if q == p {
+                continue;
+            }
+            break (q, v_q);
+        };
+        let n = &p * &q;
+
+        // g: order u*v_p mod p and u*v_q mod q → order u*v_p*v_q mod n.
+        let g_p = find_element_of_order(rng, &p, &(&u * &v_p), &[&u, &v_p]);
+        let g_q = find_element_of_order(rng, &q, &(&u * &v_q), &[&u, &v_q]);
+        let g = crt_pair(&g_p, &p, &g_q, &q).expect("p, q distinct primes");
+
+        // h: order v_p mod p and v_q mod q → order v_p*v_q mod n.
+        let h_p = find_element_of_order(rng, &p, &v_p, &[&v_p]);
+        let h_q = find_element_of_order(rng, &q, &v_q, &[&v_q]);
+        let h = crt_pair(&h_p, &p, &h_q, &q).expect("p, q distinct primes");
+
+        let public = DgkPublicKey {
+            n,
+            g,
+            h,
+            u: u.clone(),
+            blind_bits: 2 * t + 16,
+            compare_bits: params.compare_bits,
+        };
+
+        // Decryption table over the order-u subgroup generated by g^{v_p}.
+        let g_vp = modpow(&public.g, &v_p, &p);
+        let u64_u = u.to_u64().expect("u is small");
+        let mut table = HashMap::with_capacity(u64_u as usize);
+        let mut acc = Ubig::one();
+        for m in 0..u64_u {
+            table.insert(acc.clone(), m);
+            acc = modmul(&acc, &g_vp, &p);
+        }
+
+        let private = DgkPrivateKey { public: public.clone(), p, v_p, g_vp, table };
+        DgkKeypair { public, private }
+    }
+
+    /// Borrow the public key.
+    pub fn public_key(&self) -> &DgkPublicKey {
+        &self.public
+    }
+
+    /// Borrow the private key.
+    pub fn private_key(&self) -> &DgkPrivateKey {
+        &self.private
+    }
+
+    /// Consumes the keypair into `(public, private)` halves.
+    pub fn split(self) -> (DgkPublicKey, DgkPrivateKey) {
+        (self.public, self.private)
+    }
+}
+
+impl DgkPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// The plaintext-space prime `u`.
+    pub fn plaintext_space(&self) -> &Ubig {
+        &self.u
+    }
+
+    /// The comparison input width `ℓ` the key was generated for.
+    pub fn compare_bits(&self) -> u32 {
+        self.compare_bits
+    }
+
+    /// Encrypts `m ∈ Z_u`: `E(m) = g^m · h^r mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgkError::MessageOutOfRange`] if `m >= u`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &Ubig,
+        rng: &mut R,
+    ) -> Result<DgkCiphertext, DgkError> {
+        if m >= &self.u {
+            return Err(DgkError::MessageOutOfRange);
+        }
+        let r = random::gen_bits(rng, self.blind_bits);
+        let g_m = modpow(&self.g, m, &self.n);
+        let h_r = modpow(&self.h, &r, &self.n);
+        Ok(DgkCiphertext(modmul(&g_m, &h_r, &self.n)))
+    }
+
+    /// Encrypts a `u64` plaintext (reduced check against `u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= u`.
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> DgkCiphertext {
+        self.encrypt(&Ubig::from(m), rng).expect("message exceeds u")
+    }
+
+    /// Encrypts a single bit.
+    pub fn encrypt_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> DgkCiphertext {
+        self.encrypt_u64(bit as u64, rng)
+    }
+
+    /// Homomorphic addition: `E(m1 + m2 mod u) = E(m1)·E(m2) mod n`.
+    pub fn add(&self, c1: &DgkCiphertext, c2: &DgkCiphertext) -> DgkCiphertext {
+        DgkCiphertext(modmul(&c1.0, &c2.0, &self.n))
+    }
+
+    /// Homomorphic plaintext addition: multiplies by `g^k`.
+    pub fn add_plain(&self, c: &DgkCiphertext, k: &Ubig) -> DgkCiphertext {
+        let g_k = modpow(&self.g, &(k % &self.u), &self.n);
+        DgkCiphertext(modmul(&c.0, &g_k, &self.n))
+    }
+
+    /// Homomorphic scalar multiplication: `E(a·m mod u) = E(m)^a mod n`.
+    pub fn mul_plain(&self, c: &DgkCiphertext, a: &Ubig) -> DgkCiphertext {
+        DgkCiphertext(modpow(&c.0, a, &self.n))
+    }
+
+    /// Homomorphic negation: `E(−m mod u) = E(m)^{u−1}`.
+    pub fn neg(&self, c: &DgkCiphertext) -> DgkCiphertext {
+        self.mul_plain(c, &(&self.u - &Ubig::one()))
+    }
+
+    /// Rerandomizes a ciphertext by multiplying with a fresh `h^r`.
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &DgkCiphertext, rng: &mut R) -> DgkCiphertext {
+        let r = random::gen_bits(rng, self.blind_bits);
+        let h_r = modpow(&self.h, &r, &self.n);
+        DgkCiphertext(modmul(&c.0, &h_r, &self.n))
+    }
+}
+
+impl DgkPrivateKey {
+    /// Borrow the matching public key.
+    pub fn public_key(&self) -> &DgkPublicKey {
+        &self.public
+    }
+
+    /// The zero test: whether the ciphertext encrypts `0`, decided by
+    /// `c^{v_p} mod p == 1`. This is DGK's cheap signature operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgkError::MalformedCiphertext`] for values outside `Z_n`.
+    pub fn is_zero(&self, c: &DgkCiphertext) -> Result<bool, DgkError> {
+        if c.0 >= self.public.n || c.0.is_zero() {
+            return Err(DgkError::MalformedCiphertext);
+        }
+        Ok(modpow(&(&c.0 % &self.p), &self.v_p, &self.p).is_one())
+    }
+
+    /// Full decryption by table lookup over `Z_u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgkError::MalformedCiphertext`] for out-of-group values and
+    /// [`DgkError::DecryptionFailed`] if the lookup misses (which indicates
+    /// the ciphertext was not produced under this key).
+    pub fn decrypt(&self, c: &DgkCiphertext) -> Result<u64, DgkError> {
+        if c.0 >= self.public.n || c.0.is_zero() {
+            return Err(DgkError::MalformedCiphertext);
+        }
+        let reduced = modpow(&(&c.0 % &self.p), &self.v_p, &self.p);
+        self.table.get(&reduced).copied().ok_or(DgkError::DecryptionFailed)
+    }
+
+    /// Generator of the order-`u` subgroup mod `p` (exposed for tests).
+    pub fn subgroup_generator(&self) -> &Ubig {
+        &self.g_vp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// Shared keypair: generation dominates test time otherwise.
+    fn keys() -> &'static DgkKeypair {
+        static KEYS: OnceLock<DgkKeypair> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            DgkKeypair::generate(&mut StdRng::seed_from_u64(11), &DgkParams::insecure_test())
+        })
+    }
+
+    #[test]
+    fn roundtrip_all_plaintexts() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = kp.public_key().plaintext_space().to_u64().unwrap();
+        for m in 0..u {
+            let c = kp.public_key().encrypt_u64(m, &mut rng);
+            assert_eq!(kp.private_key().decrypt(&c).unwrap(), m, "roundtrip {m}");
+        }
+    }
+
+    #[test]
+    fn zero_test_is_exact() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c0 = kp.public_key().encrypt_u64(0, &mut rng);
+        assert!(kp.private_key().is_zero(&c0).unwrap());
+        for m in [1u64, 2, 5, 17] {
+            let c = kp.public_key().encrypt_u64(m, &mut rng);
+            assert!(!kp.private_key().is_zero(&c).unwrap(), "E({m}) is not zero");
+        }
+    }
+
+    #[test]
+    fn homomorphic_add_mod_u() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pk = kp.public_key();
+        let u = pk.plaintext_space().to_u64().unwrap();
+        let (m1, m2) = (u - 2, 5);
+        let c = pk.add(&pk.encrypt_u64(m1, &mut rng), &pk.encrypt_u64(m2, &mut rng));
+        assert_eq!(kp.private_key().decrypt(&c).unwrap(), (m1 + m2) % u);
+    }
+
+    #[test]
+    fn homomorphic_scalar_and_neg() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pk = kp.public_key();
+        let u = pk.plaintext_space().to_u64().unwrap();
+        let c = pk.encrypt_u64(7, &mut rng);
+        let scaled = pk.mul_plain(&c, &Ubig::from(6u64));
+        assert_eq!(kp.private_key().decrypt(&scaled).unwrap(), 42 % u);
+        let negated = pk.neg(&c);
+        assert_eq!(kp.private_key().decrypt(&negated).unwrap(), u - 7);
+        // E(m) * E(-m) = E(0).
+        let zero = pk.add(&c, &negated);
+        assert!(kp.private_key().is_zero(&zero).unwrap());
+    }
+
+    #[test]
+    fn blinding_preserves_zeroness() {
+        // The comparison protocol blinds c^r for random r in [1, u): zero
+        // stays zero, nonzero stays nonzero.
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pk = kp.public_key();
+        let c0 = pk.encrypt_u64(0, &mut rng);
+        let c3 = pk.encrypt_u64(3, &mut rng);
+        for r in [1u64, 2, 10, 20] {
+            let b0 = pk.mul_plain(&c0, &Ubig::from(r));
+            let b3 = pk.mul_plain(&c3, &Ubig::from(r));
+            assert!(kp.private_key().is_zero(&b0).unwrap());
+            assert!(!kp.private_key().is_zero(&b3).unwrap());
+        }
+    }
+
+    #[test]
+    fn rerandomization_changes_ciphertext_only() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(6);
+        let pk = kp.public_key();
+        let c = pk.encrypt_u64(9, &mut rng);
+        let c2 = pk.rerandomize(&c, &mut rng);
+        assert_ne!(c, c2);
+        assert_eq!(kp.private_key().decrypt(&c2).unwrap(), 9);
+    }
+
+    #[test]
+    fn message_out_of_range() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = kp.public_key().plaintext_space().clone();
+        assert_eq!(kp.public_key().encrypt(&u, &mut rng), Err(DgkError::MessageOutOfRange));
+    }
+
+    #[test]
+    fn malformed_ciphertext_rejected() {
+        let kp = keys();
+        let big = DgkCiphertext::from_raw(kp.public_key().modulus().clone());
+        assert_eq!(kp.private_key().is_zero(&big), Err(DgkError::MalformedCiphertext));
+        let zero = DgkCiphertext::from_raw(Ubig::zero());
+        assert_eq!(kp.private_key().decrypt(&zero), Err(DgkError::MalformedCiphertext));
+    }
+
+    #[test]
+    fn plaintext_prime_exceeds_protocol_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let params = DgkParams::insecure_test();
+        let u = params.plaintext_prime(&mut rng).to_u64().unwrap();
+        assert!(u > 3 * params.compare_bits as u64 + 5);
+    }
+
+    #[test]
+    fn encrypt_bit_helper() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c1 = kp.public_key().encrypt_bit(true, &mut rng);
+        let c0 = kp.public_key().encrypt_bit(false, &mut rng);
+        assert_eq!(kp.private_key().decrypt(&c1).unwrap(), 1);
+        assert!(kp.private_key().is_zero(&c0).unwrap());
+    }
+}

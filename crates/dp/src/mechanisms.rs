@@ -1,0 +1,181 @@
+//! Plaintext reference implementations of the protocol's two noisy
+//! mechanisms.
+//!
+//! These are the statistical semantics of Alg. 4 (and of Alg. 5's output,
+//! per Theorem 3 correctness): the secure path computes exactly these
+//! functions, only in blind. The clear-path consensus engine calls them
+//! directly; the secure path consumes the same noise draws through
+//! distributed shares.
+
+use rand::Rng;
+
+use crate::gaussian::Gaussian;
+
+/// Outcome of the noisy threshold test (the Sparse Vector Technique step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdOutcome {
+    /// The noisy maximum exceeded the threshold; the query proceeds.
+    Passed,
+    /// Below threshold; the query is discarded (`⊥` in the paper).
+    Rejected,
+}
+
+/// Alg. 4 line 1: tests `max_votes + N(0, σ₁²) ≥ threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use dp::mechanisms::{noisy_threshold_test, ThresholdOutcome};
+/// let out = noisy_threshold_test(90.0, 60.0, 1e-9, &mut rand::thread_rng());
+/// assert_eq!(out, ThresholdOutcome::Passed);
+/// ```
+pub fn noisy_threshold_test<R: Rng + ?Sized>(
+    max_votes: f64,
+    threshold: f64,
+    sigma1: f64,
+    rng: &mut R,
+) -> ThresholdOutcome {
+    let noise = Gaussian::new(0.0, sigma1).sample(rng);
+    if max_votes + noise >= threshold {
+        ThresholdOutcome::Passed
+    } else {
+        ThresholdOutcome::Rejected
+    }
+}
+
+/// Alg. 4 line 2 (Report Noisy Max): `argmax_i (votes[i] + N(0, σ₂²))`.
+///
+/// Returns the winning index. Ties after noise are broken toward the lower
+/// index (measure-zero event for σ₂ > 0).
+///
+/// # Panics
+///
+/// Panics if `votes` is empty.
+pub fn noisy_argmax<R: Rng + ?Sized>(votes: &[f64], sigma2: f64, rng: &mut R) -> usize {
+    assert!(!votes.is_empty(), "votes must be non-empty");
+    let g = Gaussian::new(0.0, sigma2);
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in votes.iter().enumerate() {
+        let noisy = v + g.sample(rng);
+        if noisy > best_val {
+            best = i;
+            best_val = noisy;
+        }
+    }
+    best
+}
+
+/// Returns the noisy vote vector itself (used by the secure path, which
+/// must aggregate the noise *inside* the shares rather than draw it at
+/// argmax time).
+pub fn noisy_votes<R: Rng + ?Sized>(votes: &[f64], sigma: f64, rng: &mut R) -> Vec<f64> {
+    let g = Gaussian::new(0.0, sigma);
+    votes.iter().map(|&v| v + g.sample(rng)).collect()
+}
+
+/// Plain (non-private) argmax with lowest-index tie-breaking — Alg. 1's
+/// `i*`.
+///
+/// # Panics
+///
+/// Panics if `votes` is empty.
+pub fn plain_argmax(votes: &[f64]) -> usize {
+    assert!(!votes.is_empty(), "votes must be non-empty");
+    let mut best = 0usize;
+    for (i, &v) in votes.iter().enumerate() {
+        if v > votes[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn threshold_with_tiny_noise_is_exact() {
+        let mut r = rng();
+        assert_eq!(
+            noisy_threshold_test(61.0, 60.0, 1e-12, &mut r),
+            ThresholdOutcome::Passed
+        );
+        assert_eq!(
+            noisy_threshold_test(59.0, 60.0, 1e-12, &mut r),
+            ThresholdOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn threshold_pass_rate_about_half_at_boundary() {
+        let mut r = rng();
+        let passes = (0..10_000)
+            .filter(|_| noisy_threshold_test(60.0, 60.0, 5.0, &mut r) == ThresholdOutcome::Passed)
+            .count();
+        // At the boundary, noise ≥ 0 with probability 1/2.
+        assert!((passes as f64 / 10_000.0 - 0.5).abs() < 0.03, "rate {passes}");
+    }
+
+    #[test]
+    fn noisy_argmax_with_tiny_noise_matches_plain() {
+        let mut r = rng();
+        let votes = [3.0, 9.0, 1.0, 9.5, 2.0];
+        for _ in 0..20 {
+            assert_eq!(noisy_argmax(&votes, 1e-12, &mut r), 3);
+        }
+        assert_eq!(plain_argmax(&votes), 3);
+    }
+
+    #[test]
+    fn noisy_argmax_flips_with_large_noise() {
+        let mut r = rng();
+        let votes = [10.0, 9.9];
+        let winner0 = (0..5_000).filter(|_| noisy_argmax(&votes, 20.0, &mut r) == 0).count();
+        // With noise ≫ gap the winner is nearly a coin flip.
+        assert!(
+            (winner0 as f64 / 5_000.0 - 0.5).abs() < 0.05,
+            "winner0 rate {winner0}/5000"
+        );
+    }
+
+    #[test]
+    fn noisy_argmax_respects_clear_margins() {
+        let mut r = rng();
+        let votes = [100.0, 0.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(noisy_argmax(&votes, 1.0, &mut r), 0);
+        }
+    }
+
+    #[test]
+    fn plain_argmax_ties_break_low() {
+        assert_eq!(plain_argmax(&[5.0, 5.0, 1.0]), 0);
+        assert_eq!(plain_argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn noisy_votes_have_expected_spread() {
+        let mut r = rng();
+        let base = vec![50.0; 2_000];
+        let noisy = noisy_votes(&base, 4.0, &mut r);
+        let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
+        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (noisy.len() - 1) as f64;
+        assert!((mean - 50.0).abs() < 0.4, "mean {mean}");
+        assert!((var - 16.0).abs() < 2.0, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_votes_panic() {
+        let _ = plain_argmax(&[]);
+    }
+}

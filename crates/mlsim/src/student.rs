@@ -1,0 +1,158 @@
+//! The aggregator's semi-supervised step: training the student on
+//! consensus-labeled public instances.
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, MultiLabelDataset};
+use crate::model::{LogisticBank, SoftmaxRegression, TrainConfig};
+
+/// Trains the aggregator (student) model on the `(instance, label)` pairs
+/// the consensus protocol released.
+///
+/// Returns `None` when no labels were retained (e.g. every query was
+/// rejected at the threshold) — the aggregator then has nothing to learn
+/// from, which the experiment harness reports as zero accuracy.
+pub fn train_student<R: Rng + ?Sized>(
+    features: &[Vec<f64>],
+    labels: &[usize],
+    num_classes: usize,
+    config: &TrainConfig,
+    rng: &mut R,
+) -> Option<SoftmaxRegression> {
+    assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+    if features.is_empty() {
+        return None;
+    }
+    let data = Dataset::new(features.to_vec(), labels.to_vec(), num_classes);
+    Some(SoftmaxRegression::train(&data, config, rng))
+}
+
+/// Multi-label variant: trains the student's logistic bank on released
+/// attribute vectors.
+pub fn train_student_multilabel<R: Rng + ?Sized>(
+    features: &[Vec<f64>],
+    attributes: &[Vec<bool>],
+    num_attributes: usize,
+    config: &TrainConfig,
+    rng: &mut R,
+) -> Option<LogisticBank> {
+    assert_eq!(features.len(), attributes.len(), "features/attributes length mismatch");
+    if features.is_empty() {
+        return None;
+    }
+    let data = MultiLabelDataset::new(features.to_vec(), attributes.to_vec(), num_attributes);
+    Some(LogisticBank::train(&data, config, rng))
+}
+
+/// Outcome metrics of one labeling campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelingStats {
+    /// Number of queries issued.
+    pub queried: usize,
+    /// Number of labels released (threshold passed).
+    pub retained: usize,
+    /// Fraction of released labels that match ground truth.
+    pub label_accuracy: f64,
+}
+
+impl LabelingStats {
+    /// Builds stats from a list of `(released_label, true_label)` pairs
+    /// and a total query count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more labels were released than queried.
+    pub fn from_released(released: &[(usize, usize)], queried: usize) -> LabelingStats {
+        assert!(released.len() <= queried, "released exceeds queried");
+        let correct = released.iter().filter(|(got, want)| got == want).count();
+        LabelingStats {
+            queried,
+            retained: released.len(),
+            label_accuracy: if released.is_empty() {
+                0.0
+            } else {
+                correct as f64 / released.len() as f64
+            },
+        }
+    }
+
+    /// Fraction of queries whose labels were retained.
+    pub fn retention(&self) -> f64 {
+        if self.queried == 0 {
+            0.0
+        } else {
+            self.retained as f64 / self.queried as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::GaussianMixtureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn student_learns_from_correct_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = GaussianMixtureSpec::mnist_like();
+        let public = spec.generate(800, &mut rng);
+        let test = spec.generate(300, &mut rng);
+        let student = train_student(
+            &public.features,
+            &public.labels,
+            10,
+            &TrainConfig::default(),
+            &mut rng,
+        )
+        .expect("labels present");
+        assert!(student.accuracy(&test) > 0.8);
+    }
+
+    #[test]
+    fn noisy_labels_hurt_the_student() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = GaussianMixtureSpec::mnist_like();
+        let public = spec.generate(800, &mut rng);
+        let test = spec.generate(300, &mut rng);
+        // Corrupt 40% of labels.
+        let noisy: Vec<usize> = public
+            .labels
+            .iter()
+            .map(|&l| if rng.gen_bool(0.4) { rng.gen_range(0..10) } else { l })
+            .collect();
+        let clean = train_student(&public.features, &public.labels, 10, &TrainConfig::default(), &mut rng)
+            .unwrap()
+            .accuracy(&test);
+        let corrupted = train_student(&public.features, &noisy, 10, &TrainConfig::default(), &mut rng)
+            .unwrap()
+            .accuracy(&test);
+        assert!(clean > corrupted, "clean {clean} vs corrupted {corrupted}");
+    }
+
+    #[test]
+    fn empty_release_gives_no_student() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(train_student(&[], &[], 10, &TrainConfig::default(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn labeling_stats_arithmetic() {
+        let released = [(1usize, 1usize), (2, 2), (3, 0), (0, 0)];
+        let stats = LabelingStats::from_released(&released, 10);
+        assert_eq!(stats.retained, 4);
+        assert_eq!(stats.queried, 10);
+        assert_eq!(stats.retention(), 0.4);
+        assert_eq!(stats.label_accuracy, 0.75);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LabelingStats::from_released(&[], 5);
+        assert_eq!(stats.label_accuracy, 0.0);
+        assert_eq!(stats.retention(), 0.0);
+        let none = LabelingStats::from_released(&[], 0);
+        assert_eq!(none.retention(), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Teacher ensembles: one locally trained model per user.
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, MultiLabelDataset};
+use crate::model::{LogisticBank, SoftmaxRegression, TrainConfig};
+use crate::partition::Partition;
+
+/// Per-group accuracy summary for Fig. 2's majority/minority split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserAccuracy {
+    /// Mean accuracy over all users.
+    pub mean: f64,
+    /// Mean accuracy over the majority group (small shards); `None` for
+    /// even splits.
+    pub majority: Option<f64>,
+    /// Mean accuracy over the minority group (large shards); `None` for
+    /// even splits.
+    pub minority: Option<f64>,
+}
+
+/// A single-label teacher ensemble: one softmax-regression model per
+/// user, trained on that user's shard.
+#[derive(Debug, Clone)]
+pub struct TeacherEnsemble {
+    teachers: Vec<SoftmaxRegression>,
+}
+
+impl TeacherEnsemble {
+    /// Trains one teacher per user over `partition` of `data`.
+    ///
+    /// Users whose shard is empty still get a model trained on a single
+    /// uniform dummy example (they will vote near-randomly, as a
+    /// data-starved user would).
+    pub fn train<R: Rng + ?Sized>(
+        data: &Dataset,
+        partition: &Partition,
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Self {
+        let teachers = (0..partition.num_users())
+            .map(|u| {
+                let shard = partition.shard(data, u);
+                if shard.is_empty() {
+                    let dummy = Dataset::new(
+                        vec![vec![0.0; data.dim()]],
+                        vec![0],
+                        data.num_classes,
+                    );
+                    SoftmaxRegression::train(&dummy, config, rng)
+                } else {
+                    SoftmaxRegression::train(&shard, config, rng)
+                }
+            })
+            .collect();
+        TeacherEnsemble { teachers }
+    }
+
+    /// Number of teachers.
+    pub fn len(&self) -> usize {
+        self.teachers.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.teachers.is_empty()
+    }
+
+    /// Borrow the individual teachers.
+    pub fn teachers(&self) -> &[SoftmaxRegression] {
+        &self.teachers
+    }
+
+    /// Every teacher's one-hot vote for one instance.
+    pub fn votes_onehot(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        self.teachers.iter().map(|t| t.predict_onehot(x)).collect()
+    }
+
+    /// Every teacher's softmax vote for one instance.
+    pub fn votes_softmax(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        self.teachers.iter().map(|t| t.predict_proba(x)).collect()
+    }
+
+    /// Plain vote-count aggregation (no privacy): sums one-hot votes.
+    pub fn vote_counts(&self, x: &[f64]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.teachers.first().map_or(0, |t| t.num_classes())];
+        for t in &self.teachers {
+            counts[t.predict(x)] += 1.0;
+        }
+        counts
+    }
+
+    /// Per-user accuracy on a common test set, with majority/minority
+    /// group means when the partition is uneven.
+    pub fn user_accuracy(&self, test: &Dataset, partition: &Partition) -> UserAccuracy {
+        let accs: Vec<f64> = self.teachers.iter().map(|t| t.accuracy(test)).collect();
+        let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+        let group_mean = |users: &[usize]| {
+            if users.is_empty() {
+                None
+            } else {
+                Some(users.iter().map(|&u| accs[u]).sum::<f64>() / users.len() as f64)
+            }
+        };
+        UserAccuracy {
+            mean,
+            majority: group_mean(&partition.majority_users),
+            minority: group_mean(&partition.minority_users),
+        }
+    }
+}
+
+/// A multi-label teacher ensemble (CelebA-like): one logistic bank per
+/// user.
+#[derive(Debug, Clone)]
+pub struct MultiLabelEnsemble {
+    teachers: Vec<LogisticBank>,
+}
+
+impl MultiLabelEnsemble {
+    /// Trains one logistic bank per user over `partition` of `data`.
+    pub fn train<R: Rng + ?Sized>(
+        data: &MultiLabelDataset,
+        partition: &Partition,
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Self {
+        let teachers = (0..partition.num_users())
+            .map(|u| {
+                let shard = partition.shard_multilabel(data, u);
+                if shard.is_empty() {
+                    let dummy = MultiLabelDataset::new(
+                        vec![vec![0.0; data.dim()]],
+                        vec![vec![false; data.num_attributes]],
+                        data.num_attributes,
+                    );
+                    LogisticBank::train(&dummy, config, rng)
+                } else {
+                    LogisticBank::train(&shard, config, rng)
+                }
+            })
+            .collect();
+        MultiLabelEnsemble { teachers }
+    }
+
+    /// Number of teachers.
+    pub fn len(&self) -> usize {
+        self.teachers.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.teachers.is_empty()
+    }
+
+    /// Borrow the individual teachers.
+    pub fn teachers(&self) -> &[LogisticBank] {
+        &self.teachers
+    }
+
+    /// Per-attribute positive-vote counts for one instance: entry `j` is
+    /// the number of teachers predicting attribute `j` positive.
+    pub fn attribute_vote_counts(&self, x: &[f64]) -> Vec<f64> {
+        let m = self.teachers.first().map_or(0, |t| t.num_attributes());
+        let mut counts = vec![0.0; m];
+        for t in &self.teachers {
+            for (j, bit) in t.predict(x).iter().enumerate() {
+                if *bit {
+                    counts[j] += 1.0;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Mean per-user, per-attribute accuracy on a test set.
+    pub fn user_accuracy(&self, test: &MultiLabelDataset, partition: &Partition) -> UserAccuracy {
+        let accs: Vec<f64> = self.teachers.iter().map(|t| t.accuracy(test)).collect();
+        let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+        let group_mean = |users: &[usize]| {
+            if users.is_empty() {
+                None
+            } else {
+                Some(users.iter().map(|&u| accs[u]).sum::<f64>() / users.len() as f64)
+            }
+        };
+        UserAccuracy {
+            mean,
+            majority: group_mean(&partition.majority_users),
+            minority: group_mean(&partition.minority_users),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{division_split, even_split, Division};
+    use crate::synthetic::{GaussianMixtureSpec, SparseAttributeSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ensemble_votes_have_right_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = GaussianMixtureSpec::mnist_like().generate(300, &mut rng);
+        let p = even_split(data.len(), 5, &mut rng);
+        let ensemble = TeacherEnsemble::train(&data, &p, &TrainConfig::default(), &mut rng);
+        assert_eq!(ensemble.len(), 5);
+        let votes = ensemble.votes_onehot(&data.features[0]);
+        assert_eq!(votes.len(), 5);
+        assert!(votes.iter().all(|v| v.len() == 10 && v.iter().sum::<f64>() == 1.0));
+        let counts = ensemble.vote_counts(&data.features[0]);
+        assert_eq!(counts.iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn majority_group_is_less_accurate() {
+        // The Fig. 2(b-d) phenomenon: small-shard users underperform.
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = GaussianMixtureSpec::svhn_like();
+        let data = spec.generate(2000, &mut rng);
+        let test = spec.generate(500, &mut rng);
+        let p = division_split(data.len(), 10, Division::D28, &mut rng);
+        let ensemble = TeacherEnsemble::train(&data, &p, &TrainConfig::default(), &mut rng);
+        let acc = ensemble.user_accuracy(&test, &p);
+        let majority = acc.majority.expect("uneven split");
+        let minority = acc.minority.expect("uneven split");
+        assert!(
+            minority > majority + 0.03,
+            "minority (big shards) {minority} must beat majority {majority}"
+        );
+    }
+
+    #[test]
+    fn mean_accuracy_falls_with_more_users() {
+        // Fig. 2(a): fixed data, more users → smaller shards → lower mean.
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = GaussianMixtureSpec::svhn_like();
+        let data = spec.generate(1200, &mut rng);
+        let test = spec.generate(400, &mut rng);
+        let acc_at = |users: usize, rng: &mut StdRng| {
+            let p = even_split(data.len(), users, rng);
+            TeacherEnsemble::train(&data, &p, &TrainConfig::default(), rng)
+                .user_accuracy(&test, &p)
+                .mean
+        };
+        let few = acc_at(4, &mut rng);
+        let many = acc_at(60, &mut rng);
+        assert!(few > many + 0.02, "4 users {few} vs 60 users {many}");
+    }
+
+    #[test]
+    fn even_split_has_no_group_stats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = GaussianMixtureSpec::mnist_like().generate(200, &mut rng);
+        let test = GaussianMixtureSpec::mnist_like().generate(100, &mut rng);
+        let p = even_split(data.len(), 4, &mut rng);
+        let acc = TeacherEnsemble::train(&data, &p, &TrainConfig::default(), &mut rng)
+            .user_accuracy(&test, &p);
+        assert!(acc.majority.is_none() && acc.minority.is_none());
+        assert!(acc.mean > 0.0);
+    }
+
+    #[test]
+    fn multilabel_ensemble_counts_votes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = SparseAttributeSpec::celeba_like();
+        let data = spec.generate(400, &mut rng);
+        let p = even_split(data.len(), 4, &mut rng);
+        let ensemble = MultiLabelEnsemble::train(&data, &p, &TrainConfig::default(), &mut rng);
+        assert_eq!(ensemble.len(), 4);
+        let counts = ensemble.attribute_vote_counts(&data.features[0]);
+        assert_eq!(counts.len(), 40);
+        assert!(counts.iter().all(|&c| (0.0..=4.0).contains(&c)));
+    }
+}

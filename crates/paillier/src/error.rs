@@ -1,0 +1,59 @@
+//! Error type for Paillier operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by Paillier encryption, decryption and encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaillierError {
+    /// The plaintext is not in the message space `Z_n`.
+    MessageOutOfRange,
+    /// The ciphertext is not in `Z_{n^2}` or shares a factor with `n`.
+    MalformedCiphertext,
+    /// A signed value does not fit the signed message window `(-n/2, n/2)`.
+    SignedOverflow,
+    /// A float is outside the fixed-point range `[-2^15, 2^15)` of Eqn. 8.
+    FixedPointOutOfRange(f64),
+    /// Keys from different keypairs were mixed in one operation.
+    KeyMismatch,
+    /// A [`crate::RandomizerPool`] ran out of precomputed randomizers.
+    PoolExhausted,
+}
+
+impl fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaillierError::MessageOutOfRange => write!(f, "plaintext not in Z_n"),
+            PaillierError::MalformedCiphertext => write!(f, "ciphertext not a unit of Z_n^2"),
+            PaillierError::SignedOverflow => {
+                write!(f, "signed value outside the (-n/2, n/2) window")
+            }
+            PaillierError::FixedPointOutOfRange(v) => {
+                write!(f, "float {v} outside fixed-point range [-2^15, 2^15)")
+            }
+            PaillierError::KeyMismatch => write!(f, "operation mixed keys of different keypairs"),
+            PaillierError::PoolExhausted => {
+                write!(f, "randomizer pool exhausted; generate a larger pool")
+            }
+        }
+    }
+}
+
+impl Error for PaillierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        assert!(PaillierError::MessageOutOfRange.to_string().contains("Z_n"));
+        assert!(PaillierError::FixedPointOutOfRange(7e9).to_string().contains("7000000000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PaillierError>();
+    }
+}

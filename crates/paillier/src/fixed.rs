@@ -1,0 +1,197 @@
+//! Fixed-point float encoding — Eqn. 8 of the paper.
+//!
+//! The prototype extends Paillier to floats by cutting the fraction below
+//! `2^-16` and mapping `R ∈ [-2^15, 2^15)` to the 32-bit unsigned integer
+//! `R^I = R · 2^16 + 2^31`. Softmax votes, noise shares and threshold
+//! offsets all travel through this codec.
+//!
+//! Two views are provided:
+//!
+//! * **offset encoding** ([`FixedCodec::encode`]) — the literal Eqn. 8 form
+//!   with the `2^31` bias, always non-negative, exactly as the paper's
+//!   implementation stores values;
+//! * **scaled encoding** ([`FixedCodec::to_scaled_i64`]) — the unbiased
+//!   `R · 2^16` signed form, which is the convenient representation for
+//!   homomorphic *sums* (biases would otherwise accumulate once per
+//!   addend).
+
+use crate::error::PaillierError;
+
+/// Fractional bits retained by the encoding (Eqn. 8 uses `2^16`).
+pub const FIXED_FRACTION_BITS: u32 = 16;
+
+/// Offset exponent: encoded values are biased by `2^31`.
+pub const FIXED_OFFSET_BITS: u32 = 31;
+
+/// Codec implementing the paper's float-to-integer conversion.
+///
+/// # Examples
+///
+/// ```
+/// use paillier::FixedCodec;
+///
+/// let codec = FixedCodec::paper();
+/// let encoded = codec.encode(1.5)?;
+/// assert_eq!(codec.decode(encoded), 1.5);
+/// # Ok::<(), paillier::PaillierError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedCodec {
+    fraction_bits: u32,
+    offset_bits: u32,
+}
+
+impl FixedCodec {
+    /// The paper's parameters: 16 fraction bits, `2^31` offset, i.e. a
+    /// domain of `[-2^15, 2^15)`.
+    pub fn paper() -> Self {
+        FixedCodec { fraction_bits: FIXED_FRACTION_BITS, offset_bits: FIXED_OFFSET_BITS }
+    }
+
+    /// A custom precision/offset codec. The representable domain is
+    /// `[-2^(offset_bits - fraction_bits), 2^(offset_bits - fraction_bits))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_bits >= offset_bits` or `offset_bits >= 63`.
+    pub fn with_precision(fraction_bits: u32, offset_bits: u32) -> Self {
+        assert!(fraction_bits < offset_bits, "offset must exceed fraction bits");
+        assert!(offset_bits < 63, "offset must fit an i64");
+        FixedCodec { fraction_bits, offset_bits }
+    }
+
+    /// The scale factor `2^fraction_bits`.
+    pub fn scale(&self) -> f64 {
+        (1u64 << self.fraction_bits) as f64
+    }
+
+    /// Inclusive-exclusive representable domain `[lo, hi)`.
+    pub fn domain(&self) -> (f64, f64) {
+        let half = (1u64 << (self.offset_bits - self.fraction_bits)) as f64;
+        (-half, half)
+    }
+
+    /// Eqn. 8: `R^I = floor(R · 2^16) + 2^31`, a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::FixedPointOutOfRange`] if `r` is outside
+    /// the codec's domain or not finite.
+    pub fn encode(&self, r: f64) -> Result<u64, PaillierError> {
+        let (lo, hi) = self.domain();
+        if !r.is_finite() || r < lo || r >= hi {
+            return Err(PaillierError::FixedPointOutOfRange(r));
+        }
+        let scaled = (r * self.scale()).floor() as i64;
+        Ok((scaled + (1i64 << self.offset_bits)) as u64)
+    }
+
+    /// Inverse of [`FixedCodec::encode`].
+    pub fn decode(&self, encoded: u64) -> f64 {
+        let unbiased = encoded as i64 - (1i64 << self.offset_bits);
+        unbiased as f64 / self.scale()
+    }
+
+    /// The unbiased scaled form `floor(R · 2^16)` as a signed integer —
+    /// what protocol sums actually add together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::FixedPointOutOfRange`] if out of domain.
+    pub fn to_scaled_i64(&self, r: f64) -> Result<i64, PaillierError> {
+        let (lo, hi) = self.domain();
+        if !r.is_finite() || r < lo || r >= hi {
+            return Err(PaillierError::FixedPointOutOfRange(r));
+        }
+        Ok((r * self.scale()).floor() as i64)
+    }
+
+    /// Inverse of [`FixedCodec::to_scaled_i64`]; also decodes *sums* of
+    /// scaled values (which may exceed the single-value domain).
+    pub fn from_scaled_i64(&self, scaled: i64) -> f64 {
+        scaled as f64 / self.scale()
+    }
+
+    /// Quantization step: the largest representation error for any value in
+    /// domain is below this.
+    pub fn resolution(&self) -> f64 {
+        1.0 / self.scale()
+    }
+}
+
+impl Default for FixedCodec {
+    fn default() -> Self {
+        FixedCodec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let c = FixedCodec::paper();
+        assert_eq!(c.scale(), 65536.0);
+        assert_eq!(c.domain(), (-32768.0, 32768.0));
+        // Resolution quoted in the paper: 2^-16 ≈ 1.526e-5.
+        assert!((c.resolution() - 1.526e-5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn exact_values_roundtrip() {
+        let c = FixedCodec::paper();
+        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1234.25, -32768.0, 32767.99993896484375] {
+            let enc = c.encode(v).unwrap();
+            assert_eq!(c.decode(enc), v, "roundtrip {v}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let c = FixedCodec::paper();
+        for v in [0.1, -0.1, 3.14159, -2.71828, 1e-5, 999.999] {
+            let err = (c.decode(c.encode(v).unwrap()) - v).abs();
+            assert!(err < c.resolution(), "error {err} for {v}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_offset() {
+        let c = FixedCodec::paper();
+        assert_eq!(c.encode(0.0).unwrap(), 1 << 31);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let c = FixedCodec::paper();
+        for v in [32768.0, -32769.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300] {
+            assert!(c.encode(v).is_err(), "{v} must be rejected");
+            assert!(c.to_scaled_i64(v).is_err(), "{v} must be rejected (scaled)");
+        }
+    }
+
+    #[test]
+    fn scaled_sums_decode_correctly() {
+        let c = FixedCodec::paper();
+        // Sum 100 copies of 0.5 in the scaled domain: exceeds nothing, but
+        // sums of larger values would exceed the single-value domain and
+        // still decode correctly from i64.
+        let parts: i64 = (0..100).map(|_| c.to_scaled_i64(655.25).unwrap()).sum();
+        assert!((c.from_scaled_i64(parts) - 65525.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_precision() {
+        let c = FixedCodec::with_precision(8, 20);
+        assert_eq!(c.domain(), (-4096.0, 4096.0));
+        let enc = c.encode(-3.5).unwrap();
+        assert_eq!(c.decode(enc), -3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset must exceed")]
+    fn invalid_precision_panics() {
+        let _ = FixedCodec::with_precision(20, 20);
+    }
+}

@@ -1,0 +1,56 @@
+//! The Paillier additively homomorphic cryptosystem, as used by the private
+//! consensus protocol for blind vote aggregation.
+//!
+//! Paillier encryption operates on plaintexts in `Z_n` and exposes two
+//! homomorphic identities (Eqn. 1–2 of the paper):
+//!
+//! * `E[m1] * E[m2] = E[m1 + m2]` — ciphertext product adds plaintexts;
+//! * `E[m]^a = E[a * m]` — ciphertext power scales the plaintext.
+//!
+//! The paper's prototype uses a 64-bit modulus; key size is configurable via
+//! [`Keypair::generate`]. On top of the raw scheme this crate layers:
+//!
+//! * [`SignedCodec`] — two's-complement-style encoding of signed integers
+//!   into `Z_n`, needed because protocol shares are signed;
+//! * [`FixedCodec`] — the paper's Eqn. 8 fixed-point float encoding
+//!   (`R^I = R * 2^16 + 2^31`) used for softmax votes and noise shares.
+//!
+//! # Examples
+//!
+//! ```
+//! use paillier::Keypair;
+//!
+//! let mut rng = rand::thread_rng();
+//! let keypair = Keypair::generate(&mut rng, 64);
+//! let (pk, sk) = keypair.split();
+//!
+//! let c1 = pk.encrypt_u64(20, &mut rng);
+//! let c2 = pk.encrypt_u64(22, &mut rng);
+//! let sum = pk.add(&c1, &c2);
+//! assert_eq!(sk.decrypt_u64(&sum), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ciphertext;
+mod error;
+mod fixed;
+mod keys;
+mod pool;
+mod signed;
+
+pub use ciphertext::Ciphertext;
+pub use error::PaillierError;
+pub use fixed::{FixedCodec, FIXED_FRACTION_BITS, FIXED_OFFSET_BITS};
+pub use keys::{Keypair, PrivateKey, PublicKey};
+pub use pool::RandomizerPool;
+pub use signed::SignedCodec;
+
+/// Default modulus size in bits, matching the paper's prototype ("The
+/// Paillier crypto primitive has a key size of 64 bit", §VI-A).
+///
+/// This is a *reproduction* default — far below cryptographic strength.
+/// Production deployments should use 2048-bit or larger moduli, which this
+/// implementation supports.
+pub const DEFAULT_KEY_BITS: u64 = 64;

@@ -1,0 +1,264 @@
+//! Precomputed randomizer pool — the paper's parallel-encryption fix.
+//!
+//! §VI-A: "almost all encryptions require random number generation which
+//! relies on a common generator, but the generator is not sufficiently
+//! fast … we made a tweak by generating a table of random numbers
+//! beforehand". Paillier encryption spends nearly all its time computing
+//! `r^n mod n²`; this pool precomputes those powers once (optionally in
+//! parallel) so the hot path is a single modular multiplication, and
+//! encryption can fan out across threads without contending on an RNG.
+//!
+//! Unlike the paper's prototype (which indexed the table "with the
+//! current time", risking reuse), the pool hands out each randomizer
+//! **exactly once** — reusing `r^n` across two ciphertexts would let an
+//! observer link them and cancel the blinding. When the pool runs dry,
+//! [`RandomizerPool::encrypt`] returns an error instead of degrading.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bigint::modular::{modmul, modpow};
+use bigint::{random, Ubig};
+use rand::Rng;
+
+use crate::ciphertext::Ciphertext;
+use crate::error::PaillierError;
+use crate::keys::PublicKey;
+
+/// A single-use pool of precomputed Paillier randomizers `r^n mod n²`.
+///
+/// # Examples
+///
+/// ```
+/// use paillier::{Keypair, RandomizerPool};
+/// use bigint::Ubig;
+///
+/// let mut rng = rand::thread_rng();
+/// let kp = Keypair::generate(&mut rng, 64);
+/// let pool = RandomizerPool::generate(kp.public_key().clone(), 16, &mut rng);
+/// let c = pool.encrypt(&Ubig::from(7u64))?;
+/// assert_eq!(kp.private_key().decrypt_u64(&c), 7);
+/// # Ok::<(), paillier::PaillierError>(())
+/// ```
+#[derive(Debug)]
+pub struct RandomizerPool {
+    pk: PublicKey,
+    randomizers: Vec<Ubig>,
+    next: AtomicUsize,
+}
+
+impl RandomizerPool {
+    /// Precomputes `size` randomizers sequentially.
+    pub fn generate<R: Rng + ?Sized>(pk: PublicKey, size: usize, rng: &mut R) -> Self {
+        let randomizers = (0..size).map(|_| Self::one_randomizer(&pk, rng)).collect();
+        RandomizerPool { pk, randomizers, next: AtomicUsize::new(0) }
+    }
+
+    /// Precomputes `size` randomizers across `threads` worker threads.
+    /// Each worker derives its own RNG stream from `rng`, so workers never
+    /// contend on a shared generator — the paper's bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn generate_parallel<R: Rng + ?Sized>(
+        pk: PublicKey,
+        size: usize,
+        threads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.gen()).collect();
+        let per_worker = size.div_ceil(threads);
+        let mut randomizers = Vec::with_capacity(size);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(w, &seed)| {
+                    let pk = &pk;
+                    let count = per_worker.min(size.saturating_sub(w * per_worker));
+                    scope.spawn(move || {
+                        let mut worker_rng = StdRng::seed_from_u64(seed);
+                        (0..count)
+                            .map(|_| Self::one_randomizer(pk, &mut worker_rng))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                randomizers.extend(handle.join().expect("worker panicked"));
+            }
+        });
+        RandomizerPool { pk, randomizers, next: AtomicUsize::new(0) }
+    }
+
+    fn one_randomizer<R: Rng + ?Sized>(pk: &PublicKey, rng: &mut R) -> Ubig {
+        let r = random::gen_coprime(rng, pk.modulus());
+        modpow(&r, pk.modulus(), pk.modulus_squared())
+    }
+
+    /// The public key the pool was built for.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// Randomizers not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.randomizers.len().saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+
+    /// Encrypts `m` using the next unused randomizer. Thread-safe: each
+    /// randomizer is claimed by exactly one caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::MessageOutOfRange`] if `m >= n`, or
+    /// [`PaillierError::PoolExhausted`] once all randomizers are used.
+    pub fn encrypt(&self, m: &Ubig) -> Result<Ciphertext, PaillierError> {
+        if m >= self.pk.modulus() {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        let r_n = self.randomizers.get(idx).ok_or(PaillierError::PoolExhausted)?;
+        let n2 = self.pk.modulus_squared();
+        let g_m = &(Ubig::one() + modmul(m, self.pk.modulus(), n2)) % n2;
+        Ok(Ciphertext::from_raw(modmul(&g_m, r_n, n2)))
+    }
+
+    /// Encrypts a batch across `threads` worker threads, preserving input
+    /// order — the paper's "split instances into batches and run
+    /// encryptions in parallel".
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool has fewer than `values.len()` randomizers left,
+    /// or if any value is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn encrypt_batch(
+        &self,
+        values: &[Ubig],
+        threads: usize,
+    ) -> Result<Vec<Ciphertext>, PaillierError> {
+        assert!(threads > 0, "need at least one worker");
+        if self.remaining() < values.len() {
+            return Err(PaillierError::PoolExhausted);
+        }
+        let chunk = values.len().div_ceil(threads).max(1);
+        let mut out: Vec<Option<Ciphertext>> = vec![None; values.len()];
+        let mut error = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .chunks(chunk)
+                .map(|vals| scope.spawn(move || vals.iter().map(|v| self.encrypt(v)).collect::<Vec<_>>()))
+                .collect();
+            let mut pos = 0;
+            for handle in handles {
+                for result in handle.join().expect("worker panicked") {
+                    match result {
+                        Ok(ct) => out[pos] = Some(ct),
+                        Err(e) => error = Some(e),
+                    }
+                    pos += 1;
+                }
+            }
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(out.into_iter().map(|c| c.expect("filled above")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    fn keypair() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(&mut StdRng::seed_from_u64(500), 64))
+    }
+
+    #[test]
+    fn pooled_encryption_decrypts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 8, &mut rng);
+        for m in [0u64, 1, 42, 65535] {
+            let c = pool.encrypt(&Ubig::from(m)).unwrap();
+            assert_eq!(keypair().private_key().decrypt_u64(&c), m);
+        }
+        assert_eq!(pool.remaining(), 4);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng);
+        pool.encrypt(&Ubig::one()).unwrap();
+        pool.encrypt(&Ubig::one()).unwrap();
+        assert_eq!(pool.encrypt(&Ubig::one()), Err(PaillierError::PoolExhausted));
+    }
+
+    #[test]
+    fn randomizers_are_single_use() {
+        // Two encryptions of the same message must differ (fresh r each).
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng);
+        let c1 = pool.encrypt(&Ubig::from(5u64)).unwrap();
+        let c2 = pool.encrypt(&Ubig::from(5u64)).unwrap();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn parallel_generation_matches_capacity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pool =
+            RandomizerPool::generate_parallel(keypair().public_key().clone(), 10, 3, &mut rng);
+        assert_eq!(pool.remaining(), 10);
+        let c = pool.encrypt(&Ubig::from(9u64)).unwrap();
+        assert_eq!(keypair().private_key().decrypt_u64(&c), 9);
+    }
+
+    #[test]
+    fn batch_encryption_preserves_order() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 20, &mut rng);
+        let values: Vec<Ubig> = (0..17u64).map(Ubig::from).collect();
+        let cts = pool.encrypt_batch(&values, 4).unwrap();
+        for (i, ct) in cts.iter().enumerate() {
+            assert_eq!(keypair().private_key().decrypt_u64(ct), i as u64);
+        }
+    }
+
+    #[test]
+    fn batch_larger_than_pool_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 3, &mut rng);
+        let values: Vec<Ubig> = (0..5u64).map(Ubig::from).collect();
+        assert_eq!(pool.encrypt_batch(&values, 2), Err(PaillierError::PoolExhausted));
+    }
+
+    #[test]
+    fn concurrent_claims_never_collide() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 64, &mut rng);
+        let cts: Vec<Ciphertext> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| (0..8).map(|_| pool.encrypt(&Ubig::from(1u64)).unwrap()).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        // All 64 ciphertexts must be pairwise distinct randomizers.
+        let unique: std::collections::HashSet<_> = cts.iter().map(|c| c.as_raw().clone()).collect();
+        assert_eq!(unique.len(), 64);
+        assert_eq!(pool.remaining(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Signed-integer message encoding.
+//!
+//! Protocol shares (`a^u`, `b^u` and the threshold offsets of Eqn. 6) are
+//! signed, but Paillier plaintexts live in `Z_n`. [`SignedCodec`] maps a
+//! signed window `(-n/2, n/2)` onto `Z_n` two's-complement style: negative
+//! values wrap to the top half of the ring, and homomorphic addition of
+//! encodings matches integer addition as long as results stay inside the
+//! window.
+
+use bigint::{Ibig, Sign, Ubig};
+
+use crate::error::PaillierError;
+use crate::keys::PublicKey;
+
+/// Encoder/decoder between signed integers and `Z_n` residues under a
+/// specific public key's modulus.
+///
+/// # Examples
+///
+/// ```
+/// use paillier::{Keypair, SignedCodec};
+///
+/// let mut rng = rand::thread_rng();
+/// let kp = Keypair::generate(&mut rng, 64);
+/// let codec = SignedCodec::new(kp.public_key());
+///
+/// let c1 = kp.public_key().encrypt(&codec.encode_i64(-30).unwrap(), &mut rng).unwrap();
+/// let c2 = kp.public_key().encrypt(&codec.encode_i64(72).unwrap(), &mut rng).unwrap();
+/// let sum = kp.public_key().add(&c1, &c2);
+/// let m = kp.private_key().decrypt(&sum).unwrap();
+/// assert_eq!(codec.decode_i64(&m).unwrap(), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignedCodec {
+    n: Ubig,
+    half_n: Ubig,
+}
+
+impl SignedCodec {
+    /// Builds a codec for the given public key's modulus.
+    pub fn new(pk: &PublicKey) -> Self {
+        let n = pk.modulus().clone();
+        let half_n = &n >> 1;
+        SignedCodec { n, half_n }
+    }
+
+    /// Builds a codec directly from a modulus (used by protocol code that
+    /// manipulates residues without holding a key).
+    pub fn from_modulus(n: Ubig) -> Self {
+        let half_n = &n >> 1;
+        SignedCodec { n, half_n }
+    }
+
+    /// The modulus the codec encodes into.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Encodes a signed big integer into `Z_n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::SignedOverflow`] if `|v| >= n/2`.
+    pub fn encode(&self, v: &Ibig) -> Result<Ubig, PaillierError> {
+        if v.magnitude() >= &self.half_n {
+            return Err(PaillierError::SignedOverflow);
+        }
+        Ok(v.rem_euclid(&self.n))
+    }
+
+    /// Encodes an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::SignedOverflow`] if `|v| >= n/2`.
+    pub fn encode_i64(&self, v: i64) -> Result<Ubig, PaillierError> {
+        self.encode(&Ibig::from(v))
+    }
+
+    /// Encodes an `i128`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::SignedOverflow`] if `|v| >= n/2`.
+    pub fn encode_i128(&self, v: i128) -> Result<Ubig, PaillierError> {
+        self.encode(&Ibig::from(v))
+    }
+
+    /// Decodes a residue back to a signed big integer: values `< n/2` are
+    /// positive, values `>= n/2` decode as `r − n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::MessageOutOfRange`] if `r >= n`.
+    pub fn decode(&self, r: &Ubig) -> Result<Ibig, PaillierError> {
+        if r >= &self.n {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        if r < &self.half_n {
+            Ok(Ibig::from(r.clone()))
+        } else {
+            let mag = &self.n - r;
+            Ok(Ibig::from_sign_magnitude(Sign::Minus, mag))
+        }
+    }
+
+    /// Decodes to `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the residue is out of range or the decoded value
+    /// exceeds `i64`.
+    pub fn decode_i64(&self, r: &Ubig) -> Result<i64, PaillierError> {
+        let v = self.decode(r)?;
+        v.to_i128()
+            .and_then(|x| i64::try_from(x).ok())
+            .ok_or(PaillierError::SignedOverflow)
+    }
+
+    /// Decodes to `i128`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the residue is out of range or the decoded value
+    /// exceeds `i128`.
+    pub fn decode_i128(&self, r: &Ubig) -> Result<i128, PaillierError> {
+        self.decode(r)?.to_i128().ok_or(PaillierError::SignedOverflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn codec() -> SignedCodec {
+        let kp = Keypair::generate(&mut StdRng::seed_from_u64(1), 64);
+        SignedCodec::new(kp.public_key())
+    }
+
+    #[test]
+    fn roundtrip_signed_values() {
+        let c = codec();
+        for v in [-1_000_000i64, -1, 0, 1, 42, 1_000_000, i32::MAX as i64] {
+            let enc = c.encode_i64(v).unwrap();
+            assert_eq!(c.decode_i64(&enc).unwrap(), v, "roundtrip {v}");
+        }
+    }
+
+    #[test]
+    fn addition_in_ring_matches_integers() {
+        let c = codec();
+        let pairs = [(-100i64, 250i64), (300, -300), (-5, -7), (1 << 20, 1 << 21)];
+        for (x, y) in pairs {
+            let ex = c.encode_i64(x).unwrap();
+            let ey = c.encode_i64(y).unwrap();
+            let sum = bigint::modular::modadd(&ex, &ey, c.modulus());
+            assert_eq!(c.decode_i64(&sum).unwrap(), x + y, "({x})+({y})");
+        }
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let c = codec();
+        let too_big = Ibig::from(c.modulus().clone()); // n itself
+        assert_eq!(c.encode(&too_big), Err(PaillierError::SignedOverflow));
+        let exactly_half = Ibig::from(&*c.modulus() >> 1);
+        assert_eq!(c.encode(&exactly_half), Err(PaillierError::SignedOverflow));
+    }
+
+    #[test]
+    fn decode_rejects_unreduced() {
+        let c = codec();
+        assert_eq!(c.decode(c.modulus()), Err(PaillierError::MessageOutOfRange));
+    }
+
+    #[test]
+    fn from_modulus_matches_key_codec() {
+        let kp = Keypair::generate(&mut StdRng::seed_from_u64(2), 64);
+        let c1 = SignedCodec::new(kp.public_key());
+        let c2 = SignedCodec::from_modulus(kp.public_key().modulus().clone());
+        let enc1 = c1.encode_i64(-999).unwrap();
+        let enc2 = c2.encode_i64(-999).unwrap();
+        assert_eq!(enc1, enc2);
+    }
+
+    #[test]
+    fn i128_window() {
+        let kp = Keypair::generate(&mut StdRng::seed_from_u64(3), 128);
+        let c = SignedCodec::new(kp.public_key());
+        let v = -(1i128 << 100);
+        let enc = c.encode_i128(v).unwrap();
+        assert_eq!(c.decode_i128(&enc).unwrap(), v);
+    }
+}

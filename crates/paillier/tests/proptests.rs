@@ -1,0 +1,93 @@
+//! Property-based tests for the Paillier scheme: homomorphic identities,
+//! signed-codec ring arithmetic and fixed-point quantization bounds.
+
+use bigint::Ubig;
+use paillier::{FixedCodec, Keypair, SignedCodec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One shared keypair for the whole suite: keygen is the expensive part and
+/// the properties quantify over messages, not keys.
+fn keypair() -> &'static Keypair {
+    use std::sync::OnceLock;
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(&mut StdRng::seed_from_u64(99), 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encrypt_decrypt_roundtrip(m in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public_key().encrypt(&Ubig::from(m as u64), &mut rng).unwrap();
+        prop_assert_eq!(kp.private_key().decrypt_u64(&c), m as u64);
+    }
+
+    #[test]
+    fn homomorphic_add_matches_plain(m1 in any::<u32>(), m2 in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = kp.public_key();
+        let c = pk.add(&pk.encrypt_u64(m1 as u64, &mut rng), &pk.encrypt_u64(m2 as u64, &mut rng));
+        prop_assert_eq!(kp.private_key().decrypt_u64(&c), m1 as u64 + m2 as u64);
+    }
+
+    #[test]
+    fn homomorphic_scalar_mul(m in any::<u16>(), a in any::<u16>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = kp.public_key();
+        let c = pk.mul_plain(&pk.encrypt_u64(m as u64, &mut rng), &Ubig::from(a as u64));
+        prop_assert_eq!(kp.private_key().decrypt_u64(&c), m as u64 * a as u64);
+    }
+
+    #[test]
+    fn signed_codec_add_roundtrip(x in -(1i64 << 40)..(1i64 << 40), y in -(1i64 << 40)..(1i64 << 40)) {
+        let codec = SignedCodec::new(keypair().public_key());
+        let ex = codec.encode_i64(x).unwrap();
+        let ey = codec.encode_i64(y).unwrap();
+        let sum = bigint::modular::modadd(&ex, &ey, codec.modulus());
+        prop_assert_eq!(codec.decode_i64(&sum).unwrap(), x + y);
+    }
+
+    #[test]
+    fn signed_homomorphic_subtraction(x in -(1i64 << 30)..(1i64 << 30), y in -(1i64 << 30)..(1i64 << 30), seed in any::<u64>()) {
+        let kp = keypair();
+        let codec = SignedCodec::new(kp.public_key());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = kp.public_key();
+        let cx = pk.encrypt(&codec.encode_i64(x).unwrap(), &mut rng).unwrap();
+        let cy = pk.encrypt(&codec.encode_i64(y).unwrap(), &mut rng).unwrap();
+        let diff = kp.private_key().decrypt(&pk.sub(&cx, &cy)).unwrap();
+        prop_assert_eq!(codec.decode_i64(&diff).unwrap(), x - y);
+    }
+
+    #[test]
+    fn fixed_codec_roundtrip_bounded_error(v in -32768.0f64..32768.0) {
+        let c = FixedCodec::paper();
+        let enc = c.encode(v).unwrap();
+        let err = (c.decode(enc) - v).abs();
+        prop_assert!(err < c.resolution());
+    }
+
+    #[test]
+    fn fixed_scaled_sums_linear(vs in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+        let c = FixedCodec::paper();
+        let total_scaled: i64 = vs.iter().map(|&v| c.to_scaled_i64(v).unwrap()).sum();
+        let expect: f64 = vs.iter().map(|&v| (v * 65536.0).floor() / 65536.0).sum();
+        prop_assert!((c.from_scaled_i64(total_scaled) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerandomization_never_alters_plaintext(m in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pk = kp.public_key();
+        let c = pk.encrypt_u64(m as u64, &mut rng);
+        let c2 = pk.rerandomize(&c, &mut rng);
+        prop_assert_eq!(kp.private_key().decrypt_u64(&c2), m as u64);
+    }
+}

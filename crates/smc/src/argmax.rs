@@ -1,0 +1,271 @@
+//! Secure ranking in the permuted domain — steps 4 and 8 of Alg. 5.
+//!
+//! After Blind-and-Permute, S1 holds `ã = π(a + r)` and S2 holds
+//! `b̃ = π(b + r)`. By Eqn. 7, `c_i ≥ c_j ⟺ (ã_i − ã_j) ≥ (b̃_j − b̃_i)`
+//! (the common scalar bias cancels), so the servers can rank the hidden
+//! vote totals with DGK comparisons alone, learning nothing but the
+//! permuted winner slot.
+//!
+//! Two strategies are provided:
+//!
+//! * [`server1_argmax_pairwise`] — the paper's all-pairs comparison
+//!   (`K(K−1)/2` DGK runs, as in Table I/II);
+//! * [`server1_argmax_tournament`] — a linear-scan variant using `K−1`
+//!   comparisons, benched as an ablation.
+//!
+//! Both servers derive the same winner slot deterministically from the
+//! same comparison bits. Ties break toward the *lower permuted slot*,
+//! which — the permutation being uniform — is an unbiased tie-break over
+//! the original labels.
+
+use rand::Rng;
+use transport::{Endpoint, Step};
+
+use crate::compare::{server1_compare_geq, server2_compare_geq};
+use crate::error::SmcError;
+use crate::session::ServerContext;
+
+/// Shared tally logic: given the outcome of each ordered pair comparison
+/// `(i, j), i < j` (true means `c_i ≥ c_j`), pick the winner slot.
+fn winner_from_pairwise(k: usize, outcomes: &[bool]) -> usize {
+    let mut wins = vec![0usize; k];
+    let mut idx = 0;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if outcomes[idx] {
+                wins[i] += 1;
+            } else {
+                wins[j] += 1;
+            }
+            idx += 1;
+        }
+    }
+    let best = *wins.iter().max().expect("k >= 1");
+    wins.iter().position(|&w| w == best).expect("max exists")
+}
+
+/// S1's side of the all-pairs argmax over its permuted sequence.
+/// Returns the winning *permuted* slot.
+///
+/// # Errors
+///
+/// Fails on comparison or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server1_argmax_pairwise<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = sequence.len();
+    assert!(k >= 1, "argmax needs at least one element");
+    let mut outcomes = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let x = sequence[i] - sequence[j];
+            outcomes.push(server1_compare_geq(endpoint, ctx, x, step, rng)?);
+        }
+    }
+    Ok(winner_from_pairwise(k, &outcomes))
+}
+
+/// S2's side of the all-pairs argmax. Returns the winning permuted slot
+/// (always equal to S1's).
+///
+/// # Errors
+///
+/// Fails on comparison or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server2_argmax_pairwise<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = sequence.len();
+    assert!(k >= 1, "argmax needs at least one element");
+    let mut outcomes = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let y = sequence[j] - sequence[i];
+            outcomes.push(server2_compare_geq(endpoint, ctx, y, step, rng)?);
+        }
+    }
+    Ok(winner_from_pairwise(k, &outcomes))
+}
+
+/// S1's side of the linear-scan (tournament) argmax: keeps a running
+/// champion, `K−1` comparisons. Ablation variant.
+///
+/// # Errors
+///
+/// Fails on comparison or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server1_argmax_tournament<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    assert!(!sequence.is_empty(), "argmax needs at least one element");
+    let mut champion = 0usize;
+    for challenger in 1..sequence.len() {
+        let x = sequence[champion] - sequence[challenger];
+        let keep = server1_compare_geq(endpoint, ctx, x, step, rng)?;
+        if !keep {
+            champion = challenger;
+        }
+    }
+    Ok(champion)
+}
+
+/// S2's side of the tournament argmax.
+///
+/// # Errors
+///
+/// Fails on comparison or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server2_argmax_tournament<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    assert!(!sequence.is_empty(), "argmax needs at least one element");
+    let mut champion = 0usize;
+    for challenger in 1..sequence.len() {
+        let y = sequence[challenger] - sequence[champion];
+        let keep = server2_compare_geq(endpoint, ctx, y, step, rng)?;
+        if !keep {
+            champion = challenger;
+        }
+    }
+    Ok(champion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use transport::{Network, PartyId};
+
+    fn keys() -> &'static SessionKeys {
+        static KEYS: OnceLock<SessionKeys> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            SessionKeys::generate(SessionConfig::test(1, 4), &mut StdRng::seed_from_u64(41))
+        })
+    }
+
+    /// Runs both sides over channels; xs/ys are the servers' sequences.
+    fn run(xs: Vec<i128>, ys: Vec<i128>, seed: u64, pairwise: bool) -> (usize, usize) {
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        std::thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if pairwise {
+                    server1_argmax_pairwise(&mut s1, &s1_ctx, &xs, Step::CompareRank, &mut rng)
+                        .unwrap()
+                } else {
+                    server1_argmax_tournament(&mut s1, &s1_ctx, &xs, Step::CompareRank, &mut rng)
+                        .unwrap()
+                }
+            });
+            let h2 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                if pairwise {
+                    server2_argmax_pairwise(&mut s2, &s2_ctx, &ys, Step::CompareRank, &mut rng)
+                        .unwrap()
+                } else {
+                    server2_argmax_tournament(&mut s2, &s2_ctx, &ys, Step::CompareRank, &mut rng)
+                        .unwrap()
+                }
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+    }
+
+    fn plain_argmax(totals: &[i128]) -> usize {
+        let mut best = 0;
+        for (i, &v) in totals.iter().enumerate() {
+            if v > totals[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn pairwise_finds_the_hidden_maximum() {
+        // Shares with a common bias, mimicking blind-and-permute output.
+        let cases = [
+            (vec![100i128, -5, 30, 2], vec![1i128, 2, 3, 4]),
+            (vec![0i128, 0, 0, 1], vec![0i128, 0, 0, 0]),
+            (vec![-50i128, -40, -60, -45], vec![10i128, -10, 25, 3]),
+        ];
+        for (seed, (xs, ys)) in cases.into_iter().enumerate() {
+            let totals: Vec<i128> = xs.iter().zip(&ys).map(|(x, y)| x + y).collect();
+            let expect = plain_argmax(&totals);
+            let (w1, w2) = run(xs, ys, 500 + seed as u64, true);
+            assert_eq!(w1, w2, "servers must agree");
+            assert_eq!(w1, expect, "case {seed}");
+        }
+    }
+
+    #[test]
+    fn tournament_matches_pairwise_on_distinct_values() {
+        let xs = vec![7i128, -3, 12, 0];
+        let ys = vec![1i128, 30, -6, 2];
+        let (p1, p2) = run(xs.clone(), ys.clone(), 600, true);
+        let (t1, t2) = run(xs, ys, 601, false);
+        assert_eq!(p1, p2);
+        assert_eq!(t1, t2);
+        assert_eq!(p1, t1);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_slot() {
+        // totals = [5, 5, 1, 5]: pairwise wins → slot 0.
+        let xs = vec![5i128, 5, 1, 5];
+        let ys = vec![0i128, 0, 0, 0];
+        let (w1, w2) = run(xs, ys, 602, true);
+        assert_eq!((w1, w2), (0, 0));
+    }
+
+    #[test]
+    fn winner_from_pairwise_logic() {
+        // k=3, totals ranks: c1 > c0 > c2.
+        // pairs: (0,1)=false, (0,2)=true, (1,2)=true.
+        assert_eq!(winner_from_pairwise(3, &[false, true, true]), 1);
+        // Single element: no comparisons.
+        assert_eq!(winner_from_pairwise(1, &[]), 0);
+    }
+
+    #[test]
+    fn singleton_sequence() {
+        let (w1, w2) = run(vec![42], vec![-1], 603, true);
+        assert_eq!((w1, w2), (0, 0));
+    }
+}

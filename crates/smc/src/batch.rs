@@ -1,0 +1,251 @@
+//! Batched secure ranking — a round-complexity optimization.
+//!
+//! The paper's step 4/8 runs `K(K−1)/2` DGK comparisons *sequentially*,
+//! each a 3-message dialogue: `O(K²)` network rounds. Over a WAN (see
+//! [`transport::latency`]) latency dominates, so this module batches all
+//! pairwise comparisons of one ranking into exactly **three** messages:
+//!
+//! 1. S1 bit-encrypts all `K(K−1)/2` left-hand differences and ships
+//!    them in one message;
+//! 2. S2 blinds all witnesses against its right-hand differences and
+//!    ships them back in one message;
+//! 3. S1 zero-tests everything and broadcasts the outcome bit-vector.
+//!
+//! Computation and traffic volume are unchanged (same DGK work, same
+//! bytes); only the round count drops. The outcome is bit-identical to
+//! the sequential [`crate::argmax`] (asserted by tests), making this the
+//! "batched vs sequential" ablation DESIGN.md §5 calls for.
+
+use dgk::comparison::{
+    blinder_build_witnesses, evaluator_decide, evaluator_encrypt_bits, BlindedWitnesses,
+    EvaluatorBits,
+};
+use rand::Rng;
+use transport::{Endpoint, PartyId, Step};
+
+use crate::error::SmcError;
+use crate::session::ServerContext;
+
+/// The ordered index pairs `(i, j), i < j` of a `K`-element ranking.
+fn pairs(k: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Shared tally: winner slot from the pairwise outcome bits (same logic
+/// as the sequential argmax, kept in lockstep by tests).
+fn winner_from_outcomes(k: usize, outcomes: &[bool]) -> usize {
+    let mut wins = vec![0usize; k];
+    for ((i, j), &geq) in pairs(k).into_iter().zip(outcomes) {
+        if geq {
+            wins[i] += 1;
+        } else {
+            wins[j] += 1;
+        }
+    }
+    let best = *wins.iter().max().expect("k >= 1");
+    wins.iter().position(|&w| w == best).expect("max exists")
+}
+
+/// S1's side of the batched all-pairs argmax. Returns the winning
+/// permuted slot.
+///
+/// # Errors
+///
+/// Fails on domain, cryptosystem or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server1_argmax_batched<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = sequence.len();
+    assert!(k >= 1, "argmax needs at least one element");
+    let keys = ctx.dgk_keys();
+    let domain = ctx.domain();
+
+    // Round 1: bit-encrypt every left-hand difference in one message.
+    let round1: Vec<EvaluatorBits> = pairs(k)
+        .into_iter()
+        .map(|(i, j)| {
+            let encoded = domain.encode_compare(sequence[i] - sequence[j])?;
+            Ok(evaluator_encrypt_bits(encoded, keys.public_key(), rng)?)
+        })
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server2, step, &round1)?;
+
+    // Round 2: all blinded witness sets come back together.
+    let round2: Vec<BlindedWitnesses> = endpoint.recv(PartyId::Server2, step)?;
+    if round2.len() != round1.len() {
+        return Err(SmcError::LengthMismatch { expected: round1.len(), got: round2.len() });
+    }
+
+    // Round 3: zero-test everything, broadcast the outcome bits.
+    // The DGK primitive decides (right > left); c_i ≥ c_j is the negation.
+    let outcomes: Vec<bool> = round2
+        .iter()
+        .map(|w| Ok(!evaluator_decide(w, keys.private_key())?))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server2, step, &outcomes)?;
+
+    Ok(winner_from_outcomes(k, &outcomes))
+}
+
+/// S2's side of the batched all-pairs argmax.
+///
+/// # Errors
+///
+/// Fails on domain, cryptosystem or transport errors.
+///
+/// # Panics
+///
+/// Panics if `sequence` is empty.
+pub fn server2_argmax_batched<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    sequence: &[i128],
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = sequence.len();
+    assert!(k >= 1, "argmax needs at least one element");
+    let pk = ctx.dgk_public();
+    let domain = ctx.domain();
+
+    let round1: Vec<EvaluatorBits> = endpoint.recv(PartyId::Server1, step)?;
+    let expected = k * (k - 1) / 2;
+    if round1.len() != expected {
+        return Err(SmcError::LengthMismatch { expected, got: round1.len() });
+    }
+
+    let round2: Vec<BlindedWitnesses> = pairs(k)
+        .into_iter()
+        .zip(&round1)
+        .map(|((i, j), bits)| {
+            let encoded = domain.encode_compare(sequence[j] - sequence[i])?;
+            Ok(blinder_build_witnesses(encoded, bits, pk, rng)?)
+        })
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server1, step, &round2)?;
+
+    let outcomes: Vec<bool> = endpoint.recv(PartyId::Server1, step)?;
+    if outcomes.len() != expected {
+        return Err(SmcError::LengthMismatch { expected, got: outcomes.len() });
+    }
+    Ok(winner_from_outcomes(k, &outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use transport::{LinkKind, Network};
+
+    fn keys() -> &'static SessionKeys {
+        static KEYS: OnceLock<SessionKeys> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            SessionKeys::generate(SessionConfig::test(1, 4), &mut StdRng::seed_from_u64(61))
+        })
+    }
+
+    fn run_batched(xs: Vec<i128>, ys: Vec<i128>, seed: u64) -> (usize, usize, u64) {
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(transport::PartyId::Server1);
+        let mut s2 = net.take_endpoint(transport::PartyId::Server2);
+        let meter = std::sync::Arc::clone(net.meter());
+        let (w1, w2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                server1_argmax_batched(&mut s1, &s1_ctx, &xs, Step::CompareRank, &mut rng).unwrap()
+            });
+            let h2 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                server2_argmax_batched(&mut s2, &s2_ctx, &ys, Step::CompareRank, &mut rng).unwrap()
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        let messages = meter
+            .report()
+            .link_stats(Step::CompareRank, LinkKind::ServerToServer)
+            .messages;
+        (w1, w2, messages)
+    }
+
+    fn plain_argmax(totals: &[i128]) -> usize {
+        let mut best = 0;
+        for (i, &v) in totals.iter().enumerate() {
+            if v > totals[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn batched_finds_the_hidden_maximum() {
+        let cases = [
+            (vec![100i128, -5, 30, 2], vec![1i128, 2, 3, 4]),
+            (vec![0i128, 0, 0, 1], vec![0i128, 0, 0, 0]),
+            (vec![-50i128, -40, -60, -45], vec![10i128, -10, 25, 3]),
+        ];
+        for (seed, (xs, ys)) in cases.into_iter().enumerate() {
+            let totals: Vec<i128> = xs.iter().zip(&ys).map(|(x, y)| x + y).collect();
+            let expect = plain_argmax(&totals);
+            let (w1, w2, _) = run_batched(xs, ys, 700 + seed as u64);
+            assert_eq!(w1, w2, "servers must agree");
+            assert_eq!(w1, expect, "case {seed}");
+        }
+    }
+
+    #[test]
+    fn exactly_three_messages() {
+        let (_, _, messages) = run_batched(vec![5, 1, 9, 3], vec![0, 0, 0, 0], 800);
+        assert_eq!(messages, 3, "batched ranking is a 3-message protocol");
+    }
+
+    #[test]
+    fn ties_break_identically_to_sequential() {
+        // Same tally logic as argmax::winner_from_pairwise: slot 0 wins
+        // the [5, 5, 1, 5] tie.
+        let (w1, w2, _) = run_batched(vec![5, 5, 1, 5], vec![0, 0, 0, 0], 801);
+        assert_eq!((w1, w2), (0, 0));
+    }
+
+    #[test]
+    fn singleton_needs_no_comparison() {
+        let s1_ctx = keys().server1();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(transport::PartyId::Server1);
+        let mut s2 = net.take_endpoint(transport::PartyId::Server2);
+        let s2_ctx = keys().server2();
+        std::thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1);
+                server1_argmax_batched(&mut s1, &s1_ctx, &[7], Step::CompareRank, &mut rng)
+                    .unwrap()
+            });
+            let h2 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(2);
+                server2_argmax_batched(&mut s2, &s2_ctx, &[7], Step::CompareRank, &mut rng)
+                    .unwrap()
+            });
+            assert_eq!(h1.join().unwrap(), 0);
+            assert_eq!(h2.join().unwrap(), 0);
+        });
+    }
+}

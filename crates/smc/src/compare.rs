@@ -1,0 +1,155 @@
+//! Secure comparison of server-held signed values over channels.
+//!
+//! Wraps the DGK protocol (see [`dgk::comparison`]) in the form Alg. 5
+//! needs: S1 privately holds `x`, S2 privately holds `y`, and both learn
+//! the single bit `x ≥ y`. Following Eqn. 6/7 this decides both the vote
+//! ranking (with `x = ã_i − ã_j`, `y = b̃_j − b̃_i`) and the threshold
+//! check (with `x`, `y` the two sides' threshold sequences at the winning
+//! slot).
+//!
+//! Signed inputs are shifted by the public domain offset before the
+//! bitwise protocol, which preserves order. S1 is always the DGK
+//! evaluator: it bit-encrypts `x`, S2 blinds with `y`, S1 zero-tests and
+//! shares the outcome — `x ≥ y ⟺ ¬(y > x)`.
+
+use dgk::comparison::{
+    blinder_build_witnesses, evaluator_decide, evaluator_encrypt_bits, BlindedWitnesses,
+    EvaluatorBits,
+};
+use rand::Rng;
+use transport::{Endpoint, PartyId, Step};
+
+use crate::error::SmcError;
+use crate::session::ServerContext;
+
+/// S1's side: compare own `x` against S2's hidden `y`; returns `x ≥ y`.
+///
+/// # Errors
+///
+/// Fails if `x` escapes the comparison domain or on transport errors.
+pub fn server1_compare_geq<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    x: i128,
+    step: Step,
+    rng: &mut R,
+) -> Result<bool, SmcError> {
+    let encoded = ctx.domain().encode_compare(x)?;
+    let keys = ctx.dgk_keys();
+    let round1 = evaluator_encrypt_bits(encoded, keys.public_key(), rng)?;
+    endpoint.send(PartyId::Server2, step, &round1)?;
+    let round2: BlindedWitnesses = endpoint.recv(PartyId::Server2, step)?;
+    let y_gt_x = evaluator_decide(&round2, keys.private_key())?;
+    let geq = !y_gt_x;
+    endpoint.send(PartyId::Server2, step, &geq)?;
+    Ok(geq)
+}
+
+/// S2's side: compare S1's hidden `x` against own `y`; returns `x ≥ y`.
+///
+/// # Errors
+///
+/// Fails if `y` escapes the comparison domain or on transport errors.
+pub fn server2_compare_geq<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    y: i128,
+    step: Step,
+    rng: &mut R,
+) -> Result<bool, SmcError> {
+    let encoded = ctx.domain().encode_compare(y)?;
+    let round1: EvaluatorBits = endpoint.recv(PartyId::Server1, step)?;
+    let round2 = blinder_build_witnesses(encoded, &round1, ctx.dgk_public(), rng)?;
+    endpoint.send(PartyId::Server1, step, &round2)?;
+    let geq: bool = endpoint.recv(PartyId::Server1, step)?;
+    Ok(geq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use transport::Network;
+
+    fn keys() -> &'static SessionKeys {
+        static KEYS: OnceLock<SessionKeys> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            SessionKeys::generate(SessionConfig::test(1, 2), &mut StdRng::seed_from_u64(31))
+        })
+    }
+
+    fn run_compare(x: i128, y: i128, seed: u64) -> (bool, bool) {
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        std::thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                server1_compare_geq(&mut s1, &s1_ctx, x, Step::CompareRank, &mut rng).unwrap()
+            });
+            let h2 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                server2_compare_geq(&mut s2, &s2_ctx, y, Step::CompareRank, &mut rng).unwrap()
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+    }
+
+    #[test]
+    fn both_servers_agree_on_outcome() {
+        for (x, y) in [(5i128, 3i128), (3, 5), (7, 7), (-10, 2), (2, -10), (-4, -4), (0, 0)] {
+            let (r1, r2) = run_compare(x, y, 100 + (x + 2 * y + 40) as u64);
+            assert_eq!(r1, r2, "servers disagree for ({x}, {y})");
+            assert_eq!(r1, x >= y, "wrong outcome for ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn near_domain_boundary() {
+        let offset = keys().config().domain.compare_offset();
+        let big = offset - 1;
+        assert_eq!(run_compare(big, -big, 7).0, true);
+        assert_eq!(run_compare(-big, big, 8).0, false);
+        assert_eq!(run_compare(big, big, 9).0, true);
+    }
+
+    #[test]
+    fn out_of_domain_rejected_locally() {
+        let s1_ctx = keys().server1();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let offset = s1_ctx.domain().compare_offset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err =
+            server1_compare_geq(&mut s1, &s1_ctx, offset, Step::CompareRank, &mut rng).unwrap_err();
+        assert!(matches!(err, SmcError::Domain(_)));
+    }
+
+    #[test]
+    fn comparison_traffic_is_metered() {
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        let meter = std::sync::Arc::clone(net.meter());
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(2);
+                server1_compare_geq(&mut s1, &s1_ctx, 9, Step::ThresholdCheck, &mut rng).unwrap()
+            });
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(3);
+                server2_compare_geq(&mut s2, &s2_ctx, 4, Step::ThresholdCheck, &mut rng).unwrap()
+            });
+        });
+        let report = meter.report();
+        // ℓ bit encryptions + ℓ witnesses + 1 result bit — substantial traffic.
+        assert!(report.step_bytes(Step::ThresholdCheck) > 100);
+    }
+}

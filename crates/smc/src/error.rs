@@ -1,0 +1,96 @@
+//! Unified error type for SMC protocol runs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::domain::SharesOutOfRange;
+
+/// Errors surfaced while executing a secure sub-protocol.
+#[derive(Debug)]
+pub enum SmcError {
+    /// The transport layer failed (disconnect, timeout, codec).
+    Transport(transport::TransportError),
+    /// A Paillier operation failed.
+    Paillier(paillier::PaillierError),
+    /// A DGK operation failed.
+    Dgk(dgk::DgkError),
+    /// A value escaped the configured share domain.
+    Domain(SharesOutOfRange),
+    /// The two parties' vector lengths disagree.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcError::Transport(e) => write!(f, "transport failure: {e}"),
+            SmcError::Paillier(e) => write!(f, "paillier failure: {e}"),
+            SmcError::Dgk(e) => write!(f, "dgk failure: {e}"),
+            SmcError::Domain(e) => write!(f, "domain violation: {e}"),
+            SmcError::LengthMismatch { expected, got } => {
+                write!(f, "vector length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SmcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmcError::Transport(e) => Some(e),
+            SmcError::Paillier(e) => Some(e),
+            SmcError::Dgk(e) => Some(e),
+            SmcError::Domain(e) => Some(e),
+            SmcError::LengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<transport::TransportError> for SmcError {
+    fn from(e: transport::TransportError) -> Self {
+        SmcError::Transport(e)
+    }
+}
+
+impl From<paillier::PaillierError> for SmcError {
+    fn from(e: paillier::PaillierError) -> Self {
+        SmcError::Paillier(e)
+    }
+}
+
+impl From<dgk::DgkError> for SmcError {
+    fn from(e: dgk::DgkError) -> Self {
+        SmcError::Dgk(e)
+    }
+}
+
+impl From<SharesOutOfRange> for SmcError {
+    fn from(e: SharesOutOfRange) -> Self {
+        SmcError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SmcError::LengthMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.source().is_none());
+        let t: SmcError = transport::TransportError::Timeout(transport::PartyId::Server1).into();
+        assert!(t.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SmcError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Secure multiparty sub-protocols of the private consensus scheme.
+//!
+//! Everything in this crate is a *two-server* (S1/S2) or *users + two
+//! servers* interactive protocol running over [`transport`] channels:
+//!
+//! * [`permutation`] — uniformly random permutations and their algebra;
+//! * [`domain`] — the signed share/mask/comparison bit-width bookkeeping
+//!   that keeps every value inside the cryptosystems' plaintext windows;
+//! * [`session`] — key material and per-party contexts (who holds which
+//!   Paillier key, who evaluates DGK);
+//! * [`secure_sum`] — step 2/6 of Alg. 5: users upload encrypted additive
+//!   shares, servers aggregate homomorphically;
+//! * [`blind_permute`] — Alg. 2, the Blind-and-Permute protocol;
+//! * [`compare`] — the DGK comparison of §III-B run over channels between
+//!   the servers, plus the shared-value comparison forms of Eqn. 6/7;
+//! * [`argmax`] — pairwise secure ranking (step 4/8) in the permuted
+//!   domain;
+//! * [`restoration`] — Alg. 3, recovering the true label index of a
+//!   permuted position.
+//!
+//! Each protocol has a deterministic plaintext *reference model* used by
+//! tests to pin the secure execution to its specification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod argmax;
+pub mod batch;
+pub mod blind_permute;
+pub mod compare;
+pub mod domain;
+mod error;
+pub mod permutation;
+pub mod restoration;
+pub mod secure_sum;
+pub mod session;
+
+pub use domain::{ShareDomain, SharesOutOfRange};
+pub use error::SmcError;
+pub use permutation::Permutation;
+pub use session::{ServerContext, ServerRole, SessionConfig, SessionKeys, UserContext};

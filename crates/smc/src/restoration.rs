@@ -1,0 +1,262 @@
+//! Restoration — Alg. 3 of the paper.
+//!
+//! After the noisy ranking, both servers know the *permuted* winner slot
+//! `π(ĩ*)` but neither knows the double permutation `π = π1∘π2`. The
+//! restoration protocol walks an encrypted indicator vector back through
+//! both servers' permutation inverses, each leg masked so the other side
+//! learns nothing it did not already know, until S2 holds the plain
+//! indicator `e_{ĩ*}` — the true label index — which it then shares with
+//! S1 (the protocol's public output).
+//!
+//! Message walk (masks `r1` from S1, `r2` from S2, both per-entry):
+//!
+//! 1. S2 encrypts `π(e)` under its own pk2, sends to S1;
+//! 2. S1 applies `π1⁻¹`, homomorphically adds `r1`, returns
+//!    `E_pk2[π2(e) + r1]`;
+//! 3. S2 decrypts and sends back the plaintext `π2(e) + r1`;
+//! 4. S1 strips `r1` and re-encrypts under its own pk1 → `E_pk1[π2(e)]`;
+//! 5. S2 applies `π2⁻¹` and adds `r2` → `E_pk1[e + r2]`;
+//! 6. S1 decrypts and returns the plaintext `e + r2`;
+//! 7. S2 strips `r2`, reads off the winner index, and announces it.
+
+use paillier::Ciphertext;
+use rand::Rng;
+use transport::{Endpoint, PartyId, Step};
+
+use crate::error::SmcError;
+use crate::permutation::Permutation;
+use crate::session::ServerContext;
+
+/// S1's side of restoration. `pi1` is the permutation S1 chose during
+/// Blind-and-Permute. Returns the true label index.
+///
+/// # Errors
+///
+/// Fails on transport, cryptosystem or domain errors.
+pub fn server1_restore<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    pi1: &Permutation,
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = ctx.config().num_classes;
+    let domain = ctx.domain();
+    let codec1 = ctx.own_codec();
+    let codec2 = ctx.peer_codec();
+    let pk2 = ctx.peer_public();
+
+    // Step 1 output from S2: E_pk2[π(e)].
+    let enc_pi_e: Vec<Ciphertext> = endpoint.recv(PartyId::Server2, step)?;
+    if enc_pi_e.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: enc_pi_e.len() });
+    }
+
+    // Step 2: revert π1 and add per-entry mask r1.
+    let reverted = pi1.inverse().apply(&enc_pi_e);
+    let r1: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    let masked: Vec<Ciphertext> = reverted
+        .iter()
+        .zip(&r1)
+        .map(|(c, &mask)| Ok(pk2.add_plain(c, &codec2.encode_i128(mask)?)))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server2, step, &masked)?;
+
+    // Step 3 arrives in plaintext: π2(e) + r1.
+    let plain_masked: Vec<i128> = endpoint.recv(PartyId::Server2, step)?;
+    if plain_masked.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: plain_masked.len() });
+    }
+
+    // Step 4: strip r1 and re-encrypt under own pk1.
+    let enc_pi2_e: Vec<Ciphertext> = plain_masked
+        .iter()
+        .zip(&r1)
+        .map(|(&v, &mask)| Ok(ctx.own_public().encrypt(&codec1.encode_i128(v - mask)?, rng)?))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server2, step, &enc_pi2_e)?;
+
+    // Step 5 output from S2: E_pk1[e + r2]; step 6: decrypt and return.
+    let enc_e_masked: Vec<Ciphertext> = endpoint.recv(PartyId::Server2, step)?;
+    if enc_e_masked.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: enc_e_masked.len() });
+    }
+    let plain: Vec<i128> = enc_e_masked
+        .iter()
+        .map(|c| Ok(codec1.decode_i128(&ctx.own_private().decrypt(c)?)?))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server2, step, &plain)?;
+
+    // Step 7: S2 announces the winner.
+    let winner: u64 = endpoint.recv(PartyId::Server2, step)?;
+    Ok(winner as usize)
+}
+
+/// S2's side of restoration. `pi2` is S2's Blind-and-Permute permutation
+/// and `permuted_slot` the winning slot `π(ĩ*)` both servers learned from
+/// the ranking. Returns the true label index.
+///
+/// # Errors
+///
+/// Fails on transport, cryptosystem or domain errors, or if the recovered
+/// vector is not a valid one-hot indicator (which would mean a corrupted
+/// run).
+pub fn server2_restore<R: Rng + ?Sized>(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    pi2: &Permutation,
+    permuted_slot: usize,
+    step: Step,
+    rng: &mut R,
+) -> Result<usize, SmcError> {
+    let k = ctx.config().num_classes;
+    let domain = ctx.domain();
+    let codec1 = ctx.peer_codec();
+    let codec2 = ctx.own_codec();
+    let pk1 = ctx.peer_public();
+
+    // Step 1: encrypted indicator at the permuted slot, under own pk2.
+    let mut indicator = vec![0i128; k];
+    indicator[permuted_slot] = 1;
+    let enc_indicator: Vec<Ciphertext> = indicator
+        .iter()
+        .map(|&v| Ok(ctx.own_public().encrypt(&codec2.encode_i128(v)?, rng)?))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server1, step, &enc_indicator)?;
+
+    // Step 3: decrypt S1's masked, π1-reverted vector and bounce it back
+    // in plaintext.
+    let masked: Vec<Ciphertext> = endpoint.recv(PartyId::Server1, step)?;
+    if masked.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: masked.len() });
+    }
+    let plain_masked: Vec<i128> = masked
+        .iter()
+        .map(|c| Ok(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server1, step, &plain_masked)?;
+
+    // Step 5: revert π2 on the re-encrypted vector and add r2.
+    let enc_pi2_e: Vec<Ciphertext> = endpoint.recv(PartyId::Server1, step)?;
+    if enc_pi2_e.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: enc_pi2_e.len() });
+    }
+    let reverted = pi2.inverse().apply(&enc_pi2_e);
+    let r2: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    let masked_e: Vec<Ciphertext> = reverted
+        .iter()
+        .zip(&r2)
+        .map(|(c, &mask)| Ok(pk1.add_plain(c, &codec1.encode_i128(mask)?)))
+        .collect::<Result<_, SmcError>>()?;
+    endpoint.send(PartyId::Server1, step, &masked_e)?;
+
+    // Step 6 arrives in plaintext: e + r2. Step 7: strip r2 and read the
+    // indicator.
+    let plain_e_masked: Vec<i128> = endpoint.recv(PartyId::Server1, step)?;
+    if plain_e_masked.len() != k {
+        return Err(SmcError::LengthMismatch { expected: k, got: plain_e_masked.len() });
+    }
+    let e: Vec<i128> = plain_e_masked.iter().zip(&r2).map(|(&v, &m)| v - m).collect();
+    let winner = e.iter().position(|&v| v == 1);
+    let valid = winner.is_some() && e.iter().filter(|&&v| v != 0).count() == 1;
+    if !valid {
+        // A malformed indicator means protocol corruption, not bad input.
+        return Err(SmcError::LengthMismatch { expected: 1, got: e.iter().filter(|&&v| v != 0).count() });
+    }
+    let winner = winner.expect("checked above");
+    endpoint.send(PartyId::Server1, step, &(winner as u64))?;
+    Ok(winner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use transport::Network;
+
+    fn keys() -> &'static SessionKeys {
+        static KEYS: OnceLock<SessionKeys> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            SessionKeys::generate(SessionConfig::test(1, 5), &mut StdRng::seed_from_u64(51))
+        })
+    }
+
+    /// Runs restoration for a known joint permutation and target label.
+    fn run(true_label: usize, seed: u64) -> (usize, usize) {
+        let k = keys().config().num_classes;
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi1 = Permutation::random(k, &mut rng);
+        let pi2 = Permutation::random(k, &mut rng);
+        // π = π1 ∘ π2; where does the true label land?
+        let slot = pi1.compose(&pi2).apply_index(true_label);
+
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        std::thread::scope(|scope| {
+            let pi1_ref = &pi1;
+            let pi2_ref = &pi2;
+            let h1 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                server1_restore(&mut s1, &s1_ctx, pi1_ref, Step::Restoration, &mut rng).unwrap()
+            });
+            let h2 = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 2);
+                server2_restore(&mut s2, &s2_ctx, pi2_ref, slot, Step::Restoration, &mut rng)
+                    .unwrap()
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+    }
+
+    #[test]
+    fn recovers_every_label() {
+        for label in 0..5 {
+            let (w1, w2) = run(label, 900 + label as u64);
+            assert_eq!(w1, w2, "servers must agree");
+            assert_eq!(w1, label, "restoration must invert the permutation");
+        }
+    }
+
+    #[test]
+    fn many_random_permutations() {
+        for seed in 0..10u64 {
+            let label = (seed % 5) as usize;
+            let (w1, w2) = run(label, 1000 + seed * 13);
+            assert_eq!((w1, w2), (label, label), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn restoration_traffic_metered() {
+        let k = keys().config().num_classes;
+        let s1_ctx = keys().server1();
+        let s2_ctx = keys().server2();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pi1 = Permutation::random(k, &mut rng);
+        let pi2 = Permutation::random(k, &mut rng);
+        let slot = pi1.compose(&pi2).apply_index(2);
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        let meter = std::sync::Arc::clone(net.meter());
+        std::thread::scope(|scope| {
+            let pi1 = &pi1;
+            let pi2 = &pi2;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(4);
+                server1_restore(&mut s1, &s1_ctx, pi1, Step::Restoration, &mut rng).unwrap()
+            });
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(5);
+                server2_restore(&mut s2, &s2_ctx, pi2, slot, Step::Restoration, &mut rng).unwrap()
+            });
+        });
+        assert!(meter.report().step_bytes(Step::Restoration) > 0);
+    }
+}

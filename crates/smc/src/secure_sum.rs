@@ -1,0 +1,202 @@
+//! Secure sum — steps 2 and 6 of Alg. 5.
+//!
+//! Each user splits a signed vote vector into additive shares and sends
+//! each server its share **encrypted under the other server's Paillier
+//! key**, so the aggregating server can homomorphically combine
+//! ciphertexts it cannot read. The server-side aggregation is the
+//! ciphertext product of Eqn. 1.
+
+use paillier::{Ciphertext, PublicKey, SignedCodec};
+use rand::Rng;
+use transport::{Endpoint, PartyId, Step};
+
+use crate::error::SmcError;
+use crate::session::UserContext;
+
+/// User side: encrypts the signed vector `values` under `recipient_key`
+/// and sends it to `to`, tagged with `step`.
+///
+/// `recipient_key` must be the *other* server's key: `pk2` when sending
+/// to S1, `pk1` when sending to S2 (use
+/// [`send_share_to_server1`] / [`send_share_to_server2`] to get this
+/// right automatically).
+///
+/// # Errors
+///
+/// Fails on signed-window overflow or transport failure.
+pub fn send_encrypted_vector<R: Rng + ?Sized>(
+    endpoint: &Endpoint,
+    to: PartyId,
+    step: Step,
+    values: &[i128],
+    recipient_key: &PublicKey,
+    rng: &mut R,
+) -> Result<(), SmcError> {
+    let codec = SignedCodec::new(recipient_key);
+    let encrypted: Vec<Ciphertext> = values
+        .iter()
+        .map(|&v| {
+            let encoded = codec.encode_i128(v)?;
+            recipient_key.encrypt(&encoded, rng)
+        })
+        .collect::<Result<_, _>>()?;
+    endpoint.send(to, step, &encrypted)?;
+    Ok(())
+}
+
+/// User side: sends the S1-bound share vector (encrypted under pk2).
+///
+/// # Errors
+///
+/// See [`send_encrypted_vector`].
+pub fn send_share_to_server1<R: Rng + ?Sized>(
+    endpoint: &Endpoint,
+    ctx: &UserContext,
+    step: Step,
+    values: &[i128],
+    rng: &mut R,
+) -> Result<(), SmcError> {
+    send_encrypted_vector(endpoint, PartyId::Server1, step, values, ctx.pk2(), rng)
+}
+
+/// User side: sends the S2-bound share vector (encrypted under pk1).
+///
+/// # Errors
+///
+/// See [`send_encrypted_vector`].
+pub fn send_share_to_server2<R: Rng + ?Sized>(
+    endpoint: &Endpoint,
+    ctx: &UserContext,
+    step: Step,
+    values: &[i128],
+    rng: &mut R,
+) -> Result<(), SmcError> {
+    send_encrypted_vector(endpoint, PartyId::Server2, step, values, ctx.pk1(), rng)
+}
+
+/// Server side: receives one encrypted vector from each of `num_users`
+/// users and aggregates them homomorphically under `peer_key` (the key
+/// the users encrypted with — i.e. this server's *peer's* key).
+///
+/// Returns the element-wise encrypted sum `E[Σ_u v^u]`.
+///
+/// # Errors
+///
+/// Fails on transport errors or if any user sends the wrong arity.
+pub fn aggregate_user_vectors(
+    endpoint: &mut Endpoint,
+    step: Step,
+    num_users: usize,
+    num_classes: usize,
+    peer_key: &PublicKey,
+) -> Result<Vec<Ciphertext>, SmcError> {
+    let mut acc: Vec<Ciphertext> = vec![peer_key.zero_ciphertext(); num_classes];
+    for u in 0..num_users {
+        let shares: Vec<Ciphertext> = endpoint.recv(PartyId::User(u), step)?;
+        if shares.len() != num_classes {
+            return Err(SmcError::LengthMismatch { expected: num_classes, got: shares.len() });
+        }
+        for (slot, share) in acc.iter_mut().zip(&shares) {
+            *slot = peer_key.add(slot, share);
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transport::Network;
+
+    /// Full secure-sum round: three users split signed vectors, both
+    /// servers aggregate; decrypting with the *peer's* private key (test
+    /// privilege) recovers the share sums, and the share sums add up to
+    /// the true totals.
+    #[test]
+    fn end_to_end_sum_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let keys = SessionKeys::generate(SessionConfig::test(3, 4), &mut rng);
+        let user_ctx = keys.user();
+        let domain = user_ctx.domain();
+
+        let votes: [Vec<i128>; 3] =
+            [vec![1, 0, 0, 0], vec![0, 0, 1, 0], vec![1, -2, 300, 0]];
+        let expected: Vec<i128> =
+            (0..4).map(|k| votes.iter().map(|v| v[k]).sum()).collect();
+
+        let mut net = Network::new(3);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+
+        let mut a_total = vec![0i128; 4];
+        let mut b_total = vec![0i128; 4];
+        for (u, vote) in votes.iter().enumerate() {
+            let endpoint = net.take_endpoint(PartyId::User(u));
+            let (a, b) = domain.split_vec(vote, &mut rng);
+            for k in 0..4 {
+                a_total[k] += a[k];
+                b_total[k] += b[k];
+            }
+            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &a, &mut rng)
+                .unwrap();
+            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &b, &mut rng)
+                .unwrap();
+        }
+
+        let enc_a = aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 3, 4, keys.server1().peer_public()).unwrap();
+        let enc_b = aggregate_user_vectors(&mut s2, Step::SecureSumVotes, 3, 4, keys.server2().peer_public()).unwrap();
+
+        // Test privilege: decrypt with the owners' keys to check sums.
+        let s2_ctx = keys.server2();
+        let codec2 = s2_ctx.own_codec();
+        let a_sum: Vec<i128> = enc_a
+            .iter()
+            .map(|c| codec2.decode_i128(&s2_ctx.own_private().decrypt(c).unwrap()).unwrap())
+            .collect();
+        let s1_ctx = keys.server1();
+        let codec1 = s1_ctx.own_codec();
+        let b_sum: Vec<i128> = enc_b
+            .iter()
+            .map(|c| codec1.decode_i128(&s1_ctx.own_private().decrypt(c).unwrap()).unwrap())
+            .collect();
+
+        assert_eq!(a_sum, a_total);
+        assert_eq!(b_sum, b_total);
+        let total: Vec<i128> = a_sum.iter().zip(&b_sum).map(|(a, b)| a + b).collect();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let keys = SessionKeys::generate(SessionConfig::test(1, 3), &mut rng);
+        let user_ctx = keys.user();
+        let mut net = Network::new(1);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let user = net.take_endpoint(PartyId::User(0));
+        // Send only 2 entries when 3 classes are expected.
+        send_share_to_server1(&user, &user_ctx, Step::SecureSumVotes, &[1, 2], &mut rng).unwrap();
+        let err =
+            aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 1, 3, keys.server1().peer_public())
+                .unwrap_err();
+        assert!(matches!(err, SmcError::LengthMismatch { expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn aggregation_bytes_are_metered() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let keys = SessionKeys::generate(SessionConfig::test(1, 2), &mut rng);
+        let user_ctx = keys.user();
+        let mut net = Network::new(1);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let user = net.take_endpoint(PartyId::User(0));
+        send_share_to_server1(&user, &user_ctx, Step::SecureSumVotes, &[1, 2], &mut rng).unwrap();
+        let _ = aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 1, 2, keys.server1().peer_public())
+            .unwrap();
+        let report = net.meter().report();
+        assert!(report.step_bytes(Step::SecureSumVotes) > 0);
+    }
+}

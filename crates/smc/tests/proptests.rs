@@ -1,0 +1,107 @@
+//! Property-based tests for the SMC building blocks: permutation algebra,
+//! share-domain arithmetic, and the comparison encoding.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smc::{Permutation, ShareDomain};
+
+proptest! {
+    #[test]
+    fn permutation_inverse_roundtrips(seed in any::<u64>(), k in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(k, &mut rng);
+        let xs: Vec<usize> = (0..k).collect();
+        prop_assert_eq!(p.inverse().apply(&p.apply(&xs)), xs.clone());
+        prop_assert_eq!(p.apply(&p.inverse().apply(&xs)), xs);
+    }
+
+    #[test]
+    fn permutation_composition_associates(seed in any::<u64>(), k in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Permutation::random(k, &mut rng);
+        let b = Permutation::random(k, &mut rng);
+        let c = Permutation::random(k, &mut rng);
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn permutation_apply_index_tracks_elements(seed in any::<u64>(), k in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(k, &mut rng);
+        let xs: Vec<usize> = (100..100 + k).collect();
+        let ys = p.apply(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(ys[p.apply_index(i)], x);
+        }
+    }
+
+    #[test]
+    fn double_permutation_is_uniformly_composable(seed in any::<u64>(), k in 2usize..8, label in 0usize..8) {
+        // The protocol's core permutation identity: the winner slot under
+        // π = π1∘π2 is found by composing, never by applying twice.
+        prop_assume!(label < k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = Permutation::random(k, &mut rng);
+        let p2 = Permutation::random(k, &mut rng);
+        let composed = p1.compose(&p2);
+        let xs: Vec<usize> = (0..k).collect();
+        prop_assert_eq!(composed.apply(&xs), p1.apply(&p2.apply(&xs)));
+        let slot = composed.apply_index(label);
+        prop_assert_eq!(composed.apply(&xs)[slot], label);
+    }
+
+    #[test]
+    fn shares_always_reconstruct(value in -(1i128 << 40)..(1i128 << 40), seed in any::<u64>()) {
+        let domain = ShareDomain::paper();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = domain.split(value, &mut rng);
+        prop_assert_eq!(a + b, value);
+        prop_assert!(a.abs() <= 1 << domain.share_bits);
+    }
+
+    #[test]
+    fn compare_encoding_is_monotone(x in -(1i128 << 24)..(1i128 << 24), y in -(1i128 << 24)..(1i128 << 24)) {
+        let domain = ShareDomain::test();
+        let ex = domain.encode_compare(x).unwrap();
+        let ey = domain.encode_compare(y).unwrap();
+        prop_assert_eq!(x >= y, ex >= ey);
+        prop_assert_eq!(domain.decode_compare(ex), x);
+    }
+
+    #[test]
+    fn eqn7_transform_preserves_comparisons(
+        a_i in -(1i128 << 20)..(1i128 << 20),
+        a_j in -(1i128 << 20)..(1i128 << 20),
+        b_i in -(1i128 << 20)..(1i128 << 20),
+        b_j in -(1i128 << 20)..(1i128 << 20),
+        bias in 0i128..(1i128 << 20),
+    ) {
+        // Eqn. 7 with a common scalar bias r on every masked entry:
+        // c_i ≥ c_j ⟺ (ã_i − ã_j) ≥ (b̃_j − b̃_i).
+        let c_i = a_i + b_i;
+        let c_j = a_j + b_j;
+        let lhs = (a_i + bias) - (a_j + bias);
+        let rhs = (b_j + bias) - (b_i + bias);
+        prop_assert_eq!(c_i >= c_j, lhs >= rhs);
+    }
+
+    #[test]
+    fn eqn6_transform_preserves_threshold(
+        a in -(1i128 << 20)..(1i128 << 20),
+        b in -(1i128 << 20)..(1i128 << 20),
+        t in 0i128..(1i128 << 20),
+        noise in -(1i128 << 16)..(1i128 << 16),
+        bias in 0i128..(1i128 << 20),
+    ) {
+        // Eqn. 6: c + z ≥ T ⟺ (a − T/2 + z_a + r) ≥ (T/2 − b − z_b + r)
+        // with z = z_a + z_b and exact integer threshold halves.
+        let t_half_a = t / 2;
+        let t_half_b = t - t_half_a;
+        let z_a = noise / 2;
+        let z_b = noise - z_a;
+        let lhs = a - t_half_a + z_a + bias;
+        let rhs = t_half_b - b - z_b + bias;
+        prop_assert_eq!(a + b + noise >= t, lhs >= rhs);
+    }
+}

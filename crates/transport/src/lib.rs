@@ -1,0 +1,49 @@
+//! Message-passing runtime for the private consensus protocol.
+//!
+//! The paper's prototype wires users and the two aggregation servers
+//! together with `torch.distributed` `send`/`recv`, serializing ciphertexts
+//! into tensors by segmentation (§VI-A). This crate plays that role for the
+//! Rust reproduction:
+//!
+//! * [`wire`] — a compact length-prefixed binary codec for every message
+//!   type the protocol exchanges (big integers, ciphertexts, share
+//!   vectors, comparison rounds);
+//! * [`network`] — an in-process network of parties (N users + two
+//!   servers) connected by unbounded channels, with blocking typed
+//!   send/receive;
+//! * [`metrics`] — per-protocol-step counters of bytes, messages and wall
+//!   time, split by link direction. These counters regenerate Table I
+//!   (computation) and Table II (communication) of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use transport::network::{Network, PartyId};
+//! use transport::metrics::Step;
+//!
+//! let mut net = Network::new(1); // one user + two servers
+//! let mut user = net.take_endpoint(PartyId::User(0));
+//! let mut s1 = net.take_endpoint(PartyId::Server1);
+//!
+//! std::thread::scope(|scope| {
+//!     scope.spawn(move || {
+//!         user.send(PartyId::Server1, Step::SecureSumVotes, &42u64).unwrap();
+//!     });
+//!     let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+//!     assert_eq!(v, 42);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod segment;
+pub mod wire;
+
+pub use latency::{LinkProfile, NetworkProfile};
+pub use metrics::{LinkKind, Meter, MeterReport, Step};
+pub use network::{Endpoint, Network, PartyId, TransportError};
+pub use wire::{Wire, WireError};

@@ -1,0 +1,363 @@
+//! Per-step communication and computation accounting.
+//!
+//! Every protocol message is tagged with the [`Step`] of Alg. 5 it belongs
+//! to; the [`Meter`] aggregates bytes and message counts per step and link
+//! direction (user→server vs server↔server), plus wall-clock time per
+//! step. [`MeterReport`] renders the same rows as the paper's Table I
+//! (computational costs) and Table II (communication costs).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The protocol step a message or timing belongs to, named and numbered as
+/// in Alg. 5 of the paper (and Tables I/II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Step {
+    /// Key distribution and session setup (not in the paper's tables).
+    Setup,
+    /// Step 2 — users send encrypted vote shares; servers aggregate.
+    SecureSumVotes,
+    /// Step 3 — first Blind-and-Permute over the aggregated shares.
+    BlindPermute1,
+    /// Step 4 — pairwise DGK comparisons to find `π(i*)`.
+    CompareRank,
+    /// Step 5 — DGK threshold check of the noisy maximum.
+    ThresholdCheck,
+    /// Step 6 — users send noisy shares for Report Noisy Max.
+    SecureSumNoisy,
+    /// Step 7 — second Blind-and-Permute.
+    BlindPermute2,
+    /// Step 8 — pairwise DGK comparisons on noisy votes to find `π′(ĩ*)`.
+    CompareNoisyRank,
+    /// Step 9 — Restoration of the winning index.
+    Restoration,
+}
+
+impl Step {
+    /// All steps in protocol order.
+    pub const ALL: [Step; 9] = [
+        Step::Setup,
+        Step::SecureSumVotes,
+        Step::BlindPermute1,
+        Step::CompareRank,
+        Step::ThresholdCheck,
+        Step::SecureSumNoisy,
+        Step::BlindPermute2,
+        Step::CompareNoisyRank,
+        Step::Restoration,
+    ];
+
+    /// The step number used in Alg. 5 / Tables I-II, or `None` for setup.
+    pub fn paper_number(&self) -> Option<u8> {
+        match self {
+            Step::Setup => None,
+            Step::SecureSumVotes => Some(2),
+            Step::BlindPermute1 => Some(3),
+            Step::CompareRank => Some(4),
+            Step::ThresholdCheck => Some(5),
+            Step::SecureSumNoisy => Some(6),
+            Step::BlindPermute2 => Some(7),
+            Step::CompareNoisyRank => Some(8),
+            Step::Restoration => Some(9),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Step::Setup => "Setup",
+            Step::SecureSumVotes => "Secure Sum",
+            Step::BlindPermute1 => "Blind-and-Permute",
+            Step::CompareRank => "Secure Comparison",
+            Step::ThresholdCheck => "Threshold Checking",
+            Step::SecureSumNoisy => "Secure Sum",
+            Step::BlindPermute2 => "Blind-and-Permute",
+            Step::CompareNoisyRank => "Secure Comparison",
+            Step::Restoration => "Restoration",
+        };
+        match self.paper_number() {
+            Some(n) => write!(f, "{name} ({n})"),
+            None => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Which kind of link carried a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// A user sending to one of the servers.
+    UserToServer,
+    /// Server-to-server traffic.
+    ServerToServer,
+    /// A server replying to a user (rare in this protocol).
+    ServerToUser,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::UserToServer => write!(f, "user-to-server"),
+            LinkKind::ServerToServer => write!(f, "server-to-server"),
+            LinkKind::ServerToUser => write!(f, "server-to-user"),
+        }
+    }
+}
+
+/// Byte/message counters for one (step, link) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Number of messages sent.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// Wall-clock totals for one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeStats {
+    /// Accumulated duration across all recorded spans.
+    pub total: Duration,
+    /// Number of recorded spans.
+    pub spans: u64,
+}
+
+#[derive(Default)]
+struct MeterInner {
+    comm: BTreeMap<(Step, LinkKind), LinkStats>,
+    time: BTreeMap<Step, TimeStats>,
+}
+
+/// Thread-safe accumulator shared by all endpoints of a [`crate::Network`].
+#[derive(Default)]
+pub struct Meter {
+    inner: Mutex<MeterInner>,
+}
+
+impl Meter {
+    /// Creates an empty meter.
+    pub fn new() -> Arc<Meter> {
+        Arc::new(Meter::default())
+    }
+
+    /// Records one message of `bytes` payload bytes.
+    pub fn record_message(&self, step: Step, link: LinkKind, bytes: usize) {
+        let mut inner = self.inner.lock();
+        let stats = inner.comm.entry((step, link)).or_default();
+        stats.messages += 1;
+        stats.bytes += bytes as u64;
+    }
+
+    /// Records `elapsed` wall-clock time against `step`.
+    pub fn record_time(&self, step: Step, elapsed: Duration) {
+        let mut inner = self.inner.lock();
+        let stats = inner.time.entry(step).or_default();
+        stats.total += elapsed;
+        stats.spans += 1;
+    }
+
+    /// Times a closure and records its duration against `step`.
+    pub fn time<T>(&self, step: Step, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_time(step, start.elapsed());
+        out
+    }
+
+    /// Snapshot of all counters.
+    pub fn report(&self) -> MeterReport {
+        let inner = self.inner.lock();
+        MeterReport { comm: inner.comm.clone(), time: inner.time.clone() }
+    }
+
+    /// Clears all counters (e.g. between benchmark warmup and measurement).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.comm.clear();
+        inner.time.clear();
+    }
+}
+
+impl fmt::Debug for Meter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Meter({} rows)", self.inner.lock().comm.len())
+    }
+}
+
+/// An immutable snapshot of meter counters, with Table I/II style
+/// renderers.
+#[derive(Debug, Clone, Default)]
+pub struct MeterReport {
+    comm: BTreeMap<(Step, LinkKind), LinkStats>,
+    time: BTreeMap<Step, TimeStats>,
+}
+
+impl MeterReport {
+    /// Communication stats for one (step, link) pair.
+    pub fn link_stats(&self, step: Step, link: LinkKind) -> LinkStats {
+        self.comm.get(&(step, link)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes sent in a step across all links.
+    pub fn step_bytes(&self, step: Step) -> u64 {
+        self.comm
+            .iter()
+            .filter(|((s, _), _)| *s == step)
+            .map(|(_, stats)| stats.bytes)
+            .sum()
+    }
+
+    /// Total bytes across all steps and links.
+    pub fn total_bytes(&self) -> u64 {
+        self.comm.values().map(|s| s.bytes).sum()
+    }
+
+    /// Wall time recorded for one step.
+    pub fn step_time(&self, step: Step) -> Duration {
+        self.time.get(&step).map(|t| t.total).unwrap_or_default()
+    }
+
+    /// Total wall time across all steps.
+    pub fn total_time(&self) -> Duration {
+        self.time.values().map(|t| t.total).sum()
+    }
+
+    /// Iterates over all (step, link, stats) communication rows.
+    pub fn comm_rows(&self) -> impl Iterator<Item = (Step, LinkKind, LinkStats)> + '_ {
+        self.comm.iter().map(|(&(s, l), &stats)| (s, l, stats))
+    }
+
+    /// Renders the paper's Table I (per-step running time in seconds).
+    pub fn render_table1(&self) -> String {
+        let mut out = String::from("Step                     | Average Running Time (s)\n");
+        out.push_str("-------------------------|-------------------------\n");
+        for step in Step::ALL {
+            if step.paper_number().is_none() {
+                continue;
+            }
+            let t = self.step_time(step);
+            if t.is_zero() && self.step_bytes(step) == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<24} | {:.3}\n", step.to_string(), t.as_secs_f64()));
+        }
+        out.push_str(&format!(
+            "{:<24} | {:.3}\n",
+            "Overall",
+            self.total_time().as_secs_f64()
+        ));
+        out
+    }
+
+    /// Renders the paper's Table II (per-step message size in KB per
+    /// party/link).
+    pub fn render_table2(&self) -> String {
+        let mut out = String::from("Step                     | Message Size Per Party (KB)\n");
+        out.push_str("-------------------------|----------------------------\n");
+        for step in Step::ALL {
+            if step.paper_number().is_none() {
+                continue;
+            }
+            for link in [LinkKind::UserToServer, LinkKind::ServerToServer, LinkKind::ServerToUser]
+            {
+                let stats = self.link_stats(step, link);
+                if stats.bytes == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<24} | {} ({link})\n",
+                    step.to_string(),
+                    stats.bytes / 1024,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_messages() {
+        let meter = Meter::new();
+        meter.record_message(Step::SecureSumVotes, LinkKind::UserToServer, 100);
+        meter.record_message(Step::SecureSumVotes, LinkKind::UserToServer, 50);
+        meter.record_message(Step::CompareRank, LinkKind::ServerToServer, 2048);
+        let report = meter.report();
+        let s = report.link_stats(Step::SecureSumVotes, LinkKind::UserToServer);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(report.step_bytes(Step::CompareRank), 2048);
+        assert_eq!(report.total_bytes(), 2198);
+    }
+
+    #[test]
+    fn timing_accumulates() {
+        let meter = Meter::new();
+        meter.record_time(Step::BlindPermute1, Duration::from_millis(5));
+        meter.record_time(Step::BlindPermute1, Duration::from_millis(7));
+        let report = meter.report();
+        assert_eq!(report.step_time(Step::BlindPermute1), Duration::from_millis(12));
+        assert_eq!(report.total_time(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let meter = Meter::new();
+        let v = meter.time(Step::Restoration, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(meter.report().step_time(Step::Restoration) > Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let meter = Meter::new();
+        meter.record_message(Step::Setup, LinkKind::UserToServer, 10);
+        meter.reset();
+        assert_eq!(meter.report().total_bytes(), 0);
+    }
+
+    #[test]
+    fn table_renderers_contain_step_names() {
+        let meter = Meter::new();
+        meter.record_time(Step::CompareRank, Duration::from_secs(1));
+        meter.record_message(Step::CompareRank, LinkKind::ServerToServer, 4096);
+        let report = meter.report();
+        let t1 = report.render_table1();
+        assert!(t1.contains("Secure Comparison (4)"), "{t1}");
+        assert!(t1.contains("Overall"));
+        let t2 = report.render_table2();
+        assert!(t2.contains("server-to-server"), "{t2}");
+        assert!(t2.contains("4 ("), "4 KB expected: {t2}");
+    }
+
+    #[test]
+    fn paper_numbers_match_algorithm5() {
+        assert_eq!(Step::SecureSumVotes.paper_number(), Some(2));
+        assert_eq!(Step::Restoration.paper_number(), Some(9));
+        assert_eq!(Step::Setup.paper_number(), None);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let meter = Meter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&meter);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.record_message(Step::SecureSumVotes, LinkKind::UserToServer, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.report().total_bytes(), 800);
+    }
+}

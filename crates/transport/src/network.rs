@@ -1,0 +1,386 @@
+//! In-process network: parties, endpoints and typed blocking channels.
+//!
+//! A [`Network`] wires `N` users and two servers into a full mesh of
+//! unbounded crossbeam channels. Each party takes its [`Endpoint`] and can
+//! then be moved onto its own thread; `send`/`recv` are typed through the
+//! [`Wire`] codec and metered per [`Step`].
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::metrics::{LinkKind, Meter, Step};
+use crate::wire::{Wire, WireError};
+
+/// Identifies a protocol party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PartyId {
+    /// User `u ∈ U` (a teacher).
+    User(usize),
+    /// Aggregation server S1.
+    Server1,
+    /// Aggregation server S2.
+    Server2,
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartyId::User(u) => write!(f, "user{u}"),
+            PartyId::Server1 => write!(f, "S1"),
+            PartyId::Server2 => write!(f, "S2"),
+        }
+    }
+}
+
+impl PartyId {
+    /// Classifies the link from `self` to `to` for metering.
+    pub fn link_to(&self, to: PartyId) -> LinkKind {
+        match (self, to) {
+            (PartyId::User(_), _) => LinkKind::UserToServer,
+            (_, PartyId::User(_)) => LinkKind::ServerToUser,
+            _ => LinkKind::ServerToServer,
+        }
+    }
+}
+
+/// Errors surfaced by endpoint operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination endpoint's receiver was dropped.
+    Disconnected(PartyId),
+    /// Decoding a received payload failed.
+    Codec(WireError),
+    /// A receive did not complete within the configured timeout.
+    Timeout(PartyId),
+    /// The requested endpoint was already taken or does not exist.
+    UnknownParty(PartyId),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected(p) => write!(f, "party {p} disconnected"),
+            TransportError::Codec(e) => write!(f, "codec error: {e}"),
+            TransportError::Timeout(p) => write!(f, "timed out waiting for {p}"),
+            TransportError::UnknownParty(p) => write!(f, "unknown or taken party {p}"),
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+/// One message in flight.
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: PartyId,
+    /// Carried for wire-level diagnostics (inspected via `Debug` when a
+    /// receive mismatch is being investigated); routing is sender-based.
+    #[allow(dead_code)]
+    step: Step,
+    payload: Bytes,
+}
+
+/// Default receive timeout — generous for in-process channels, but
+/// prevents a peer's mid-protocol failure from hanging the other side
+/// forever.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// A party's handle on the network: typed send/receive plus the shared
+/// meter.
+pub struct Endpoint {
+    id: PartyId,
+    outgoing: HashMap<PartyId, Sender<Envelope>>,
+    incoming: Receiver<Envelope>,
+    /// Messages received from other parties while waiting for a specific
+    /// sender; replayed on later receives.
+    stashed: HashMap<PartyId, VecDeque<Envelope>>,
+    meter: Arc<Meter>,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.id)
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's identity.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    /// Sends `value` to `to`, tagged with `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnknownParty`] for destinations outside
+    /// the network and [`TransportError::Disconnected`] if the peer's
+    /// endpoint was dropped.
+    pub fn send<T: Wire>(&self, to: PartyId, step: Step, value: &T) -> Result<(), TransportError> {
+        let payload = value.to_bytes();
+        self.meter.record_message(step, self.id.link_to(to), payload.len());
+        let sender = self.outgoing.get(&to).ok_or(TransportError::UnknownParty(to))?;
+        sender
+            .send(Envelope { from: self.id, step, payload })
+            .map_err(|_| TransportError::Disconnected(to))
+    }
+
+    /// Receives the next message *from a specific sender*, blocking.
+    /// Messages from other senders that arrive in the meantime are stashed
+    /// and replayed in order. The `step` tag is used only for diagnostics;
+    /// ordering within a sender is FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`] after 120 s,
+    /// [`TransportError::Disconnected`] if all senders are gone, or a
+    /// [`TransportError::Codec`] error if the payload fails to decode.
+    pub fn recv<T: Wire>(&mut self, from: PartyId, _step: Step) -> Result<T, TransportError> {
+        // Replay a stashed message first.
+        if let Some(queue) = self.stashed.get_mut(&from) {
+            if let Some(env) = queue.pop_front() {
+                return T::from_bytes(env.payload).map_err(Into::into);
+            }
+        }
+        loop {
+            match self.incoming.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) if env.from == from => {
+                    return T::from_bytes(env.payload).map_err(Into::into);
+                }
+                Ok(env) => {
+                    self.stashed.entry(env.from).or_default().push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(TransportError::Timeout(from)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Disconnected(from))
+                }
+            }
+        }
+    }
+
+    /// Receives one message from each of `froms`, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first receive error.
+    pub fn recv_each<T: Wire>(
+        &mut self,
+        froms: impl IntoIterator<Item = PartyId>,
+        step: Step,
+    ) -> Result<Vec<T>, TransportError> {
+        froms.into_iter().map(|from| self.recv(from, step)).collect()
+    }
+}
+
+/// An in-process network of `num_users` users plus the two servers.
+pub struct Network {
+    endpoints: HashMap<PartyId, Endpoint>,
+    meter: Arc<Meter>,
+    num_users: usize,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network({} users + 2 servers)", self.num_users)
+    }
+}
+
+impl Network {
+    /// Builds a full mesh over `num_users` users and both servers, sharing
+    /// one [`Meter`].
+    pub fn new(num_users: usize) -> Network {
+        Self::with_meter(num_users, Meter::new())
+    }
+
+    /// Builds a network that records into an existing meter.
+    pub fn with_meter(num_users: usize, meter: Arc<Meter>) -> Network {
+        let parties: Vec<PartyId> = (0..num_users)
+            .map(PartyId::User)
+            .chain([PartyId::Server1, PartyId::Server2])
+            .collect();
+        let mut senders: HashMap<PartyId, Sender<Envelope>> = HashMap::new();
+        let mut receivers: HashMap<PartyId, Receiver<Envelope>> = HashMap::new();
+        for &p in &parties {
+            let (tx, rx) = unbounded();
+            senders.insert(p, tx);
+            receivers.insert(p, rx);
+        }
+        let endpoints = parties
+            .iter()
+            .map(|&p| {
+                // No self-sender: a party never messages itself, and keeping
+                // one alive would stop channel disconnection from propagating
+                // when a peer's endpoint is dropped mid-protocol.
+                let outgoing = parties
+                    .iter()
+                    .filter(|&&q| q != p)
+                    .map(|&q| (q, senders[&q].clone()))
+                    .collect::<HashMap<_, _>>();
+                let endpoint = Endpoint {
+                    id: p,
+                    outgoing,
+                    incoming: receivers.remove(&p).expect("each party has a receiver"),
+                    stashed: HashMap::new(),
+                    meter: Arc::clone(&meter),
+                };
+                (p, endpoint)
+            })
+            .collect();
+        Network { endpoints, meter, num_users }
+    }
+
+    /// Number of users in the mesh.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// All user ids, in order.
+    pub fn user_ids(&self) -> Vec<PartyId> {
+        (0..self.num_users).map(PartyId::User).collect()
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    /// Removes and returns a party's endpoint so it can be moved to a
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint was already taken or never existed — that is
+    /// always a harness bug.
+    pub fn take_endpoint(&mut self, id: PartyId) -> Endpoint {
+        self.endpoints
+            .remove(&id)
+            .unwrap_or_else(|| panic!("endpoint {id} already taken or unknown"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigint::Ubig;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let mut net = Network::new(0);
+        let s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        s1.send(PartyId::Server2, Step::BlindPermute1, &Ubig::from(777u64)).unwrap();
+        let v: Ubig = s2.recv(PartyId::Server1, Step::BlindPermute1).unwrap();
+        assert_eq!(v, Ubig::from(777u64));
+    }
+
+    #[test]
+    fn out_of_order_senders_are_stashed() {
+        let mut net = Network::new(2);
+        let u0 = net.take_endpoint(PartyId::User(0));
+        let u1 = net.take_endpoint(PartyId::User(1));
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        // user1's message arrives first, but we ask for user0's first.
+        u1.send(PartyId::Server1, Step::SecureSumVotes, &11u64).unwrap();
+        u0.send(PartyId::Server1, Step::SecureSumVotes, &10u64).unwrap();
+        let a: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+        let b: u64 = s1.recv(PartyId::User(1), Step::SecureSumVotes).unwrap();
+        assert_eq!((a, b), (10, 11));
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let mut net = Network::new(1);
+        let u = net.take_endpoint(PartyId::User(0));
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        for i in 0..5u64 {
+            u.send(PartyId::Server1, Step::SecureSumVotes, &i).unwrap();
+        }
+        for i in 0..5u64 {
+            let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn metering_by_link_kind() {
+        let mut net = Network::new(1);
+        let u = net.take_endpoint(PartyId::User(0));
+        let s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        u.send(PartyId::Server1, Step::SecureSumVotes, &1u64).unwrap();
+        s1.send(PartyId::Server2, Step::BlindPermute1, &2u64).unwrap();
+        let _ = s2.recv::<u64>(PartyId::Server1, Step::BlindPermute1).unwrap();
+        let report = net.meter().report();
+        assert_eq!(report.link_stats(Step::SecureSumVotes, LinkKind::UserToServer).messages, 1);
+        assert_eq!(report.link_stats(Step::BlindPermute1, LinkKind::ServerToServer).bytes, 8);
+    }
+
+    #[test]
+    fn unknown_party_rejected() {
+        let mut net = Network::new(0);
+        let s1 = net.take_endpoint(PartyId::Server1);
+        let err = s1.send(PartyId::User(9), Step::Setup, &0u64).unwrap_err();
+        assert_eq!(err, TransportError::UnknownParty(PartyId::User(9)));
+    }
+
+    #[test]
+    fn threaded_exchange() {
+        let mut net = Network::new(0);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                s1.send(PartyId::Server2, Step::CompareRank, &Ubig::from(5u64)).unwrap();
+                let echo: Ubig = s1.recv(PartyId::Server2, Step::CompareRank).unwrap();
+                assert_eq!(echo, Ubig::from(10u64));
+            });
+            let v: Ubig = s2.recv(PartyId::Server1, Step::CompareRank).unwrap();
+            s2.send(PartyId::Server1, Step::CompareRank, &(&v + &v)).unwrap();
+        });
+    }
+
+    #[test]
+    fn recv_each_collects_in_order() {
+        let mut net = Network::new(3);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let users: Vec<_> = (0..3).map(|i| net.take_endpoint(PartyId::User(i))).collect();
+        for (i, u) in users.iter().enumerate() {
+            u.send(PartyId::Server1, Step::SecureSumVotes, &(i as u64 * 100)).unwrap();
+        }
+        let got: Vec<u64> = s1
+            .recv_each((0..3).map(PartyId::User), Step::SecureSumVotes)
+            .unwrap();
+        assert_eq!(got, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn party_display_and_link_kind() {
+        assert_eq!(PartyId::User(3).to_string(), "user3");
+        assert_eq!(PartyId::Server1.link_to(PartyId::Server2), LinkKind::ServerToServer);
+        assert_eq!(PartyId::User(0).link_to(PartyId::Server1), LinkKind::UserToServer);
+        assert_eq!(PartyId::Server2.link_to(PartyId::User(1)), LinkKind::ServerToUser);
+    }
+}

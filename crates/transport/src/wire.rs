@@ -1,0 +1,409 @@
+//! Length-prefixed binary codec for protocol messages.
+//!
+//! The format is deliberately simple: fixed-width little-endian scalars,
+//! and `u32` length prefixes for variable-size payloads (big integers and
+//! vectors). The byte counts it produces are what the Table II
+//! communication accounting reports.
+
+use bigint::{Ibig, Sign, Ubig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgk::comparison::{BlindedWitnesses, EvaluatorBits};
+use dgk::DgkCiphertext;
+use paillier::Ciphertext;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when decoding a wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A tag or discriminant byte had an unexpected value.
+    InvalidTag(u8),
+    /// A declared length exceeds sanity bounds.
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::InvalidTag(t) => write!(f, "invalid wire tag {t:#04x}"),
+            WireError::LengthOverflow(n) => write!(f, "declared length {n} exceeds bounds"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Maximum declared element count / byte length accepted while decoding,
+/// guarding against corrupted prefixes.
+const MAX_LEN: u64 = 1 << 32;
+
+/// A type that can be serialized onto / deserialized from the wire.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from the front of `buf`, consuming its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the buffer is truncated or malformed.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Convenience: decodes from a complete buffer, requiring full
+    /// consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if bytes remain or run short.
+    fn from_bytes(bytes: Bytes) -> Result<Self, WireError> {
+        let mut buf = bytes;
+        let v = Self::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(v)
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 4)?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 8)?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 8)?;
+        Ok(buf.get_i64_le())
+    }
+}
+
+impl Wire for i128 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i128_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 16)?;
+        Ok(buf.get_i128_le())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 8)?;
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| WireError::LengthOverflow(v))
+    }
+}
+
+impl Wire for Ubig {
+    fn encode(&self, buf: &mut BytesMut) {
+        let bytes = self.to_le_bytes();
+        buf.put_u32_le(bytes.len() as u32);
+        buf.put_slice(&bytes);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        if len as u64 > MAX_LEN {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        need(buf, len)?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        Ok(Ubig::from_le_bytes(&raw))
+    }
+}
+
+impl Wire for Ibig {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.is_negative() as u8);
+        self.magnitude().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let neg = bool::decode(buf)?;
+        let mag = Ubig::decode(buf)?;
+        let sign = if neg { Sign::Minus } else { Sign::Plus };
+        Ok(Ibig::from_sign_magnitude(sign, mag))
+    }
+}
+
+impl Wire for Ciphertext {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.as_raw().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Ciphertext::from_raw(Ubig::decode(buf)?))
+    }
+}
+
+impl Wire for DgkCiphertext {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.as_raw().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(DgkCiphertext::from_raw(Ubig::decode(buf)?))
+    }
+}
+
+impl Wire for EvaluatorBits {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.encrypted_bits.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(EvaluatorBits { encrypted_bits: Vec::decode(buf)? })
+    }
+}
+
+impl Wire for BlindedWitnesses {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.witnesses.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(BlindedWitnesses { witnesses: Vec::decode(buf)? })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        if len as u64 > MAX_LEN {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len)?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        String::from_utf8(raw).map_err(|_| WireError::InvalidTag(0xff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(i128::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.14159f64);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn bigints_roundtrip() {
+        roundtrip(Ubig::zero());
+        roundtrip(Ubig::from_limbs(vec![u64::MAX, 1, 2, 3]));
+        roundtrip(Ibig::from(-123456789i64));
+        roundtrip(Ibig::zero());
+    }
+
+    #[test]
+    fn ciphertexts_roundtrip() {
+        roundtrip(Ciphertext::from_raw(Ubig::from(0xabcdefu64)));
+        roundtrip(DgkCiphertext::from_raw(Ubig::from_limbs(vec![7, 8, 9])));
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<Ubig>::new());
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u64, Ubig::from(2u64)));
+        roundtrip((1u64, 2i64, true));
+        roundtrip("hello wire".to_string());
+        roundtrip(vec![vec![Ubig::one()], vec![]]);
+    }
+
+    #[test]
+    fn comparison_messages_roundtrip() {
+        let bits = EvaluatorBits {
+            encrypted_bits: vec![
+                DgkCiphertext::from_raw(Ubig::from(11u64)),
+                DgkCiphertext::from_raw(Ubig::from(22u64)),
+            ],
+        };
+        roundtrip(bits);
+        roundtrip(BlindedWitnesses { witnesses: vec![DgkCiphertext::from_raw(Ubig::one())] });
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = 42u64.to_bytes();
+        let short = bytes.slice(0..4);
+        assert_eq!(u64::from_bytes(short), Err(WireError::Truncated));
+        // Vec with declared length but missing elements.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        assert_eq!(Vec::<u64>::from_bytes(buf.freeze()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = BytesMut::new();
+        7u64.encode(&mut buf);
+        buf.put_u8(0);
+        assert_eq!(u64::from_bytes(buf.freeze()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn invalid_bool_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        assert_eq!(bool::from_bytes(buf.freeze()), Err(WireError::InvalidTag(7)));
+    }
+
+    #[test]
+    fn option_tag_validation() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        assert_eq!(Option::<u64>::from_bytes(buf.freeze()), Err(WireError::InvalidTag(9)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Multi-label consensus on the CelebA surrogate: 40 sparse binary
+//! attributes voted on independently, reproducing the paper's Fig. 6
+//! observation — contested *positive* attributes are the ones that fail
+//! consensus, pushing released label vectors toward all-negative.
+//!
+//! Run: `cargo run --release -p consensus-core --example celeba_attributes`
+
+use consensus_core::config::ConsensusConfig;
+use consensus_core::pipeline::{MultiLabelExperiment, MultiLabelPolicy, PartitionKind};
+use mlsim::model::TrainConfig;
+use mlsim::partition::Division;
+use mlsim::synthetic::SparseAttributeSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let spec = SparseAttributeSpec::celeba_like();
+
+    println!("CelebA-like workload: 40 binary attributes, positive rate ≈ 0.15\n");
+    println!(
+        "{:<8} {:<14} {:>14} {:>12} {:>10}",
+        "users", "distribution", "consensus rate", "label acc", "agg acc"
+    );
+    for users in [10usize, 50, 100] {
+        for (name, kind) in [
+            ("even", PartitionKind::Even),
+            ("2-8", PartitionKind::Uneven(Division::D28)),
+        ] {
+            let mut exp = MultiLabelExperiment::new(
+                spec,
+                users,
+                ConsensusConfig::paper_default(2.0, 2.0),
+            )
+            .with_partition(kind);
+            exp.train_size = 2000;
+            exp.public_size = 120;
+            exp.test_size = 400;
+            exp.train_config = TrainConfig { epochs: 12, ..TrainConfig::default() };
+            let out = exp.run(&mut rng);
+            println!(
+                "{:<8} {:<14} {:>14.3} {:>12.3} {:>10.3}",
+                users,
+                name,
+                out.consensus_rate.unwrap_or(0.0),
+                out.label_stats.label_accuracy,
+                out.aggregator_accuracy
+            );
+        }
+    }
+
+    println!("\nAblation: the strict all-attributes retention policy");
+    let mut exp = MultiLabelExperiment::new(
+        spec,
+        25,
+        ConsensusConfig::paper_default(2.0, 2.0),
+    );
+    exp.policy = MultiLabelPolicy::AllAttributes;
+    exp.train_size = 2000;
+    exp.public_size = 120;
+    exp.test_size = 400;
+    exp.train_config = TrainConfig { epochs: 12, ..TrainConfig::default() };
+    let strict = exp.run(&mut rng);
+    println!(
+        "all-attributes policy at 25 users: retention {:.3} (a sample is dropped unless every \
+         one of its 40 attributes reaches consensus)",
+        strict.label_stats.retention()
+    );
+    println!(
+        "\nSparse positives are exactly the attributes that fail consensus, so the released \
+         vectors drift toward the all-negative majority — the overfitting mechanism the paper \
+         reports on CelebA."
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the full experiment pipeline reproduces the
+//! paper's qualitative claims at miniature scale.
+
+use consensus_core::config::ConsensusConfig;
+use consensus_core::pipeline::{
+    LabelingMode, PartitionKind, SingleLabelExperiment,
+};
+use mlsim::model::TrainConfig;
+use mlsim::partition::Division;
+use mlsim::synthetic::GaussianMixtureSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn experiment(users: usize, sigma: f64) -> SingleLabelExperiment {
+    let mut exp = SingleLabelExperiment::new(
+        GaussianMixtureSpec::svhn_like(),
+        users,
+        ConsensusConfig::paper_default(sigma, sigma),
+    );
+    exp.train_size = 1500;
+    exp.public_size = 250;
+    exp.test_size = 400;
+    exp.train_config = TrainConfig { epochs: 15, ..TrainConfig::default() };
+    exp
+}
+
+/// The paper's headline claim (Fig. 3): at a common privacy level and a
+/// large user count, consensus labeling beats the noisy-max baseline.
+#[test]
+fn consensus_beats_baseline_with_many_users() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut cons_acc = 0.0;
+    let mut base_acc = 0.0;
+    let rounds = 3;
+    for _ in 0..rounds {
+        let cons = experiment(50, 3.0).with_mode(LabelingMode::Consensus).run(&mut rng);
+        let base = experiment(50, 3.0).with_mode(LabelingMode::Baseline).run(&mut rng);
+        cons_acc += cons.label_stats.label_accuracy;
+        base_acc += base.label_stats.label_accuracy;
+    }
+    assert!(
+        cons_acc > base_acc,
+        "consensus label accuracy {cons_acc} must beat baseline {base_acc} over {rounds} rounds"
+    );
+}
+
+/// Lower privacy (more noise) must not increase label accuracy.
+#[test]
+fn accuracy_improves_as_privacy_loosens() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tight = experiment(50, 12.0).run(&mut rng); // heavy noise
+    let loose = experiment(50, 0.5).run(&mut rng); // light noise
+    assert!(
+        loose.label_stats.label_accuracy >= tight.label_stats.label_accuracy - 0.02,
+        "loose {} vs tight {}",
+        loose.label_stats.label_accuracy,
+        tight.label_stats.label_accuracy
+    );
+    assert!(loose.epsilon > tight.epsilon, "less noise must cost more ε");
+}
+
+/// Table III's driver: retention drops as the split becomes uneven, and
+/// whatever *is* retained stays accurately labeled.
+#[test]
+fn uneven_splits_cut_retention_not_label_accuracy() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let rounds = 3;
+    let mut even_r = 0.0;
+    let mut d28_r = 0.0;
+    let mut even_l = 0.0;
+    let mut d28_l = 0.0;
+    let mut d28_rounds = 0usize;
+    for _ in 0..rounds {
+        // Easy workload + ample data so the 2-8 majority teachers stay
+        // informative enough to retain some labels (the paper's regime).
+        let mut base = experiment(50, 1.0);
+        base.spec = GaussianMixtureSpec::mnist_like();
+        base.train_size = 4000;
+        let even = base.clone().run(&mut rng);
+        let d28 = base
+            .with_partition(PartitionKind::Uneven(Division::D28))
+            .run(&mut rng);
+        even_r += even.label_stats.retention();
+        d28_r += d28.label_stats.retention();
+        even_l += even.label_stats.label_accuracy;
+        if d28.label_stats.retained > 0 {
+            d28_rounds += 1;
+            d28_l += d28.label_stats.label_accuracy;
+        }
+    }
+    assert!(even_r > d28_r, "even retention {even_r} must exceed 2-8 retention {d28_r}");
+    assert!(even_l / rounds as f64 > 0.85, "even labels must be accurate: {even_l}");
+    if d28_rounds > 0 {
+        assert!(
+            d28_l / d28_rounds as f64 > 0.7,
+            "retained 2-8 labels must stay accurate: {d28_l} over {d28_rounds} rounds"
+        );
+    }
+}
+
+/// The user-accuracy learning curve that drives Fig. 2(a).
+#[test]
+fn teacher_accuracy_falls_with_user_count() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let few = experiment(5, 1.0).run(&mut rng).user_accuracy.mean;
+    let many = experiment(75, 1.0).run(&mut rng).user_accuracy.mean;
+    assert!(few > many, "5 users {few} vs 75 users {many}");
+}
+
+/// Privacy reporting is consistent with the analytic Theorem 5 numbers.
+#[test]
+fn reported_epsilon_matches_accountant() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let exp = experiment(10, 4.0);
+    let out = exp.clone().run(&mut rng);
+    let expect = exp.config.epsilon(exp.public_size as u64, exp.delta);
+    assert!((out.epsilon - expect).abs() < 1e-9);
+}
