@@ -1,0 +1,336 @@
+//! Offline functional shim for the `proptest 1.x` surface used by this
+//! workspace. Each `proptest!` test runs a fixed number of cases with a
+//! deterministic generator — weaker shrinking-free checking than real
+//! proptest, but it executes the same properties.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Cases per property (real proptest default is 256; kept smaller because
+/// several properties run Paillier/DGK keygen per case).
+pub const CASES: u32 = 24;
+
+/// Sentinel message distinguishing `prop_assume!` rejection from failure.
+pub const ASSUME_REJECTED: &str = "__proptest_shim_assume_rejected__";
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// Sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects sampled values failing `pred` (resamples, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive samples", self.whence);
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a default "any value" strategy.
+pub trait ArbitraryShim: Sized {
+    /// Draws an arbitrary value, biased toward edge cases.
+    fn arbitrary(rng: &mut StdRng, case: u64) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryShim for $t {
+            fn arbitrary(rng: &mut StdRng, case: u64) -> Self {
+                // First samples hit the classic edge cases, then random.
+                match case {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.gen(),
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl ArbitraryShim for bool {
+    fn arbitrary(rng: &mut StdRng, _case: u64) -> Self {
+        rng.gen()
+    }
+}
+
+impl ArbitraryShim for f64 {
+    fn arbitrary(rng: &mut StdRng, case: u64) -> Self {
+        match case {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            _ => rng.gen_range(-1e9..1e9),
+        }
+    }
+}
+
+/// `any::<T>()` strategy.
+pub struct Any<T> {
+    case: std::cell::Cell<u64>,
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ArbitraryShim> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let case = self.case.get();
+        self.case.set(case + 1);
+        T::arbitrary(rng, case)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: ArbitraryShim>() -> Any<T> {
+    Any { case: std::cell::Cell::new(0), marker: std::marker::PhantomData }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+macro_rules! range_from_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+range_from_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// A size specifier for [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a vector strategy.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Runner configuration (accepted, largely ignored by the shim).
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Sets the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test seed derived from the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Defines property tests (shim: fixed-case loop, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($( $(#[$attr:meta])+ fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let mut __shim_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+                $(let $arg = &($strat);)*
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample($arg, &mut __shim_rng);)*
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err(e) if e == $crate::ASSUME_REJECTED => continue,
+                        Err(e) => panic!("property '{}' failed on case {}: {}", stringify!($name), __case, e),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), left, right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a), stringify!($b), left
+            ));
+        }
+    }};
+}
+
+/// Skips cases whose inputs fail a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::ASSUME_REJECTED.to_string());
+        }
+    };
+}
+
+/// Everything a property test module normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}

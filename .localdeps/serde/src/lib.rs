@@ -1,0 +1,204 @@
+//! Offline functional shim for the `serde 1.x` surface this workspace
+//! uses: the core traits, a string-capable `Serializer`/`Deserializer`
+//! model, and the `de::value` helpers the bigint tests exercise.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt::{self, Display};
+
+/// Serialization backends.
+pub mod ser {
+    use super::*;
+
+    /// Serialization error contract.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// The subset of serde's `Serializer` this workspace calls.
+    pub trait Serializer: Sized {
+        /// Success value.
+        type Ok;
+        /// Error value.
+        type Error: Error;
+
+        /// Serializes a string.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a u64.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_str(&v.to_string())
+        }
+    }
+}
+
+/// Deserialization backends.
+pub mod de {
+    use super::*;
+
+    /// Deserialization error contract.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Driver of a [`Deserializer`]'s output.
+    pub trait Visitor<'de>: Sized {
+        /// Produced value.
+        type Value;
+
+        /// Describes what the visitor expects (for error messages).
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a borrowed string.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to a type-mismatch error.
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+
+        /// Visits a u64.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to a type-mismatch error.
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+
+        /// Visits an i64.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to a type-mismatch error.
+        fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+    }
+
+    struct Expected<V>(V);
+
+    impl<'de, V: Visitor<'de>> Display for Expected<V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid type, expected ")?;
+            self.0.expecting(f)
+        }
+    }
+
+    /// The subset of serde's `Deserializer` this workspace calls.
+    pub trait Deserializer<'de>: Sized {
+        /// Error value.
+        type Error: Error;
+
+        /// Hands the backend's natural representation to `visitor`.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Conversion into a ready-made deserializer.
+    pub trait IntoDeserializer<'de, E: Error = value::Error> {
+        /// The deserializer produced.
+        type Deserializer: Deserializer<'de, Error = E>;
+        /// Converts self.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    /// Ready-made in-memory deserializers.
+    pub mod value {
+        use super::*;
+        use std::marker::PhantomData;
+
+        /// String-message error.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: Display>(msg: T) -> Self {
+                Error { msg: msg.to_string() }
+            }
+        }
+
+        /// Deserializer over a borrowed string.
+        pub struct StrDeserializer<'a, E> {
+            value: &'a str,
+            marker: PhantomData<E>,
+        }
+
+        impl<'a, E> StrDeserializer<'a, E> {
+            /// Wraps a string slice.
+            pub fn new(value: &'a str) -> Self {
+                StrDeserializer { value, marker: PhantomData }
+            }
+        }
+
+        impl<'de, 'a, E: super::Error> Deserializer<'de> for StrDeserializer<'a, E> {
+            type Error = E;
+            fn deserialize_any<V: Visitor<'de>>(
+                self,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                visitor.visit_str(self.value)
+            }
+        }
+
+        impl<'de, 'a, E: super::Error> IntoDeserializer<'de, E> for &'a str {
+            type Deserializer = StrDeserializer<'a, E>;
+            fn into_deserializer(self) -> Self::Deserializer {
+                StrDeserializer::new(self)
+            }
+        }
+    }
+}
+
+pub use de::{Deserializer, IntoDeserializer};
+pub use ser::Serializer;
+
+/// A type serializable through any [`Serializer`].
+pub trait SerializeTrait {
+    /// Serializes self.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type deserializable through any [`Deserializer`].
+pub trait DeserializeTrait<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// The derive macros and the traits share names in serde; in this shim the
+// macro names come from `serde_derive` (macro namespace) and these trait
+// aliases occupy the type namespace under the same names.
+pub use DeserializeTrait as Deserialize;
+pub use SerializeTrait as Serialize;

@@ -1,0 +1,18 @@
+//! Offline shim: `#[derive(Serialize, Deserialize)]` that expands to
+//! nothing. The workspace derives these traits for config/metrics types
+//! but never serializes them at runtime, so empty impl-free expansion is
+//! sufficient offline.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

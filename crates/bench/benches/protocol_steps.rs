@@ -2,7 +2,6 @@
 //! "Overall" row, criterion-grade), plus the clear-path decision for the
 //! clear-vs-secure ablation of DESIGN.md §5.
 
-
 use consensus_core::clear::ClearEngine;
 use consensus_core::config::ConsensusConfig;
 use consensus_core::secure::SecureEngine;

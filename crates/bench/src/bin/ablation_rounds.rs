@@ -30,7 +30,13 @@ enum Strategy {
     Batched,
 }
 
-fn run(strategy: Strategy, keys: &SessionKeys, xs: &[i128], ys: &[i128], seed: u64) -> (usize, transport::MeterReport) {
+fn run(
+    strategy: Strategy,
+    keys: &SessionKeys,
+    xs: &[i128],
+    ys: &[i128],
+    seed: u64,
+) -> (usize, transport::MeterReport) {
     let s1_ctx = keys.server1();
     let s2_ctx = keys.server2();
     let mut net = Network::new(0);
@@ -107,7 +113,10 @@ fn main() {
         assert_eq!(winner, 2, "all strategies must find the planted maximum");
         let stats = report.link_stats(Step::CompareRank, LinkKind::ServerToServer);
         let row_time = |profile: NetworkProfile| {
-            format!("{:.1} ms", profile.step_network_time(&report, Step::CompareRank).as_secs_f64() * 1e3)
+            format!(
+                "{:.1} ms",
+                profile.step_network_time(&report, Step::CompareRank).as_secs_f64() * 1e3
+            )
         };
         table.row(vec![
             name.to_string(),

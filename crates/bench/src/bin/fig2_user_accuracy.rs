@@ -60,8 +60,7 @@ fn main() {
 
     for (spec_name, which) in [("mnist-like", 0), ("svhn-like", 1), ("celeba-like", 2)] {
         println!("Fig. 2(b-d) [{spec_name}]: majority (80/70/60% of users, small shards) vs minority accuracy\n");
-        let mut table =
-            Table::new(&["users", "2-8 maj/min", "3-7 maj/min", "4-6 maj/min"]);
+        let mut table = Table::new(&["users", "2-8 maj/min", "3-7 maj/min", "4-6 maj/min"]);
         for &users in &USER_GRID {
             let mut cells = vec![users.to_string()];
             for division in Division::ALL {

@@ -21,7 +21,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
 
     println!("Fig. 6 [celeba-like]: label / aggregator accuracy, σ = {sigma} votes\n");
-    let mut table = Table::new(&["users", "distribution", "label acc", "agg acc", "consensus rate"]);
+    let mut table =
+        Table::new(&["users", "distribution", "label acc", "agg acc", "consensus rate"]);
     let kinds = [
         ("even", PartitionKind::Even),
         ("2-8", PartitionKind::Uneven(Division::D28)),

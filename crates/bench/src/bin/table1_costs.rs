@@ -63,9 +63,8 @@ fn main() {
                 v
             })
             .collect();
-        let out = engine
-            .run_instance(&votes, Arc::clone(&meter), &mut rng)
-            .expect("secure run failed");
+        let out =
+            engine.run_instance(&votes, Arc::clone(&meter), &mut rng).expect("secure run failed");
         if out.label.is_some() {
             released += 1;
         }
@@ -86,10 +85,8 @@ fn main() {
             f3(report.step_time(step).as_secs_f64() / instances as f64),
         ]);
     }
-    table.row(vec![
-        "Overall".to_string(),
-        f3(report.total_time().as_secs_f64() / instances as f64),
-    ]);
+    table
+        .row(vec!["Overall".to_string(), f3(report.total_time().as_secs_f64() / instances as f64)]);
     table.print();
     println!("\n({released}/{instances} instances passed the threshold, ranking = {ranking:?})");
     println!("Paper reference ratios: comparison steps (4)(8) dominate; threshold check (5) ≈ 2/K of step (4); permute/restore steps are orders of magnitude cheaper.");

@@ -27,9 +27,7 @@ fn main() {
     } else {
         SessionConfig::test(users, classes)
     };
-    println!(
-        "Table II reproduction: {instances} instances, {users} users, {classes} classes"
-    );
+    println!("Table II reproduction: {instances} instances, {users} users, {classes} classes");
     let engine = SecureEngine::new(session, ConsensusConfig::paper_default(2.0, 2.0), &mut rng);
     let meter = Meter::new();
 

@@ -41,9 +41,7 @@ impl Args {
         let flag = format!("--{name}");
         for pair in self.raw.windows(2) {
             if pair[0] == flag {
-                return pair[1]
-                    .parse()
-                    .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+                return pair[1].parse().unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
             }
         }
         default

@@ -120,8 +120,7 @@ impl Sub<&Ubig> for &Ubig {
     ///
     /// Panics if `rhs > self` (unsigned subtraction underflow).
     fn sub(self, rhs: &Ubig) -> Ubig {
-        self.checked_sub(rhs)
-            .expect("Ubig subtraction underflow: rhs > self")
+        self.checked_sub(rhs).expect("Ubig subtraction underflow: rhs > self")
     }
 }
 

@@ -75,8 +75,7 @@ impl Ubig {
             // Refine: while q̂ is a full limb too large or overshoots the
             // next limb, decrement.
             while qhat >> LIMB_BITS != 0
-                || qhat * v_next as DoubleLimb
-                    > ((rhat << LIMB_BITS) | un[j + n - 2] as DoubleLimb)
+                || qhat * v_next as DoubleLimb > ((rhat << LIMB_BITS) | un[j + n - 2] as DoubleLimb)
             {
                 qhat -= 1;
                 rhat += v_top as DoubleLimb;

@@ -35,7 +35,7 @@ pub fn modadd(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
 /// Panics if `m` is zero.
 pub fn modsub(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
     let a = a % m;
-    let b = &*b % m;
+    let b = b % m;
     if a >= b {
         a - b
     } else {
@@ -221,20 +221,19 @@ mod tests {
 
     #[test]
     fn crt_reconstructs() {
-        let x = crt_pair(
-            &Ubig::from(6u64),
-            &Ubig::from(7u64),
-            &Ubig::from(4u64),
-            &Ubig::from(11u64),
-        )
-        .unwrap();
+        let x =
+            crt_pair(&Ubig::from(6u64), &Ubig::from(7u64), &Ubig::from(4u64), &Ubig::from(11u64))
+                .unwrap();
         assert_eq!(&x % &Ubig::from(7u64), Ubig::from(6u64));
         assert_eq!(&x % &Ubig::from(11u64), Ubig::from(4u64));
-        assert!(x < Ubig::from(77u64));
+        let modulus = Ubig::from(77u64);
+        assert!(x < modulus);
     }
 
     #[test]
     fn crt_rejects_common_factor() {
-        assert!(crt_pair(&Ubig::one(), &Ubig::from(6u64), &Ubig::one(), &Ubig::from(9u64)).is_none());
+        assert!(
+            crt_pair(&Ubig::one(), &Ubig::from(6u64), &Ubig::one(), &Ubig::from(9u64)).is_none()
+        );
     }
 }

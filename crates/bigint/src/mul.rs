@@ -68,10 +68,7 @@ fn split(x: &[Limb], at: usize) -> (Ubig, Ubig) {
     if x.len() <= at {
         (Ubig::from_limbs(x.to_vec()), Ubig::zero())
     } else {
-        (
-            Ubig::from_limbs(x[..at].to_vec()),
-            Ubig::from_limbs(x[at..].to_vec()),
-        )
+        (Ubig::from_limbs(x[..at].to_vec()), Ubig::from_limbs(x[at..].to_vec()))
     }
 }
 
@@ -155,7 +152,8 @@ mod tests {
     fn karatsuba_agrees_with_schoolbook() {
         // Build operands wide enough to trip the Karatsuba branch.
         let a: Vec<Limb> = (0..80).map(|i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).collect();
-        let b: Vec<Limb> = (0..70).map(|i| (i as u64).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ 0xff).collect();
+        let b: Vec<Limb> =
+            (0..70).map(|i| (i as u64).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ 0xff).collect();
         let kara = mul_karatsuba(&a, &b);
         let school = mul_schoolbook(&a, &b);
         assert_eq!(Ubig::from_limbs(kara), Ubig::from_limbs(school));

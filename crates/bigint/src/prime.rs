@@ -8,9 +8,9 @@ use crate::Ubig;
 
 /// Small primes used for fast trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Deterministic Miller–Rabin witnesses for `n < 3.3 * 10^24` (covers all
@@ -69,9 +69,7 @@ pub fn is_prime<R: Rng + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
     let d = &n_minus_1 >> (s as u32);
 
     if n.bits() <= 81 {
-        DETERMINISTIC_WITNESSES
-            .iter()
-            .all(|&a| is_sprp(n, &Ubig::from(a), &d, s))
+        DETERMINISTIC_WITNESSES.iter().all(|&a| is_sprp(n, &Ubig::from(a), &d, s))
     } else {
         (0..RANDOM_ROUNDS).all(|_| {
             let a = gen_range(rng, &Ubig::two(), &n_minus_1);
@@ -113,10 +111,7 @@ pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Ubig {
 pub fn gen_prime_with_divisor<R: Rng + ?Sized>(rng: &mut R, bits: u64, m: &Ubig) -> Ubig {
     assert!(!m.is_zero(), "divisor must be positive");
     let m_bits = m.bits();
-    assert!(
-        bits > m_bits + 1,
-        "bits ({bits}) must exceed divisor bits ({m_bits}) + 1"
-    );
+    assert!(bits > m_bits + 1, "bits ({bits}) must exceed divisor bits ({m_bits}) + 1");
     loop {
         // p = k*m + 1 with k sized so p has exactly `bits` bits.
         let k_bits = bits - m_bits;

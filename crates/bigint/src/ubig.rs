@@ -82,7 +82,7 @@ impl Ubig {
     /// assert!(!Ubig::from(7u64).is_even());
     /// ```
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Whether the lowest bit is one.
@@ -111,7 +111,7 @@ impl Ubig {
     pub fn bit(&self, i: u64) -> bool {
         let limb = (i / LIMB_BITS as u64) as usize;
         let off = (i % LIMB_BITS as u64) as u32;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`, growing the representation if needed.

@@ -154,7 +154,9 @@ mod tests {
         let mut r = rng();
         // 100 users, threshold 60; top vote 30 is ~15σ below the bar.
         let rejections = (0..200)
-            .filter(|_| private_aggregate(&[30.0, 25.0, 45.0 - 30.0], 100, &config, &mut r).is_none())
+            .filter(|_| {
+                private_aggregate(&[30.0, 25.0, 45.0 - 30.0], 100, &config, &mut r).is_none()
+            })
             .count();
         assert_eq!(rejections, 200, "deep-below-threshold queries must all abort");
     }

@@ -107,8 +107,10 @@ impl ClearEngine {
         let mut z1 = vec![0i64; self.num_classes];
         let mut z2 = vec![0i64; self.num_classes];
         for _ in 0..self.num_users {
-            let s1 = draw_user_noise_shares(self.config.sigma1, self.num_users, self.num_classes, rng);
-            let s2 = draw_user_noise_shares(self.config.sigma2, self.num_users, self.num_classes, rng);
+            let s1 =
+                draw_user_noise_shares(self.config.sigma1, self.num_users, self.num_classes, rng);
+            let s2 =
+                draw_user_noise_shares(self.config.sigma2, self.num_users, self.num_classes, rng);
             for k in 0..self.num_classes {
                 z1[k] += s1.for_s1[k] + s1.for_s2[k];
                 z2[k] += s2.for_s1[k] + s2.for_s2[k];
@@ -116,7 +118,13 @@ impl ClearEngine {
         }
         let threshold_scaled = scale_votes(self.config.threshold_votes(self.num_users));
         let label = threshold_decision_scaled(&counts, &z1, &z2, threshold_scaled);
-        ClearOutcome { label, counts_scaled: counts, z1_scaled: z1, z2_scaled: z2, threshold_scaled }
+        ClearOutcome {
+            label,
+            counts_scaled: counts,
+            z1_scaled: z1,
+            z2_scaled: z2,
+            threshold_scaled,
+        }
     }
 }
 
@@ -148,7 +156,18 @@ mod tests {
         let engine = ClearEngine::new(ConsensusConfig::paper_default(0.3, 0.3), 10, 3);
         let mut rng = StdRng::seed_from_u64(2);
         let votes: Vec<Vec<f64>> = (0..10)
-            .map(|u| onehot(if u < 4 { 0 } else if u < 7 { 1 } else { 2 }, 3))
+            .map(|u| {
+                onehot(
+                    if u < 4 {
+                        0
+                    } else if u < 7 {
+                        1
+                    } else {
+                        2
+                    },
+                    3,
+                )
+            })
             .collect();
         for _ in 0..20 {
             assert_eq!(engine.decide(&votes, &mut rng).label, None);

@@ -27,6 +27,11 @@ pub struct ConsensusConfig {
     pub sigma2: f64,
     /// Vote representation.
     pub vote_kind: VoteKind,
+    /// Quorum for dropout-resilient rounds: the minimum number of users
+    /// whose uploads must survive a collection step for the round to
+    /// continue. `None` keeps the strict protocol, where any user
+    /// failure fails the round.
+    pub min_users: Option<usize>,
 }
 
 impl ConsensusConfig {
@@ -42,7 +47,13 @@ impl ConsensusConfig {
             "threshold fraction must be in (0, 1]"
         );
         assert!(sigma1 >= 0.0 && sigma2 >= 0.0, "noise scales must be non-negative");
-        ConsensusConfig { threshold_fraction, sigma1, sigma2, vote_kind: VoteKind::OneHot }
+        ConsensusConfig {
+            threshold_fraction,
+            sigma1,
+            sigma2,
+            vote_kind: VoteKind::OneHot,
+            min_users: None,
+        }
     }
 
     /// The paper's default: 60% threshold.
@@ -54,6 +65,20 @@ impl ConsensusConfig {
     #[must_use]
     pub fn with_vote_kind(mut self, kind: VoteKind) -> Self {
         self.vote_kind = kind;
+        self
+    }
+
+    /// Enables dropout-resilient rounds with the given quorum: a round
+    /// proceeds over the surviving set `U' ⊆ U` as long as
+    /// `|U'| ≥ min_users`, and aborts with a typed error below that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_users` is zero.
+    #[must_use]
+    pub fn with_min_users(mut self, min_users: usize) -> Self {
+        assert!(min_users > 0, "quorum must be at least one user");
+        self.min_users = Some(min_users);
         self
     }
 

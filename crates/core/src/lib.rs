@@ -49,4 +49,4 @@ pub mod secure;
 pub use campaign::{Campaign, CampaignOutcome};
 pub use config::{ConsensusConfig, VoteKind};
 pub use pipeline::{ExperimentOutcome, LabelingMode};
-pub use secure::{SecureEngine, SecureOutcome};
+pub use secure::{RoundHealth, SecureEngine, SecureOutcome, SecureWitness};

@@ -216,14 +216,9 @@ impl SingleLabelExperiment {
         }
 
         let label_stats = LabelingStats::from_released(&released, public.len());
-        let aggregator_accuracy = train_student(
-            &kept_features,
-            &kept_labels,
-            train.num_classes,
-            &self.train_config,
-            rng,
-        )
-        .map_or(0.0, |student| student.accuracy(test));
+        let aggregator_accuracy =
+            train_student(&kept_features, &kept_labels, train.num_classes, &self.train_config, rng)
+                .map_or(0.0, |student| student.accuracy(test));
 
         let epsilon = match self.mode {
             LabelingMode::Consensus => self.config.epsilon(public.len() as u64, self.delta),
@@ -366,13 +361,7 @@ impl MultiLabelExperiment {
                 let decided: Option<bool> = match self.mode {
                     LabelingMode::Consensus => {
                         let votes: Vec<Vec<f64>> = (0..self.num_users)
-                            .map(|u| {
-                                if (u as f64) < pos {
-                                    vec![0.0, 1.0]
-                                } else {
-                                    vec![1.0, 0.0]
-                                }
-                            })
+                            .map(|u| if (u as f64) < pos { vec![0.0, 1.0] } else { vec![1.0, 0.0] })
                             .collect();
                         engine.decide(&votes, rng).label.map(|l| l == 1)
                     }
@@ -497,10 +486,7 @@ mod tests {
         let sigma_b = baseline_sigma_for_parity(&config, 1e-6);
         let consensus_eps = config.epsilon(1, 1e-6);
         let baseline_eps = LinearRdp::report_noisy_max(sigma_b).to_epsilon(1e-6);
-        assert!(
-            (consensus_eps - baseline_eps).abs() < 1e-6,
-            "{consensus_eps} vs {baseline_eps}"
-        );
+        assert!((consensus_eps - baseline_eps).abs() < 1e-6, "{consensus_eps} vs {baseline_eps}");
         // RNM-only needs less noise than the SVT+RNM pair for the same ε.
         assert!(sigma_b < 30.0 * 1.7 && sigma_b > 10.0, "sigma_b {sigma_b}");
     }

@@ -27,6 +27,20 @@
 //! the two servers on real threads. Every message is metered per step,
 //! and S1's thread records per-step wall time — together regenerating
 //! Tables I and II.
+//!
+//! # Failure model
+//!
+//! By default the protocol is strict: any lost user upload fails the
+//! round with a transport error. Configuring a quorum
+//! ([`ConsensusConfig::with_min_users`]) or attaching a
+//! [`FaultPlan`](transport::FaultPlan) switches the engine to
+//! *dropout-resilient* rounds: the servers collect whatever arrives
+//! within the round deadline, reconcile their surviving sets over the
+//! server↔server link, and either continue over `U' ⊆ U` or abort with
+//! the typed [`SmcError::QuorumLost`]. Every outcome carries a
+//! [`RoundHealth`] record of who survived, who dropped at which step,
+//! and the noise scale actually realized (see `DESIGN.md`, "Failure
+//! model").
 
 use std::sync::Arc;
 
@@ -41,9 +55,12 @@ use smc::batch::{server1_argmax_batched, server2_argmax_batched};
 use smc::blind_permute::{server1_blind_permute, server2_blind_permute};
 use smc::compare::{server1_compare_geq, server2_compare_geq};
 use smc::restoration::{server1_restore, server2_restore};
-use smc::secure_sum::{aggregate_user_vectors, send_share_to_server1, send_share_to_server2};
+use smc::secure_sum::{
+    aggregate_surviving_vectors, aggregate_user_vectors, send_share_to_server1,
+    send_share_to_server2,
+};
 use smc::{ServerContext, SessionConfig, SessionKeys, SmcError};
-use transport::{Endpoint, Meter, Network, Step};
+use transport::{Endpoint, FaultPlan, Meter, Network, PartyId, Step, TimeoutPolicy};
 
 use crate::clear::draw_user_noise_shares;
 use crate::config::{scale_vote_vector, scale_votes, split_evenly, ConsensusConfig};
@@ -52,25 +69,87 @@ use crate::config::{scale_vote_vector, scale_votes, split_evenly, ConsensusConfi
 /// users — the ground truth the secure output can be checked against
 /// (Theorem 3 correctness). A real deployment has no such observer; this
 /// exists because the harness legitimately controls every party.
+///
+/// Under dropout-resilient rounds the aggregates cover exactly the users
+/// the servers actually counted: `counts_scaled`/`z1_scaled` sum over the
+/// step-2 survivors `U'`, `noisy_counts_scaled`/`z2_scaled` over the
+/// step-6 survivors `U'' ⊆ U'`, and `threshold_scaled` is the *effective*
+/// threshold embedded in the surviving shares.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecureWitness {
-    /// Exact scaled vote counts.
+    /// Exact scaled vote counts over the step-2 survivors.
     pub counts_scaled: Vec<i64>,
-    /// Aggregated scaled threshold noise.
+    /// Aggregated scaled threshold noise over the step-2 survivors.
     pub z1_scaled: Vec<i64>,
-    /// Aggregated scaled argmax noise.
+    /// Exact scaled vote counts over the step-6 survivors (equals
+    /// `counts_scaled` whenever no user dropped between steps 2 and 6).
+    pub noisy_counts_scaled: Vec<i64>,
+    /// Aggregated scaled argmax noise over the step-6 survivors.
     pub z2_scaled: Vec<i64>,
-    /// The scaled threshold.
+    /// The effective scaled threshold the surviving shares embed.
     pub threshold_scaled: i64,
 }
 
+/// Structured fault history of one protocol round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundHealth {
+    /// The roster the round was launched with.
+    pub intended_users: Vec<usize>,
+    /// Users whose step-2 upload reached both servers (`U'`).
+    pub survivors: Vec<usize>,
+    /// Users whose step-6 upload reached both servers (`U'' ⊆ U'`);
+    /// `None` when the round never reached step 6 (threshold rejection).
+    pub noisy_survivors: Option<Vec<usize>>,
+    /// Users lost during the round, each with the step it first failed.
+    pub dropouts: Vec<(usize, Step)>,
+    /// Extended receive windows this round consumed.
+    pub retries: u64,
+    /// Receives that exhausted every retry window.
+    pub timeouts: u64,
+    /// The threshold-noise scale actually realized: the users drew
+    /// shares calibrated for `|U|` participants, so the `|U'|` surviving
+    /// shares sum to `N(0, σ₁²·|U'|/|U|)`.
+    pub realized_sigma1: f64,
+    /// The argmax-noise scale actually realized over `U''`; `None` when
+    /// step 6 never ran.
+    pub realized_sigma2: Option<f64>,
+}
+
+impl RoundHealth {
+    /// `true` when every intended user survived and no receive needed a
+    /// retry — the round ran exactly as the strict protocol would.
+    pub fn is_clean(&self) -> bool {
+        self.dropouts.is_empty() && self.retries == 0 && self.timeouts == 0
+    }
+
+    /// The RDP cost of the round *actually executed*: the Sparse Vector
+    /// test at the realized `σ₁`, composed with Report Noisy Max at the
+    /// realized `σ₂` only if the release step ran. Dropouts shrink the
+    /// realized noise, so a faulty round charges **more** privacy budget
+    /// than a clean one — the accountant must never assume the
+    /// calibrated scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a realized scale is zero (infinite privacy loss).
+    pub fn charged_rdp(&self) -> dp::rdp::LinearRdp {
+        let svt = dp::rdp::LinearRdp::sparse_vector(self.realized_sigma1);
+        match self.realized_sigma2 {
+            Some(s2) => svt.compose(&dp::rdp::LinearRdp::report_noisy_max(s2)),
+            None => svt,
+        }
+    }
+}
+
 /// Output of one secure consensus query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecureOutcome {
     /// The released label (`None` = `⊥`, threshold failed).
     pub label: Option<usize>,
     /// Driver-side ground truth for verification.
     pub witness: SecureWitness,
+    /// Fault history: survivors, dropouts, retries, realized noise.
+    pub health: RoundHealth,
 }
 
 /// How the servers rank the permuted sequences in steps 4 and 8.
@@ -93,12 +172,22 @@ pub struct SecureEngine {
     keys: SessionKeys,
     consensus: ConsensusConfig,
     ranking: RankingStrategy,
+    timeout: TimeoutPolicy,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for SecureEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SecureEngine({:?})", self.keys.config())
     }
+}
+
+/// What one server learned from a full protocol run: the label plus the
+/// surviving sets its aggregations actually covered.
+struct ServerReport {
+    label: Option<usize>,
+    survivors: Vec<usize>,
+    noisy_survivors: Option<Vec<usize>>,
 }
 
 impl SecureEngine {
@@ -109,22 +198,40 @@ impl SecureEngine {
         consensus: ConsensusConfig,
         rng: &mut R,
     ) -> Self {
-        SecureEngine {
-            keys: SessionKeys::generate(session, rng),
-            consensus,
-            ranking: RankingStrategy::default(),
-        }
+        Self::with_keys(SessionKeys::generate(session, rng), consensus)
     }
 
     /// Builds an engine from pre-generated keys.
     pub fn with_keys(keys: SessionKeys, consensus: ConsensusConfig) -> Self {
-        SecureEngine { keys, consensus, ranking: RankingStrategy::default() }
+        SecureEngine {
+            keys,
+            consensus,
+            ranking: RankingStrategy::default(),
+            timeout: TimeoutPolicy::default(),
+            faults: None,
+        }
     }
 
     /// Selects the ranking strategy for steps 4 and 8.
     #[must_use]
     pub fn with_ranking(mut self, ranking: RankingStrategy) -> Self {
         self.ranking = ranking;
+        self
+    }
+
+    /// Sets the per-receive deadline/retry policy every round's network
+    /// is built with (the default waits 120 s with no retries).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: TimeoutPolicy) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan to every round's
+    /// network, and switches the engine to dropout-resilient rounds.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -143,8 +250,26 @@ impl SecureEngine {
         &self.consensus
     }
 
+    /// Whether rounds run dropout-resilient (quorum configured or faults
+    /// injected) instead of strict.
+    pub fn resilient(&self) -> bool {
+        self.faults.is_some() || self.consensus.min_users.is_some()
+    }
+
+    /// The quorum resilient rounds enforce: the configured `min_users`,
+    /// or 1 when resilience was triggered by a fault plan alone.
+    fn quorum(&self) -> usize {
+        self.consensus.min_users.unwrap_or(1)
+    }
+
     /// Runs a batch of queries sequentially, sharing the key material and
     /// meter — how the cost-table binaries drive multi-instance runs.
+    ///
+    /// In resilient mode the surviving roster carries across instances:
+    /// a user that dropped out of round `k` is not waited for in round
+    /// `k+1`, and the remaining users draw their distributed noise
+    /// shares recalibrated to `N(0, σ²/(2|U'|))` so later rounds regain
+    /// the full aggregate noise scale.
     ///
     /// # Errors
     ///
@@ -160,20 +285,31 @@ impl SecureEngine {
         meter: Arc<Meter>,
         rng: &mut R,
     ) -> Result<Vec<SecureOutcome>, SmcError> {
-        instances
-            .iter()
-            .map(|votes| self.run_instance(votes, Arc::clone(&meter), rng))
-            .collect()
+        let total_users = self.keys.config().num_users;
+        let resilient = self.resilient();
+        let mut roster: Vec<usize> = (0..total_users).collect();
+        let mut outcomes = Vec::with_capacity(instances.len());
+        for votes in instances {
+            assert_eq!(votes.len(), total_users, "one vote vector per user");
+            let surviving_votes: Vec<Vec<f64>> = roster.iter().map(|&u| votes[u].clone()).collect();
+            let out = self.run_round(&surviving_votes, &roster, Arc::clone(&meter), rng)?;
+            if resilient {
+                roster = out.health.survivors.clone();
+            }
+            outcomes.push(out);
+        }
+        Ok(outcomes)
     }
 
-    /// Runs one query end to end. `votes` holds each user's vote vector
-    /// in vote units (one-hot or softmax). Traffic and timing are
-    /// recorded into `meter`.
+    /// Runs one query end to end over the full user set. `votes` holds
+    /// each user's vote vector in vote units (one-hot or softmax).
+    /// Traffic and timing are recorded into `meter`.
     ///
     /// # Errors
     ///
-    /// Propagates protocol failures ([`SmcError`]). A threshold rejection
-    /// is *not* an error: it returns `label: None`.
+    /// Propagates protocol failures ([`SmcError`]), including the typed
+    /// [`SmcError::QuorumLost`] abort of resilient rounds. A threshold
+    /// rejection is *not* an error: it returns `label: None`.
     ///
     /// # Panics
     ///
@@ -185,9 +321,46 @@ impl SecureEngine {
         meter: Arc<Meter>,
         rng: &mut R,
     ) -> Result<SecureOutcome, SmcError> {
-        let num_users = self.keys.config().num_users;
+        let roster: Vec<usize> = (0..self.keys.config().num_users).collect();
+        self.run_round(votes, &roster, meter, rng)
+    }
+
+    /// Runs one query over an explicit `roster` of user ids — `votes[i]`
+    /// is the vote vector of user `roster[i]`. [`Self::run_batch`] uses
+    /// this to keep dropped users out of later rounds; the distributed
+    /// noise each roster user draws is calibrated for `|roster|`
+    /// participants, and so is the threshold `T = fraction·|roster|`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_instance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vote matrix shape disagrees with the roster, if the
+    /// roster is empty or not a strictly ascending list of known user
+    /// ids, or if a partial roster is used without resilient mode.
+    pub fn run_round<R: Rng + ?Sized>(
+        &self,
+        votes: &[Vec<f64>],
+        roster: &[usize],
+        meter: Arc<Meter>,
+        rng: &mut R,
+    ) -> Result<SecureOutcome, SmcError> {
+        let total_users = self.keys.config().num_users;
         let num_classes = self.keys.config().num_classes;
-        assert_eq!(votes.len(), num_users, "one vote vector per user");
+        let num_users = roster.len();
+        assert!(num_users > 0, "roster must not be empty");
+        assert!(
+            roster.windows(2).all(|w| w[0] < w[1]) && *roster.last().unwrap() < total_users,
+            "roster must be strictly ascending user ids below {total_users}"
+        );
+        assert_eq!(votes.len(), num_users, "one vote vector per roster user");
+        let mode: Option<usize> = if self.resilient() { Some(self.quorum()) } else { None };
+        assert!(
+            mode.is_some() || roster.iter().copied().eq(0..total_users),
+            "a partial roster requires resilient mode (set min_users or attach a fault plan)"
+        );
 
         let threshold_scaled = scale_votes(self.consensus.threshold_votes(num_users));
         // Exact integer split of T across 2|U| share slots: the first |U|
@@ -195,41 +368,42 @@ impl SecureEngine {
         let offsets = split_evenly(threshold_scaled, 2 * num_users);
         let (off1, off2) = offsets.split_at(num_users);
 
-        let mut net = Network::with_meter(num_users, meter);
-        let mut s1_endpoint = net.take_endpoint(transport::PartyId::Server1);
-        let mut s2_endpoint = net.take_endpoint(transport::PartyId::Server2);
+        let fault_stats_before = meter.fault_stats();
+        let mut builder =
+            Network::builder(total_users).meter(Arc::clone(&meter)).timeout(self.timeout);
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(plan.clone());
+        }
+        let mut net = builder.build();
+        let mut s1_endpoint = net.take_endpoint(PartyId::Server1);
+        let mut s2_endpoint = net.take_endpoint(PartyId::Server2);
         let user_ctx = self.keys.user();
         let domain = user_ctx.domain();
 
         // ---- User phase: share, add noise, send. ----
-        let mut witness = SecureWitness {
-            counts_scaled: vec![0i64; num_classes],
-            z1_scaled: vec![0i64; num_classes],
-            z2_scaled: vec![0i64; num_classes],
-            threshold_scaled,
-        };
-        for (u, vote) in votes.iter().enumerate() {
+        // Contributions are kept per user: which ones enter the witness
+        // aggregates depends on who the servers end up counting.
+        let mut user_counts: Vec<Vec<i64>> = Vec::with_capacity(num_users);
+        let mut user_z1: Vec<Vec<i64>> = Vec::with_capacity(num_users);
+        let mut user_z2: Vec<Vec<i64>> = Vec::with_capacity(num_users);
+        for (idx, (&u, vote)) in roster.iter().zip(votes).enumerate() {
             assert_eq!(vote.len(), num_classes, "vote arity for user {u}");
-            let endpoint = net.take_endpoint(transport::PartyId::User(u));
+            let endpoint = net.take_endpoint(PartyId::User(u));
             let scaled = scale_vote_vector(vote);
             let z1 = draw_user_noise_shares(self.consensus.sigma1, num_users, num_classes, rng);
             let z2 = draw_user_noise_shares(self.consensus.sigma2, num_users, num_classes, rng);
-            for k in 0..num_classes {
-                witness.counts_scaled[k] += scaled[k];
-                witness.z1_scaled[k] += z1.for_s1[k] + z1.for_s2[k];
-                witness.z2_scaled[k] += z2.for_s1[k] + z2.for_s2[k];
-            }
+            user_z1.push((0..num_classes).map(|k| z1.for_s1[k] + z1.for_s2[k]).collect());
+            user_z2.push((0..num_classes).map(|k| z2.for_s1[k] + z2.for_s2[k]).collect());
 
             let as_i128: Vec<i128> = scaled.iter().map(|&v| v as i128).collect();
+            user_counts.push(scaled);
             let (a, b) = domain.split_vec(&as_i128, rng);
 
             // Step 2 payloads.
-            let thresh_a: Vec<i128> = (0..num_classes)
-                .map(|k| a[k] - off1[u] as i128 + z1.for_s1[k] as i128)
-                .collect();
-            let thresh_b: Vec<i128> = (0..num_classes)
-                .map(|k| off2[u] as i128 - b[k] - z1.for_s2[k] as i128)
-                .collect();
+            let thresh_a: Vec<i128> =
+                (0..num_classes).map(|k| a[k] - off1[idx] as i128 + z1.for_s1[k] as i128).collect();
+            let thresh_b: Vec<i128> =
+                (0..num_classes).map(|k| off2[idx] as i128 - b[k] - z1.for_s2[k] as i128).collect();
             // Step 6 payloads.
             let noisy_a: Vec<i128> =
                 (0..num_classes).map(|k| a[k] + z2.for_s1[k] as i128).collect();
@@ -252,23 +426,81 @@ impl SecureEngine {
         let ranking = self.ranking;
         let (r1, r2) = std::thread::scope(|scope| {
             let h1 = scope.spawn(|| {
-                server1_run(&mut s1_endpoint, &ctx1, num_users, num_classes, seed1, ranking)
+                server1_run(&mut s1_endpoint, &ctx1, roster, num_classes, seed1, ranking, mode)
             });
             let h2 = scope.spawn(|| {
-                server2_run(&mut s2_endpoint, &ctx2, num_users, num_classes, seed2, ranking)
+                server2_run(&mut s2_endpoint, &ctx2, roster, num_classes, seed2, ranking, mode)
             });
             (h1.join().expect("S1 thread panicked"), h2.join().expect("S2 thread panicked"))
         });
         // When one server fails mid-protocol the other times out waiting;
         // surface the root cause, not the timeout it induced.
-        let (label1, label2) = match (r1, r2) {
+        let (rep1, rep2) = match (r1, r2) {
             (Ok(l1), Ok(l2)) => (l1, l2),
             (Err(SmcError::Transport(_)), Err(root)) => return Err(root),
             (Err(root), _) => return Err(root),
             (_, Err(root)) => return Err(root),
         };
-        assert_eq!(label1, label2, "servers must agree on the outcome");
-        Ok(SecureOutcome { label: label1, witness })
+        assert_eq!(rep1.label, rep2.label, "servers must agree on the outcome");
+        assert_eq!(rep1.survivors, rep2.survivors, "servers must agree on the surviving set");
+        assert_eq!(
+            rep1.noisy_survivors, rep2.noisy_survivors,
+            "servers must agree on the step-6 surviving set"
+        );
+        let ServerReport { label, survivors, noisy_survivors } = rep1;
+
+        // ---- Witness and health over the sets actually counted. ----
+        let pos = |user: usize| {
+            roster.iter().position(|&r| r == user).expect("survivor must be on the roster")
+        };
+        let mut witness = SecureWitness {
+            counts_scaled: vec![0i64; num_classes],
+            z1_scaled: vec![0i64; num_classes],
+            noisy_counts_scaled: vec![0i64; num_classes],
+            z2_scaled: vec![0i64; num_classes],
+            threshold_scaled: survivors.iter().map(|&u| off1[pos(u)] + off2[pos(u)]).sum(),
+        };
+        for &u in &survivors {
+            let p = pos(u);
+            for k in 0..num_classes {
+                witness.counts_scaled[k] += user_counts[p][k];
+                witness.z1_scaled[k] += user_z1[p][k];
+            }
+        }
+        let z2_cohort = noisy_survivors.as_deref().unwrap_or(&survivors);
+        for &u in z2_cohort {
+            let p = pos(u);
+            for k in 0..num_classes {
+                witness.noisy_counts_scaled[k] += user_counts[p][k];
+                witness.z2_scaled[k] += user_z2[p][k];
+            }
+        }
+
+        let fault_stats = meter.fault_stats();
+        let mut dropouts: Vec<(usize, Step)> = roster
+            .iter()
+            .filter(|u| !survivors.contains(u))
+            .map(|&u| (u, Step::SecureSumVotes))
+            .collect();
+        if let Some(nv) = &noisy_survivors {
+            dropouts.extend(
+                survivors.iter().filter(|u| !nv.contains(u)).map(|&u| (u, Step::SecureSumNoisy)),
+            );
+        }
+        let share_fraction = |cohort: usize| (cohort as f64 / num_users as f64).sqrt();
+        let health = RoundHealth {
+            intended_users: roster.to_vec(),
+            realized_sigma1: self.consensus.sigma1 * share_fraction(survivors.len()),
+            realized_sigma2: noisy_survivors
+                .as_ref()
+                .map(|nv| self.consensus.sigma2 * share_fraction(nv.len())),
+            survivors,
+            noisy_survivors,
+            dropouts,
+            retries: fault_stats.retries - fault_stats_before.retries,
+            timeouts: fault_stats.timeouts - fault_stats_before.timeouts,
+        };
+        Ok(SecureOutcome { label, witness, health })
     }
 }
 
@@ -308,31 +540,121 @@ fn server2_rank<R: Rng + ?Sized>(
     }
 }
 
+/// The aggregated vote vector, threshold vector and surviving user ids
+/// of a step-2 collection.
+type VotesThreshSurvivors = (Vec<Ciphertext>, Vec<Ciphertext>, Vec<usize>);
+
+/// Step-2 collection for either server: strict (`quorum == None`, every
+/// roster upload must arrive) or resilient (collect what arrives,
+/// reconcile survivors with the peer, enforce the quorum).
+fn collect_votes_and_thresh(
+    endpoint: &mut Endpoint,
+    roster: &[usize],
+    num_classes: usize,
+    peer_key: &paillier::PublicKey,
+    peer_server: PartyId,
+    quorum: Option<usize>,
+) -> Result<VotesThreshSurvivors, SmcError> {
+    match quorum {
+        None => {
+            let votes = aggregate_user_vectors(
+                endpoint,
+                Step::SecureSumVotes,
+                roster.len(),
+                num_classes,
+                peer_key,
+            )?;
+            let thresh = aggregate_user_vectors(
+                endpoint,
+                Step::SecureSumVotes,
+                roster.len(),
+                num_classes,
+                peer_key,
+            )?;
+            Ok((votes, thresh, roster.to_vec()))
+        }
+        Some(q) => {
+            let mut agg = aggregate_surviving_vectors(
+                endpoint,
+                Step::SecureSumVotes,
+                roster,
+                num_classes,
+                2,
+                peer_key,
+                peer_server,
+                q,
+            )?;
+            let thresh = agg.sums.pop().expect("two aggregated vectors");
+            let votes = agg.sums.pop().expect("two aggregated vectors");
+            Ok((votes, thresh, agg.survivors))
+        }
+    }
+}
+
+/// Step-6 collection for either server, over the step-2 survivors.
+fn collect_noisy(
+    endpoint: &mut Endpoint,
+    survivors: &[usize],
+    num_classes: usize,
+    peer_key: &paillier::PublicKey,
+    peer_server: PartyId,
+    quorum: Option<usize>,
+) -> Result<(Vec<Ciphertext>, Vec<usize>), SmcError> {
+    match quorum {
+        None => {
+            let noisy = aggregate_user_vectors(
+                endpoint,
+                Step::SecureSumNoisy,
+                survivors.len(),
+                num_classes,
+                peer_key,
+            )?;
+            Ok((noisy, survivors.to_vec()))
+        }
+        Some(q) => {
+            let mut agg = aggregate_surviving_vectors(
+                endpoint,
+                Step::SecureSumNoisy,
+                survivors,
+                num_classes,
+                1,
+                peer_key,
+                peer_server,
+                q,
+            )?;
+            let noisy = agg.sums.pop().expect("one aggregated vector");
+            Ok((noisy, agg.survivors))
+        }
+    }
+}
+
 fn server1_run(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
-    num_users: usize,
+    roster: &[usize],
     num_classes: usize,
     seed: u64,
     ranking: RankingStrategy,
-) -> Result<Option<usize>, SmcError> {
+    quorum: Option<usize>,
+) -> Result<ServerReport, SmcError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let meter = Arc::clone(endpoint.meter());
     let pk2 = ctx.peer_public().clone();
 
     // Step 2: aggregate the vote shares and threshold shares.
-    let (enc_votes, enc_thresh): (Vec<Ciphertext>, Vec<Ciphertext>) =
-        meter.time(Step::SecureSumVotes, || -> Result<_, SmcError> {
-            let votes =
-                aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk2)?;
-            let thresh =
-                aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk2)?;
-            Ok((votes, thresh))
-        })?;
+    let (enc_votes, enc_thresh, survivors) = meter.time(Step::SecureSumVotes, || {
+        collect_votes_and_thresh(endpoint, roster, num_classes, &pk2, PartyId::Server2, quorum)
+    })?;
 
     // Step 3: Blind-and-Permute over both vectors, one shared π.
     let bp1 = meter.time(Step::BlindPermute1, || {
-        server1_blind_permute(endpoint, ctx, &[enc_votes, enc_thresh], Step::BlindPermute1, &mut rng)
+        server1_blind_permute(
+            endpoint,
+            ctx,
+            &[enc_votes, enc_thresh],
+            Step::BlindPermute1,
+            &mut rng,
+        )
     })?;
 
     // Step 4: ranking → permuted winner slot.
@@ -345,12 +667,12 @@ fn server1_run(
         server1_compare_geq(endpoint, ctx, bp1.sequences[1][slot], Step::ThresholdCheck, &mut rng)
     })?;
     if !passed {
-        return Ok(None);
+        return Ok(ServerReport { label: None, survivors, noisy_survivors: None });
     }
 
-    // Step 6: aggregate the noisy vote shares.
-    let enc_noisy = meter.time(Step::SecureSumNoisy, || {
-        aggregate_user_vectors(endpoint, Step::SecureSumNoisy, num_users, num_classes, &pk2)
+    // Step 6: aggregate the noisy vote shares over the survivors.
+    let (enc_noisy, noisy_survivors) = meter.time(Step::SecureSumNoisy, || {
+        collect_noisy(endpoint, &survivors, num_classes, &pk2, PartyId::Server2, quorum)
     })?;
 
     // Step 7: second Blind-and-Permute, fresh π′.
@@ -368,25 +690,24 @@ fn server1_run(
     let label = meter.time(Step::Restoration, || {
         server1_restore(endpoint, ctx, &bp2.own_permutation, Step::Restoration, &mut rng)
     })?;
-    Ok(Some(label))
+    Ok(ServerReport { label: Some(label), survivors, noisy_survivors: Some(noisy_survivors) })
 }
 
 /// S2's full Alg. 5 run (mirror of [`server1_run`], no timing records).
 fn server2_run(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
-    num_users: usize,
+    roster: &[usize],
     num_classes: usize,
     seed: u64,
     ranking: RankingStrategy,
-) -> Result<Option<usize>, SmcError> {
+    quorum: Option<usize>,
+) -> Result<ServerReport, SmcError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let pk1 = ctx.peer_public().clone();
 
-    let enc_votes =
-        aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk1)?;
-    let enc_thresh =
-        aggregate_user_vectors(endpoint, Step::SecureSumVotes, num_users, num_classes, &pk1)?;
+    let (enc_votes, enc_thresh, survivors) =
+        collect_votes_and_thresh(endpoint, roster, num_classes, &pk1, PartyId::Server1, quorum)?;
 
     let bp1 = server2_blind_permute(
         endpoint,
@@ -399,30 +720,19 @@ fn server2_run(
     let slot =
         server2_rank(endpoint, ctx, &bp1.sequences[0], Step::CompareRank, ranking, &mut rng)?;
 
-    let passed = server2_compare_geq(
-        endpoint,
-        ctx,
-        bp1.sequences[1][slot],
-        Step::ThresholdCheck,
-        &mut rng,
-    )?;
+    let passed =
+        server2_compare_geq(endpoint, ctx, bp1.sequences[1][slot], Step::ThresholdCheck, &mut rng)?;
     if !passed {
-        return Ok(None);
+        return Ok(ServerReport { label: None, survivors, noisy_survivors: None });
     }
 
-    let enc_noisy =
-        aggregate_user_vectors(endpoint, Step::SecureSumNoisy, num_users, num_classes, &pk1)?;
+    let (enc_noisy, noisy_survivors) =
+        collect_noisy(endpoint, &survivors, num_classes, &pk1, PartyId::Server1, quorum)?;
 
     let bp2 = server2_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)?;
 
-    let noisy_slot = server2_rank(
-        endpoint,
-        ctx,
-        &bp2.sequences[0],
-        Step::CompareNoisyRank,
-        ranking,
-        &mut rng,
-    )?;
+    let noisy_slot =
+        server2_rank(endpoint, ctx, &bp2.sequences[0], Step::CompareNoisyRank, ranking, &mut rng)?;
 
     let label = server2_restore(
         endpoint,
@@ -432,7 +742,7 @@ fn server2_run(
         Step::Restoration,
         &mut rng,
     )?;
-    Ok(Some(label))
+    Ok(ServerReport { label: Some(label), survivors, noisy_survivors: Some(noisy_survivors) })
 }
 
 #[cfg(test)]
@@ -469,6 +779,13 @@ mod tests {
         let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
         assert_eq!(out.label, Some(1));
         assert_eq!(out.witness.counts_scaled[1], 4 * 65536);
+        // A clean strict round: everyone survived, noise at full scale.
+        assert!(out.health.is_clean());
+        assert_eq!(out.health.survivors, vec![0, 1, 2, 3]);
+        assert_eq!(out.health.noisy_survivors.as_deref(), Some(&[0, 1, 2, 3][..]));
+        assert_eq!(out.health.realized_sigma1, 1e-6);
+        assert_eq!(out.health.realized_sigma2, Some(1e-6));
+        assert_eq!(out.witness.noisy_counts_scaled, out.witness.counts_scaled);
     }
 
     #[test]
@@ -478,6 +795,15 @@ mod tests {
         let votes = vec![onehot(0), onehot(0), onehot(1), onehot(2)];
         let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
         assert_eq!(out.label, None);
+        // Rejected rounds never run step 6: no realized argmax noise, and
+        // the accountant only charges the Sparse Vector test.
+        assert_eq!(out.health.noisy_survivors, None);
+        assert_eq!(out.health.realized_sigma2, None);
+        let rejected = out.health.charged_rdp().to_epsilon(1e-6);
+        let released = dp::rdp::LinearRdp::sparse_vector(1e-6)
+            .compose(&dp::rdp::LinearRdp::report_noisy_max(1e-6))
+            .to_epsilon(1e-6);
+        assert!(rejected < released, "a rejected round must charge less than a release");
     }
 
     #[test]
@@ -489,7 +815,12 @@ mod tests {
             vec![onehot(0), onehot(0), onehot(0), onehot(2)],
             vec![onehot(2), onehot(2), onehot(2), onehot(2)],
             vec![onehot(0), onehot(1), onehot(1), onehot(1)],
-            vec![vec![0.5, 0.25, 0.25], vec![0.6, 0.2, 0.2], vec![0.7, 0.2, 0.1], vec![0.9, 0.05, 0.05]],
+            vec![
+                vec![0.5, 0.25, 0.25],
+                vec![0.6, 0.2, 0.2],
+                vec![0.7, 0.2, 0.1],
+                vec![0.9, 0.05, 0.05],
+            ],
         ];
         for votes in vote_sets {
             let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
@@ -581,7 +912,10 @@ mod tests {
             .with_ranking(ranking);
             let meter = Meter::new();
             engine.run_instance(&votes, Arc::clone(&meter), rng).unwrap();
-            meter.report().link_stats(Step::CompareRank, transport::LinkKind::ServerToServer).messages
+            meter
+                .report()
+                .link_stats(Step::CompareRank, transport::LinkKind::ServerToServer)
+                .messages
         };
         let _ = keys;
         let sequential = run_with(RankingStrategy::Pairwise, &mut rng);

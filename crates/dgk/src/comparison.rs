@@ -64,9 +64,8 @@ pub fn evaluator_encrypt_bits<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<EvaluatorBits, DgkError> {
     check_width(b, pk)?;
-    let encrypted_bits = (0..pk.compare_bits())
-        .map(|i| pk.encrypt_bit((b >> i) & 1 == 1, rng))
-        .collect();
+    let encrypted_bits =
+        (0..pk.compare_bits()).map(|i| pk.encrypt_bit((b >> i) & 1 == 1, rng)).collect();
     Ok(EvaluatorBits { encrypted_bits })
 }
 
@@ -148,10 +147,7 @@ pub fn blinder_build_witnesses<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates [`DgkError::MalformedCiphertext`] from the zero test.
-pub fn evaluator_decide(
-    round2: &BlindedWitnesses,
-    sk: &DgkPrivateKey,
-) -> Result<bool, DgkError> {
+pub fn evaluator_decide(round2: &BlindedWitnesses, sk: &DgkPrivateKey) -> Result<bool, DgkError> {
     for w in &round2.witnesses {
         if sk.is_zero(w)? {
             return Ok(true);
@@ -258,7 +254,8 @@ mod tests {
     fn wrong_arity_round1_rejected() {
         let kp = keys();
         let mut rng = StdRng::seed_from_u64(5);
-        let short = EvaluatorBits { encrypted_bits: vec![kp.public_key().encrypt_bit(true, &mut rng)] };
+        let short =
+            EvaluatorBits { encrypted_bits: vec![kp.public_key().encrypt_bit(true, &mut rng)] };
         assert_eq!(
             blinder_build_witnesses(3, &short, kp.public_key(), &mut rng),
             Err(DgkError::MalformedCiphertext)
@@ -274,11 +271,8 @@ mod tests {
         for (a, b) in [(9u64, 4u64), (255, 254), (37, 21)] {
             let r1 = evaluator_encrypt_bits(b, kp.public_key(), &mut rng).unwrap();
             let r2 = blinder_build_witnesses(a, &r1, kp.public_key(), &mut rng).unwrap();
-            let zeros = r2
-                .witnesses
-                .iter()
-                .filter(|w| kp.private_key().is_zero(w).unwrap())
-                .count();
+            let zeros =
+                r2.witnesses.iter().filter(|w| kp.private_key().is_zero(w).unwrap()).count();
             assert_eq!(zeros, 1, "exactly one witness expected for {a} > {b}");
         }
     }

@@ -111,12 +111,7 @@ impl GridRdp {
         assert_eq!(self.alphas, other.alphas, "curves must share a grid");
         GridRdp {
             alphas: self.alphas.clone(),
-            epsilons: self
-                .epsilons
-                .iter()
-                .zip(&other.epsilons)
-                .map(|(a, b)| a + b)
-                .collect(),
+            epsilons: self.epsilons.iter().zip(&other.epsilons).map(|(a, b)| a + b).collect(),
         }
     }
 

@@ -104,14 +104,8 @@ mod tests {
     #[test]
     fn threshold_with_tiny_noise_is_exact() {
         let mut r = rng();
-        assert_eq!(
-            noisy_threshold_test(61.0, 60.0, 1e-12, &mut r),
-            ThresholdOutcome::Passed
-        );
-        assert_eq!(
-            noisy_threshold_test(59.0, 60.0, 1e-12, &mut r),
-            ThresholdOutcome::Rejected
-        );
+        assert_eq!(noisy_threshold_test(61.0, 60.0, 1e-12, &mut r), ThresholdOutcome::Passed);
+        assert_eq!(noisy_threshold_test(59.0, 60.0, 1e-12, &mut r), ThresholdOutcome::Rejected);
     }
 
     #[test]
@@ -140,10 +134,7 @@ mod tests {
         let votes = [10.0, 9.9];
         let winner0 = (0..5_000).filter(|_| noisy_argmax(&votes, 20.0, &mut r) == 0).count();
         // With noise ≫ gap the winner is nearly a coin flip.
-        assert!(
-            (winner0 as f64 / 5_000.0 - 0.5).abs() < 0.05,
-            "winner0 rate {winner0}/5000"
-        );
+        assert!((winner0 as f64 / 5_000.0 - 0.5).abs() < 0.05, "winner0 rate {winner0}/5000");
     }
 
     #[test]
@@ -167,8 +158,8 @@ mod tests {
         let base = vec![50.0; 2_000];
         let noisy = noisy_votes(&base, 4.0, &mut r);
         let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
-        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (noisy.len() - 1) as f64;
+        let var =
+            noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (noisy.len() - 1) as f64;
         assert!((mean - 50.0).abs() < 0.4, "mean {mean}");
         assert!((var - 16.0).abs() < 2.0, "var {var}");
     }

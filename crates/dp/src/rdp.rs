@@ -301,8 +301,7 @@ mod tests {
     #[test]
     fn closed_form_matches_theorem5() {
         for (s1, s2, delta) in [(40.0, 40.0, 1e-6), (10.0, 20.0, 1e-5), (100.0, 50.0, 1e-8)] {
-            let composed =
-                LinearRdp::sparse_vector(s1).compose(&LinearRdp::report_noisy_max(s2));
+            let composed = LinearRdp::sparse_vector(s1).compose(&LinearRdp::report_noisy_max(s2));
             let from_curve = composed.to_epsilon(delta);
             let from_theorem = consensus_epsilon(s1, s2, delta);
             assert!(
@@ -328,8 +327,8 @@ mod tests {
         let (s1, s2, delta) = (40.0, 30.0, 1e-6);
         let curve = LinearRdp::sparse_vector(s1).compose(&LinearRdp::report_noisy_max(s2));
         let alpha = curve.optimal_alpha(delta);
-        let paper_alpha = 1.0
-            + (2.0 * (1.0f64 / delta).ln() / (9.0 / (s1 * s1) + 2.0 / (s2 * s2))).sqrt();
+        let paper_alpha =
+            1.0 + (2.0 * (1.0f64 / delta).ln() / (9.0 / (s1 * s1) + 2.0 / (s2 * s2))).sqrt();
         assert!((alpha - paper_alpha).abs() < 1e-9, "{alpha} vs {paper_alpha}");
     }
 

@@ -108,11 +108,7 @@ impl MultiLabelDataset {
     /// # Panics
     ///
     /// Panics on ragged rows or mismatched lengths.
-    pub fn new(
-        features: Vec<Vec<f64>>,
-        attributes: Vec<Vec<bool>>,
-        num_attributes: usize,
-    ) -> Self {
+    pub fn new(features: Vec<Vec<f64>>, attributes: Vec<Vec<bool>>, num_attributes: usize) -> Self {
         assert_eq!(features.len(), attributes.len(), "features/attributes length mismatch");
         assert!(
             attributes.iter().all(|a| a.len() == num_attributes),
@@ -243,6 +239,6 @@ mod tests {
         assert_eq!(d.len(), 2);
         let (h, t) = d.split_at(1);
         assert_eq!(h.len(), 1);
-        assert_eq!(t.attributes[0][2], true);
+        assert!(t.attributes[0][2]);
     }
 }

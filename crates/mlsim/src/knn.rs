@@ -48,12 +48,8 @@ pub trait Classifier {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .features
-            .iter()
-            .zip(&data.labels)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let correct =
+            data.features.iter().zip(&data.labels).filter(|(x, &y)| self.predict(x) == y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -264,9 +260,8 @@ mod tests {
         let (train, test) = data(7);
         let mut rng = StdRng::seed_from_u64(8);
         let partition = even_split(train.len(), 4, &mut rng);
-        let teachers: Vec<KnnClassifier> = (0..4)
-            .map(|u| KnnClassifier::fit(&partition.shard(&train, u), 3))
-            .collect();
+        let teachers: Vec<KnnClassifier> =
+            (0..4).map(|u| KnnClassifier::fit(&partition.shard(&train, u), 3)).collect();
         let ensemble = GenericEnsemble::new(teachers);
         assert_eq!(ensemble.len(), 4);
         let counts = ensemble.vote_counts(&test.features[0]);

@@ -128,12 +128,8 @@ impl SoftmaxRegression {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .features
-            .iter()
-            .zip(&data.labels)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let correct =
+            data.features.iter().zip(&data.labels).filter(|(x, &y)| self.predict(x) == y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -308,6 +304,10 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_training_panics() {
         let empty = Dataset::new(vec![], vec![], 3);
-        let _ = SoftmaxRegression::train(&empty, &TrainConfig::default(), &mut StdRng::seed_from_u64(0));
+        let _ = SoftmaxRegression::train(
+            &empty,
+            &TrainConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
     }
 }

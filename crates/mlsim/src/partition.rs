@@ -23,14 +23,11 @@ pub struct Division {
 
 impl Division {
     /// Division 2-8: 20% of data across 80% of users.
-    pub const D28: Division =
-        Division { minority_data_fraction: 0.2, majority_user_fraction: 0.8 };
+    pub const D28: Division = Division { minority_data_fraction: 0.2, majority_user_fraction: 0.8 };
     /// Division 3-7: 30% of data across 70% of users.
-    pub const D37: Division =
-        Division { minority_data_fraction: 0.3, majority_user_fraction: 0.7 };
+    pub const D37: Division = Division { minority_data_fraction: 0.3, majority_user_fraction: 0.7 };
     /// Division 4-6: 40% of data across 60% of users.
-    pub const D46: Division =
-        Division { minority_data_fraction: 0.4, majority_user_fraction: 0.6 };
+    pub const D46: Division = Division { minority_data_fraction: 0.4, majority_user_fraction: 0.6 };
 
     /// The paper's three divisions, in order.
     pub const ALL: [Division; 3] = [Division::D28, Division::D37, Division::D46];
@@ -203,10 +200,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for div in Division::ALL {
             let p = division_split(600, 20, div, &mut rng);
-            let maj_avg: f64 = p.majority_users.iter().map(|&u| p.assignments[u].len()).sum::<usize>() as f64
-                / p.majority_users.len() as f64;
-            let min_avg: f64 = p.minority_users.iter().map(|&u| p.assignments[u].len()).sum::<usize>() as f64
-                / p.minority_users.len() as f64;
+            let maj_avg: f64 =
+                p.majority_users.iter().map(|&u| p.assignments[u].len()).sum::<usize>() as f64
+                    / p.majority_users.len() as f64;
+            let min_avg: f64 =
+                p.minority_users.iter().map(|&u| p.assignments[u].len()).sum::<usize>() as f64
+                    / p.minority_users.len() as f64;
             assert!(min_avg > 2.0 * maj_avg, "{}: {maj_avg} vs {min_avg}", div.name());
         }
     }

@@ -99,14 +99,9 @@ mod tests {
         let spec = GaussianMixtureSpec::mnist_like();
         let public = spec.generate(800, &mut rng);
         let test = spec.generate(300, &mut rng);
-        let student = train_student(
-            &public.features,
-            &public.labels,
-            10,
-            &TrainConfig::default(),
-            &mut rng,
-        )
-        .expect("labels present");
+        let student =
+            train_student(&public.features, &public.labels, 10, &TrainConfig::default(), &mut rng)
+                .expect("labels present");
         assert!(student.accuracy(&test) > 0.8);
     }
 
@@ -122,12 +117,14 @@ mod tests {
             .iter()
             .map(|&l| if rng.gen_bool(0.4) { rng.gen_range(0..10) } else { l })
             .collect();
-        let clean = train_student(&public.features, &public.labels, 10, &TrainConfig::default(), &mut rng)
-            .unwrap()
-            .accuracy(&test);
-        let corrupted = train_student(&public.features, &noisy, 10, &TrainConfig::default(), &mut rng)
-            .unwrap()
-            .accuracy(&test);
+        let clean =
+            train_student(&public.features, &public.labels, 10, &TrainConfig::default(), &mut rng)
+                .unwrap()
+                .accuracy(&test);
+        let corrupted =
+            train_student(&public.features, &noisy, 10, &TrainConfig::default(), &mut rng)
+                .unwrap()
+                .accuracy(&test);
         assert!(clean > corrupted, "clean {clean} vs corrupted {corrupted}");
     }
 

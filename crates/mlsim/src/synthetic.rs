@@ -205,7 +205,7 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -291,7 +291,7 @@ mod tests {
     fn svhn_is_harder_than_mnist() {
         // Bayes-style 1-NN-to-center accuracy must be lower for the
         // svhn-like spec.
-        let mut rng = StdRng::seed_from_u64(3);
+        let rng = StdRng::seed_from_u64(3);
         let acc = |spec: GaussianMixtureSpec| {
             let d = spec.generate(2000, &mut rng.clone());
             let centers = spec.centers();

@@ -42,11 +42,8 @@ impl TeacherEnsemble {
             .map(|u| {
                 let shard = partition.shard(data, u);
                 if shard.is_empty() {
-                    let dummy = Dataset::new(
-                        vec![vec![0.0; data.dim()]],
-                        vec![0],
-                        data.num_classes,
-                    );
+                    let dummy =
+                        Dataset::new(vec![vec![0.0; data.dim()]], vec![0], data.num_classes);
                     SoftmaxRegression::train(&dummy, config, rng)
                 } else {
                     SoftmaxRegression::train(&shard, config, rng)

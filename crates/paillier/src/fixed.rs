@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn exact_values_roundtrip() {
         let c = FixedCodec::paper();
-        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1234.25, -32768.0, 32767.99993896484375] {
+        // The largest encodable value is 2^15 − 2^−16.
+        let top = 32768.0 - 1.0 / 65536.0;
+        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1234.25, -32768.0, top] {
             let enc = c.encode(v).unwrap();
             assert_eq!(c.decode(enc), v, "roundtrip {v}");
         }
@@ -150,7 +152,7 @@ mod tests {
     #[test]
     fn quantization_error_bounded() {
         let c = FixedCodec::paper();
-        for v in [0.1, -0.1, 3.14159, -2.71828, 1e-5, 999.999] {
+        for v in [0.1, -0.1, std::f64::consts::PI, -std::f64::consts::E, 1e-5, 999.999] {
             let err = (c.decode(c.encode(v).unwrap()) - v).abs();
             assert!(err < c.resolution(), "error {err} for {v}");
         }

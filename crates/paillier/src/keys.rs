@@ -175,8 +175,7 @@ impl PublicKey {
     ///
     /// Panics if `m >= n`.
     pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
-        self.encrypt(&Ubig::from(m), rng)
-            .expect("u64 message exceeds modulus")
+        self.encrypt(&Ubig::from(m), rng).expect("u64 message exceeds modulus")
     }
 
     /// Homomorphic addition: `E[m1 + m2] = E[m1] · E[m2] mod n²` (Eqn. 1).
@@ -309,10 +308,7 @@ impl PrivateKey {
     ///
     /// Panics if the ciphertext is malformed or the plaintext exceeds `u64`.
     pub fn decrypt_u64(&self, c: &Ciphertext) -> u64 {
-        self.decrypt(c)
-            .expect("malformed ciphertext")
-            .to_u64()
-            .expect("plaintext exceeds u64")
+        self.decrypt(c).expect("malformed ciphertext").to_u64().expect("plaintext exceeds u64")
     }
 
     /// Decrypts a slice of ciphertexts.
@@ -364,10 +360,7 @@ mod tests {
         let kp = keypair(64);
         let mut r = rng();
         let n = kp.public_key().modulus().clone();
-        assert_eq!(
-            kp.public_key().encrypt(&n, &mut r),
-            Err(PaillierError::MessageOutOfRange)
-        );
+        assert_eq!(kp.public_key().encrypt(&n, &mut r), Err(PaillierError::MessageOutOfRange));
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl RandomizerPool {
         std::thread::scope(|scope| {
             let handles: Vec<_> = values
                 .chunks(chunk)
-                .map(|vals| scope.spawn(move || vals.iter().map(|v| self.encrypt(v)).collect::<Vec<_>>()))
+                .map(|vals| {
+                    scope.spawn(move || vals.iter().map(|v| self.encrypt(v)).collect::<Vec<_>>())
+                })
                 .collect();
             let mut pos = 0;
             for handle in handles {
@@ -252,7 +254,11 @@ mod tests {
         let pool = RandomizerPool::generate(keypair().public_key().clone(), 64, &mut rng);
         let cts: Vec<Ciphertext> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)
-                .map(|_| scope.spawn(|| (0..8).map(|_| pool.encrypt(&Ubig::from(1u64)).unwrap()).collect::<Vec<_>>()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..8).map(|_| pool.encrypt(&Ubig::from(1u64)).unwrap()).collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
         });

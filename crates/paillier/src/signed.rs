@@ -112,9 +112,7 @@ impl SignedCodec {
     /// exceeds `i64`.
     pub fn decode_i64(&self, r: &Ubig) -> Result<i64, PaillierError> {
         let v = self.decode(r)?;
-        v.to_i128()
-            .and_then(|x| i64::try_from(x).ok())
-            .ok_or(PaillierError::SignedOverflow)
+        v.to_i128().and_then(|x| i64::try_from(x).ok()).ok_or(PaillierError::SignedOverflow)
     }
 
     /// Decodes to `i128`.
@@ -166,7 +164,7 @@ mod tests {
         let c = codec();
         let too_big = Ibig::from(c.modulus().clone()); // n itself
         assert_eq!(c.encode(&too_big), Err(PaillierError::SignedOverflow));
-        let exactly_half = Ibig::from(&*c.modulus() >> 1);
+        let exactly_half = Ibig::from(c.modulus() >> 1);
         assert_eq!(c.encode(&exactly_half), Err(PaillierError::SignedOverflow));
     }
 

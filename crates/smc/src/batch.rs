@@ -179,10 +179,8 @@ mod tests {
             });
             (h1.join().unwrap(), h2.join().unwrap())
         });
-        let messages = meter
-            .report()
-            .link_stats(Step::CompareRank, LinkKind::ServerToServer)
-            .messages;
+        let messages =
+            meter.report().link_stats(Step::CompareRank, LinkKind::ServerToServer).messages;
         (w1, w2, messages)
     }
 
@@ -236,13 +234,11 @@ mod tests {
         std::thread::scope(|scope| {
             let h1 = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1);
-                server1_argmax_batched(&mut s1, &s1_ctx, &[7], Step::CompareRank, &mut rng)
-                    .unwrap()
+                server1_argmax_batched(&mut s1, &s1_ctx, &[7], Step::CompareRank, &mut rng).unwrap()
             });
             let h2 = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(2);
-                server2_argmax_batched(&mut s2, &s2_ctx, &[7], Step::CompareRank, &mut rng)
-                    .unwrap()
+                server2_argmax_batched(&mut s2, &s2_ctx, &[7], Step::CompareRank, &mut rng).unwrap()
             });
             assert_eq!(h1.join().unwrap(), 0);
             assert_eq!(h2.join().unwrap(), 0);

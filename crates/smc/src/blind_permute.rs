@@ -180,10 +180,8 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
     for ((vec, enc_mask1), &mask2) in enc_b.iter().zip(&enc_r1).zip(&r2) {
         expect_len(vec, k)?;
         let mask2_enc = codec1.encode_i128(mask2)?;
-        let biased: Vec<Ciphertext> = vec
-            .iter()
-            .map(|c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc))
-            .collect();
+        let biased: Vec<Ciphertext> =
+            vec.iter().map(|c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc)).collect();
         let permuted = pi2.apply(&biased);
         // Per-entry r3, applied after the permutation.
         let r3: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
@@ -249,12 +247,26 @@ mod tests {
         // Feed the "aggregated" encrypted vectors through the user path:
         // a under pk2 (to S1), b under pk1 (to S2).
         for a in &a_vectors {
-            send_encrypted_vector(&user, PartyId::Server1, Step::Setup, a, user_ctx.pk2(), &mut rng)
-                .unwrap();
+            send_encrypted_vector(
+                &user,
+                PartyId::Server1,
+                Step::Setup,
+                a,
+                user_ctx.pk2(),
+                &mut rng,
+            )
+            .unwrap();
         }
         for b in &b_vectors {
-            send_encrypted_vector(&user, PartyId::Server2, Step::Setup, b, user_ctx.pk1(), &mut rng)
-                .unwrap();
+            send_encrypted_vector(
+                &user,
+                PartyId::Server2,
+                Step::Setup,
+                b,
+                user_ctx.pk1(),
+                &mut rng,
+            )
+            .unwrap();
         }
 
         std::thread::scope(|scope| {

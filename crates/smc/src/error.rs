@@ -23,6 +23,18 @@ pub enum SmcError {
         /// Received element count.
         got: usize,
     },
+    /// Too few users survived a collection step to continue the round —
+    /// the typed clean abort of the dropout-resilient path. Both servers
+    /// reach this verdict from the same reconciled survivor set, so the
+    /// protocol never releases a partial result.
+    QuorumLost {
+        /// The step at which the round was abandoned.
+        step: transport::Step,
+        /// How many users' contributions actually arrived at both servers.
+        survivors: usize,
+        /// The configured quorum the round needed.
+        required: usize,
+    },
 }
 
 impl fmt::Display for SmcError {
@@ -35,6 +47,9 @@ impl fmt::Display for SmcError {
             SmcError::LengthMismatch { expected, got } => {
                 write!(f, "vector length mismatch: expected {expected}, got {got}")
             }
+            SmcError::QuorumLost { step, survivors, required } => {
+                write!(f, "quorum lost at {step}: {survivors} survivors < {required} required")
+            }
         }
     }
 }
@@ -46,7 +61,7 @@ impl Error for SmcError {
             SmcError::Paillier(e) => Some(e),
             SmcError::Dgk(e) => Some(e),
             SmcError::Domain(e) => Some(e),
-            SmcError::LengthMismatch { .. } => None,
+            SmcError::LengthMismatch { .. } | SmcError::QuorumLost { .. } => None,
         }
     }
 }

@@ -86,10 +86,7 @@ impl Permutation {
     ///
     /// Panics if `i >= len`.
     pub fn apply_index(&self, i: usize) -> usize {
-        self.indices
-            .iter()
-            .position(|&x| x == i)
-            .expect("index within permutation size")
+        self.indices.iter().position(|&x| x == i).expect("index within permutation size")
     }
 
     /// Which input position feeds output slot `j`.

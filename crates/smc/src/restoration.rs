@@ -161,7 +161,10 @@ pub fn server2_restore<R: Rng + ?Sized>(
     let valid = winner.is_some() && e.iter().filter(|&&v| v != 0).count() == 1;
     if !valid {
         // A malformed indicator means protocol corruption, not bad input.
-        return Err(SmcError::LengthMismatch { expected: 1, got: e.iter().filter(|&&v| v != 0).count() });
+        return Err(SmcError::LengthMismatch {
+            expected: 1,
+            got: e.iter().filter(|&&v| v != 0).count(),
+        });
     }
     let winner = winner.expect("checked above");
     endpoint.send(PartyId::Server1, step, &(winner as u64))?;

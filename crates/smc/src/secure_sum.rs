@@ -8,7 +8,7 @@
 
 use paillier::{Ciphertext, PublicKey, SignedCodec};
 use rand::Rng;
-use transport::{Endpoint, PartyId, Step};
+use transport::{Endpoint, PartyId, Step, TransportError};
 
 use crate::error::SmcError;
 use crate::session::UserContext;
@@ -103,6 +103,114 @@ pub fn aggregate_user_vectors(
     Ok(acc)
 }
 
+/// Result of a dropout-tolerant aggregation ([`aggregate_surviving_vectors`]):
+/// the homomorphic sums restricted to the reconciled survivor set, plus
+/// the set itself.
+#[derive(Debug, Clone)]
+pub struct SurvivorAggregate {
+    /// One aggregated ciphertext vector per uploaded vector kind, each
+    /// summing only the survivors' contributions.
+    pub sums: Vec<Vec<Ciphertext>>,
+    /// User ids whose *complete* upload reached **both** servers, in
+    /// ascending order — the round's surviving set `U'`.
+    pub survivors: Vec<usize>,
+}
+
+/// Dropout-tolerant variant of [`aggregate_user_vectors`] — the
+/// collection step of the resilient protocol rounds.
+///
+/// Each user in `users` is expected to upload `vectors_per_user`
+/// encrypted vectors under `step`. Any per-user receive failure
+/// (timeout, detected corruption, codec damage, wrong arity) marks that
+/// user as dropped for the whole step and discards its partial upload —
+/// a half-arrived contribution must never skew the sum. The two servers
+/// then exchange their locally observed survivor lists over the
+/// server↔server link and intersect them, so both aggregate exactly the
+/// same set `U'` and the additive shares recombine consistently.
+///
+/// # Errors
+///
+/// Returns [`SmcError::QuorumLost`] when fewer than `min_users` users
+/// survive reconciliation, and propagates transport failures on the
+/// server↔server reconciliation exchange itself (user-link failures are
+/// absorbed as dropouts).
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_surviving_vectors(
+    endpoint: &mut Endpoint,
+    step: Step,
+    users: &[usize],
+    num_classes: usize,
+    vectors_per_user: usize,
+    peer_key: &PublicKey,
+    peer_server: PartyId,
+    min_users: usize,
+) -> Result<SurvivorAggregate, SmcError> {
+    let mut collected: Vec<(usize, Vec<Vec<Ciphertext>>)> = Vec::with_capacity(users.len());
+    for &u in users {
+        let mut vecs: Vec<Vec<Ciphertext>> = Vec::with_capacity(vectors_per_user);
+        for _ in 0..vectors_per_user {
+            match endpoint.recv::<Vec<Ciphertext>>(PartyId::User(u), step) {
+                Ok(v) if v.len() == num_classes => vecs.push(v),
+                // Wrong arity, lost, late, or damaged: the user is out
+                // for this step. Its remaining messages (if any) stay
+                // stashed under their own step tags and are never
+                // misread as another user's data.
+                Ok(_)
+                | Err(
+                    TransportError::Timeout(_)
+                    | TransportError::Corrupt(_)
+                    | TransportError::Codec(_)
+                    | TransportError::Disconnected(_)
+                    | TransportError::UnknownParty(_),
+                ) => {
+                    vecs.clear();
+                    break;
+                }
+            }
+        }
+        if vecs.len() == vectors_per_user {
+            collected.push((u, vecs));
+        }
+    }
+
+    // Reconcile: both servers must aggregate the same survivor set or
+    // the additive shares stop lining up. Failures here are fatal — the
+    // server↔server link is the protocol's backbone.
+    let local: Vec<u64> = collected.iter().map(|(u, _)| *u as u64).collect();
+    endpoint.send(peer_server, step, &local)?;
+    // The peer may still be stalled timing out its own missing uploads:
+    // give its list one full receive budget per expected message plus
+    // one for the list itself, so a slow peer is not mistaken for a
+    // dead one (the wait stays finite either way).
+    let worst_stall = endpoint
+        .timeout_policy()
+        .total_budget()
+        .saturating_mul((users.len() * vectors_per_user + 1) as u32);
+    let peer: Vec<u64> = endpoint.recv_with_timeout(
+        peer_server,
+        step,
+        transport::TimeoutPolicy::new(worst_stall),
+    )?;
+    let survivors: Vec<usize> =
+        collected.iter().map(|(u, _)| *u).filter(|&u| peer.contains(&(u as u64))).collect();
+    if survivors.len() < min_users {
+        return Err(SmcError::QuorumLost { step, survivors: survivors.len(), required: min_users });
+    }
+
+    let mut sums = vec![vec![peer_key.zero_ciphertext(); num_classes]; vectors_per_user];
+    for (u, vecs) in &collected {
+        if !survivors.contains(u) {
+            continue;
+        }
+        for (sum, vec) in sums.iter_mut().zip(vecs) {
+            for (slot, share) in sum.iter_mut().zip(vec) {
+                *slot = peer_key.add(slot, share);
+            }
+        }
+    }
+    Ok(SurvivorAggregate { sums, survivors })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,10 +230,8 @@ mod tests {
         let user_ctx = keys.user();
         let domain = user_ctx.domain();
 
-        let votes: [Vec<i128>; 3] =
-            [vec![1, 0, 0, 0], vec![0, 0, 1, 0], vec![1, -2, 300, 0]];
-        let expected: Vec<i128> =
-            (0..4).map(|k| votes.iter().map(|v| v[k]).sum()).collect();
+        let votes: [Vec<i128>; 3] = [vec![1, 0, 0, 0], vec![0, 0, 1, 0], vec![1, -2, 300, 0]];
+        let expected: Vec<i128> = (0..4).map(|k| votes.iter().map(|v| v[k]).sum()).collect();
 
         let mut net = Network::new(3);
         let mut s1 = net.take_endpoint(PartyId::Server1);
@@ -146,8 +252,22 @@ mod tests {
                 .unwrap();
         }
 
-        let enc_a = aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 3, 4, keys.server1().peer_public()).unwrap();
-        let enc_b = aggregate_user_vectors(&mut s2, Step::SecureSumVotes, 3, 4, keys.server2().peer_public()).unwrap();
+        let enc_a = aggregate_user_vectors(
+            &mut s1,
+            Step::SecureSumVotes,
+            3,
+            4,
+            keys.server1().peer_public(),
+        )
+        .unwrap();
+        let enc_b = aggregate_user_vectors(
+            &mut s2,
+            Step::SecureSumVotes,
+            3,
+            4,
+            keys.server2().peer_public(),
+        )
+        .unwrap();
 
         // Test privilege: decrypt with the owners' keys to check sums.
         let s2_ctx = keys.server2();
@@ -179,10 +299,150 @@ mod tests {
         let user = net.take_endpoint(PartyId::User(0));
         // Send only 2 entries when 3 classes are expected.
         send_share_to_server1(&user, &user_ctx, Step::SecureSumVotes, &[1, 2], &mut rng).unwrap();
-        let err =
-            aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 1, 3, keys.server1().peer_public())
-                .unwrap_err();
+        let err = aggregate_user_vectors(
+            &mut s1,
+            Step::SecureSumVotes,
+            1,
+            3,
+            keys.server1().peer_public(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SmcError::LengthMismatch { expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn surviving_aggregation_reconciles_dropouts() {
+        // User 1 uploads to S1 only: S2 times out on it, reconciliation
+        // must exclude it on BOTH servers so the shares stay aligned.
+        let mut rng = StdRng::seed_from_u64(13);
+        let keys = SessionKeys::generate(SessionConfig::test(3, 2), &mut rng);
+        let user_ctx = keys.user();
+        let domain = user_ctx.domain();
+        let mut net = transport::Network::builder(3)
+            .timeout(transport::TimeoutPolicy::new(std::time::Duration::from_millis(50)))
+            .build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+
+        let votes: [Vec<i128>; 3] = [vec![1, 0], vec![0, 1], vec![5, 7]];
+        let mut expected = vec![0i128; 2];
+        for (u, vote) in votes.iter().enumerate() {
+            let endpoint = net.take_endpoint(PartyId::User(u));
+            let (a, b) = domain.split_vec(vote, &mut rng);
+            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &a, &mut rng)
+                .unwrap();
+            if u != 1 {
+                send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &b, &mut rng)
+                    .unwrap();
+                for k in 0..2 {
+                    expected[k] += vote[k];
+                }
+            }
+        }
+
+        let (r1, r2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s1,
+                    Step::SecureSumVotes,
+                    &[0, 1, 2],
+                    2,
+                    1,
+                    keys.server1().peer_public(),
+                    PartyId::Server2,
+                    1,
+                )
+            });
+            let h2 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s2,
+                    Step::SecureSumVotes,
+                    &[0, 1, 2],
+                    2,
+                    1,
+                    keys.server2().peer_public(),
+                    PartyId::Server1,
+                    1,
+                )
+            });
+            (h1.join().unwrap().unwrap(), h2.join().unwrap().unwrap())
+        });
+        assert_eq!(r1.survivors, vec![0, 2]);
+        assert_eq!(r2.survivors, vec![0, 2]);
+
+        // Test privilege: decrypt both halves and recombine.
+        let s2_ctx = keys.server2();
+        let codec2 = s2_ctx.own_codec();
+        let s1_ctx = keys.server1();
+        let codec1 = s1_ctx.own_codec();
+        let total: Vec<i128> = (0..2)
+            .map(|k| {
+                let a = codec2
+                    .decode_i128(&s2_ctx.own_private().decrypt(&r1.sums[0][k]).unwrap())
+                    .unwrap();
+                let b = codec1
+                    .decode_i128(&s1_ctx.own_private().decrypt(&r2.sums[0][k]).unwrap())
+                    .unwrap();
+                a + b
+            })
+            .collect();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn losing_quorum_aborts_with_typed_error() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let keys = SessionKeys::generate(SessionConfig::test(2, 2), &mut rng);
+        let user_ctx = keys.user();
+        let domain = user_ctx.domain();
+        let mut net = transport::Network::builder(2)
+            .timeout(transport::TimeoutPolicy::new(std::time::Duration::from_millis(50)))
+            .build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        // Only user 0 uploads; the quorum requires both users.
+        let endpoint = net.take_endpoint(PartyId::User(0));
+        let (a, b) = domain.split_vec(&[1, 0], &mut rng);
+        send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &a, &mut rng).unwrap();
+        send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &b, &mut rng).unwrap();
+
+        let (r1, r2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s1,
+                    Step::SecureSumVotes,
+                    &[0, 1],
+                    2,
+                    1,
+                    keys.server1().peer_public(),
+                    PartyId::Server2,
+                    2,
+                )
+            });
+            let h2 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s2,
+                    Step::SecureSumVotes,
+                    &[0, 1],
+                    2,
+                    1,
+                    keys.server2().peer_public(),
+                    PartyId::Server1,
+                    2,
+                )
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        for r in [r1, r2] {
+            match r {
+                Err(SmcError::QuorumLost { step, survivors, required }) => {
+                    assert_eq!(step, Step::SecureSumVotes);
+                    assert_eq!(survivors, 1);
+                    assert_eq!(required, 2);
+                }
+                other => panic!("expected QuorumLost, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -194,8 +454,14 @@ mod tests {
         let mut s1 = net.take_endpoint(PartyId::Server1);
         let user = net.take_endpoint(PartyId::User(0));
         send_share_to_server1(&user, &user_ctx, Step::SecureSumVotes, &[1, 2], &mut rng).unwrap();
-        let _ = aggregate_user_vectors(&mut s1, Step::SecureSumVotes, 1, 2, keys.server1().peer_public())
-            .unwrap();
+        let _ = aggregate_user_vectors(
+            &mut s1,
+            Step::SecureSumVotes,
+            1,
+            2,
+            keys.server1().peer_public(),
+        )
+        .unwrap();
         let report = net.meter().report();
         assert!(report.step_bytes(Step::SecureSumVotes) > 0);
     }

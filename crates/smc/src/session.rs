@@ -102,6 +102,7 @@ impl SessionConfig {
 
 /// All key material of a session, held by the trusted dealer / PKI that
 /// provisions parties (the paper assumes a PKI distributes public keys).
+#[derive(Clone)]
 pub struct SessionKeys {
     config: SessionConfig,
     paillier1: Keypair,
@@ -111,7 +112,11 @@ pub struct SessionKeys {
 
 impl std::fmt::Debug for SessionKeys {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SessionKeys({} users, {} classes)", self.config.num_users, self.config.num_classes)
+        write!(
+            f,
+            "SessionKeys({} users, {} classes)",
+            self.config.num_users, self.config.num_classes
+        )
     }
 }
 
@@ -234,9 +239,7 @@ impl ServerContext {
     ///
     /// Panics when called on S2; that is always a protocol-role bug.
     pub fn dgk_keys(&self) -> &DgkKeypair {
-        self.dgk_private
-            .as_ref()
-            .expect("DGK private key lives on S1; S2 must use dgk_public()")
+        self.dgk_private.as_ref().expect("DGK private key lives on S1; S2 must use dgk_public()")
     }
 
     /// The DGK public key (both servers).

@@ -1,0 +1,327 @@
+//! Deterministic fault injection for the in-process network.
+//!
+//! A [`FaultPlan`] describes which messages a [`crate::Network`] should
+//! drop, delay, duplicate or corrupt, and which parties crash at which
+//! protocol step. Decisions are a pure function of the plan's seed and
+//! the message coordinates `(from, to, step, seq)`, so a given plan
+//! injects exactly the same faults on every run regardless of thread
+//! scheduling — chaos tests and benches are reproducible.
+//!
+//! Faults are applied on the *send* side:
+//!
+//! * **Drop** — the envelope is silently discarded; the receiver sees
+//!   nothing and eventually times out.
+//! * **Delay** — the envelope carries a not-before instant; the receiver
+//!   honors it before delivery (head-of-line, like a slow link), counting
+//!   the wait against its receive deadline.
+//! * **Duplicate** — the envelope is enqueued a second time with the same
+//!   sequence number; the receiver's dedup layer suppresses the copy.
+//! * **Corrupt** — payload bits are flipped *after* the frame checksum is
+//!   computed, so the receiver reliably detects the damage and surfaces
+//!   [`crate::TransportError::Corrupt`].
+//! * **Crash** — from the given step onward the party's sends vanish
+//!   silently (the crashed party does not know it is dead; its peers
+//!   observe only missing messages).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::metrics::{LinkKind, Step};
+use crate::network::PartyId;
+
+/// What the injector decided for one (logical) message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// Discard the envelope instead of enqueueing it.
+    pub drop: bool,
+    /// Deliver no earlier than this far in the future.
+    pub delay: Option<Duration>,
+    /// Enqueue this many extra copies (same sequence number).
+    pub duplicates: u32,
+    /// Flip payload bits after checksumming.
+    pub corrupt: bool,
+}
+
+impl FaultDecision {
+    /// A decision that leaves the message untouched.
+    pub fn clean() -> FaultDecision {
+        FaultDecision::default()
+    }
+
+    /// True if any fault fires.
+    pub fn is_faulty(&self) -> bool {
+        self.drop || self.delay.is_some() || self.duplicates > 0 || self.corrupt
+    }
+}
+
+/// A deterministic, seedable schedule of transport faults.
+///
+/// Probabilities are evaluated against a seeded per-message hash, not a
+/// shared RNG, so two networks built from the same plan observe identical
+/// faults even under different thread interleavings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    delay_prob: f64,
+    max_delay: Duration,
+    duplicate_prob: f64,
+    corrupt_prob: f64,
+    /// Party → first step at which the party is dead.
+    crashes: BTreeMap<PartyId, Step>,
+    /// When set, probabilistic faults only hit this link direction.
+    link_filter: Option<LinkKind>,
+    /// When set, probabilistic faults only hit this step.
+    step_filter: Option<Step>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults, rooted at `seed` (the seed matters once
+    /// probabilistic faults are enabled).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            crashes: BTreeMap::new(),
+            link_filter: None,
+            step_filter: None,
+        }
+    }
+
+    /// Drops each eligible message with probability `prob`.
+    #[must_use]
+    pub fn drop_messages(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "drop probability out of range");
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Delays each eligible message with probability `prob`, by up to
+    /// `max_delay` (uniform, deterministic per message).
+    #[must_use]
+    pub fn delay_messages(mut self, prob: f64, max_delay: Duration) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "delay probability out of range");
+        self.delay_prob = prob;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Duplicates each eligible message with probability `prob`.
+    #[must_use]
+    pub fn duplicate_messages(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "duplicate probability out of range");
+        self.duplicate_prob = prob;
+        self
+    }
+
+    /// Corrupts each eligible message's payload with probability `prob`.
+    #[must_use]
+    pub fn corrupt_messages(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "corrupt probability out of range");
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Crashes `party` at the beginning of `step`: every send it attempts
+    /// at that step or later silently disappears.
+    #[must_use]
+    pub fn crash(mut self, party: PartyId, step: Step) -> FaultPlan {
+        self.crashes.insert(party, step);
+        self
+    }
+
+    /// Restricts probabilistic faults to one link direction (crashes are
+    /// unaffected).
+    #[must_use]
+    pub fn only_link(mut self, link: LinkKind) -> FaultPlan {
+        self.link_filter = Some(link);
+        self
+    }
+
+    /// Restricts probabilistic faults to one protocol step (crashes are
+    /// unaffected).
+    #[must_use]
+    pub fn only_step(mut self, step: Step) -> FaultPlan {
+        self.step_filter = Some(step);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The step at which `party` crashes, if scheduled.
+    pub fn crash_step(&self, party: PartyId) -> Option<Step> {
+        self.crashes.get(&party).copied()
+    }
+
+    /// True if `party` is dead by `step` (its sends must vanish).
+    pub fn is_crashed(&self, party: PartyId, step: Step) -> bool {
+        self.crashes.get(&party).is_some_and(|&at| step >= at)
+    }
+
+    /// The deterministic decision for message `seq` from `from` to `to`
+    /// at `step`. Crash handling is separate — see [`Self::is_crashed`].
+    pub fn decide(&self, from: PartyId, to: PartyId, step: Step, seq: u64) -> FaultDecision {
+        if let Some(link) = self.link_filter {
+            if from.link_to(to) != link {
+                return FaultDecision::clean();
+            }
+        }
+        if let Some(only) = self.step_filter {
+            if step != only {
+                return FaultDecision::clean();
+            }
+        }
+        let base = self.message_hash(from, to, step, seq);
+        let drop = unit(mix(base, 0x01)) < self.drop_prob;
+        if drop {
+            // A dropped message cannot also be delayed/duplicated.
+            return FaultDecision { drop: true, ..FaultDecision::clean() };
+        }
+        let delay = if unit(mix(base, 0x02)) < self.delay_prob && !self.max_delay.is_zero() {
+            let nanos = self.max_delay.as_nanos().max(1) as u64;
+            Some(Duration::from_nanos(1 + mix(base, 0x03) % nanos))
+        } else {
+            None
+        };
+        let duplicates = u32::from(unit(mix(base, 0x04)) < self.duplicate_prob);
+        let corrupt = unit(mix(base, 0x05)) < self.corrupt_prob;
+        FaultDecision { drop: false, delay, duplicates, corrupt }
+    }
+
+    fn message_hash(&self, from: PartyId, to: PartyId, step: Step, seq: u64) -> u64 {
+        let mut h = self.seed ^ 0x9e3779b97f4a7c15;
+        for word in [party_tag(from), party_tag(to), step_tag(step), seq] {
+            h = mix(h, word);
+        }
+        h
+    }
+}
+
+fn party_tag(p: PartyId) -> u64 {
+    match p {
+        PartyId::Server1 => 1,
+        PartyId::Server2 => 2,
+        PartyId::User(u) => 3 + u as u64,
+    }
+}
+
+fn step_tag(step: Step) -> u64 {
+    Step::ALL.iter().position(|&s| s == step).unwrap_or(usize::MAX) as u64
+}
+
+/// SplitMix64-style avalanche combining `h` and `salt`.
+fn mix(h: u64, salt: u64) -> u64 {
+    let mut z = h ^ salt.wrapping_mul(0xff51afd7ed558ccd);
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let plan = FaultPlan::new(42);
+        for seq in 0..100 {
+            let d = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumVotes, seq);
+            assert!(!d.is_faulty());
+        }
+        assert!(!plan.is_crashed(PartyId::User(0), Step::Restoration));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(7).drop_messages(0.5).delay_messages(0.5, Duration::from_millis(3));
+        let b = a.clone();
+        for seq in 0..200 {
+            let from = PartyId::User((seq % 5) as usize);
+            let d1 = a.decide(from, PartyId::Server2, Step::SecureSumNoisy, seq);
+            let d2 = b.decide(from, PartyId::Server2, Step::SecureSumNoisy, seq);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let plan = FaultPlan::new(11).drop_messages(0.3);
+        let drops = (0..2000)
+            .filter(|&seq| {
+                plan.decide(PartyId::User(1), PartyId::Server1, Step::SecureSumVotes, seq).drop
+            })
+            .count();
+        assert!((400..=800).contains(&drops), "expected ~600 drops, got {drops}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).drop_messages(0.5);
+        let b = FaultPlan::new(2).drop_messages(0.5);
+        let disagreements = (0..256)
+            .filter(|&seq| {
+                let p = PartyId::User(0);
+                a.decide(p, PartyId::Server1, Step::SecureSumVotes, seq).drop
+                    != b.decide(p, PartyId::Server1, Step::SecureSumVotes, seq).drop
+            })
+            .count();
+        assert!(disagreements > 50, "seeds should decorrelate, got {disagreements}");
+    }
+
+    #[test]
+    fn crash_is_a_step_threshold() {
+        let plan = FaultPlan::new(3).crash(PartyId::User(2), Step::SecureSumNoisy);
+        assert!(!plan.is_crashed(PartyId::User(2), Step::SecureSumVotes));
+        assert!(!plan.is_crashed(PartyId::User(2), Step::ThresholdCheck));
+        assert!(plan.is_crashed(PartyId::User(2), Step::SecureSumNoisy));
+        assert!(plan.is_crashed(PartyId::User(2), Step::Restoration));
+        assert!(!plan.is_crashed(PartyId::User(1), Step::Restoration));
+        assert_eq!(plan.crash_step(PartyId::User(2)), Some(Step::SecureSumNoisy));
+    }
+
+    #[test]
+    fn filters_scope_probabilistic_faults() {
+        let plan = FaultPlan::new(9)
+            .drop_messages(1.0)
+            .only_link(LinkKind::UserToServer)
+            .only_step(Step::SecureSumVotes);
+        let hit = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumVotes, 0);
+        assert!(hit.drop);
+        let wrong_link = plan.decide(PartyId::Server1, PartyId::Server2, Step::SecureSumVotes, 0);
+        assert!(!wrong_link.is_faulty());
+        let wrong_step = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumNoisy, 0);
+        assert!(!wrong_step.is_faulty());
+    }
+
+    #[test]
+    fn drop_excludes_other_faults() {
+        let plan =
+            FaultPlan::new(5).drop_messages(1.0).duplicate_messages(1.0).corrupt_messages(1.0);
+        let d = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumVotes, 1);
+        assert!(d.drop && d.duplicates == 0 && !d.corrupt);
+    }
+
+    #[test]
+    fn delay_bounded_by_max() {
+        let plan = FaultPlan::new(13).delay_messages(1.0, Duration::from_millis(5));
+        for seq in 0..100 {
+            let d = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumVotes, seq);
+            let delay = d.delay.expect("delay must fire at p=1");
+            assert!(delay <= Duration::from_millis(5));
+            assert!(delay > Duration::ZERO);
+        }
+    }
+}

@@ -59,7 +59,10 @@ pub struct NetworkProfile {
 impl NetworkProfile {
     /// Everything on one machine.
     pub fn local() -> Self {
-        NetworkProfile { user_server: LinkProfile::loopback(), server_server: LinkProfile::loopback() }
+        NetworkProfile {
+            user_server: LinkProfile::loopback(),
+            server_server: LinkProfile::loopback(),
+        }
     }
 
     /// Users over WAN, servers co-located on a LAN — the paper's
@@ -104,9 +107,8 @@ impl NetworkProfile {
                 }
                 LinkKind::ServerToServer => {
                     total += Duration::from_micros(profile.latency_us) * stats.messages as u32;
-                    total += Duration::from_secs_f64(
-                        stats.bytes as f64 / profile.bytes_per_sec as f64,
-                    );
+                    total +=
+                        Duration::from_secs_f64(stats.bytes as f64 / profile.bytes_per_sec as f64);
                 }
             }
         }
@@ -115,10 +117,7 @@ impl NetworkProfile {
 
     /// Estimated total network time across all steps.
     pub fn total_network_time(&self, report: &MeterReport) -> Duration {
-        Step::ALL
-            .iter()
-            .map(|&s| self.step_network_time(report, s))
-            .sum()
+        Step::ALL.iter().map(|&s| self.step_network_time(report, s)).sum()
     }
 }
 
@@ -180,10 +179,8 @@ mod tests {
     fn total_is_sum_of_steps() {
         let report = sample_report();
         let profile = NetworkProfile::federated();
-        let by_steps: Duration = Step::ALL
-            .iter()
-            .map(|&s| profile.step_network_time(&report, s))
-            .sum();
+        let by_steps: Duration =
+            Step::ALL.iter().map(|&s| profile.step_network_time(&report, s)).sum();
         assert_eq!(by_steps, profile.total_network_time(&report));
     }
 }

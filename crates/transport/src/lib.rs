@@ -37,13 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod network;
 pub mod segment;
 pub mod wire;
 
+pub use faults::{FaultDecision, FaultPlan};
 pub use latency::{LinkProfile, NetworkProfile};
-pub use metrics::{LinkKind, Meter, MeterReport, Step};
-pub use network::{Endpoint, Network, PartyId, TransportError};
+pub use metrics::{FaultEvent, FaultStats, LinkKind, Meter, MeterReport, Step};
+pub use network::{
+    Endpoint, Network, NetworkBuilder, PartyId, RecvEachError, TimeoutPolicy, TransportError,
+};
 pub use wire::{Wire, WireError};

@@ -118,6 +118,78 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
+/// A reliability event observed by an endpoint.
+///
+/// Injected events come from an attached [`crate::faults::FaultPlan`];
+/// detected/observed events come from the receive path regardless of
+/// whether a plan is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultEvent {
+    /// A receive exhausted every retry window.
+    Timeout,
+    /// A receive window expired and an extended (retry) window began.
+    Retry,
+    /// The plan discarded a sent message.
+    DropInjected,
+    /// The plan attached a delivery delay to a sent message.
+    DelayInjected,
+    /// The plan enqueued an extra copy of a sent message.
+    DuplicateInjected,
+    /// The receiver's dedup layer discarded a duplicate frame.
+    DuplicateSuppressed,
+    /// The plan flipped payload bits in a sent message.
+    CorruptionInjected,
+    /// A frame checksum mismatch was caught on receive.
+    CorruptionDetected,
+    /// A crashed party attempted a send (silently discarded).
+    CrashedSend,
+}
+
+/// Totals of reliability events, one counter per [`FaultEvent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Receives that exhausted every retry window.
+    pub timeouts: u64,
+    /// Extended receive windows consumed.
+    pub retries: u64,
+    /// Messages discarded by the fault plan.
+    pub drops_injected: u64,
+    /// Messages delayed by the fault plan.
+    pub delays_injected: u64,
+    /// Extra copies enqueued by the fault plan.
+    pub duplicates_injected: u64,
+    /// Duplicate frames discarded by receivers.
+    pub duplicates_suppressed: u64,
+    /// Payloads corrupted by the fault plan.
+    pub corruptions_injected: u64,
+    /// Checksum mismatches caught by receivers.
+    pub corruptions_detected: u64,
+    /// Sends attempted by crashed parties.
+    pub crashed_sends: u64,
+}
+
+impl FaultStats {
+    fn bump(&mut self, event: FaultEvent) {
+        let slot = match event {
+            FaultEvent::Timeout => &mut self.timeouts,
+            FaultEvent::Retry => &mut self.retries,
+            FaultEvent::DropInjected => &mut self.drops_injected,
+            FaultEvent::DelayInjected => &mut self.delays_injected,
+            FaultEvent::DuplicateInjected => &mut self.duplicates_injected,
+            FaultEvent::DuplicateSuppressed => &mut self.duplicates_suppressed,
+            FaultEvent::CorruptionInjected => &mut self.corruptions_injected,
+            FaultEvent::CorruptionDetected => &mut self.corruptions_detected,
+            FaultEvent::CrashedSend => &mut self.crashed_sends,
+        };
+        *slot += 1;
+    }
+
+    /// True if no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Wall-clock totals for one step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeStats {
@@ -131,6 +203,7 @@ pub struct TimeStats {
 struct MeterInner {
     comm: BTreeMap<(Step, LinkKind), LinkStats>,
     time: BTreeMap<Step, TimeStats>,
+    faults: FaultStats,
 }
 
 /// Thread-safe accumulator shared by all endpoints of a [`crate::Network`].
@@ -169,10 +242,20 @@ impl Meter {
         out
     }
 
+    /// Records one reliability event.
+    pub fn record_fault(&self, event: FaultEvent) {
+        self.inner.lock().faults.bump(event);
+    }
+
+    /// Snapshot of the reliability counters alone.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.lock().faults
+    }
+
     /// Snapshot of all counters.
     pub fn report(&self) -> MeterReport {
         let inner = self.inner.lock();
-        MeterReport { comm: inner.comm.clone(), time: inner.time.clone() }
+        MeterReport { comm: inner.comm.clone(), time: inner.time.clone(), faults: inner.faults }
     }
 
     /// Clears all counters (e.g. between benchmark warmup and measurement).
@@ -180,6 +263,7 @@ impl Meter {
         let mut inner = self.inner.lock();
         inner.comm.clear();
         inner.time.clear();
+        inner.faults = FaultStats::default();
     }
 }
 
@@ -195,6 +279,7 @@ impl fmt::Debug for Meter {
 pub struct MeterReport {
     comm: BTreeMap<(Step, LinkKind), LinkStats>,
     time: BTreeMap<Step, TimeStats>,
+    faults: FaultStats,
 }
 
 impl MeterReport {
@@ -205,11 +290,7 @@ impl MeterReport {
 
     /// Total bytes sent in a step across all links.
     pub fn step_bytes(&self, step: Step) -> u64 {
-        self.comm
-            .iter()
-            .filter(|((s, _), _)| *s == step)
-            .map(|(_, stats)| stats.bytes)
-            .sum()
+        self.comm.iter().filter(|((s, _), _)| *s == step).map(|(_, stats)| stats.bytes).sum()
     }
 
     /// Total bytes across all steps and links.
@@ -232,6 +313,37 @@ impl MeterReport {
         self.comm.iter().map(|(&(s, l), &stats)| (s, l, stats))
     }
 
+    /// Reliability counters accumulated during the run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Renders the reliability counters, or a "no faults" line when the
+    /// run was clean.
+    pub fn render_fault_summary(&self) -> String {
+        let f = self.faults;
+        if f.is_empty() {
+            return String::from("Reliability: no timeouts, retries or injected faults\n");
+        }
+        let mut out = String::from("Reliability events\n------------------\n");
+        for (label, count) in [
+            ("receive timeouts", f.timeouts),
+            ("retry windows used", f.retries),
+            ("messages dropped (injected)", f.drops_injected),
+            ("messages delayed (injected)", f.delays_injected),
+            ("duplicates injected", f.duplicates_injected),
+            ("duplicates suppressed", f.duplicates_suppressed),
+            ("corruptions injected", f.corruptions_injected),
+            ("corruptions detected", f.corruptions_detected),
+            ("sends by crashed parties", f.crashed_sends),
+        ] {
+            if count > 0 {
+                out.push_str(&format!("{label:<28} | {count}\n"));
+            }
+        }
+        out
+    }
+
     /// Renders the paper's Table I (per-step running time in seconds).
     pub fn render_table1(&self) -> String {
         let mut out = String::from("Step                     | Average Running Time (s)\n");
@@ -246,11 +358,11 @@ impl MeterReport {
             }
             out.push_str(&format!("{:<24} | {:.3}\n", step.to_string(), t.as_secs_f64()));
         }
-        out.push_str(&format!(
-            "{:<24} | {:.3}\n",
-            "Overall",
-            self.total_time().as_secs_f64()
-        ));
+        out.push_str(&format!("{:<24} | {:.3}\n", "Overall", self.total_time().as_secs_f64()));
+        if !self.faults.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_fault_summary());
+        }
         out
     }
 
@@ -263,8 +375,7 @@ impl MeterReport {
             if step.paper_number().is_none() {
                 continue;
             }
-            for link in [LinkKind::UserToServer, LinkKind::ServerToServer, LinkKind::ServerToUser]
-            {
+            for link in [LinkKind::UserToServer, LinkKind::ServerToServer, LinkKind::ServerToUser] {
                 let stats = self.link_stats(step, link);
                 if stats.bytes == 0 {
                     continue;
@@ -275,6 +386,10 @@ impl MeterReport {
                     stats.bytes / 1024,
                 ));
             }
+        }
+        if !self.faults.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_fault_summary());
         }
         out
     }
@@ -336,6 +451,44 @@ mod tests {
         let t2 = report.render_table2();
         assert!(t2.contains("server-to-server"), "{t2}");
         assert!(t2.contains("4 ("), "4 KB expected: {t2}");
+    }
+
+    #[test]
+    fn fault_events_accumulate_and_render() {
+        let meter = Meter::new();
+        assert!(meter.fault_stats().is_empty());
+        meter.record_fault(FaultEvent::Timeout);
+        meter.record_fault(FaultEvent::Retry);
+        meter.record_fault(FaultEvent::Retry);
+        meter.record_fault(FaultEvent::DropInjected);
+        meter.record_fault(FaultEvent::DuplicateSuppressed);
+        meter.record_fault(FaultEvent::CorruptionDetected);
+        meter.record_fault(FaultEvent::CrashedSend);
+        let stats = meter.fault_stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.drops_injected, 1);
+        assert_eq!(stats.duplicates_suppressed, 1);
+        assert_eq!(stats.corruptions_detected, 1);
+        assert_eq!(stats.crashed_sends, 1);
+        let report = meter.report();
+        let summary = report.render_fault_summary();
+        assert!(summary.contains("receive timeouts"), "{summary}");
+        assert!(summary.contains("retry windows used"), "{summary}");
+        // Faulty runs surface the counters in both paper tables.
+        assert!(report.render_table1().contains("Reliability events"));
+        assert!(report.render_table2().contains("Reliability events"));
+        meter.reset();
+        assert!(meter.fault_stats().is_empty());
+    }
+
+    #[test]
+    fn clean_runs_keep_tables_unchanged() {
+        let meter = Meter::new();
+        meter.record_time(Step::CompareRank, Duration::from_millis(1));
+        let report = meter.report();
+        assert!(!report.render_table1().contains("Reliability events"));
+        assert!(report.render_fault_summary().contains("no timeouts"));
     }
 
     #[test]

@@ -4,16 +4,26 @@
 //! unbounded crossbeam channels. Each party takes its [`Endpoint`] and can
 //! then be moved onto its own thread; `send`/`recv` are typed through the
 //! [`Wire`] codec and metered per [`Step`].
+//!
+//! Reliability: every frame carries a sequence number and checksum, so
+//! duplicated frames are suppressed and corrupted frames are detected on
+//! receive. Receive deadlines come from a per-network [`TimeoutPolicy`]
+//! (overridable per call), and a [`FaultPlan`] can be attached at
+//! construction to inject deterministic drop/delay/duplicate/corrupt/crash
+//! faults — see [`crate::faults`].
 
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 
-use crate::metrics::{LinkKind, Meter, Step};
+use crate::faults::FaultPlan;
+use crate::metrics::{FaultEvent, LinkKind, Meter, Step};
 use crate::wire::{Wire, WireError};
 
 /// Identifies a protocol party.
@@ -57,6 +67,8 @@ pub enum TransportError {
     Codec(WireError),
     /// A receive did not complete within the configured timeout.
     Timeout(PartyId),
+    /// A received frame failed its checksum (payload damaged in flight).
+    Corrupt(PartyId),
     /// The requested endpoint was already taken or does not exist.
     UnknownParty(PartyId),
 }
@@ -67,6 +79,7 @@ impl fmt::Display for TransportError {
             TransportError::Disconnected(p) => write!(f, "party {p} disconnected"),
             TransportError::Codec(e) => write!(f, "codec error: {e}"),
             TransportError::Timeout(p) => write!(f, "timed out waiting for {p}"),
+            TransportError::Corrupt(p) => write!(f, "corrupt frame from {p}"),
             TransportError::UnknownParty(p) => write!(f, "unknown or taken party {p}"),
         }
     }
@@ -87,6 +100,58 @@ impl From<WireError> for TransportError {
     }
 }
 
+/// Per-receive deadline and bounded-retry schedule.
+///
+/// A receive waits up to [`Self::base`]; each retry extends the wait by an
+/// exponentially backed-off window ([`Self::backoff`]×), up to
+/// [`Self::max_retries`] extra windows. Retries and final timeouts are
+/// counted on the shared [`Meter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutPolicy {
+    /// First wait window per receive.
+    pub base: Duration,
+    /// Extra windows granted after the first expires.
+    pub max_retries: u32,
+    /// Multiplier applied to each successive window (≥ 1).
+    pub backoff: f64,
+}
+
+impl Default for TimeoutPolicy {
+    /// 120 s single window — generous for in-process channels, but
+    /// prevents a peer's mid-protocol failure from hanging the other side
+    /// forever.
+    fn default() -> TimeoutPolicy {
+        TimeoutPolicy { base: Duration::from_secs(120), max_retries: 0, backoff: 2.0 }
+    }
+}
+
+impl TimeoutPolicy {
+    /// Single window of `base`, no retries.
+    pub fn new(base: Duration) -> TimeoutPolicy {
+        TimeoutPolicy { base, max_retries: 0, backoff: 2.0 }
+    }
+
+    /// A full schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backoff < 1.0` (windows must not shrink).
+    pub fn with_retries(base: Duration, max_retries: u32, backoff: f64) -> TimeoutPolicy {
+        assert!(backoff >= 1.0, "backoff must be >= 1");
+        TimeoutPolicy { base, max_retries, backoff }
+    }
+
+    /// The duration of wait window `attempt` (0 = initial window).
+    pub fn window(&self, attempt: u32) -> Duration {
+        self.base.mul_f64(self.backoff.powi(attempt as i32))
+    }
+
+    /// Total wait across the initial window and every retry window.
+    pub fn total_budget(&self) -> Duration {
+        (0..=self.max_retries).map(|a| self.window(a)).sum()
+    }
+}
+
 /// One message in flight.
 #[derive(Debug, Clone)]
 struct Envelope {
@@ -95,13 +160,105 @@ struct Envelope {
     /// receive mismatch is being investigated); routing is sender-based.
     #[allow(dead_code)]
     step: Step,
+    /// Per-link sequence number (starts at 1); duplicates share it.
+    seq: u64,
+    /// Frame checksum over `(seq, payload)` computed before any fault
+    /// mutation, so in-flight corruption is detectable.
+    checksum: u64,
+    /// Injected delivery delay: the receiver must not consume the frame
+    /// before this instant.
+    deliver_after: Option<Instant>,
     payload: Bytes,
 }
 
-/// Default receive timeout — generous for in-process channels, but
-/// prevents a peer's mid-protocol failure from hanging the other side
-/// forever.
-const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+/// FNV-1a over the payload, seeded with the sequence number.
+fn frame_checksum(payload: &[u8], seq: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seq.wrapping_mul(0x0100_0000_01b3);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministically flips one payload bit (position derived from `seq`).
+fn corrupt_payload(payload: &Bytes, seq: u64) -> Bytes {
+    let mut v = payload.to_vec();
+    if !v.is_empty() {
+        let idx = (seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize) % v.len();
+        v[idx] ^= 1 << (seq % 8);
+    }
+    Bytes::from(v)
+}
+
+/// How a pulled envelope relates to the current receive deadline.
+enum Delivery {
+    /// Consumable now.
+    Ready,
+    /// Consumable after sleeping until the instant.
+    Sleep(Instant),
+    /// Not consumable in the current window, but a retry window could
+    /// still reach it.
+    NotYet,
+    /// Cannot arrive within any window of this receive — discard.
+    TooLate,
+}
+
+fn classify_delay(env: &Envelope, window_end: Instant, final_deadline: Instant) -> Delivery {
+    match env.deliver_after {
+        None => Delivery::Ready,
+        Some(at) => {
+            if at <= Instant::now() {
+                Delivery::Ready
+            } else if at <= window_end {
+                Delivery::Sleep(at)
+            } else if at <= final_deadline {
+                Delivery::NotYet
+            } else {
+                Delivery::TooLate
+            }
+        }
+    }
+}
+
+/// Everything that arrived during a partial [`Endpoint::recv_each`],
+/// alongside who failed and how.
+///
+/// Unlike a bare [`TransportError`], this keeps the successfully received
+/// values so a dropout-tolerant caller can continue with the surviving
+/// subset.
+pub struct RecvEachError<T> {
+    /// Values that did arrive, labelled by sender.
+    pub received: Vec<(PartyId, T)>,
+    /// Senders whose receive failed, with the root error each.
+    pub missing: Vec<(PartyId, TransportError)>,
+}
+
+impl<T> fmt::Debug for RecvEachError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecvEachError")
+            .field("received", &self.received.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+            .field("missing", &self.missing)
+            .finish()
+    }
+}
+
+impl<T> fmt::Display for RecvEachError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} senders failed:",
+            self.missing.len(),
+            self.received.len() + self.missing.len()
+        )?;
+        for (p, e) in &self.missing {
+            write!(f, " {p}: {e};")?;
+        }
+        Ok(())
+    }
+}
+
+impl<T> Error for RecvEachError<T> {}
 
 /// A party's handle on the network: typed send/receive plus the shared
 /// meter.
@@ -112,6 +269,13 @@ pub struct Endpoint {
     /// Messages received from other parties while waiting for a specific
     /// sender; replayed on later receives.
     stashed: HashMap<PartyId, VecDeque<Envelope>>,
+    /// Per-destination sequence counters (a `Mutex` because `send` takes
+    /// `&self` so one party can fan out from shared references).
+    send_seq: Mutex<HashMap<PartyId, u64>>,
+    /// Highest sequence number accepted per sender (duplicate dedup).
+    seen_seq: HashMap<PartyId, u64>,
+    timeout: TimeoutPolicy,
+    faults: Option<Arc<FaultPlan>>,
     meter: Arc<Meter>,
 }
 
@@ -132,7 +296,16 @@ impl Endpoint {
         &self.meter
     }
 
+    /// The receive policy this endpoint inherited from its network.
+    pub fn timeout_policy(&self) -> TimeoutPolicy {
+        self.timeout
+    }
+
     /// Sends `value` to `to`, tagged with `step`.
+    ///
+    /// If a [`FaultPlan`] is attached, the message may be silently
+    /// dropped, delayed, duplicated or corrupted here (each recorded on
+    /// the meter); a crashed sender's messages always vanish.
     ///
     /// # Errors
     ///
@@ -140,40 +313,147 @@ impl Endpoint {
     /// the network and [`TransportError::Disconnected`] if the peer's
     /// endpoint was dropped.
     pub fn send<T: Wire>(&self, to: PartyId, step: Step, value: &T) -> Result<(), TransportError> {
+        if let Some(plan) = &self.faults {
+            if plan.is_crashed(self.id, step) {
+                // The dead party doesn't know it is dead: the send
+                // "succeeds" locally and the bytes never leave.
+                self.meter.record_fault(FaultEvent::CrashedSend);
+                return Ok(());
+            }
+        }
         let payload = value.to_bytes();
         self.meter.record_message(step, self.id.link_to(to), payload.len());
         let sender = self.outgoing.get(&to).ok_or(TransportError::UnknownParty(to))?;
-        sender
-            .send(Envelope { from: self.id, step, payload })
-            .map_err(|_| TransportError::Disconnected(to))
+        let seq = {
+            let mut counters = self.send_seq.lock();
+            let counter = counters.entry(to).or_insert(0);
+            *counter += 1;
+            *counter
+        };
+        let decision = match &self.faults {
+            Some(plan) => plan.decide(self.id, to, step, seq),
+            None => crate::faults::FaultDecision::clean(),
+        };
+        if decision.drop {
+            self.meter.record_fault(FaultEvent::DropInjected);
+            return Ok(());
+        }
+        let checksum = frame_checksum(&payload, seq);
+        let payload = if decision.corrupt {
+            self.meter.record_fault(FaultEvent::CorruptionInjected);
+            corrupt_payload(&payload, seq)
+        } else {
+            payload
+        };
+        let deliver_after = decision.delay.map(|d| {
+            self.meter.record_fault(FaultEvent::DelayInjected);
+            Instant::now() + d
+        });
+        let env = Envelope { from: self.id, step, seq, checksum, deliver_after, payload };
+        for _ in 0..decision.duplicates {
+            self.meter.record_fault(FaultEvent::DuplicateInjected);
+            // A failed duplicate enqueue is indistinguishable from the
+            // duplicate being lost — ignore it.
+            let _ = sender.send(env.clone());
+        }
+        sender.send(env).map_err(|_| TransportError::Disconnected(to))
     }
 
-    /// Receives the next message *from a specific sender*, blocking.
-    /// Messages from other senders that arrive in the meantime are stashed
-    /// and replayed in order. The `step` tag is used only for diagnostics;
-    /// ordering within a sender is FIFO.
+    /// Receives the next message *from a specific sender tagged with a
+    /// specific step* under the network's [`TimeoutPolicy`]. Messages
+    /// from other senders — or from this sender under a different step —
+    /// that arrive in the meantime are stashed and replayed in order.
+    /// Ordering within one `(sender, step)` stream is FIFO; matching on
+    /// the step keeps a lossy link from desynchronizing a sender's
+    /// stream across protocol steps (a dropped step-2 share must never
+    /// make its step-6 share masquerade as the missing message).
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Timeout`] after 120 s,
-    /// [`TransportError::Disconnected`] if all senders are gone, or a
-    /// [`TransportError::Codec`] error if the payload fails to decode.
-    pub fn recv<T: Wire>(&mut self, from: PartyId, _step: Step) -> Result<T, TransportError> {
-        // Replay a stashed message first.
-        if let Some(queue) = self.stashed.get_mut(&from) {
-            if let Some(env) = queue.pop_front() {
-                return T::from_bytes(env.payload).map_err(Into::into);
-            }
-        }
+    /// Returns [`TransportError::Timeout`] when every wait window is
+    /// exhausted, [`TransportError::Corrupt`] if the frame fails its
+    /// checksum, [`TransportError::Disconnected`] if all senders are
+    /// gone, or [`TransportError::Codec`] if the payload fails to decode.
+    pub fn recv<T: Wire>(&mut self, from: PartyId, step: Step) -> Result<T, TransportError> {
+        self.recv_with_timeout(from, step, self.timeout)
+    }
+
+    /// [`Self::recv`] with an explicit per-call timeout policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::recv`].
+    pub fn recv_with_timeout<T: Wire>(
+        &mut self,
+        from: PartyId,
+        step: Step,
+        policy: TimeoutPolicy,
+    ) -> Result<T, TransportError> {
+        let start = Instant::now();
+        let final_deadline = start + policy.total_budget();
+        let mut window_end = start + policy.window(0);
+        let mut attempt: u32 = 0;
         loop {
-            match self.incoming.recv_timeout(RECV_TIMEOUT) {
-                Ok(env) if env.from == from => {
-                    return T::from_bytes(env.payload).map_err(Into::into);
+            // Replay the oldest stashed message matching this sender and
+            // step first (FIFO within the stream: nothing newer may
+            // overtake it). Other-step stash entries stay put for their
+            // own receives.
+            let stash_idx =
+                self.stashed.get(&from).and_then(|q| q.iter().position(|e| e.step == step));
+            if let Some(idx) = stash_idx {
+                let env = self
+                    .stashed
+                    .get_mut(&from)
+                    .and_then(|q| q.remove(idx))
+                    .expect("stash index just found");
+                match classify_delay(&env, window_end, final_deadline) {
+                    Delivery::Ready => return self.open_envelope(env),
+                    Delivery::Sleep(until) => {
+                        std::thread::sleep(until.saturating_duration_since(Instant::now()));
+                        return self.open_envelope(env);
+                    }
+                    Delivery::NotYet => {
+                        // Re-insert at the same position: it stays the
+                        // stream head and blocks later same-step
+                        // messages from overtaking it.
+                        self.stashed.entry(from).or_default().insert(idx, env);
+                    }
+                    Delivery::TooLate => continue,
                 }
+            }
+            // A stashed NotYet head must keep blocking the stream.
+            let stream_blocked =
+                self.stashed.get(&from).is_some_and(|q| q.iter().any(|e| e.step == step));
+            let wait = window_end.saturating_duration_since(Instant::now());
+            match self.incoming.recv_timeout(wait) {
                 Ok(env) => {
-                    self.stashed.entry(env.from).or_default().push_back(env);
+                    let Some(env) = self.intake(env) else { continue };
+                    if env.from == from && env.step == step && !stream_blocked {
+                        match classify_delay(&env, window_end, final_deadline) {
+                            Delivery::Ready => return self.open_envelope(env),
+                            Delivery::Sleep(until) => {
+                                std::thread::sleep(until.saturating_duration_since(Instant::now()));
+                                return self.open_envelope(env);
+                            }
+                            Delivery::NotYet => {
+                                self.stashed.entry(from).or_default().push_back(env);
+                            }
+                            Delivery::TooLate => continue,
+                        }
+                    } else {
+                        self.stashed.entry(env.from).or_default().push_back(env);
+                    }
                 }
-                Err(RecvTimeoutError::Timeout) => return Err(TransportError::Timeout(from)),
+                Err(RecvTimeoutError::Timeout) => {
+                    if attempt < policy.max_retries {
+                        attempt += 1;
+                        self.meter.record_fault(FaultEvent::Retry);
+                        window_end += policy.window(attempt);
+                    } else {
+                        self.meter.record_fault(FaultEvent::Timeout);
+                        return Err(TransportError::Timeout(from));
+                    }
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(TransportError::Disconnected(from))
                 }
@@ -181,17 +461,95 @@ impl Endpoint {
         }
     }
 
-    /// Receives one message from each of `froms`, in the given order.
+    /// Dedup gate: admits an envelope freshly pulled from the channel, or
+    /// discards it as an already-seen duplicate.
+    fn intake(&mut self, env: Envelope) -> Option<Envelope> {
+        let last = self.seen_seq.entry(env.from).or_insert(0);
+        if env.seq <= *last {
+            self.meter.record_fault(FaultEvent::DuplicateSuppressed);
+            return None;
+        }
+        *last = env.seq;
+        Some(env)
+    }
+
+    /// Checksum-verifies and decodes a deliverable envelope.
+    fn open_envelope<T: Wire>(&self, env: Envelope) -> Result<T, TransportError> {
+        if frame_checksum(&env.payload, env.seq) != env.checksum {
+            self.meter.record_fault(FaultEvent::CorruptionDetected);
+            return Err(TransportError::Corrupt(env.from));
+        }
+        T::from_bytes(env.payload).map_err(Into::into)
+    }
+
+    /// Receives one message from each of `froms`, in the given order,
+    /// continuing past per-sender failures.
     ///
     /// # Errors
     ///
-    /// Propagates the first receive error.
+    /// If any sender fails, returns a [`RecvEachError`] carrying every
+    /// value that *did* arrive plus the per-sender root errors — callers
+    /// tolerating dropouts can proceed with the survivors.
     pub fn recv_each<T: Wire>(
         &mut self,
         froms: impl IntoIterator<Item = PartyId>,
         step: Step,
-    ) -> Result<Vec<T>, TransportError> {
-        froms.into_iter().map(|from| self.recv(from, step)).collect()
+    ) -> Result<Vec<T>, RecvEachError<T>> {
+        let mut received = Vec::new();
+        let mut missing = Vec::new();
+        for from in froms {
+            match self.recv(from, step) {
+                Ok(value) => received.push((from, value)),
+                Err(e) => missing.push((from, e)),
+            }
+        }
+        if missing.is_empty() {
+            Ok(received.into_iter().map(|(_, v)| v).collect())
+        } else {
+            Err(RecvEachError { received, missing })
+        }
+    }
+}
+
+/// Configures a [`Network`] before construction.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    num_users: usize,
+    meter: Option<Arc<Meter>>,
+    timeout: TimeoutPolicy,
+    faults: Option<FaultPlan>,
+}
+
+impl NetworkBuilder {
+    /// Records into an existing meter instead of a fresh one.
+    #[must_use]
+    pub fn meter(mut self, meter: Arc<Meter>) -> NetworkBuilder {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Receive deadline/retry schedule for every endpoint.
+    #[must_use]
+    pub fn timeout(mut self, policy: TimeoutPolicy) -> NetworkBuilder {
+        self.timeout = policy;
+        self
+    }
+
+    /// Attaches a deterministic fault plan to every endpoint.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> NetworkBuilder {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Wires the mesh.
+    pub fn build(self) -> Network {
+        Network::assemble(
+            self.num_users,
+            self.meter.unwrap_or_default(),
+            self.timeout,
+            self.faults.map(Arc::new),
+        )
     }
 }
 
@@ -200,6 +558,7 @@ pub struct Network {
     endpoints: HashMap<PartyId, Endpoint>,
     meter: Arc<Meter>,
     num_users: usize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl fmt::Debug for Network {
@@ -210,17 +569,29 @@ impl fmt::Debug for Network {
 
 impl Network {
     /// Builds a full mesh over `num_users` users and both servers, sharing
-    /// one [`Meter`].
+    /// one [`Meter`], with the default [`TimeoutPolicy`] and no faults.
     pub fn new(num_users: usize) -> Network {
-        Self::with_meter(num_users, Meter::new())
+        Self::builder(num_users).build()
     }
 
     /// Builds a network that records into an existing meter.
     pub fn with_meter(num_users: usize, meter: Arc<Meter>) -> Network {
-        let parties: Vec<PartyId> = (0..num_users)
-            .map(PartyId::User)
-            .chain([PartyId::Server1, PartyId::Server2])
-            .collect();
+        Self::builder(num_users).meter(meter).build()
+    }
+
+    /// Starts configuring a network.
+    pub fn builder(num_users: usize) -> NetworkBuilder {
+        NetworkBuilder { num_users, meter: None, timeout: TimeoutPolicy::default(), faults: None }
+    }
+
+    fn assemble(
+        num_users: usize,
+        meter: Arc<Meter>,
+        timeout: TimeoutPolicy,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Network {
+        let parties: Vec<PartyId> =
+            (0..num_users).map(PartyId::User).chain([PartyId::Server1, PartyId::Server2]).collect();
         let mut senders: HashMap<PartyId, Sender<Envelope>> = HashMap::new();
         let mut receivers: HashMap<PartyId, Receiver<Envelope>> = HashMap::new();
         for &p in &parties {
@@ -244,12 +615,16 @@ impl Network {
                     outgoing,
                     incoming: receivers.remove(&p).expect("each party has a receiver"),
                     stashed: HashMap::new(),
+                    send_seq: Mutex::new(HashMap::new()),
+                    seen_seq: HashMap::new(),
+                    timeout,
+                    faults: faults.clone(),
                     meter: Arc::clone(&meter),
                 };
                 (p, endpoint)
             })
             .collect();
-        Network { endpoints, meter, num_users }
+        Network { endpoints, meter, num_users, faults }
     }
 
     /// Number of users in the mesh.
@@ -265,6 +640,11 @@ impl Network {
     /// The shared meter.
     pub fn meter(&self) -> &Arc<Meter> {
         &self.meter
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
     }
 
     /// Removes and returns a party's endpoint so it can be moved to a
@@ -370,9 +750,7 @@ mod tests {
         for (i, u) in users.iter().enumerate() {
             u.send(PartyId::Server1, Step::SecureSumVotes, &(i as u64 * 100)).unwrap();
         }
-        let got: Vec<u64> = s1
-            .recv_each((0..3).map(PartyId::User), Step::SecureSumVotes)
-            .unwrap();
+        let got: Vec<u64> = s1.recv_each((0..3).map(PartyId::User), Step::SecureSumVotes).unwrap();
         assert_eq!(got, vec![0, 100, 200]);
     }
 
@@ -382,5 +760,222 @@ mod tests {
         assert_eq!(PartyId::Server1.link_to(PartyId::Server2), LinkKind::ServerToServer);
         assert_eq!(PartyId::User(0).link_to(PartyId::Server1), LinkKind::UserToServer);
         assert_eq!(PartyId::Server2.link_to(PartyId::User(1)), LinkKind::ServerToUser);
+    }
+
+    // --- reliability-layer tests -----------------------------------------
+
+    /// A short policy so fault tests fail fast instead of waiting 120 s.
+    fn quick() -> TimeoutPolicy {
+        TimeoutPolicy::new(Duration::from_millis(50))
+    }
+
+    #[test]
+    fn recv_each_partial_failure_keeps_received_values() {
+        let mut net = Network::builder(3).timeout(quick()).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u0 = net.take_endpoint(PartyId::User(0));
+        let u2 = net.take_endpoint(PartyId::User(2));
+        // user1 never sends (and never disconnects: its endpoint stays in
+        // the network), so its slot times out.
+        u0.send(PartyId::Server1, Step::SecureSumVotes, &5u64).unwrap();
+        u2.send(PartyId::Server1, Step::SecureSumVotes, &7u64).unwrap();
+        let err = s1.recv_each::<u64>((0..3).map(PartyId::User), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err.received, vec![(PartyId::User(0), 5), (PartyId::User(2), 7)]);
+        assert_eq!(err.missing.len(), 1);
+        assert_eq!(err.missing[0].0, PartyId::User(1));
+        assert_eq!(err.missing[0].1, TransportError::Timeout(PartyId::User(1)));
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn recv_matches_on_step_not_just_sender() {
+        // A sender whose step-2 message was lost must not have its step-6
+        // message delivered in its place: the step-2 receive times out
+        // and the step-6 message stays available for its own receive.
+        let mut net = Network::builder(1).timeout(quick()).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumNoisy, &99u64).unwrap();
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumNoisy).unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn stashed_messages_replay_per_step_in_order() {
+        // Interleaved steps from one sender: each stream is FIFO on its
+        // own, regardless of receive order across streams.
+        let mut net = Network::builder(1).timeout(quick()).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumVotes, &1u64).unwrap();
+        u.send(PartyId::Server1, Step::SecureSumNoisy, &10u64).unwrap();
+        u.send(PartyId::Server1, Step::SecureSumVotes, &2u64).unwrap();
+        u.send(PartyId::Server1, Step::SecureSumNoisy, &20u64).unwrap();
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::SecureSumNoisy).unwrap(), 10);
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap(), 1);
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap(), 2);
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::SecureSumNoisy).unwrap(), 20);
+    }
+
+    #[test]
+    fn per_call_timeout_overrides_network_policy() {
+        // Network default would wait 120 s; the per-call policy times out
+        // in milliseconds.
+        let mut net = Network::new(1);
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let start = Instant::now();
+        let err = s1
+            .recv_with_timeout::<u64>(
+                PartyId::User(0),
+                Step::SecureSumVotes,
+                TimeoutPolicy::new(Duration::from_millis(20)),
+            )
+            .unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn retries_extend_the_deadline_and_are_metered() {
+        let mut net = Network::builder(1)
+            .timeout(TimeoutPolicy::with_retries(Duration::from_millis(40), 2, 2.0))
+            .build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        // Send from another thread inside the second (retry) window.
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                u.send(PartyId::Server1, Step::SecureSumVotes, &9u64).unwrap();
+            });
+            let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+            assert_eq!(v, 9);
+        });
+        let stats = net.meter().fault_stats();
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn injected_drop_times_out_receiver() {
+        let plan = FaultPlan::new(1).drop_messages(1.0);
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumVotes, &3u64).unwrap();
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.drops_injected, 1);
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn injected_duplicates_are_suppressed() {
+        let plan = FaultPlan::new(2).duplicate_messages(1.0);
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        for i in 0..4u64 {
+            u.send(PartyId::Server1, Step::SecureSumVotes, &i).unwrap();
+        }
+        for i in 0..4u64 {
+            let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+            assert_eq!(v, i, "duplicates must not repeat or reorder values");
+        }
+        // Nothing further: all copies consumed.
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.duplicates_injected, 4);
+        assert_eq!(stats.duplicates_suppressed, 4);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected() {
+        let plan = FaultPlan::new(3).corrupt_messages(1.0);
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumVotes, &Ubig::from(123456u64)).unwrap();
+        let err = s1.recv::<Ubig>(PartyId::User(0), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err, TransportError::Corrupt(PartyId::User(0)));
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.corruptions_injected, 1);
+        assert_eq!(stats.corruptions_detected, 1);
+    }
+
+    #[test]
+    fn injected_delay_is_honored_within_deadline() {
+        let plan = FaultPlan::new(4).delay_messages(1.0, Duration::from_millis(30));
+        let mut net = Network::builder(1)
+            .timeout(TimeoutPolicy::new(Duration::from_millis(500)))
+            .faults(plan)
+            .build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        let sent_at = Instant::now();
+        u.send(PartyId::Server1, Step::SecureSumVotes, &77u64).unwrap();
+        let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+        assert_eq!(v, 77);
+        assert!(sent_at.elapsed() > Duration::ZERO);
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.delays_injected, 1);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn delay_beyond_every_window_times_out() {
+        let plan = FaultPlan::new(5).delay_messages(1.0, Duration::from_secs(3600));
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumVotes, &1u64).unwrap();
+        let start = Instant::now();
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        // The hour-long delay must not be slept through.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn crashed_party_sends_vanish() {
+        let plan = FaultPlan::new(6).crash(PartyId::User(0), Step::SecureSumNoisy);
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        // Before the crash step: delivered.
+        u.send(PartyId::Server1, Step::SecureSumVotes, &1u64).unwrap();
+        let v: u64 = s1.recv(PartyId::User(0), Step::SecureSumVotes).unwrap();
+        assert_eq!(v, 1);
+        // At/after the crash step: the send "succeeds" but vanishes.
+        u.send(PartyId::Server1, Step::SecureSumNoisy, &2u64).unwrap();
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumNoisy).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        let stats = net.meter().fault_stats();
+        assert_eq!(stats.crashed_sends, 1);
+    }
+
+    #[test]
+    fn identical_plans_inject_identically() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).drop_messages(0.5);
+            let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+            let mut s1 = net.take_endpoint(PartyId::Server1);
+            let u = net.take_endpoint(PartyId::User(0));
+            (0..12u64)
+                .map(|i| {
+                    u.send(PartyId::Server1, Step::SecureSumVotes, &i).unwrap();
+                    s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).is_ok()
+                })
+                .collect()
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b, "same seed must reproduce the same fault schedule");
+        assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok), "p=0.5 should mix: {a:?}");
     }
 }

@@ -37,8 +37,10 @@ impl fmt::Display for WireError {
 impl Error for WireError {}
 
 /// Maximum declared element count / byte length accepted while decoding,
-/// guarding against corrupted prefixes.
-const MAX_LEN: u64 = 1 << 32;
+/// guarding against corrupted prefixes. Must be strictly below `1 << 32`
+/// to be reachable from a `u32` prefix — no legitimate protocol message
+/// comes anywhere near 256 MiB.
+const MAX_LEN: u64 = 1 << 28;
 
 /// A type that can be serialized onto / deserialized from the wire.
 pub trait Wire: Sized {
@@ -305,6 +307,9 @@ impl Wire for String {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         need(buf, 4)?;
         let len = buf.get_u32_le() as usize;
+        if len as u64 > MAX_LEN {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
         need(buf, len)?;
         let mut raw = vec![0u8; len];
         buf.copy_to_slice(&mut raw);
@@ -332,7 +337,7 @@ mod tests {
         roundtrip(i128::MIN);
         roundtrip(true);
         roundtrip(false);
-        roundtrip(3.14159f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(usize::MAX);
     }
 

@@ -1,0 +1,121 @@
+//! Property tests for the wire codec's decode paths: malformed input —
+//! truncation, oversized length prefixes, flipped bits, random garbage —
+//! must always surface a `WireError`, never panic, and never trigger an
+//! attacker-controlled allocation.
+
+use bigint::{Ibig, Ubig};
+use bytes::Bytes;
+use proptest::prelude::*;
+use transport::wire::{Wire, WireError};
+
+/// Decodes `bytes` as `T`, returning the error if any; the call itself
+/// must not panic (the property harness would report it as a failure).
+fn try_decode<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    T::from_bytes(Bytes::from(bytes.to_vec()))
+}
+
+/// Every strict prefix of a valid encoding must fail to decode (the
+/// codec is length-prefixed/fixed-width, so a shorter buffer can never
+/// be a complete message followed by nothing).
+fn assert_prefixes_error<T: Wire>(encoded: &[u8]) {
+    for cut in 0..encoded.len() {
+        let r = try_decode::<T>(&encoded[..cut]);
+        assert!(r.is_err(), "prefix of {cut}/{} bytes decoded successfully", encoded.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn truncated_scalars_error(a in any::<u64>(), b in any::<i64>(), c in any::<u8>()) {
+        assert_prefixes_error::<u64>(&a.to_bytes());
+        assert_prefixes_error::<i64>(&b.to_bytes());
+        assert_prefixes_error::<u8>(&c.to_bytes());
+        assert_prefixes_error::<i128>(&(a as i128).to_bytes());
+        assert_prefixes_error::<(u64, i64)>(&(a, b).to_bytes());
+    }
+
+    #[test]
+    fn truncated_bigints_error(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let value = Ubig::from_limbs(limbs);
+        assert_prefixes_error::<Ubig>(&value.to_bytes());
+        let signed = Ibig::from(-7i64);
+        assert_prefixes_error::<Ibig>(&signed.to_bytes());
+    }
+
+    #[test]
+    fn truncated_vectors_error(values in proptest::collection::vec(any::<i64>(), 1..10)) {
+        assert_prefixes_error::<Vec<i64>>(&values.to_bytes());
+        let nested: Vec<Vec<i64>> = vec![values.clone(), values];
+        assert_prefixes_error::<Vec<Vec<i64>>>(&nested.to_bytes());
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors_without_allocating(decl in (1u32 << 28)..u32::MAX, tail in proptest::collection::vec(any::<u8>(), 0..32)) {
+        // A corrupted length prefix claiming up to 4 GiB: decoding must
+        // reject it (LengthOverflow or Truncated) without ever reserving
+        // the declared size. An actual 4 GiB allocation would blow the
+        // test runner; finishing at all is the allocation bound.
+        let mut frame = decl.to_le_bytes().to_vec();
+        frame.extend_from_slice(&tail);
+        prop_assert!(try_decode::<Ubig>(&frame).is_err());
+        prop_assert!(try_decode::<String>(&frame).is_err());
+        prop_assert!(try_decode::<Vec<u8>>(&frame).is_err());
+        prop_assert!(try_decode::<Vec<Ubig>>(&frame).is_err());
+    }
+
+    #[test]
+    fn length_prefix_exceeding_max_len_is_overflow(decl in ((1u64 << 28) + 1)..(1u64 << 32)) {
+        // Within u32 range but above the codec's MAX_LEN sanity bound:
+        // must be the typed overflow error even if the buffer happens to
+        // be empty past the prefix.
+        let frame = (decl as u32).to_le_bytes().to_vec();
+        prop_assert_eq!(try_decode::<Ubig>(&frame), Err(WireError::LengthOverflow(decl)));
+        prop_assert_eq!(try_decode::<Vec<u8>>(&frame), Err(WireError::LengthOverflow(decl)));
+        prop_assert_eq!(try_decode::<String>(&frame), Err(WireError::LengthOverflow(decl)));
+    }
+
+    #[test]
+    fn bit_flips_never_panic(limbs in proptest::collection::vec(any::<u64>(), 0..5), byte_pos in any::<u64>(), bit in 0u8..8) {
+        // Flip one bit anywhere in a valid encoding. The result may decode
+        // (a flipped digit) or error (a damaged prefix/tag) — both are
+        // acceptable; a panic or runaway allocation is not.
+        let value = Ubig::from_limbs(limbs.clone());
+        let mut bytes = value.to_bytes().to_vec();
+        if !bytes.is_empty() {
+            let idx = (byte_pos as usize) % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            let _ = try_decode::<Ubig>(&bytes);
+        }
+        let vec_val: Vec<u64> = limbs;
+        let mut bytes = vec_val.to_bytes().to_vec();
+        let idx = (byte_pos as usize) % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = try_decode::<Vec<u64>>(&bytes);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = try_decode::<u64>(&garbage);
+        let _ = try_decode::<bool>(&garbage);
+        let _ = try_decode::<Ubig>(&garbage);
+        let _ = try_decode::<Ibig>(&garbage);
+        let _ = try_decode::<Vec<i64>>(&garbage);
+        let _ = try_decode::<Vec<Ubig>>(&garbage);
+        let _ = try_decode::<Option<Ubig>>(&garbage);
+        let _ = try_decode::<String>(&garbage);
+        let _ = try_decode::<(u64, Vec<i64>, bool)>(&garbage);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(a in any::<u64>(), extra in 1usize..8) {
+        let mut bytes = a.to_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xabu8, extra));
+        prop_assert_eq!(try_decode::<u64>(&bytes), Err(WireError::Truncated));
+    }
+}
+
+#[test]
+fn invalid_bool_and_option_tags_are_typed_errors() {
+    assert_eq!(try_decode::<bool>(&[2]), Err(WireError::InvalidTag(2)));
+    assert_eq!(try_decode::<Option<u8>>(&[7, 0]), Err(WireError::InvalidTag(7)));
+}

@@ -23,16 +23,12 @@ fn main() {
         "users", "distribution", "consensus rate", "label acc", "agg acc"
     );
     for users in [10usize, 50, 100] {
-        for (name, kind) in [
-            ("even", PartitionKind::Even),
-            ("2-8", PartitionKind::Uneven(Division::D28)),
-        ] {
-            let mut exp = MultiLabelExperiment::new(
-                spec,
-                users,
-                ConsensusConfig::paper_default(2.0, 2.0),
-            )
-            .with_partition(kind);
+        for (name, kind) in
+            [("even", PartitionKind::Even), ("2-8", PartitionKind::Uneven(Division::D28))]
+        {
+            let mut exp =
+                MultiLabelExperiment::new(spec, users, ConsensusConfig::paper_default(2.0, 2.0))
+                    .with_partition(kind);
             exp.train_size = 2000;
             exp.public_size = 120;
             exp.test_size = 400;
@@ -50,11 +46,7 @@ fn main() {
     }
 
     println!("\nAblation: the strict all-attributes retention policy");
-    let mut exp = MultiLabelExperiment::new(
-        spec,
-        25,
-        ConsensusConfig::paper_default(2.0, 2.0),
-    );
+    let mut exp = MultiLabelExperiment::new(spec, 25, ConsensusConfig::paper_default(2.0, 2.0));
     exp.policy = MultiLabelPolicy::AllAttributes;
     exp.train_size = 2000;
     exp.public_size = 120;

@@ -15,16 +15,11 @@ fn main() {
 
     println!("\n== Composition over a labeling campaign ==");
     let sigma = 40.0;
-    let per_query =
-        LinearRdp::sparse_vector(sigma).compose(&LinearRdp::report_noisy_max(sigma));
+    let per_query = LinearRdp::sparse_vector(sigma).compose(&LinearRdp::report_noisy_max(sigma));
     println!("{:<10} {:>12} {:>18}", "queries", "epsilon", "naive k*eps1");
     let one = per_query.to_epsilon(1e-6);
     for k in [1u64, 10, 100, 755, 1000] {
-        println!(
-            "{k:<10} {:>12.3} {:>18.3}",
-            per_query.repeat(k).to_epsilon(1e-6),
-            one * k as f64
-        );
+        println!("{k:<10} {:>12.3} {:>18.3}", per_query.repeat(k).to_epsilon(1e-6), one * k as f64);
     }
     println!("(RDP composition grows ~sqrt(k), far better than naive linear composition)");
 

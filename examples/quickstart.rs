@@ -20,8 +20,7 @@ fn main() {
     // 50 users on the noisy-margin workload: teachers disagree often,
     // which is exactly when the consensus filter earns its keep.
     let config = ConsensusConfig::paper_default(3.0, 3.0);
-    let mut experiment =
-        SingleLabelExperiment::new(GaussianMixtureSpec::mnist_like(), 50, config);
+    let mut experiment = SingleLabelExperiment::new(GaussianMixtureSpec::mnist_like(), 50, config);
     experiment.train_size = 5000;
     experiment.public_size = 300;
     experiment.test_size = 500;

@@ -33,12 +33,9 @@ fn main() {
     let meter = Meter::new();
 
     // Query 1: strong consensus — 4 of 5 users vote class 2.
-    let strong: Vec<Vec<f64>> = (0..users)
-        .map(|u| onehot(if u < 4 { 2 } else { 0 }, classes))
-        .collect();
-    let out = engine
-        .run_instance(&strong, Arc::clone(&meter), &mut rng)
-        .expect("protocol run");
+    let strong: Vec<Vec<f64>> =
+        (0..users).map(|u| onehot(if u < 4 { 2 } else { 0 }, classes)).collect();
+    let out = engine.run_instance(&strong, Arc::clone(&meter), &mut rng).expect("protocol run");
     println!(
         "strong vote  (4/5 for class 2): released label = {:?} (exact counts {:?})",
         out.label, out.witness.counts_scaled
@@ -46,10 +43,11 @@ fn main() {
 
     // Query 2: three-way split — should be rejected at the threshold.
     let split: Vec<Vec<f64>> = (0..users).map(|u| onehot(u % 3, classes)).collect();
-    let out = engine
-        .run_instance(&split, Arc::clone(&meter), &mut rng)
-        .expect("protocol run");
-    println!("split vote   (2/2/1):           released label = {:?} (threshold rejected)", out.label);
+    let out = engine.run_instance(&split, Arc::clone(&meter), &mut rng).expect("protocol run");
+    println!(
+        "split vote   (2/2/1):           released label = {:?} (threshold rejected)",
+        out.label
+    );
 
     let report = meter.report();
     println!("\n--- per-step running time (Table I form) ---");

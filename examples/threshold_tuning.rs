@@ -18,10 +18,7 @@ fn main() {
     let sigma = 2.0;
 
     println!("Sweeping thresholds on svhn-like, {users} users, σ = {sigma} votes\n");
-    println!(
-        "{:<10} {:>10} {:>12} {:>12}",
-        "threshold", "retention", "label acc", "agg acc"
-    );
+    println!("{:<10} {:>10} {:>12} {:>12}", "threshold", "retention", "label acc", "agg acc");
     let mut best = (0.0f64, 0.0f64);
     for t in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let mut exp = SingleLabelExperiment::new(

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The repository's CI gate, for machines with crates.io access:
+#
+#   1. cargo fmt --check          — formatting (rustfmt.toml at the root)
+#   2. cargo clippy -D warnings   — lints, all targets
+#   3. cargo build --release      — the tier-1 build
+#   4. cargo test                 — the tier-1 test suite
+#
+# In offline sandboxes where the third-party crates cannot be fetched,
+# use scripts/devcheck.sh instead — same checks, pointed at the
+# functional shims in .localdeps/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI checks passed."

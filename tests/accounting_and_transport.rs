@@ -17,9 +17,8 @@ use transport::{LinkKind, Meter, Step};
 fn theorem5_agrees_across_all_apis() {
     for (s1, s2) in [(20.0, 20.0), (35.0, 80.0), (100.0, 40.0)] {
         let closed = consensus_epsilon(s1, s2, 1e-6);
-        let curve = LinearRdp::sparse_vector(s1)
-            .compose(&LinearRdp::report_noisy_max(s2))
-            .to_epsilon(1e-6);
+        let curve =
+            LinearRdp::sparse_vector(s1).compose(&LinearRdp::report_noisy_max(s2)).to_epsilon(1e-6);
         let config = ConsensusConfig::paper_default(s1, s2).epsilon(1, 1e-6);
         assert!((closed - curve).abs() < 1e-10);
         assert!((closed - config).abs() < 1e-10);
@@ -46,11 +45,7 @@ fn secure_run_matches_table2_traffic_pattern() {
         ConsensusConfig::paper_default(0.3, 0.3),
         &mut rng,
     );
-    let votes = vec![
-        vec![0.0, 1.0, 0.0],
-        vec![0.0, 1.0, 0.0],
-        vec![0.0, 1.0, 0.0],
-    ];
+    let votes = vec![vec![0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0]];
     let meter = Meter::new();
     let out = engine.run_instance(&votes, Arc::clone(&meter), &mut rng).unwrap();
     assert_eq!(out.label, Some(1));
@@ -100,11 +95,7 @@ fn rejection_short_circuits_protocol() {
         &mut rng,
     );
     // 1/1/1 split: max 1 < T = 1.8.
-    let votes = vec![
-        vec![1.0, 0.0, 0.0],
-        vec![0.0, 1.0, 0.0],
-        vec![0.0, 0.0, 1.0],
-    ];
+    let votes = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
     let meter = Meter::new();
     let out = engine.run_instance(&votes, Arc::clone(&meter), &mut rng).unwrap();
     assert_eq!(out.label, None);

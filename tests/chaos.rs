@@ -1,0 +1,280 @@
+//! Chaos sweep: the dropout-resilient protocol under injected faults.
+//!
+//! Every run must end in one of exactly two ways — a label consistent
+//! with the witness aggregates over the users actually counted, or a
+//! typed abort ([`SmcError::QuorumLost`] / transport error). Never a
+//! hang, never a panic, and never a label whose realized noise is
+//! silently weaker than [`RoundHealth`] reports.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use consensus_core::config::{scale_votes, ConsensusConfig};
+use consensus_core::secure::{SecureEngine, SecureOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smc::{SessionConfig, SessionKeys, SmcError};
+use transport::{FaultPlan, LinkKind, Meter, PartyId, Step, TimeoutPolicy};
+
+const USERS: usize = 5;
+const CLASSES: usize = 3;
+
+/// One shared keygen: chaos runs differ only in fault plans and votes.
+fn keys() -> &'static SessionKeys {
+    static KEYS: OnceLock<SessionKeys> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(99);
+        SessionKeys::generate(SessionConfig::test(USERS, CLASSES), &mut rng)
+    })
+}
+
+/// A resilient engine with tiny noise, a short deadline and one retry.
+fn engine(min_users: usize, plan: FaultPlan) -> SecureEngine {
+    SecureEngine::with_keys(
+        keys().clone(),
+        ConsensusConfig::paper_default(1e-6, 1e-6).with_min_users(min_users),
+    )
+    .with_timeout(TimeoutPolicy::with_retries(Duration::from_millis(40), 1, 2.0))
+    .with_fault_plan(plan)
+}
+
+fn onehot(k: usize) -> Vec<f64> {
+    let mut v = vec![0.0; CLASSES];
+    v[k] = 1.0;
+    v
+}
+
+fn argmax_set(v: &[i64]) -> Vec<usize> {
+    let max = *v.iter().max().unwrap();
+    (0..v.len()).filter(|&i| v[i] == max).collect()
+}
+
+/// Tie-tolerant validity: the servers rank blindly, so any maximizer of
+/// the surviving counts is a legal winner slot, and the threshold gate
+/// is evaluated at whichever maximizer won. The outcome is valid iff it
+/// is explainable by *some* maximizer, and the health record's realized
+/// noise matches the surviving-share arithmetic exactly.
+fn assert_outcome_valid(out: &SecureOutcome, sigma1: f64, sigma2: f64) {
+    let w = &out.witness;
+    let h = &out.health;
+    assert!(h.survivors.iter().all(|u| h.intended_users.contains(u)));
+    if let Some(nv) = &h.noisy_survivors {
+        assert!(nv.iter().all(|u| h.survivors.contains(u)));
+    }
+    let n = h.intended_users.len() as f64;
+    let expect1 = sigma1 * (h.survivors.len() as f64 / n).sqrt();
+    assert!((h.realized_sigma1 - expect1).abs() < 1e-15, "σ₁ must reflect |U'|/|U|");
+    match (&h.noisy_survivors, h.realized_sigma2) {
+        (Some(nv), Some(s2)) => {
+            let expect2 = sigma2 * (nv.len() as f64 / n).sqrt();
+            assert!((s2 - expect2).abs() < 1e-15, "σ₂ must reflect |U''|/|U|");
+        }
+        (None, None) => {}
+        other => panic!("step-6 survivors and realized σ₂ must agree: {other:?}"),
+    }
+
+    let winners = argmax_set(&w.counts_scaled);
+    let gate: Vec<bool> = winners
+        .iter()
+        .map(|&i| w.counts_scaled[i] + w.z1_scaled[i] >= w.threshold_scaled)
+        .collect();
+    match out.label {
+        None => {
+            assert!(
+                gate.iter().any(|&g| !g),
+                "a rejection needs a maximizer below the gate: {w:?}"
+            );
+            assert_eq!(h.noisy_survivors, None, "rejected rounds never run step 6");
+        }
+        Some(l) => {
+            assert!(gate.iter().any(|&g| g), "a release needs a maximizer above the gate: {w:?}");
+            let noisy: Vec<i64> =
+                w.noisy_counts_scaled.iter().zip(&w.z2_scaled).map(|(&c, &z)| c + z).collect();
+            assert!(argmax_set(&noisy).contains(&l), "label {l} is not a noisy maximizer: {w:?}");
+            assert!(h.noisy_survivors.is_some(), "a release implies step 6 ran");
+        }
+    }
+}
+
+/// A user crashed before step 2 is excluded from the whole round, the
+/// threshold auto-rescales to the surviving offsets, and the round costs
+/// more privacy budget than a clean one would.
+#[test]
+fn crash_before_upload_drops_the_user() {
+    let plan = FaultPlan::new(1).crash(PartyId::User(3), Step::SecureSumVotes);
+    let eng = engine(3, plan);
+    let mut rng = StdRng::seed_from_u64(20);
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(1)).collect();
+    let out = eng.run_instance(&votes, Meter::new(), &mut rng).unwrap();
+    assert_outcome_valid(&out, 1e-6, 1e-6);
+    assert_eq!(out.label, Some(1), "4 unanimous survivors clear the rescaled threshold");
+    assert_eq!(out.health.survivors, vec![0, 1, 2, 4]);
+    assert_eq!(out.health.dropouts, vec![(3, Step::SecureSumVotes)]);
+    assert!(!out.health.is_clean());
+    // Counts and threshold both cover exactly the surviving 4/5.
+    assert_eq!(out.witness.counts_scaled[1], 4 * 65536);
+    let full_t = scale_votes(0.6 * USERS as f64);
+    assert!((out.witness.threshold_scaled - full_t * 4 / 5).abs() <= 1, "offset subset-sum");
+    // Four surviving shares realize less noise than five: the round must
+    // charge *more* ε than a clean round, never silently less.
+    let clean = ConsensusConfig::paper_default(1e-6, 1e-6).epsilon(1, 1e-6);
+    assert!(out.health.charged_rdp().to_epsilon(1e-6) > clean);
+}
+
+/// A user crashed between the two secure sums stays in the threshold
+/// check but leaves the release: only σ₂ is degraded.
+#[test]
+fn crash_between_sums_recalibrates_sigma2_only() {
+    let plan = FaultPlan::new(2).crash(PartyId::User(1), Step::SecureSumNoisy);
+    let eng = engine(3, plan);
+    let mut rng = StdRng::seed_from_u64(21);
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(2)).collect();
+    let out = eng.run_instance(&votes, Meter::new(), &mut rng).unwrap();
+    assert_outcome_valid(&out, 1e-6, 1e-6);
+    assert_eq!(out.label, Some(2));
+    assert_eq!(out.health.survivors, vec![0, 1, 2, 3, 4]);
+    assert_eq!(out.health.noisy_survivors.as_deref(), Some(&[0, 2, 3, 4][..]));
+    assert_eq!(out.health.dropouts, vec![(1, Step::SecureSumNoisy)]);
+    assert_eq!(out.health.realized_sigma1, 1e-6, "step 2 saw every share");
+    assert_eq!(out.witness.counts_scaled[2], 5 * 65536);
+    assert_eq!(out.witness.noisy_counts_scaled[2], 4 * 65536);
+}
+
+/// Mass crash below the quorum: both servers abort with the same typed
+/// error instead of hanging or releasing a 2-user "consensus".
+#[test]
+fn quorum_loss_is_a_typed_abort() {
+    let plan = FaultPlan::new(3)
+        .crash(PartyId::User(1), Step::SecureSumVotes)
+        .crash(PartyId::User(2), Step::SecureSumVotes)
+        .crash(PartyId::User(3), Step::SecureSumVotes);
+    let eng = engine(3, plan);
+    let mut rng = StdRng::seed_from_u64(22);
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(0)).collect();
+    let err = eng.run_instance(&votes, Meter::new(), &mut rng).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SmcError::QuorumLost { step: Step::SecureSumVotes, survivors: 2, required: 3 }
+        ),
+        "expected a quorum abort, got {err}"
+    );
+}
+
+/// Probabilistic uplink loss across seeds: every run ends in a valid
+/// outcome or a typed abort — the sweep as a whole must both complete
+/// rounds and observe real dropouts.
+#[test]
+fn lossy_uplink_sweep_never_hangs_or_lies() {
+    let votes = vec![onehot(2), onehot(2), onehot(2), onehot(0), onehot(1)];
+    let mut released = 0usize;
+    let mut dropouts = 0usize;
+    let mut aborts = 0usize;
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed).drop_messages(0.2).only_link(LinkKind::UserToServer);
+        let eng = engine(1, plan);
+        let meter = Meter::new();
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        match eng.run_instance(&votes, meter.clone(), &mut rng) {
+            Ok(out) => {
+                assert_outcome_valid(&out, 1e-6, 1e-6);
+                dropouts += out.health.dropouts.len();
+                released += usize::from(out.label.is_some());
+            }
+            Err(SmcError::QuorumLost { .. }) | Err(SmcError::Transport(_)) => aborts += 1,
+            Err(other) => panic!("seed {seed}: untyped failure {other}"),
+        }
+        assert!(meter.fault_stats().drops_injected > 0, "seed {seed} injected nothing");
+    }
+    assert!(dropouts > 0, "a 20% lossy uplink must drop someone across 8 seeds");
+    assert!(released + aborts < 8 || released > 0, "the sweep must complete some rounds");
+}
+
+/// Corrupted uploads are detected by the frame checksum and handled as
+/// dropouts of the sender — never as garbage aggregated into the sums.
+#[test]
+fn corruption_detected_and_treated_as_dropout() {
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|u| onehot(u % 2)).collect();
+    let mut detected = 0u64;
+    for seed in 0..4u64 {
+        let plan = FaultPlan::new(seed).corrupt_messages(0.25).only_link(LinkKind::UserToServer);
+        let eng = engine(1, plan);
+        let meter = Meter::new();
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        match eng.run_instance(&votes, meter.clone(), &mut rng) {
+            Ok(out) => assert_outcome_valid(&out, 1e-6, 1e-6),
+            Err(SmcError::QuorumLost { .. }) | Err(SmcError::Transport(_)) => {}
+            Err(other) => panic!("seed {seed}: untyped failure {other}"),
+        }
+        detected += meter.fault_stats().corruptions_detected;
+    }
+    assert!(detected > 0, "25% corruption over 4 seeds must trip the checksum");
+}
+
+/// Duplicates are suppressed by sequence-number dedup: the round stays
+/// byte-correct with a full surviving set.
+#[test]
+fn duplicates_are_suppressed_harmlessly() {
+    let plan = FaultPlan::new(5).duplicate_messages(1.0);
+    let eng = engine(2, plan);
+    let meter = Meter::new();
+    let mut rng = StdRng::seed_from_u64(23);
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(1)).collect();
+    let out = eng.run_instance(&votes, meter.clone(), &mut rng).unwrap();
+    assert_outcome_valid(&out, 1e-6, 1e-6);
+    assert_eq!(out.label, Some(1));
+    assert!(out.health.dropouts.is_empty(), "duplication must not cost anyone");
+    assert_eq!(out.health.survivors, vec![0, 1, 2, 3, 4]);
+    assert!(meter.fault_stats().duplicates_suppressed > 0);
+}
+
+/// Link delays within the retry budget slow the round down but must not
+/// change its semantics; delays beyond it become ordinary dropouts.
+#[test]
+fn delayed_links_degrade_gracefully() {
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(0)).collect();
+    for seed in 0..3u64 {
+        let plan = FaultPlan::new(seed)
+            .delay_messages(0.5, Duration::from_millis(10))
+            .only_link(LinkKind::UserToServer);
+        let eng = engine(1, plan);
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        match eng.run_instance(&votes, Meter::new(), &mut rng) {
+            Ok(out) => assert_outcome_valid(&out, 1e-6, 1e-6),
+            Err(SmcError::QuorumLost { .. }) | Err(SmcError::Transport(_)) => {}
+            Err(other) => panic!("seed {seed}: untyped failure {other}"),
+        }
+    }
+}
+
+/// Batch runs carry the surviving roster forward: after a crash the next
+/// rounds stop waiting for the dead user and recalibrate their noise
+/// shares to the smaller roster — realized σ returns to full scale.
+#[test]
+fn batch_roster_shrinks_and_noise_recalibrates() {
+    let plan = FaultPlan::new(6).crash(PartyId::User(2), Step::SecureSumVotes);
+    let eng = engine(2, plan);
+    let mut rng = StdRng::seed_from_u64(24);
+    let instance: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(0)).collect();
+    let instances = vec![instance.clone(), instance.clone(), instance];
+    let outs = eng.run_batch(&instances, Meter::new(), &mut rng).unwrap();
+    assert_eq!(outs.len(), 3);
+
+    // Round 1: launched with everyone, loses user 2, noise degraded.
+    assert_eq!(outs[0].health.intended_users, vec![0, 1, 2, 3, 4]);
+    assert_eq!(outs[0].health.survivors, vec![0, 1, 3, 4]);
+    assert_eq!(outs[0].health.dropouts, vec![(2, Step::SecureSumVotes)]);
+    assert!(outs[0].health.realized_sigma1 < 1e-6);
+
+    // Rounds 2-3: the dead user is off the roster; the 4 remaining users
+    // draw shares calibrated for 4, so realized noise is back to σ.
+    for out in &outs[1..] {
+        assert_outcome_valid(out, 1e-6, 1e-6);
+        assert_eq!(out.health.intended_users, vec![0, 1, 3, 4]);
+        assert!(out.health.is_clean(), "no one left to lose: {:?}", out.health);
+        assert_eq!(out.health.realized_sigma1, 1e-6);
+        assert_eq!(out.health.realized_sigma2, Some(1e-6));
+        assert_eq!(out.label, Some(0));
+        assert_eq!(out.witness.threshold_scaled, scale_votes(0.6 * 4.0));
+    }
+}

@@ -2,9 +2,7 @@
 //! paper's qualitative claims at miniature scale.
 
 use consensus_core::config::ConsensusConfig;
-use consensus_core::pipeline::{
-    LabelingMode, PartitionKind, SingleLabelExperiment,
-};
+use consensus_core::pipeline::{LabelingMode, PartitionKind, SingleLabelExperiment};
 use mlsim::model::TrainConfig;
 use mlsim::partition::Division;
 use mlsim::synthetic::GaussianMixtureSpec;
@@ -77,9 +75,7 @@ fn uneven_splits_cut_retention_not_label_accuracy() {
         base.spec = GaussianMixtureSpec::mnist_like();
         base.train_size = 4000;
         let even = base.clone().run(&mut rng);
-        let d28 = base
-            .with_partition(PartitionKind::Uneven(Division::D28))
-            .run(&mut rng);
+        let d28 = base.with_partition(PartitionKind::Uneven(Division::D28)).run(&mut rng);
         even_r += even.label_stats.retention();
         d28_r += d28.label_stats.retention();
         even_l += even.label_stats.label_accuracy;

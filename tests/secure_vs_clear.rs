@@ -91,12 +91,8 @@ fn softmax_votes_agree_too() {
 #[test]
 fn witness_counts_match_the_votes() {
     let mut rng = StdRng::seed_from_u64(3);
-    let votes = vec![
-        vec![1.0, 0.0, 0.0],
-        vec![1.0, 0.0, 0.0],
-        vec![0.0, 1.0, 0.0],
-        vec![1.0, 0.0, 0.0],
-    ];
+    let votes =
+        vec![vec![1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![1.0, 0.0, 0.0]];
     let out = engine().run_instance(&votes, Meter::new(), &mut rng).unwrap();
     assert_eq!(out.witness.counts_scaled, vec![3 * 65536, 65536, 0]);
     // 60% of 4 users = 2.4 votes.
