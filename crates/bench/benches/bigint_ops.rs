@@ -2,7 +2,7 @@
 //! modular exponentiation at the key sizes the cryptosystems use.
 
 use bigint::modular::modpow;
-use bigint::montgomery::MontgomeryContext;
+use bigint::montgomery::{FixedBaseTable, MontgomeryContext};
 use bigint::random;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ fn bench_modpow_montgomery(c: &mut Criterion) {
     for bits in [64u64, 128, 256] {
         let mut m = random::gen_exact_bits(&mut rng, bits);
         m.set_bit(0, true); // Montgomery needs odd moduli
-        let ctx = MontgomeryContext::new(m.clone()).expect("odd modulus");
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus");
         let base = random::gen_below(&mut rng, &m);
         let exp = random::gen_exact_bits(&mut rng, bits);
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
@@ -67,5 +67,54 @@ fn bench_modpow_montgomery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mul, bench_divrem, bench_modpow, bench_modpow_montgomery);
+fn bench_fixed_base(c: &mut Criterion) {
+    // Ablation (DESIGN.md §5): fixed-base windowed table vs plain
+    // cached-context modpow for a reused generator.
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("bigint_fixed_base");
+    group.sample_size(20);
+    for bits in [64u64, 128, 256] {
+        let mut m = random::gen_exact_bits(&mut rng, bits);
+        m.set_bit(0, true);
+        let ctx = Arc::new(MontgomeryContext::new(&m).expect("odd modulus"));
+        let base = random::gen_below(&mut rng, &m);
+        let table = FixedBaseTable::new(Arc::clone(&ctx), &base, bits);
+        let exp = random::gen_exact_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| table.pow(&exp))
+        });
+    }
+    group.finish();
+}
+
+fn bench_double_exp(c: &mut Criterion) {
+    // Shamir/Straus simultaneous g^a·h^b vs two independent walks.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("bigint_double_exp");
+    group.sample_size(20);
+    for bits in [128u64, 256] {
+        let mut m = random::gen_exact_bits(&mut rng, bits);
+        m.set_bit(0, true);
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus");
+        let g = random::gen_below(&mut rng, &m);
+        let h = random::gen_below(&mut rng, &m);
+        let a = random::gen_exact_bits(&mut rng, bits);
+        let b = random::gen_exact_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| ctx.modpow2(&g, &a, &h, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul,
+    bench_divrem,
+    bench_modpow,
+    bench_modpow_montgomery,
+    bench_fixed_base,
+    bench_double_exp
+);
 criterion_main!(benches);

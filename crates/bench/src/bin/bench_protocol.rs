@@ -1,0 +1,362 @@
+//! **BENCH_protocol.json** — machine-readable protocol microbenches.
+//!
+//! Times the cryptographic hot-path operations (Paillier encrypt/decrypt,
+//! DGK encrypt/zero-test, homomorphic scalar ops) and emits a flat
+//! `step → ns/iter` JSON map, seeding the repository's performance
+//! trajectory. For every operation two variants run on **identical
+//! operands**:
+//!
+//! * `<step>_pre` — the pre-caching baseline: the exact exponentiation
+//!   strategy the workspace used before per-key cached Montgomery
+//!   contexts landed (a fresh context built per call, Montgomery only
+//!   when `exp.bits() >= 24`, allocation-per-step binary ladder);
+//! * `<step>` — the current path through the per-key caches and
+//!   fixed-base tables.
+//!
+//! Private scalars the public API hides (Paillier `λ`, DGK `v_p`/`p`)
+//! are replaced by freshly sampled stand-ins of the same documented bit
+//! lengths, used identically by both variants, so every pre/post ratio
+//! compares like against like.
+//!
+//! The `ablation_*` entries record the DESIGN.md "Exponentiation
+//! strategy" ladder (division → rebuilt Montgomery → cached Montgomery →
+//! fixed-base window → Shamir double-exp) at a 256-bit modulus.
+//!
+//! Usage:
+//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--iters N] [--out PATH]`
+//!
+//! `--smoke` runs 2 iterations per step (CI wiring); `--out` defaults to
+//! `BENCH_protocol.json` in the current directory.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use benches::Args;
+use bigint::modular::{modmul, modpow_basic};
+use bigint::montgomery::{FixedBaseTable, MontgomeryContext};
+use bigint::{random, Ubig};
+use dgk::{DgkKeypair, DgkParams};
+use paillier::{Keypair, RandomizerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The dispatch threshold the pre-change `modular::modpow` used.
+const OLD_MONTGOMERY_EXP_THRESHOLD: u64 = 24;
+
+/// Replica of the pre-change `modular::modpow`: a Montgomery context is
+/// rebuilt on **every call** (the cost this PR removes), and the ladder
+/// runs over allocating `Ubig`-level Montgomery multiplications.
+fn modpow_old(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    if m.is_odd() && exp.bits() >= OLD_MONTGOMERY_EXP_THRESHOLD {
+        if let Some(ctx) = MontgomeryContext::new(m) {
+            return ctx_modpow_old(&ctx, base, exp);
+        }
+    }
+    modpow_basic(base, exp, m)
+}
+
+/// The pre-change context ladder: plain high-to-low square-and-multiply
+/// through the public (allocating) `to_mont`/`mul_mont`/`from_mont` API,
+/// exactly as `MontgomeryContext::modpow` was implemented before the
+/// scratch-buffer engine and 4-bit windows.
+fn ctx_modpow_old(ctx: &MontgomeryContext, base: &Ubig, exp: &Ubig) -> Ubig {
+    let base = base % ctx.modulus();
+    if exp.is_zero() {
+        return Ubig::one();
+    }
+    let base_m = ctx.to_mont(&base);
+    let mut acc = ctx.to_mont(&Ubig::one());
+    for i in (0..exp.bits()).rev() {
+        acc = ctx.mul_mont(&acc, &acc);
+        if exp.bit(i) {
+            acc = ctx.mul_mont(&acc, &base_m);
+        }
+    }
+    ctx.from_mont(&acc)
+}
+
+/// Times `f` over `iters` iterations (after 2 warmup runs) and returns
+/// whole nanoseconds per iteration.
+fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> u128 {
+    f();
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() / iters as u128).max(1)
+}
+
+struct Report {
+    entries: Vec<(String, u128)>,
+}
+
+impl Report {
+    fn record(&mut self, step: &str, ns: u128) {
+        println!("  {step:<44} {ns:>12} ns/iter");
+        self.entries.push((step.to_string(), ns));
+    }
+
+    fn ns(&self, step: &str) -> u128 {
+        self.entries.iter().find(|(s, _)| s == step).map(|&(_, ns)| ns).expect("step recorded")
+    }
+
+    fn speedup(&self, step: &str) -> f64 {
+        self.ns(&format!("{step}_pre")) as f64 / self.ns(step) as f64
+    }
+
+    /// Hand-rolled JSON (the workspace has no serde_json): a flat
+    /// `{"step": ns, ...}` object.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (step, ns)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!("  \"{step}\": {ns}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let smoke = args.has("smoke");
+    let iters: u64 = if smoke { 2 } else { args.get("iters", 300) };
+    let heavy_iters: u64 = if smoke { 2 } else { (iters / 6).max(20) };
+    let out_path: String = args.get("out", "BENCH_protocol.json".to_string());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut report = Report { entries: Vec::new() };
+    println!(
+        "bench_protocol: {} iters/step ({} for heavy steps){}",
+        iters,
+        heavy_iters,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // ----- Paillier (the paper's 64-bit prototype scale) ------------------
+    let kp = Keypair::generate(&mut rng, 64);
+    let pk = kp.public_key().clone();
+    let sk = kp.private_key().clone();
+    pk.precompute();
+    let n = pk.modulus().clone();
+    let n2 = pk.modulus_squared().clone();
+    let m = random::gen_below(&mut rng, &n);
+    let r = random::gen_coprime(&mut rng, &n);
+    let ct = pk.encrypt_with_randomness(&m, &r);
+    let scalar = random::gen_below(&mut rng, &n);
+    // λ stand-in: lcm(p−1, q−1) has (about) the modulus bit length.
+    let lambda_proxy = random::gen_exact_bits(&mut rng, n.bits() - 1);
+
+    println!("\nPaillier ({}-bit n):", n.bits());
+    // Encryption: g^m is one modmul (g = n+1); the cost is r^n mod n².
+    report.record(
+        "paillier_encrypt_pre",
+        time_ns(iters, || {
+            let g_m = &(Ubig::one() + modmul(&m, &n, &n2)) % &n2;
+            let r_n = modpow_old(&r, &n, &n2);
+            black_box(modmul(&g_m, &r_n, &n2));
+        }),
+    );
+    report.record(
+        "paillier_encrypt",
+        time_ns(iters, || {
+            black_box(pk.encrypt_with_randomness(&m, &r));
+        }),
+    );
+
+    // Decryption: c^λ mod n², then L and one modmul (identical in both).
+    report.record(
+        "paillier_decrypt_pre",
+        time_ns(iters, || {
+            let x = modpow_old(ct.as_raw(), &lambda_proxy, &n2);
+            let l = &(&x - &Ubig::one()) / &n;
+            black_box(modmul(&l, &scalar, &n));
+        }),
+    );
+    report.record(
+        "paillier_decrypt",
+        time_ns(iters, || {
+            black_box(sk.decrypt(&ct).expect("well-formed ciphertext"));
+        }),
+    );
+
+    // CRT decryption: two half-size exponentiations under p²/q² contexts.
+    report.record(
+        "paillier_decrypt_crt",
+        time_ns(iters, || {
+            black_box(sk.decrypt_crt(&ct).expect("well-formed ciphertext"));
+        }),
+    );
+
+    report.record(
+        "paillier_mul_plain_pre",
+        time_ns(iters, || {
+            black_box(modpow_old(ct.as_raw(), &scalar, &n2));
+        }),
+    );
+    report.record(
+        "paillier_mul_plain",
+        time_ns(iters, || {
+            black_box(pk.mul_plain(&ct, &scalar));
+        }),
+    );
+
+    // Randomizer pool: amortized per-item generation cost.
+    let pool_items = if smoke { 2 } else { 32 };
+    report.record(
+        "paillier_pool_generate_per_item_pre",
+        time_ns(heavy_iters, || {
+            for _ in 0..pool_items {
+                let rr = random::gen_coprime(&mut rng, &n);
+                black_box(modpow_old(&rr, &n, &n2));
+            }
+        }) / pool_items as u128,
+    );
+    report.record(
+        "paillier_pool_generate_per_item",
+        time_ns(heavy_iters, || {
+            black_box(RandomizerPool::generate(pk.clone(), pool_items, &mut rng));
+        }) / pool_items as u128,
+    );
+
+    // ----- DGK (test parameters: 128-bit n, ℓ = 26) -----------------------
+    let dgk_params = DgkParams::insecure_test();
+    let dgk = DgkKeypair::generate(&mut rng, &dgk_params);
+    let dpk = dgk.public_key().clone();
+    let dsk = dgk.private_key().clone();
+    dpk.precompute();
+    let dn = dpk.modulus().clone();
+    let du = dpk.plaintext_space().clone();
+    let dm = random::gen_below(&mut rng, &du);
+    let blind_bits = dpk.blind_bits();
+    let dct = dpk.encrypt(&dm, &mut rng).expect("message in Z_u");
+    // Stand-ins for the private p / v_p of the zero test, same bit sizes.
+    let p_proxy = {
+        let mut p = random::gen_exact_bits(&mut rng, dgk_params.modulus_bits / 2);
+        p.set_bit(0, true);
+        p
+    };
+    let vp_proxy = random::gen_exact_bits(&mut rng, dgk_params.subgroup_bits);
+    let ctx_p_proxy = MontgomeryContext::new(&p_proxy).expect("odd modulus");
+    let c_mod_p = dct.as_raw() % &p_proxy;
+
+    println!("\nDGK ({}-bit n, u = {}):", dn.bits(), du);
+    // Encryption: g^m · h^r. Old: two context rebuilds + two ladders.
+    report.record(
+        "dgk_encrypt_pre",
+        time_ns(iters, || {
+            let rr = random::gen_bits(&mut rng, blind_bits);
+            let g_m = modpow_old(dpk.generator_g(), &dm, &dn);
+            let h_r = modpow_old(dpk.generator_h(), &rr, &dn);
+            black_box(modmul(&g_m, &h_r, &dn));
+        }),
+    );
+    report.record(
+        "dgk_encrypt",
+        time_ns(iters, || {
+            black_box(dpk.encrypt(&dm, &mut rng).expect("message in Z_u"));
+        }),
+    );
+
+    // Zero test: c^{v_p} mod p, on the same proxy operands both ways.
+    report.record(
+        "dgk_is_zero_pre",
+        time_ns(iters, || {
+            black_box(modpow_old(&c_mod_p, &vp_proxy, &p_proxy).is_one());
+        }),
+    );
+    report.record(
+        "dgk_is_zero",
+        time_ns(iters, || {
+            black_box(ctx_p_proxy.modpow(&c_mod_p, &vp_proxy).is_one());
+        }),
+    );
+    // The real zero test through the private key's cached context.
+    report.record(
+        "dgk_is_zero_full",
+        time_ns(iters, || {
+            black_box(dsk.is_zero(&dct).expect("well-formed ciphertext"));
+        }),
+    );
+
+    report.record(
+        "dgk_mul_plain_pre",
+        time_ns(iters, || {
+            black_box(modpow_old(dct.as_raw(), &vp_proxy, &dn));
+        }),
+    );
+    report.record(
+        "dgk_mul_plain",
+        time_ns(iters, || {
+            black_box(dpk.mul_plain(&dct, &vp_proxy));
+        }),
+    );
+
+    // ----- Exponentiation-strategy ablation (256-bit modulus) -------------
+    let mut am = random::gen_exact_bits(&mut rng, 256);
+    am.set_bit(0, true);
+    let actx = Arc::new(MontgomeryContext::new(&am).expect("odd modulus"));
+    let abase = random::gen_below(&mut rng, &am);
+    let aexp = random::gen_exact_bits(&mut rng, 256);
+    let atable = FixedBaseTable::new(Arc::clone(&actx), &abase, 256);
+    let h = random::gen_below(&mut rng, &am);
+    let bexp = random::gen_exact_bits(&mut rng, 256);
+    let htable = FixedBaseTable::new(Arc::clone(&actx), &h, 256);
+
+    println!("\nExponentiation ablation (256-bit modulus):");
+    report.record(
+        "ablation_modpow_division_256",
+        time_ns(heavy_iters, || {
+            black_box(modpow_basic(&abase, &aexp, &am));
+        }),
+    );
+    report.record(
+        "ablation_modpow_rebuilt_montgomery_256",
+        time_ns(heavy_iters, || {
+            black_box(modpow_old(&abase, &aexp, &am));
+        }),
+    );
+    report.record(
+        "ablation_modpow_cached_montgomery_256",
+        time_ns(heavy_iters, || {
+            black_box(actx.modpow(&abase, &aexp));
+        }),
+    );
+    report.record(
+        "ablation_fixed_base_256",
+        time_ns(heavy_iters, || {
+            black_box(atable.pow(&aexp));
+        }),
+    );
+    report.record(
+        "ablation_two_pows_mul_256",
+        time_ns(heavy_iters, || {
+            black_box(modmul(&actx.modpow(&abase, &aexp), &actx.modpow(&h, &bexp), &am));
+        }),
+    );
+    report.record(
+        "ablation_double_exp_256",
+        time_ns(heavy_iters, || {
+            black_box(actx.modpow2(&abase, &aexp, &h, &bexp));
+        }),
+    );
+    report.record(
+        "ablation_fixed_base_double_exp_256",
+        time_ns(heavy_iters, || {
+            black_box(atable.pow_mul(&aexp, &htable, &bexp));
+        }),
+    );
+
+    // ----- Summary + JSON -------------------------------------------------
+    println!("\nSpeedups vs pre-change baseline (same operands):");
+    for step in
+        ["paillier_encrypt", "paillier_decrypt", "paillier_mul_plain", "dgk_encrypt", "dgk_is_zero"]
+    {
+        println!("  {step:<24} {:.2}x", report.speedup(step));
+    }
+
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_protocol.json");
+    println!("\nwrote {out_path}");
+}

@@ -84,7 +84,7 @@ const MONTGOMERY_EXP_THRESHOLD: u64 = 24;
 pub fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
     assert!(!m.is_zero(), "modpow modulus must be non-zero");
     if m.is_odd() && exp.bits() >= MONTGOMERY_EXP_THRESHOLD {
-        if let Some(ctx) = crate::montgomery::MontgomeryContext::new(m.clone()) {
+        if let Some(ctx) = crate::montgomery::MontgomeryContext::new(m) {
             return ctx.modpow(base, exp);
         }
     }

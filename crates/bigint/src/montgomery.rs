@@ -1,18 +1,45 @@
-//! Montgomery-form modular arithmetic.
+//! Montgomery-form modular arithmetic and the exponentiation caches the
+//! crypto stack is built on.
 //!
 //! Modular exponentiation dominates every cryptographic operation in this
 //! workspace (Paillier `r^n mod n²`, DGK `g^m h^r mod n`, bitwise
 //! comparison blinding). The plain [`crate::modular::modpow`] pays a full
 //! division per multiply; Montgomery's REDC replaces those divisions with
 //! word-level multiplications, which is the standard production-grade
-//! approach. The `paillier_ops`/`bigint_ops` benches quantify the win as
-//! one of DESIGN.md's ablations.
+//! approach. On top of the raw context this module layers the caches that
+//! make modulus- and base-reuse first-class (DESIGN.md, "Exponentiation
+//! strategy"):
+//!
+//! * [`MontgomeryContext`] — per-modulus precomputation with a 4-bit
+//!   windowed [`MontgomeryContext::modpow`] and a Shamir/Straus
+//!   simultaneous double exponentiation [`MontgomeryContext::modpow2`],
+//!   both running on reusable limb scratch buffers (no per-step
+//!   allocation);
+//! * [`FixedBaseTable`] — windowed fixed-base exponentiation for
+//!   generators that never change (DGK `g`, `h`): all squarings are
+//!   precomputed, leaving one multiplication per 4-bit exponent digit;
+//! * [`CachedContext`] / [`CachedFixedBase`] — lazily initialized,
+//!   clone-cheap, serde-skippable cells that key types embed so every
+//!   operation on the same key reuses one context/table.
 //!
 //! Only odd moduli are supported (always true for RSA-like `n`, `n²` and
 //! the DGK modulus).
 
+use std::cmp::Ordering;
+use std::sync::{Arc, OnceLock};
+
 use crate::ubig::wide_mul;
 use crate::{Limb, Ubig, LIMB_BITS};
+
+/// Exponent-window width in bits. 2^4 = 16 table entries balances table
+/// build cost against saved multiplications at the 64–2048-bit exponents
+/// the cryptosystems use.
+const WINDOW_BITS: u32 = 4;
+
+/// Exponent bit-count below which the plain binary ladder beats building
+/// the 16-entry window table (the table costs ~14 Montgomery squarings
+/// and multiplications up front).
+const WINDOW_THRESHOLD: u64 = 64;
 
 /// Precomputed context for arithmetic modulo a fixed odd `n`.
 ///
@@ -22,7 +49,7 @@ use crate::{Limb, Ubig, LIMB_BITS};
 /// use bigint::{montgomery::MontgomeryContext, Ubig};
 ///
 /// let n = Ubig::from(101u64);
-/// let ctx = MontgomeryContext::new(n).expect("odd modulus");
+/// let ctx = MontgomeryContext::new(&n).expect("odd modulus");
 /// let result = ctx.modpow(&Ubig::from(7u64), &Ubig::from(100u64));
 /// assert_eq!(result, Ubig::one()); // Fermat
 /// ```
@@ -50,13 +77,82 @@ fn inv_mod_word(n0: Limb) -> Limb {
     inv
 }
 
+/// Compares two equal-length little-endian limb slices.
+fn cmp_limbs(a: &[Limb], b: &[Limb]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a -= b` over equal-length limb slices; returns the final borrow.
+fn sub_limbs_in_place(a: &mut [Limb], b: &[Limb]) -> Limb {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow: Limb = 0;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *x = d2;
+        borrow = (b1 as Limb) + (b2 as Limb);
+    }
+    borrow
+}
+
+/// Schoolbook product of `a` and `b` into `out` (zeroed first).
+/// `out.len()` must be at least `a.len() + b.len()`.
+fn mul_limbs_into(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
+    debug_assert!(out.len() >= a.len() + b.len());
+    out.fill(0);
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = wide_mul(ai, bj);
+            let (s1, c1) = out[i + j].overflowing_add(lo);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i + j] = s2;
+            carry = hi + c1 as Limb + c2 as Limb;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Reads the `w`-th `WINDOW_BITS`-wide digit of `exp` (digit 0 is least
+/// significant).
+fn window_digit(exp: &Ubig, w: usize) -> usize {
+    let limbs = exp.as_limbs();
+    let start = w as u64 * WINDOW_BITS as u64;
+    let limb = (start / LIMB_BITS as u64) as usize;
+    let off = (start % LIMB_BITS as u64) as u32;
+    let Some(&lo) = limbs.get(limb) else { return 0 };
+    let mut d = lo >> off;
+    if off + WINDOW_BITS > LIMB_BITS {
+        if let Some(&hi) = limbs.get(limb + 1) {
+            d |= hi << (LIMB_BITS - off);
+        }
+    }
+    (d & ((1 << WINDOW_BITS) - 1)) as usize
+}
+
 impl MontgomeryContext {
     /// Builds a context for odd `n > 1`; returns `None` for even or
-    /// trivial moduli.
-    pub fn new(n: Ubig) -> Option<Self> {
-        if n.is_even() || n <= Ubig::one() {
+    /// trivial moduli. The modulus is only cloned once the checks pass,
+    /// so the fallback dispatch in [`crate::modular::modpow`] costs no
+    /// allocation for unsupported moduli.
+    pub fn new(n: &Ubig) -> Option<Self> {
+        if n.is_even() || n <= &Ubig::one() {
             return None;
         }
+        let n = n.clone();
         let k = n.as_limbs().len();
         let n_prime = inv_mod_word(n.as_limbs()[0]).wrapping_neg();
         // R mod n and R² mod n via shifting (cheap, done once).
@@ -71,15 +167,18 @@ impl MontgomeryContext {
         &self.n
     }
 
-    /// Montgomery reduction: given `t < n·R`, returns `t·R⁻¹ mod n`.
-    fn redc(&self, t: &Ubig) -> Ubig {
-        let k = self.k;
-        let n_limbs = self.n.as_limbs();
-        // Working buffer of 2k+1 limbs.
-        let mut buf: Vec<Limb> = vec![0; 2 * k + 1];
-        let t_limbs = t.as_limbs();
-        buf[..t_limbs.len()].copy_from_slice(t_limbs);
+    /// Scratch-buffer length the limb-level routines need: `2k + 1`.
+    fn scratch_len(&self) -> usize {
+        2 * self.k + 1
+    }
 
+    /// In-place Montgomery reduction over a `2k+1`-limb buffer holding
+    /// `t < n·R`; afterwards the canonical result (`< n`) occupies
+    /// `buf[k..2k]`.
+    fn redc_in_place(&self, buf: &mut [Limb]) {
+        let k = self.k;
+        debug_assert_eq!(buf.len(), self.scratch_len());
+        let n_limbs = self.n.as_limbs();
         for i in 0..k {
             let m = buf[i].wrapping_mul(self.n_prime);
             // buf += m * n << (64 i)
@@ -101,12 +200,56 @@ impl MontgomeryContext {
                 idx += 1;
             }
         }
-        let reduced = Ubig::from_limbs(buf[k..].to_vec());
-        if reduced >= self.n {
-            reduced - self.n.clone()
-        } else {
-            reduced
+        // The value in buf[k..=2k] lies in [0, 2n): one conditional
+        // subtraction canonicalizes it.
+        let needs_sub = buf[2 * k] != 0 || cmp_limbs(&buf[k..2 * k], n_limbs) != Ordering::Less;
+        if needs_sub {
+            let borrow = sub_limbs_in_place(&mut buf[k..2 * k], n_limbs);
+            buf[2 * k] = buf[2 * k].wrapping_sub(borrow);
+            debug_assert_eq!(buf[2 * k], 0);
         }
+    }
+
+    /// Montgomery product of two `k`-limb values into `out` (`k` limbs),
+    /// using `scratch` (`2k+1` limbs). `out` must not alias the inputs.
+    fn mont_mul_limbs(&self, a: &[Limb], b: &[Limb], out: &mut [Limb], scratch: &mut [Limb]) {
+        mul_limbs_into(a, b, scratch);
+        self.redc_in_place(scratch);
+        out.copy_from_slice(&scratch[self.k..2 * self.k]);
+    }
+
+    /// Converts a reduced `x < n` into a fixed-width `k`-limb Montgomery
+    /// representation.
+    fn to_mont_limbs(&self, x: &Ubig, scratch: &mut [Limb]) -> Vec<Limb> {
+        debug_assert!(x < &self.n);
+        mul_limbs_into(x.as_limbs(), self.r_squared.as_limbs(), scratch);
+        self.redc_in_place(scratch);
+        scratch[self.k..2 * self.k].to_vec()
+    }
+
+    /// Converts a `k`-limb Montgomery value back to a normalized [`Ubig`].
+    #[allow(clippy::wrong_self_convention)] // converts the argument, not self
+    fn from_mont_limbs(&self, a: &[Limb], scratch: &mut [Limb]) -> Ubig {
+        scratch.fill(0);
+        scratch[..self.k].copy_from_slice(a);
+        self.redc_in_place(scratch);
+        Ubig::from_limbs(scratch[self.k..2 * self.k].to_vec())
+    }
+
+    /// `one_mont` padded to the fixed `k`-limb width.
+    fn one_mont_limbs(&self) -> Vec<Limb> {
+        let mut out = vec![0; self.k];
+        out[..self.one_mont.as_limbs().len()].copy_from_slice(self.one_mont.as_limbs());
+        out
+    }
+
+    /// Montgomery reduction: given `t < n·R`, returns `t·R⁻¹ mod n`.
+    fn redc(&self, t: &Ubig) -> Ubig {
+        let mut buf: Vec<Limb> = vec![0; self.scratch_len()];
+        let t_limbs = t.as_limbs();
+        buf[..t_limbs.len()].copy_from_slice(t_limbs);
+        self.redc_in_place(&mut buf);
+        Ubig::from_limbs(buf[self.k..2 * self.k].to_vec())
     }
 
     /// Converts `x < n` into Montgomery form `x·R mod n`.
@@ -120,6 +263,7 @@ impl MontgomeryContext {
     }
 
     /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)] // converts the argument, not self
     pub fn from_mont(&self, x_mont: &Ubig) -> Ubig {
         self.redc(x_mont)
     }
@@ -129,7 +273,10 @@ impl MontgomeryContext {
         self.redc(&(a * b))
     }
 
-    /// `base^exp mod n` with all multiplications in Montgomery form.
+    /// `base^exp mod n` with all multiplications in Montgomery form on
+    /// reusable scratch buffers; exponents of [`WINDOW_THRESHOLD`] bits
+    /// or more additionally use 4-bit fixed windows (¼ the multiplies of
+    /// the binary ladder).
     ///
     /// Matches [`crate::modular::modpow`] exactly (property-tested).
     pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
@@ -137,32 +284,372 @@ impl MontgomeryContext {
         if exp.is_zero() {
             return if self.n.is_one() { Ubig::zero() } else { Ubig::one() };
         }
-        let base_mont = self.to_mont(&base);
-        let mut acc = self.one_mont.clone();
-        for i in (0..exp.bits()).rev() {
-            acc = self.mul_mont(&acc, &acc);
-            if exp.bit(i) {
-                acc = self.mul_mont(&acc, &base_mont);
+        let k = self.k;
+        let mut scratch = vec![0; self.scratch_len()];
+        let base_m = self.to_mont_limbs(&base, &mut scratch);
+        let nbits = exp.bits();
+        let mut acc = self.one_mont_limbs();
+        let mut tmp = vec![0; k];
+        if nbits < WINDOW_THRESHOLD {
+            // Plain left-to-right binary ladder.
+            for i in (0..nbits).rev() {
+                self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exp.bit(i) {
+                    self.mont_mul_limbs(&acc, &base_m, &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+        } else {
+            // Fixed 4-bit windows: pows[d] = base^d in Montgomery form.
+            let mut pows: Vec<Vec<Limb>> = Vec::with_capacity(1 << WINDOW_BITS);
+            pows.push(self.one_mont_limbs());
+            pows.push(base_m);
+            for d in 2..1usize << WINDOW_BITS {
+                let mut next = vec![0; k];
+                self.mont_mul_limbs(&pows[d - 1], &pows[1], &mut next, &mut scratch);
+                pows.push(next);
+            }
+            let nwin = nbits.div_ceil(WINDOW_BITS as u64) as usize;
+            for w in (0..nwin).rev() {
+                if w + 1 != nwin {
+                    for _ in 0..WINDOW_BITS {
+                        self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
+                        std::mem::swap(&mut acc, &mut tmp);
+                    }
+                }
+                let digit = window_digit(exp, w);
+                if digit != 0 {
+                    self.mont_mul_limbs(&acc, &pows[digit], &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
             }
         }
-        self.from_mont(&acc)
+        self.from_mont_limbs(&acc, &mut scratch)
+    }
+
+    /// Simultaneous double exponentiation `g^a · h^b mod n` by the
+    /// Shamir/Straus trick: one shared squaring chain over
+    /// `max(bits(a), bits(b))` with a single extra multiplication per
+    /// set bit pair — roughly half the work of two independent walks.
+    ///
+    /// Bit-exact with
+    /// `modmul(&modpow(g, a, n), &modpow(h, b, n), n)` (property-tested).
+    ///
+    /// ```
+    /// use bigint::{montgomery::MontgomeryContext, modular, Ubig};
+    ///
+    /// let n = Ubig::from(1_000_003u64);
+    /// let ctx = MontgomeryContext::new(&n).expect("odd modulus");
+    /// let (g, h) = (Ubig::from(5u64), Ubig::from(7u64));
+    /// let (a, b) = (Ubig::from(123u64), Ubig::from(456u64));
+    /// let expect = modular::modmul(
+    ///     &modular::modpow(&g, &a, &n),
+    ///     &modular::modpow(&h, &b, &n),
+    ///     &n,
+    /// );
+    /// assert_eq!(ctx.modpow2(&g, &a, &h, &b), expect);
+    /// ```
+    pub fn modpow2(&self, g: &Ubig, a: &Ubig, h: &Ubig, b: &Ubig) -> Ubig {
+        let nbits = a.bits().max(b.bits());
+        if nbits == 0 {
+            return if self.n.is_one() { Ubig::zero() } else { Ubig::one() };
+        }
+        let k = self.k;
+        let mut scratch = vec![0; self.scratch_len()];
+        let g_m = self.to_mont_limbs(&(g % &self.n), &mut scratch);
+        let h_m = self.to_mont_limbs(&(h % &self.n), &mut scratch);
+        let mut gh_m = vec![0; k];
+        self.mont_mul_limbs(&g_m, &h_m, &mut gh_m, &mut scratch);
+        let mut acc = self.one_mont_limbs();
+        let mut tmp = vec![0; k];
+        for i in (0..nbits).rev() {
+            self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
+            std::mem::swap(&mut acc, &mut tmp);
+            let factor = match (a.bit(i), b.bit(i)) {
+                (true, true) => Some(&gh_m),
+                (true, false) => Some(&g_m),
+                (false, true) => Some(&h_m),
+                (false, false) => None,
+            };
+            if let Some(f) = factor {
+                self.mont_mul_limbs(&acc, f, &mut tmp, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        self.from_mont_limbs(&acc, &mut scratch)
     }
 }
+
+/// Windowed fixed-base exponentiation table for a base that never
+/// changes (a DGK generator, a group element reused across a protocol
+/// run).
+///
+/// For every 4-bit exponent digit position the table stores the 15
+/// non-trivial powers `base^(d·16^w)` in Montgomery form, so
+/// [`FixedBaseTable::pow`] needs **zero squarings** — just one Montgomery
+/// multiplication per non-zero digit of the exponent (≈ `bits/4`), vs
+/// `bits` squarings plus `bits/2` multiplications for the binary ladder.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use bigint::{montgomery::{FixedBaseTable, MontgomeryContext}, modular, Ubig};
+///
+/// let n = Ubig::from(1_000_003u64);
+/// let ctx = Arc::new(MontgomeryContext::new(&n).expect("odd modulus"));
+/// let g = Ubig::from(42u64);
+/// let table = FixedBaseTable::new(Arc::clone(&ctx), &g, 64);
+/// let e = Ubig::from(123_456_789u64);
+/// assert_eq!(table.pow(&e), modular::modpow(&g, &e, &n));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    ctx: Arc<MontgomeryContext>,
+    /// The (reduced) base, kept for the wide-exponent fallback.
+    base: Ubig,
+    max_exp_bits: u64,
+    /// `windows[w][d-1] = base^(d · 16^w)` in `k`-limb Montgomery form.
+    windows: Vec<Vec<Vec<Limb>>>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the digit tables for exponents up to `max_exp_bits`
+    /// bits (wider exponents transparently fall back to
+    /// [`MontgomeryContext::modpow`]).
+    pub fn new(ctx: Arc<MontgomeryContext>, base: &Ubig, max_exp_bits: u64) -> Self {
+        let max_exp_bits = max_exp_bits.max(WINDOW_BITS as u64);
+        let k = ctx.k;
+        let mut scratch = vec![0; ctx.scratch_len()];
+        let base_red = base % &ctx.n;
+        let nwin = max_exp_bits.div_ceil(WINDOW_BITS as u64) as usize;
+        let mut windows = Vec::with_capacity(nwin);
+        // cur = base^(16^w) in Montgomery form.
+        let mut cur = ctx.to_mont_limbs(&base_red, &mut scratch);
+        for _ in 0..nwin {
+            let mut entries: Vec<Vec<Limb>> = Vec::with_capacity((1 << WINDOW_BITS) - 1);
+            entries.push(cur.clone());
+            for d in 2..1usize << WINDOW_BITS {
+                let mut next = vec![0; k];
+                ctx.mont_mul_limbs(&entries[d - 2], &cur, &mut next, &mut scratch);
+                entries.push(next);
+            }
+            // base^(16^(w+1)) = (base^(8·16^w))^2.
+            let mut next_cur = vec![0; k];
+            ctx.mont_mul_limbs(&entries[7], &entries[7].clone(), &mut next_cur, &mut scratch);
+            cur = next_cur;
+            windows.push(entries);
+        }
+        FixedBaseTable { ctx, base: base_red, max_exp_bits, windows }
+    }
+
+    /// The Montgomery context the table is bound to.
+    pub fn context(&self) -> &Arc<MontgomeryContext> {
+        &self.ctx
+    }
+
+    /// The (reduced) base the table was built for.
+    pub fn base(&self) -> &Ubig {
+        &self.base
+    }
+
+    /// Largest exponent width the table covers without falling back.
+    pub fn max_exp_bits(&self) -> u64 {
+        self.max_exp_bits
+    }
+
+    /// `base^exp mod n` in `k`-limb Montgomery form, or `None` when the
+    /// exponent exceeds the table width.
+    fn pow_mont(&self, exp: &Ubig, scratch: &mut [Limb]) -> Option<Vec<Limb>> {
+        if exp.bits() > self.max_exp_bits {
+            return None;
+        }
+        let k = self.ctx.k;
+        let mut acc: Option<Vec<Limb>> = None;
+        let mut tmp = vec![0; k];
+        let nwin = exp.bits().div_ceil(WINDOW_BITS as u64) as usize;
+        for (w, entries) in self.windows.iter().enumerate().take(nwin) {
+            let digit = window_digit(exp, w);
+            if digit == 0 {
+                continue;
+            }
+            match acc {
+                None => acc = Some(entries[digit - 1].clone()),
+                Some(ref a) => {
+                    self.ctx.mont_mul_limbs(a, &entries[digit - 1], &mut tmp, scratch);
+                    std::mem::swap(acc.as_mut().expect("set above"), &mut tmp);
+                }
+            }
+        }
+        Some(acc.unwrap_or_else(|| self.ctx.one_mont_limbs()))
+    }
+
+    /// `base^exp mod n`. Wide exponents (beyond the precomputed width)
+    /// fall back to the context's windowed square-and-multiply; results
+    /// are bit-exact either way.
+    pub fn pow(&self, exp: &Ubig) -> Ubig {
+        let mut scratch = vec![0; self.ctx.scratch_len()];
+        match self.pow_mont(exp, &mut scratch) {
+            Some(acc) => self.ctx.from_mont_limbs(&acc, &mut scratch),
+            None => self.ctx.modpow(&self.base, exp),
+        }
+    }
+
+    /// `self.base^exp · other.base^other_exp mod n` with one shared
+    /// Montgomery reduction at the end — the fixed-base double
+    /// exponentiation DGK encryption (`g^m · h^r`) runs on.
+    ///
+    /// Both tables must be bound to the same modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tables use different moduli.
+    pub fn pow_mul(&self, exp: &Ubig, other: &FixedBaseTable, other_exp: &Ubig) -> Ubig {
+        debug_assert_eq!(self.ctx.n, other.ctx.n, "tables bound to different moduli");
+        let mut scratch = vec![0; self.ctx.scratch_len()];
+        match (self.pow_mont(exp, &mut scratch), other.pow_mont(other_exp, &mut scratch)) {
+            (Some(a), Some(b)) => {
+                let mut out = vec![0; self.ctx.k];
+                self.ctx.mont_mul_limbs(&a, &b, &mut out, &mut scratch);
+                self.ctx.from_mont_limbs(&out, &mut scratch)
+            }
+            // Wide exponent: fall back to the context double-exp.
+            _ => self.ctx.modpow2(&self.base, exp, &other.base, other_exp),
+        }
+    }
+}
+
+/// A lazily built, shareable [`MontgomeryContext`] cell.
+///
+/// Key types embed one cell per modulus they exponentiate under, so the
+/// context is built **once per key** instead of once per `modpow` call.
+/// The cell is:
+///
+/// * cheap to clone once resolved (the context lives behind an [`Arc`]);
+/// * transparent to serialization (`#[serde(skip)]` + [`Default`]
+///   rebuilds lazily after deserialize);
+/// * identity-free: cells always compare equal, so derived
+///   `PartialEq`/`Eq` on key types keeps its meaning.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::{montgomery::CachedContext, modular, Ubig};
+///
+/// let m = Ubig::from(1_000_003u64);
+/// let cell = CachedContext::new();
+/// let base = Ubig::from(7u64);
+/// let exp = Ubig::from(999_999u64);
+/// // First call builds the context; later calls reuse it.
+/// assert_eq!(cell.modpow(&base, &exp, &m), modular::modpow(&base, &exp, &m));
+/// assert!(cell.context(&m).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CachedContext {
+    cell: OnceLock<Option<Arc<MontgomeryContext>>>,
+}
+
+impl CachedContext {
+    /// An empty cell; the context is built on first use.
+    pub const fn new() -> Self {
+        CachedContext { cell: OnceLock::new() }
+    }
+
+    /// The context for modulus `m`, built on first call; `None` when `m`
+    /// is even or trivial (no Montgomery form exists).
+    ///
+    /// Every call must pass the same modulus — the cell belongs to
+    /// exactly one (checked in debug builds).
+    pub fn context(&self, m: &Ubig) -> Option<&Arc<MontgomeryContext>> {
+        let ctx = self.cell.get_or_init(|| MontgomeryContext::new(m).map(Arc::new)).as_ref();
+        debug_assert!(
+            ctx.is_none_or(|c| c.modulus() == m),
+            "CachedContext reused with a different modulus"
+        );
+        ctx
+    }
+
+    /// `base^exp mod m` through the cached context, falling back to the
+    /// uncached [`crate::modular::modpow`] dispatch for moduli without a
+    /// Montgomery form. Bit-exact with the fallback in all cases.
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+        match self.context(m) {
+            Some(ctx) => ctx.modpow(base, exp),
+            None => crate::modular::modpow(base, exp, m),
+        }
+    }
+}
+
+impl PartialEq for CachedContext {
+    /// Caches are derived data: all cells compare equal.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for CachedContext {}
+
+/// A lazily built, shareable [`FixedBaseTable`] cell; the fixed-base
+/// companion of [`CachedContext`] with the same clone/serde/equality
+/// behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct CachedFixedBase {
+    cell: OnceLock<Option<Arc<FixedBaseTable>>>,
+}
+
+impl CachedFixedBase {
+    /// An empty cell; the table is built on first use.
+    pub const fn new() -> Self {
+        CachedFixedBase { cell: OnceLock::new() }
+    }
+
+    /// The table for `base` under `ctx`, built on first call with digit
+    /// tables covering `max_exp_bits`-bit exponents.
+    ///
+    /// Every call must pass the same base and context — the cell belongs
+    /// to exactly one (checked in debug builds).
+    pub fn table(
+        &self,
+        ctx: &Arc<MontgomeryContext>,
+        base: &Ubig,
+        max_exp_bits: u64,
+    ) -> &Arc<FixedBaseTable> {
+        let table = self
+            .cell
+            .get_or_init(|| {
+                Some(Arc::new(FixedBaseTable::new(Arc::clone(ctx), base, max_exp_bits)))
+            })
+            .as_ref()
+            .expect("always built with Some");
+        debug_assert_eq!(table.base(), &(base % ctx.modulus()), "CachedFixedBase base changed");
+        table
+    }
+}
+
+impl PartialEq for CachedFixedBase {
+    /// Caches are derived data: all cells compare equal.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for CachedFixedBase {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::modular::modpow_basic;
+    use crate::modular::{modmul, modpow_basic};
     use crate::random;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
     fn rejects_even_or_trivial_moduli() {
-        assert!(MontgomeryContext::new(Ubig::from(10u64)).is_none());
-        assert!(MontgomeryContext::new(Ubig::one()).is_none());
-        assert!(MontgomeryContext::new(Ubig::zero()).is_none());
-        assert!(MontgomeryContext::new(Ubig::from(9u64)).is_some());
+        assert!(MontgomeryContext::new(&Ubig::from(10u64)).is_none());
+        assert!(MontgomeryContext::new(&Ubig::one()).is_none());
+        assert!(MontgomeryContext::new(&Ubig::zero()).is_none());
+        assert!(MontgomeryContext::new(&Ubig::from(9u64)).is_some());
     }
 
     #[test]
@@ -176,7 +663,7 @@ mod tests {
     #[test]
     fn roundtrip_to_from_mont() {
         let n = Ubig::from(1_000_003u64);
-        let ctx = MontgomeryContext::new(n.clone()).unwrap();
+        let ctx = MontgomeryContext::new(&n).unwrap();
         for x in [0u64, 1, 2, 999_999, 500_000] {
             let x = Ubig::from(x);
             assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
@@ -188,7 +675,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut n = random::gen_exact_bits(&mut rng, 192);
         n.set_bit(0, true);
-        let ctx = MontgomeryContext::new(n.clone()).unwrap();
+        let ctx = MontgomeryContext::new(&n).unwrap();
         for _ in 0..50 {
             let a = random::gen_below(&mut rng, &n);
             let b = random::gen_below(&mut rng, &n);
@@ -204,7 +691,7 @@ mod tests {
         for bits in [64u64, 128, 256, 521] {
             let mut n = random::gen_exact_bits(&mut rng, bits);
             n.set_bit(0, true);
-            let ctx = MontgomeryContext::new(n.clone()).unwrap();
+            let ctx = MontgomeryContext::new(&n).unwrap();
             for _ in 0..5 {
                 let base = random::gen_below(&mut rng, &n);
                 let exp = random::gen_bits(&mut rng, bits);
@@ -214,9 +701,24 @@ mod tests {
     }
 
     #[test]
+    fn modpow_short_exponents_use_ladder_path() {
+        // Exponents below the window threshold take the binary-ladder
+        // branch; check it against the reference across widths.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut n = random::gen_exact_bits(&mut rng, 128);
+        n.set_bit(0, true);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        for ebits in [1u64, 5, 31, 63] {
+            let base = random::gen_below(&mut rng, &n);
+            let exp = random::gen_exact_bits(&mut rng, ebits);
+            assert_eq!(ctx.modpow(&base, &exp), modpow_basic(&base, &exp, &n), "ebits {ebits}");
+        }
+    }
+
+    #[test]
     fn modpow_edge_exponents() {
         let n = Ubig::from(101u64);
-        let ctx = MontgomeryContext::new(n).unwrap();
+        let ctx = MontgomeryContext::new(&n).unwrap();
         assert_eq!(ctx.modpow(&Ubig::from(7u64), &Ubig::zero()), Ubig::one());
         assert_eq!(ctx.modpow(&Ubig::from(7u64), &Ubig::one()), Ubig::from(7u64));
         assert_eq!(ctx.modpow(&Ubig::zero(), &Ubig::from(5u64)), Ubig::zero());
@@ -228,11 +730,143 @@ mod tests {
     fn fermat_little_theorem() {
         let mut rng = StdRng::seed_from_u64(3);
         let p = crate::prime::gen_prime(&mut rng, 96);
-        let ctx = MontgomeryContext::new(p.clone()).unwrap();
+        let ctx = MontgomeryContext::new(&p).unwrap();
         let exp = &p - &Ubig::one();
         for _ in 0..5 {
             let a = random::gen_range(&mut rng, &Ubig::two(), &p);
             assert_eq!(ctx.modpow(&a, &exp), Ubig::one());
         }
+    }
+
+    #[test]
+    fn modpow2_matches_two_walks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [64u64, 128, 256] {
+            let mut n = random::gen_exact_bits(&mut rng, bits);
+            n.set_bit(0, true);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..5 {
+                let g = random::gen_below(&mut rng, &n);
+                let h = random::gen_below(&mut rng, &n);
+                let a = random::gen_bits(&mut rng, bits);
+                let b = random::gen_bits(&mut rng, bits / 2);
+                let expect = modmul(&modpow_basic(&g, &a, &n), &modpow_basic(&h, &b, &n), &n);
+                assert_eq!(ctx.modpow2(&g, &a, &h, &b), expect, "bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow2_zero_exponents() {
+        let n = Ubig::from(1009u64);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let g = Ubig::from(3u64);
+        let h = Ubig::from(5u64);
+        assert_eq!(ctx.modpow2(&g, &Ubig::zero(), &h, &Ubig::zero()), Ubig::one());
+        assert_eq!(
+            ctx.modpow2(&g, &Ubig::from(10u64), &h, &Ubig::zero()),
+            modpow_basic(&g, &Ubig::from(10u64), &n)
+        );
+        assert_eq!(
+            ctx.modpow2(&g, &Ubig::zero(), &h, &Ubig::from(10u64)),
+            modpow_basic(&h, &Ubig::from(10u64), &n)
+        );
+    }
+
+    #[test]
+    fn fixed_base_table_matches_modpow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [64u64, 128, 256] {
+            let mut n = random::gen_exact_bits(&mut rng, bits);
+            n.set_bit(0, true);
+            let ctx = Arc::new(MontgomeryContext::new(&n).unwrap());
+            let g = random::gen_below(&mut rng, &n);
+            let table = FixedBaseTable::new(Arc::clone(&ctx), &g, bits);
+            for ebits in [0u64, 1, 4, 17, bits / 2, bits] {
+                let exp = random::gen_bits(&mut rng, ebits);
+                assert_eq!(table.pow(&exp), modpow_basic(&g, &exp, &n), "bits {bits}/{ebits}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_base_wide_exponent_falls_back() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut n = random::gen_exact_bits(&mut rng, 128);
+        n.set_bit(0, true);
+        let ctx = Arc::new(MontgomeryContext::new(&n).unwrap());
+        let g = random::gen_below(&mut rng, &n);
+        let table = FixedBaseTable::new(Arc::clone(&ctx), &g, 16);
+        let wide = random::gen_exact_bits(&mut rng, 80);
+        assert_eq!(table.pow(&wide), modpow_basic(&g, &wide, &n));
+    }
+
+    #[test]
+    fn fixed_base_pow_mul_is_double_exp() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut n = random::gen_exact_bits(&mut rng, 128);
+        n.set_bit(0, true);
+        let ctx = Arc::new(MontgomeryContext::new(&n).unwrap());
+        let g = random::gen_below(&mut rng, &n);
+        let h = random::gen_below(&mut rng, &n);
+        let tg = FixedBaseTable::new(Arc::clone(&ctx), &g, 32);
+        let th = FixedBaseTable::new(Arc::clone(&ctx), &h, 64);
+        for _ in 0..10 {
+            let a = random::gen_bits(&mut rng, 32);
+            let b = random::gen_bits(&mut rng, 64);
+            let expect = modmul(&modpow_basic(&g, &a, &n), &modpow_basic(&h, &b, &n), &n);
+            assert_eq!(tg.pow_mul(&a, &th, &b), expect);
+        }
+        // Wide exponents route through the context double-exp fallback.
+        let wide = random::gen_exact_bits(&mut rng, 90);
+        let expect = modmul(&modpow_basic(&g, &wide, &n), &modpow_basic(&h, &wide, &n), &n);
+        assert_eq!(tg.pow_mul(&wide, &th, &wide), expect);
+    }
+
+    #[test]
+    fn cached_context_builds_once_and_matches() {
+        let m = Ubig::from(1_000_003u64);
+        let cell = CachedContext::new();
+        let first = cell.context(&m).unwrap();
+        let first_ptr = Arc::as_ptr(first);
+        assert_eq!(Arc::as_ptr(cell.context(&m).unwrap()), first_ptr, "must reuse the context");
+        let base = Ubig::from(123u64);
+        let exp = Ubig::from(4567u64);
+        assert_eq!(cell.modpow(&base, &exp, &m), modpow_basic(&base, &exp, &m));
+    }
+
+    #[test]
+    fn cached_context_even_modulus_falls_back() {
+        let m = Ubig::from(1000u64);
+        let cell = CachedContext::new();
+        assert!(cell.context(&m).is_none());
+        let base = Ubig::from(123u64);
+        let exp = Ubig::from(45u64);
+        assert_eq!(cell.modpow(&base, &exp, &m), modpow_basic(&base, &exp, &m));
+    }
+
+    #[test]
+    fn cached_cells_compare_equal_and_survive_clone() {
+        let m = Ubig::from(101u64);
+        let cell = CachedContext::new();
+        let _ = cell.context(&m);
+        let clone = cell.clone();
+        assert_eq!(cell, clone);
+        assert_eq!(cell, CachedContext::new());
+        // The clone carries the resolved context (shared Arc).
+        assert!(clone.context(&m).is_some());
+    }
+
+    #[test]
+    fn cached_fixed_base_reuses_table() {
+        let n = Ubig::from(1_000_003u64);
+        let ctx = Arc::new(MontgomeryContext::new(&n).unwrap());
+        let g = Ubig::from(29u64);
+        let cell = CachedFixedBase::new();
+        let t1 = Arc::as_ptr(cell.table(&ctx, &g, 64));
+        let t2 = Arc::as_ptr(cell.table(&ctx, &g, 64));
+        assert_eq!(t1, t2, "must reuse the table");
+        let e = Ubig::from(999_999u64);
+        assert_eq!(cell.table(&ctx, &g, 64).pow(&e), modpow_basic(&g, &e, &n));
     }
 }

@@ -2,8 +2,11 @@
 //! reference arithmetic and against algebraic identities for multi-limb
 //! values.
 
+use std::sync::Arc;
+
 use bigint::gcd::{extended_gcd, gcd, lcm, modinv};
 use bigint::modular::{modadd, modmul, modpow, modpow_basic, modsub};
+use bigint::montgomery::{CachedContext, FixedBaseTable, MontgomeryContext};
 use bigint::{Ibig, Ubig};
 use proptest::prelude::*;
 
@@ -15,6 +18,30 @@ fn ubig() -> impl Strategy<Value = Ubig> {
 /// Strategy for a non-zero Ubig.
 fn ubig_nonzero() -> impl Strategy<Value = Ubig> {
     ubig().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+/// Strategy for an odd Montgomery-compatible modulus > 1, from a single
+/// limb up to four limbs so the single-limb REDC path is exercised too.
+fn odd_modulus() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 1..4)
+        .prop_map(|limbs| {
+            let mut m = Ubig::from_limbs(limbs);
+            m.set_bit(0, true);
+            m
+        })
+        .prop_filter("> 1", |m| m > &Ubig::one())
+}
+
+/// Exponent strategy that keeps zero and tiny values likely while still
+/// reaching multi-limb sizes.
+fn exponent() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u64>(), 0..4).prop_map(|limbs| match limbs.len() {
+        0 => Ubig::zero(),
+        // Half the single-limb draws collapse to a tiny exponent (0..=3)
+        // so exp = 0 and exp = 1 stay likely.
+        1 if limbs[0] % 2 == 0 => Ubig::from((limbs[0] / 2) % 4),
+        _ => Ubig::from_limbs(limbs),
+    })
 }
 
 proptest! {
@@ -169,5 +196,72 @@ proptest! {
     fn low_bits_is_mod_pow2(a in ubig(), k in 0u64..200) {
         let m = Ubig::one() << (k as u32);
         prop_assert_eq!(a.low_bits(k), &a % &m);
+    }
+
+    #[test]
+    fn cached_context_modpow_matches_basic(
+        base in ubig(),
+        exp in exponent(),
+        m in odd_modulus(),
+    ) {
+        // The per-key cache must be transparent: first call populates the
+        // cell, second call reuses it, both agree with the division-based
+        // reference. Base is deliberately unreduced (may exceed m).
+        let cached = CachedContext::new();
+        let expect = modpow_basic(&base, &exp, &m);
+        prop_assert_eq!(cached.modpow(&base, &exp, &m), expect.clone());
+        prop_assert_eq!(cached.modpow(&base, &exp, &m), expect);
+    }
+
+    #[test]
+    fn context_modpow_matches_basic(
+        base in ubig(),
+        exp in exponent(),
+        m in odd_modulus(),
+    ) {
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        prop_assert_eq!(
+            ctx.modpow(&(&base % &m), &exp),
+            modpow_basic(&base, &exp, &m)
+        );
+    }
+
+    #[test]
+    fn fixed_base_table_matches_basic(
+        base in ubig(),
+        exp in exponent(),
+        m in odd_modulus(),
+    ) {
+        let ctx = Arc::new(MontgomeryContext::new(&m).unwrap());
+        let table = FixedBaseTable::new(ctx, &(&base % &m), 256);
+        prop_assert_eq!(table.pow(&exp), modpow_basic(&base, &exp, &m));
+    }
+
+    #[test]
+    fn double_exp_matches_basic(
+        g in ubig(),
+        a in exponent(),
+        h in ubig(),
+        b in exponent(),
+        m in odd_modulus(),
+    ) {
+        // Shamir/Straus simultaneous exponentiation vs. two independent
+        // reference ladders combined with one modular multiply.
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let expect = modmul(
+            &modpow_basic(&g, &a, &m),
+            &modpow_basic(&h, &b, &m),
+            &m,
+        );
+        prop_assert_eq!(
+            ctx.modpow2(&(&g % &m), &a, &(&h % &m), &b),
+            expect.clone()
+        );
+
+        // The fixed-base pairing (the DGK g^m * h^r shape) must agree too.
+        let arc = Arc::new(ctx);
+        let tg = FixedBaseTable::new(Arc::clone(&arc), &(&g % &m), 256);
+        let th = FixedBaseTable::new(arc, &(&h % &m), 256);
+        prop_assert_eq!(tg.pow_mul(&a, &th, &b), expect);
     }
 }

@@ -201,8 +201,13 @@ impl SecureEngine {
         Self::with_keys(SessionKeys::generate(session, rng), consensus)
     }
 
-    /// Builds an engine from pre-generated keys.
+    /// Builds an engine from pre-generated keys. The keys' per-modulus
+    /// exponentiation caches are warmed here so deserialized or
+    /// hand-constructed keys start protocol rounds at full speed (keys
+    /// from [`SessionKeys::generate`] arrive pre-warmed; the call is
+    /// idempotent).
     pub fn with_keys(keys: SessionKeys, consensus: ConsensusConfig) -> Self {
+        keys.precompute();
         SecureEngine {
             keys,
             consensus,

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use bigint::modular::{crt_pair, modmul, modpow};
+use bigint::montgomery::{CachedContext, CachedFixedBase, FixedBaseTable, MontgomeryContext};
 use bigint::prime::{gen_prime, gen_prime_with_divisor, next_prime};
 use bigint::{random, Ubig};
 use rand::Rng;
@@ -65,6 +66,24 @@ impl Default for DgkParams {
 }
 
 /// DGK public key.
+///
+/// The key embeds lazily built exponentiation caches: a Montgomery
+/// context for `n` plus fixed-base window tables for the generators `g`
+/// and `h`, which never change over the key's lifetime. Encryption then
+/// collapses to two table lookups and one Montgomery multiplication
+/// (`g^m · h^r` with all squarings precomputed) — the multi-x win the
+/// comparison-heavy protocol steps (Alg. 2, SVT) ride on. The caches are
+/// skipped by serde and ignored by equality; call
+/// [`DgkPublicKey::precompute`] to build them eagerly:
+///
+/// ```
+/// use dgk::{DgkKeypair, DgkParams};
+/// let keys = DgkKeypair::generate(&mut rand::thread_rng(), &DgkParams::insecure_test());
+/// let pk = keys.public_key();
+/// pk.precompute(); // warm the n-context and g/h tables (optional)
+/// let c = pk.encrypt_u64(3, &mut rand::thread_rng());
+/// assert_eq!(keys.private_key().decrypt(&c).unwrap(), 3);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DgkPublicKey {
     n: Ubig,
@@ -75,6 +94,15 @@ pub struct DgkPublicKey {
     blind_bits: u64,
     /// Comparison input width carried with the key so both parties agree.
     compare_bits: u32,
+    /// Montgomery context for `Z_n`, built once per key on first use.
+    #[serde(skip)]
+    ctx_n: CachedContext,
+    /// Fixed-base table for `g` (exponents `< u`, i.e. `u.bits()` wide).
+    #[serde(skip)]
+    table_g: CachedFixedBase,
+    /// Fixed-base table for `h` (exponents `blind_bits` wide).
+    #[serde(skip)]
+    table_h: CachedFixedBase,
 }
 
 /// DGK private key: the factors, subgroup primes and decryption table.
@@ -88,6 +116,9 @@ pub struct DgkPrivateKey {
     g_vp: Ubig,
     /// Lookup table `(g^{v_p})^m mod p → m` for all `m ∈ Z_u`.
     table: HashMap<Ubig, u64>,
+    /// Montgomery context for `Z_p` — the zero test `c^{v_p} mod p` is
+    /// DGK's signature operation and runs entirely under this context.
+    ctx_p: CachedContext,
 }
 
 /// A DGK public/private keypair.
@@ -120,18 +151,19 @@ impl DgkCiphertext {
 
 /// Finds an element of order exactly `target_order` in `Z_p^*`, where
 /// `target_order | p−1` and `order_prime_factors` are the distinct primes
-/// dividing `target_order`.
+/// dividing `target_order`. All trial exponentiations share the caller's
+/// Montgomery context for `p` instead of rebuilding one per candidate.
 fn find_element_of_order<R: Rng + ?Sized>(
     rng: &mut R,
-    p: &Ubig,
+    ctx: &MontgomeryContext,
     target_order: &Ubig,
     order_prime_factors: &[&Ubig],
 ) -> Ubig {
-    let p_minus_1 = p - &Ubig::one();
+    let p_minus_1 = ctx.modulus() - &Ubig::one();
     let cofactor = &p_minus_1 / target_order;
     loop {
         let r = random::gen_range(rng, &Ubig::two(), &p_minus_1);
-        let candidate = modpow(&r, &cofactor, p);
+        let candidate = ctx.modpow(&r, &cofactor);
         if candidate.is_one() {
             continue;
         }
@@ -139,7 +171,7 @@ fn find_element_of_order<R: Rng + ?Sized>(
         // checking no proper divisor (target_order / f) is an order.
         let exact = order_prime_factors
             .iter()
-            .all(|f| !modpow(&candidate, &(target_order / *f), p).is_one());
+            .all(|f| !ctx.modpow(&candidate, &(target_order / *f)).is_one());
         if exact {
             return candidate;
         }
@@ -189,14 +221,19 @@ impl DgkKeypair {
         };
         let n = &p * &q;
 
+        // One Montgomery context per prime serves every keygen
+        // exponentiation below (generator search, g_vp, table build).
+        let ctx_p = MontgomeryContext::new(&p).expect("p is an odd prime");
+        let ctx_q = MontgomeryContext::new(&q).expect("q is an odd prime");
+
         // g: order u*v_p mod p and u*v_q mod q → order u*v_p*v_q mod n.
-        let g_p = find_element_of_order(rng, &p, &(&u * &v_p), &[&u, &v_p]);
-        let g_q = find_element_of_order(rng, &q, &(&u * &v_q), &[&u, &v_q]);
+        let g_p = find_element_of_order(rng, &ctx_p, &(&u * &v_p), &[&u, &v_p]);
+        let g_q = find_element_of_order(rng, &ctx_q, &(&u * &v_q), &[&u, &v_q]);
         let g = crt_pair(&g_p, &p, &g_q, &q).expect("p, q distinct primes");
 
         // h: order v_p mod p and v_q mod q → order v_p*v_q mod n.
-        let h_p = find_element_of_order(rng, &p, &v_p, &[&v_p]);
-        let h_q = find_element_of_order(rng, &q, &v_q, &[&v_q]);
+        let h_p = find_element_of_order(rng, &ctx_p, &v_p, &[&v_p]);
+        let h_q = find_element_of_order(rng, &ctx_q, &v_q, &[&v_q]);
         let h = crt_pair(&h_p, &p, &h_q, &q).expect("p, q distinct primes");
 
         let public = DgkPublicKey {
@@ -206,10 +243,13 @@ impl DgkKeypair {
             u: u.clone(),
             blind_bits: 2 * t + 16,
             compare_bits: params.compare_bits,
+            ctx_n: CachedContext::new(),
+            table_g: CachedFixedBase::new(),
+            table_h: CachedFixedBase::new(),
         };
 
         // Decryption table over the order-u subgroup generated by g^{v_p}.
-        let g_vp = modpow(&public.g, &v_p, &p);
+        let g_vp = ctx_p.modpow(&public.g, &v_p);
         let u64_u = u.to_u64().expect("u is small");
         let mut table = HashMap::with_capacity(u64_u as usize);
         let mut acc = Ubig::one();
@@ -218,7 +258,14 @@ impl DgkKeypair {
             acc = modmul(&acc, &g_vp, &p);
         }
 
-        let private = DgkPrivateKey { public: public.clone(), p, v_p, g_vp, table };
+        let private = DgkPrivateKey {
+            public: public.clone(),
+            p,
+            v_p,
+            g_vp,
+            table,
+            ctx_p: CachedContext::new(),
+        };
         DgkKeypair { public, private }
     }
 
@@ -249,9 +296,49 @@ impl DgkPublicKey {
         &self.u
     }
 
+    /// The message generator `g` (order `u·v_p·v_q`).
+    pub fn generator_g(&self) -> &Ubig {
+        &self.g
+    }
+
+    /// The blinding generator `h` (order `v_p·v_q`).
+    pub fn generator_h(&self) -> &Ubig {
+        &self.h
+    }
+
+    /// The bit length of the blinding exponent `r` in `h^r`.
+    pub fn blind_bits(&self) -> u64 {
+        self.blind_bits
+    }
+
     /// The comparison input width `ℓ` the key was generated for.
     pub fn compare_bits(&self) -> u32 {
         self.compare_bits
+    }
+
+    /// Eagerly builds the key's exponentiation caches: the Montgomery
+    /// context for `n` and the fixed-base window tables for `g` and `h`.
+    /// Idempotent; without it the caches are built on first use.
+    pub fn precompute(&self) {
+        if let Some(ctx) = self.ctx_n.context(&self.n) {
+            let _ = self.table_g.table(ctx, &self.g, self.u.bits());
+            let _ = self.table_h.table(ctx, &self.h, self.blind_bits);
+        }
+    }
+
+    /// `base^exp mod n` through the per-key cached Montgomery context.
+    pub(crate) fn pow_mod_n(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        self.ctx_n.modpow(base, exp, &self.n)
+    }
+
+    /// The fixed-base table for `g` (exponents live in `Z_u`).
+    fn g_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
+        self.ctx_n.context(&self.n).map(|ctx| self.table_g.table(ctx, &self.g, self.u.bits()))
+    }
+
+    /// The fixed-base table for `h` (exponents are `blind_bits` wide).
+    fn h_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
+        self.ctx_n.context(&self.n).map(|ctx| self.table_h.table(ctx, &self.h, self.blind_bits))
     }
 
     /// Encrypts `m ∈ Z_u`: `E(m) = g^m · h^r mod n`.
@@ -268,9 +355,14 @@ impl DgkPublicKey {
             return Err(DgkError::MessageOutOfRange);
         }
         let r = random::gen_bits(rng, self.blind_bits);
-        let g_m = modpow(&self.g, m, &self.n);
-        let h_r = modpow(&self.h, &r, &self.n);
-        Ok(DgkCiphertext(modmul(&g_m, &h_r, &self.n)))
+        // One fixed-base double exponentiation: both window tables are
+        // precomputed, so this costs ~(|m| + |r|)/4 Montgomery
+        // multiplications and zero squarings.
+        let raw = match (self.g_table(), self.h_table()) {
+            (Some(tg), Some(th)) => tg.pow_mul(m, th, &r),
+            _ => modmul(&modpow(&self.g, m, &self.n), &modpow(&self.h, &r, &self.n), &self.n),
+        };
+        Ok(DgkCiphertext(raw))
     }
 
     /// Encrypts a `u64` plaintext (reduced check against `u`).
@@ -292,15 +384,21 @@ impl DgkPublicKey {
         DgkCiphertext(modmul(&c1.0, &c2.0, &self.n))
     }
 
-    /// Homomorphic plaintext addition: multiplies by `g^k`.
+    /// Homomorphic plaintext addition: multiplies by `g^k` (a fixed-base
+    /// table lookup).
     pub fn add_plain(&self, c: &DgkCiphertext, k: &Ubig) -> DgkCiphertext {
-        let g_k = modpow(&self.g, &(k % &self.u), &self.n);
+        let k = k % &self.u;
+        let g_k = match self.g_table() {
+            Some(tg) => tg.pow(&k),
+            None => modpow(&self.g, &k, &self.n),
+        };
         DgkCiphertext(modmul(&c.0, &g_k, &self.n))
     }
 
-    /// Homomorphic scalar multiplication: `E(a·m mod u) = E(m)^a mod n`.
+    /// Homomorphic scalar multiplication: `E(a·m mod u) = E(m)^a mod n`
+    /// under the key's cached Montgomery context.
     pub fn mul_plain(&self, c: &DgkCiphertext, a: &Ubig) -> DgkCiphertext {
-        DgkCiphertext(modpow(&c.0, a, &self.n))
+        DgkCiphertext(self.pow_mod_n(&c.0, a))
     }
 
     /// Homomorphic negation: `E(−m mod u) = E(m)^{u−1}`.
@@ -308,10 +406,14 @@ impl DgkPublicKey {
         self.mul_plain(c, &(&self.u - &Ubig::one()))
     }
 
-    /// Rerandomizes a ciphertext by multiplying with a fresh `h^r`.
+    /// Rerandomizes a ciphertext by multiplying with a fresh `h^r` (a
+    /// fixed-base table lookup).
     pub fn rerandomize<R: Rng + ?Sized>(&self, c: &DgkCiphertext, rng: &mut R) -> DgkCiphertext {
         let r = random::gen_bits(rng, self.blind_bits);
-        let h_r = modpow(&self.h, &r, &self.n);
+        let h_r = match self.h_table() {
+            Some(th) => th.pow(&r),
+            None => modpow(&self.h, &r, &self.n),
+        };
         DgkCiphertext(modmul(&c.0, &h_r, &self.n))
     }
 }
@@ -322,8 +424,16 @@ impl DgkPrivateKey {
         &self.public
     }
 
+    /// Eagerly builds the decryption-side caches: the public key's
+    /// context/tables plus the `Z_p` context the zero test runs under.
+    pub fn precompute(&self) {
+        self.public.precompute();
+        let _ = self.ctx_p.context(&self.p);
+    }
+
     /// The zero test: whether the ciphertext encrypts `0`, decided by
-    /// `c^{v_p} mod p == 1`. This is DGK's cheap signature operation.
+    /// `c^{v_p} mod p == 1` under the key's cached `Z_p` context. This is
+    /// DGK's cheap signature operation.
     ///
     /// # Errors
     ///
@@ -332,7 +442,7 @@ impl DgkPrivateKey {
         if c.0 >= self.public.n || c.0.is_zero() {
             return Err(DgkError::MalformedCiphertext);
         }
-        Ok(modpow(&(&c.0 % &self.p), &self.v_p, &self.p).is_one())
+        Ok(self.ctx_p.modpow(&(&c.0 % &self.p), &self.v_p, &self.p).is_one())
     }
 
     /// Full decryption by table lookup over `Z_u`.
@@ -346,7 +456,7 @@ impl DgkPrivateKey {
         if c.0 >= self.public.n || c.0.is_zero() {
             return Err(DgkError::MalformedCiphertext);
         }
-        let reduced = modpow(&(&c.0 % &self.p), &self.v_p, &self.p);
+        let reduced = self.ctx_p.modpow(&(&c.0 % &self.p), &self.v_p, &self.p);
         self.table.get(&reduced).copied().ok_or(DgkError::DecryptionFailed)
     }
 

@@ -17,7 +17,17 @@ pub enum PaillierError {
     /// Keys from different keypairs were mixed in one operation.
     KeyMismatch,
     /// A [`crate::RandomizerPool`] ran out of precomputed randomizers.
-    PoolExhausted,
+    ///
+    /// Carries the pool capacity and the randomizer index the caller
+    /// asked for, so long batch campaigns can size (or
+    /// [`crate::RandomizerPool::refill`]) pools instead of dying blind
+    /// mid-round.
+    PoolExhausted {
+        /// Total randomizers the pool was generated with.
+        size: usize,
+        /// The (zero-based) randomizer index the failed call requested.
+        index: usize,
+    },
 }
 
 impl fmt::Display for PaillierError {
@@ -32,8 +42,12 @@ impl fmt::Display for PaillierError {
                 write!(f, "float {v} outside fixed-point range [-2^15, 2^15)")
             }
             PaillierError::KeyMismatch => write!(f, "operation mixed keys of different keypairs"),
-            PaillierError::PoolExhausted => {
-                write!(f, "randomizer pool exhausted; generate a larger pool")
+            PaillierError::PoolExhausted { size, index } => {
+                write!(
+                    f,
+                    "randomizer pool exhausted (size {size}, requested index {index}); \
+                     generate a larger pool or call refill()"
+                )
             }
         }
     }

@@ -1,7 +1,8 @@
 //! Key generation and the encrypt/decrypt core of the Paillier scheme.
 
 use bigint::gcd::{gcd, lcm, modinv};
-use bigint::modular::{modmul, modpow};
+use bigint::modular::modmul;
+use bigint::montgomery::CachedContext;
 use bigint::prime::gen_prime;
 use bigint::{random, Ubig};
 use rand::Rng;
@@ -16,10 +17,30 @@ use crate::error::PaillierError;
 /// The generator is fixed to `g = n + 1`, the standard choice that makes
 /// encryption a single modular multiplication:
 /// `E[m] = (1 + m·n) · r^n mod n²`.
+///
+/// The key embeds a lazily built Montgomery context for `n²` so every
+/// exponentiation under the key (`r^n`, `E[m]^a`, rerandomization,
+/// [`crate::RandomizerPool`] generation) reuses one precomputation
+/// instead of rebuilding it per call. The cache is transparent: it is
+/// skipped by serde (rebuilt on first use after deserialization) and
+/// ignored by equality. Call [`PublicKey::precompute`] to pay the setup
+/// cost eagerly, e.g. before timing-sensitive protocol rounds:
+///
+/// ```
+/// use paillier::Keypair;
+/// let kp = Keypair::generate(&mut rand::thread_rng(), 64);
+/// let pk = kp.public_key();
+/// pk.precompute(); // warm the n² Montgomery context (optional)
+/// let c = pk.encrypt_u64(7, &mut rand::thread_rng());
+/// assert_eq!(kp.private_key().decrypt_u64(&c), 7);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PublicKey {
     n: Ubig,
     n_squared: Ubig,
+    /// Montgomery context for `Z_{n²}`, built once per key on first use.
+    #[serde(skip)]
+    ctx_n2: CachedContext,
 }
 
 /// Paillier private key: the factorization-derived trapdoor
@@ -40,6 +61,12 @@ pub struct PrivateKey {
     h_p: Ubig,
     /// `h_q = (L_q(g^{q−1} mod q²))⁻¹ mod q`.
     h_q: Ubig,
+    /// Montgomery context for `Z_{p²}` (CRT decryption), built lazily.
+    #[serde(skip)]
+    ctx_p2: CachedContext,
+    /// Montgomery context for `Z_{q²}` (CRT decryption), built lazily.
+    #[serde(skip)]
+    ctx_q2: CachedContext,
 }
 
 /// A freshly generated public/private keypair.
@@ -89,7 +116,7 @@ impl Keypair {
                 None => continue,
             };
             let n_squared = n.square();
-            let public = PublicKey { n, n_squared };
+            let public = PublicKey { n, n_squared, ctx_n2: CachedContext::new() };
             // CRT precomputation: with g = 1+n and n² ≡ 0 (mod p²),
             // g^{p−1} mod p² = 1 + (p−1)·n, so
             // L_p(g^{p−1} mod p²) = (p−1)·q mod p (and symmetrically).
@@ -105,6 +132,8 @@ impl Keypair {
                 q,
                 h_p,
                 h_q,
+                ctx_p2: CachedContext::new(),
+                ctx_q2: CachedContext::new(),
             };
             return Keypair { public, private };
         }
@@ -137,6 +166,19 @@ impl PublicKey {
         &self.n_squared
     }
 
+    /// Eagerly builds the Montgomery context for `n²` so the first
+    /// encryption does not pay the one-time setup cost. Idempotent and
+    /// cheap after the first call; useful before latency-sensitive
+    /// protocol rounds or before sharing the key across worker threads.
+    pub fn precompute(&self) {
+        let _ = self.ctx_n2.context(&self.n_squared);
+    }
+
+    /// `base^exp mod n²` through the per-key cached Montgomery context.
+    pub(crate) fn pow_mod_n2(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        self.ctx_n2.modpow(base, exp, &self.n_squared)
+    }
+
     /// Encrypts a plaintext `m ∈ Z_n`:
     /// `E[m] = (1 + m·n) · r^n mod n²` with uniform `r ∈ Z_n^*`.
     ///
@@ -165,7 +207,7 @@ impl PublicKey {
         debug_assert!(m < &self.n, "message must be reduced mod n");
         // g^m = (1+n)^m = 1 + m*n (mod n^2) for g = n+1.
         let g_m = &(Ubig::one() + modmul(m, &self.n, &self.n_squared)) % &self.n_squared;
-        let r_n = modpow(r, &self.n, &self.n_squared);
+        let r_n = self.pow_mod_n2(r, &self.n);
         Ciphertext::from_raw(modmul(&g_m, &r_n, &self.n_squared))
     }
 
@@ -192,7 +234,7 @@ impl PublicKey {
 
     /// Homomorphic scalar multiplication: `E[a·m] = E[m]^a mod n²` (Eqn. 2).
     pub fn mul_plain(&self, c: &Ciphertext, a: &Ubig) -> Ciphertext {
-        Ciphertext::from_raw(modpow(c.as_raw(), &(a % &self.n), &self.n_squared))
+        Ciphertext::from_raw(self.pow_mod_n2(c.as_raw(), &(a % &self.n)))
     }
 
     /// Homomorphic negation: `E[−m] = E[m]^(n−1)`, since `n−1 ≡ −1 (mod n)`.
@@ -210,7 +252,7 @@ impl PublicKey {
     /// ciphertexts it did not create.
     pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
         let r = random::gen_coprime(rng, &self.n);
-        let r_n = modpow(&r, &self.n, &self.n_squared);
+        let r_n = self.pow_mod_n2(&r, &self.n);
         Ciphertext::from_raw(modmul(c.as_raw(), &r_n, &self.n_squared))
     }
 
@@ -251,6 +293,15 @@ impl PrivateKey {
         &self.public
     }
 
+    /// Eagerly builds all Montgomery contexts the key decrypts under
+    /// (`n²` via the embedded public key, plus `p²` and `q²` for the CRT
+    /// path). Idempotent; see [`PublicKey::precompute`].
+    pub fn precompute(&self) {
+        self.public.precompute();
+        let _ = self.ctx_p2.context(&self.p_squared);
+        let _ = self.ctx_q2.context(&self.q_squared);
+    }
+
     /// Decrypts: `m = L(c^λ mod n²) · μ mod n`, where `L(x) = (x−1)/n`.
     ///
     /// # Errors
@@ -266,7 +317,7 @@ impl PrivateKey {
         if !gcd(c.as_raw(), n).is_one() {
             return Err(PaillierError::MalformedCiphertext);
         }
-        let x = modpow(c.as_raw(), &self.lambda, n2);
+        let x = self.public.pow_mod_n2(c.as_raw(), &self.lambda);
         let l = &(&x - &Ubig::one()) / n;
         Ok(modmul(&l, &self.mu, n))
     }
@@ -292,10 +343,10 @@ impl PrivateKey {
         let p1 = &self.p - &Ubig::one();
         let q1 = &self.q - &Ubig::one();
         // m_p = L_p(c^{p−1} mod p²) · h_p mod p.
-        let xp = modpow(&(c.as_raw() % &self.p_squared), &p1, &self.p_squared);
+        let xp = self.ctx_p2.modpow(&(c.as_raw() % &self.p_squared), &p1, &self.p_squared);
         let lp = &(&xp - &Ubig::one()) / &self.p;
         let m_p = modmul(&lp, &self.h_p, &self.p);
-        let xq = modpow(&(c.as_raw() % &self.q_squared), &q1, &self.q_squared);
+        let xq = self.ctx_q2.modpow(&(c.as_raw() % &self.q_squared), &q1, &self.q_squared);
         let lq = &(&xq - &Ubig::one()) / &self.q;
         let m_q = modmul(&lq, &self.h_q, &self.q);
         bigint::modular::crt_pair(&m_p, &self.p, &m_q, &self.q)

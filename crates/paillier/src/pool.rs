@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bigint::modular::{modmul, modpow};
+use bigint::modular::modmul;
 use bigint::{random, Ubig};
 use rand::Rng;
 
@@ -47,8 +47,11 @@ pub struct RandomizerPool {
 }
 
 impl RandomizerPool {
-    /// Precomputes `size` randomizers sequentially.
+    /// Precomputes `size` randomizers sequentially. The key's cached
+    /// `n²` Montgomery context is warmed first, so each `r^n` pays only
+    /// the exponentiation — not a per-item context rebuild.
     pub fn generate<R: Rng + ?Sized>(pk: PublicKey, size: usize, rng: &mut R) -> Self {
+        pk.precompute();
         let randomizers = (0..size).map(|_| Self::one_randomizer(&pk, rng)).collect();
         RandomizerPool { pk, randomizers, next: AtomicUsize::new(0) }
     }
@@ -69,6 +72,9 @@ impl RandomizerPool {
         assert!(threads > 0, "need at least one worker");
         use rand::rngs::StdRng;
         use rand::SeedableRng;
+        // Warm the shared n² context once; every worker then reuses it
+        // through the key reference instead of rebuilding per item.
+        pk.precompute();
         let seeds: Vec<u64> = (0..threads).map(|_| rng.gen()).collect();
         let per_worker = size.div_ceil(threads);
         let mut randomizers = Vec::with_capacity(size);
@@ -96,7 +102,7 @@ impl RandomizerPool {
 
     fn one_randomizer<R: Rng + ?Sized>(pk: &PublicKey, rng: &mut R) -> Ubig {
         let r = random::gen_coprime(rng, pk.modulus());
-        modpow(&r, pk.modulus(), pk.modulus_squared())
+        pk.pow_mod_n2(&r, pk.modulus())
     }
 
     /// The public key the pool was built for.
@@ -107,6 +113,34 @@ impl RandomizerPool {
     /// Randomizers not yet consumed.
     pub fn remaining(&self) -> usize {
         self.randomizers.len().saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+
+    /// Total randomizers the pool was generated (and refilled) with,
+    /// consumed or not.
+    pub fn capacity(&self) -> usize {
+        self.randomizers.len()
+    }
+
+    /// Tops the pool back up with `additional` fresh randomizers, so a
+    /// long batch campaign can keep one pool alive instead of dying on
+    /// [`PaillierError::PoolExhausted`] mid-round. Requires exclusive
+    /// access (`&mut self`); already-claimed randomizers are unaffected.
+    ///
+    /// ```
+    /// use paillier::{Keypair, RandomizerPool};
+    /// use bigint::Ubig;
+    ///
+    /// let mut rng = rand::thread_rng();
+    /// let kp = Keypair::generate(&mut rng, 64);
+    /// let mut pool = RandomizerPool::generate(kp.public_key().clone(), 1, &mut rng);
+    /// pool.encrypt(&Ubig::one())?;
+    /// assert_eq!(pool.remaining(), 0);
+    /// pool.refill(4, &mut rng);
+    /// assert_eq!(pool.remaining(), 4);
+    /// # Ok::<(), paillier::PaillierError>(())
+    /// ```
+    pub fn refill<R: Rng + ?Sized>(&mut self, additional: usize, rng: &mut R) {
+        self.randomizers.extend((0..additional).map(|_| Self::one_randomizer(&self.pk, rng)));
     }
 
     /// Encrypts `m` using the next unused randomizer. Thread-safe: each
@@ -121,7 +155,10 @@ impl RandomizerPool {
             return Err(PaillierError::MessageOutOfRange);
         }
         let idx = self.next.fetch_add(1, Ordering::Relaxed);
-        let r_n = self.randomizers.get(idx).ok_or(PaillierError::PoolExhausted)?;
+        let r_n = self
+            .randomizers
+            .get(idx)
+            .ok_or(PaillierError::PoolExhausted { size: self.randomizers.len(), index: idx })?;
         let n2 = self.pk.modulus_squared();
         let g_m = &(Ubig::one() + modmul(m, self.pk.modulus(), n2)) % n2;
         Ok(Ciphertext::from_raw(modmul(&g_m, r_n, n2)))
@@ -146,7 +183,10 @@ impl RandomizerPool {
     ) -> Result<Vec<Ciphertext>, PaillierError> {
         assert!(threads > 0, "need at least one worker");
         if self.remaining() < values.len() {
-            return Err(PaillierError::PoolExhausted);
+            return Err(PaillierError::PoolExhausted {
+                size: self.randomizers.len(),
+                index: self.next.load(Ordering::Relaxed) + values.len() - 1,
+            });
         }
         let chunk = values.len().div_ceil(threads).max(1);
         let mut out: Vec<Option<Ciphertext>> = vec![None; values.len()];
@@ -206,7 +246,28 @@ mod tests {
         let pool = RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng);
         pool.encrypt(&Ubig::one()).unwrap();
         pool.encrypt(&Ubig::one()).unwrap();
-        assert_eq!(pool.encrypt(&Ubig::one()), Err(PaillierError::PoolExhausted));
+        // The error reports the capacity and the index that overran it.
+        assert_eq!(
+            pool.encrypt(&Ubig::one()),
+            Err(PaillierError::PoolExhausted { size: 2, index: 2 })
+        );
+    }
+
+    #[test]
+    fn refill_revives_an_exhausted_pool() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut pool = RandomizerPool::generate(keypair().public_key().clone(), 1, &mut rng);
+        pool.encrypt(&Ubig::one()).unwrap();
+        assert!(matches!(
+            pool.encrypt(&Ubig::one()),
+            Err(PaillierError::PoolExhausted { size: 1, .. })
+        ));
+        pool.refill(3, &mut rng);
+        assert_eq!(pool.capacity(), 4);
+        // Index 0 was consumed and index 1 burned by the failed claim.
+        assert_eq!(pool.remaining(), 2);
+        let c = pool.encrypt(&Ubig::from(6u64)).unwrap();
+        assert_eq!(keypair().private_key().decrypt_u64(&c), 6);
     }
 
     #[test]
@@ -245,7 +306,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let pool = RandomizerPool::generate(keypair().public_key().clone(), 3, &mut rng);
         let values: Vec<Ubig> = (0..5u64).map(Ubig::from).collect();
-        assert_eq!(pool.encrypt_batch(&values, 2), Err(PaillierError::PoolExhausted));
+        assert_eq!(
+            pool.encrypt_batch(&values, 2),
+            Err(PaillierError::PoolExhausted { size: 3, index: 4 })
+        );
     }
 
     #[test]

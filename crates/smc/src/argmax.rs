@@ -13,6 +13,12 @@
 //! * [`server1_argmax_tournament`] — a linear-scan variant using `K−1`
 //!   comparisons, benched as an ablation.
 //!
+//! Every DGK operation inside these comparisons (bit encryptions,
+//! blinding, zero tests) runs on the DGK key's cached Montgomery
+//! contexts and `g`/`h` fixed-base tables (see
+//! [`dgk::DgkPublicKey::precompute`]) — the dominant cost of Table I/II's
+//! comparison rows.
+//!
 //! Both servers derive the same winner slot deterministically from the
 //! same comparison bits. Ties break toward the *lower permuted slot*,
 //! which — the permutation being uniform — is an unbiased tie-break over

@@ -12,7 +12,8 @@
 //! 3. S1 zero-tests everything and broadcasts the outcome bit-vector.
 //!
 //! Computation and traffic volume are unchanged (same DGK work, same
-//! bytes); only the round count drops. The outcome is bit-identical to
+//! bytes, all of it on the DGK key's cached contexts and fixed-base
+//! tables); only the round count drops. The outcome is bit-identical to
 //! the sequential [`crate::argmax`] (asserted by tests), making this the
 //! "batched vs sequential" ablation DESIGN.md §5 calls for.
 

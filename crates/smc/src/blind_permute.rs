@@ -16,6 +16,10 @@
 //! * The step-4 mask `r3` *is* per-entry: it only has to hide `b` from S1
 //!   during the re-encryption bounce and is removed exactly.
 //!
+//! The homomorphic mask additions and rerandomizations below all run
+//! under the Paillier keys' cached `n²` Montgomery contexts, so the
+//! per-entry cost is one table-driven exponentiation.
+//!
 //! The batch form runs several vectors through one protocol instance with
 //! the *same* `π1, π2` but independent masks — exactly what Alg. 5 step 3
 //! needs (the vote sums and the noisy threshold sequence must share a

@@ -8,7 +8,9 @@
 //! slot).
 //!
 //! Signed inputs are shifted by the public domain offset before the
-//! bitwise protocol, which preserves order. S1 is always the DGK
+//! bitwise protocol, which preserves order. The underlying DGK
+//! encryptions and zero tests run on the key's cached exponentiation
+//! state, shared by both servers' cloned contexts. S1 is always the DGK
 //! evaluator: it bit-encrypts `x`, S2 blinds with `y`, S1 zero-tests and
 //! shares the outcome — `x ≥ y ⟺ ¬(y > x)`.
 

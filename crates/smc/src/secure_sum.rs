@@ -5,6 +5,11 @@
 //! key**, so the aggregating server can homomorphically combine
 //! ciphertexts it cannot read. The server-side aggregation is the
 //! ciphertext product of Eqn. 1.
+//!
+//! Every `r^n mod n²` here runs under the public key's cached Montgomery
+//! context (see [`paillier::PublicKey::precompute`]); the per-user
+//! encryption cost is the exponentiation itself, with no per-call
+//! context setup.
 
 use paillier::{Ciphertext, PublicKey, SignedCodec};
 use rand::Rng;

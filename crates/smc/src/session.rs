@@ -131,7 +131,22 @@ impl SessionKeys {
         let paillier1 = Keypair::generate(rng, config.paillier_bits);
         let paillier2 = Keypair::generate(rng, config.paillier_bits);
         let dgk = DgkKeypair::generate(rng, &config.dgk);
-        SessionKeys { config, paillier1, paillier2, dgk }
+        let keys = SessionKeys { config, paillier1, paillier2, dgk };
+        keys.precompute();
+        keys
+    }
+
+    /// Warms every per-key exponentiation cache (Paillier `n²`/`p²`/`q²`
+    /// Montgomery contexts, the DGK `n`/`p` contexts and the `g`/`h`
+    /// fixed-base tables). Because the caches live behind shared cells,
+    /// every [`ServerContext`]/[`UserContext`] cloned from these keys
+    /// reuses the warmed state — no party pays the setup cost on its
+    /// first protocol message. Called automatically by
+    /// [`SessionKeys::generate`]; idempotent.
+    pub fn precompute(&self) {
+        self.paillier1.private_key().precompute();
+        self.paillier2.private_key().precompute();
+        self.dgk.private_key().precompute();
     }
 
     /// The session configuration.

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the criterion microbenches in quick mode and
+# the bench_protocol binary, which emits the machine-readable
+# BENCH_protocol.json (step → ns/iter) at the repo root — the artifact
+# the perf trajectory is tracked by (see DESIGN.md, "Exponentiation
+# strategy").
+#
+# Usage: scripts/bench.sh [--smoke] [--offline]
+#
+#   --smoke    minimal iteration counts and no criterion sweep — the CI
+#              wiring (scripts/ci.sh) uses this to keep the harness from
+#              rotting without burning CI minutes on real measurements.
+#   --offline  point cargo at the .localdeps/ shims (sandboxes without
+#              crates.io access, same mechanism as scripts/devcheck.sh).
+#              The criterion shim executes each bench closure once
+#              without timing, so only bench_protocol produces numbers.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+smoke=0
+offline=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    --offline) offline=1 ;;
+    *)
+      echo "usage: $0 [--smoke] [--offline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+config=()
+cargo_flags=()
+if [[ $offline -eq 1 ]]; then
+  for dep in rand bytes crossbeam parking_lot serde proptest criterion; do
+    config+=(--config "patch.crates-io.${dep}.path=\"${repo}/.localdeps/${dep}\"")
+  done
+  cargo_flags+=(--offline)
+fi
+
+if [[ $smoke -eq 0 ]]; then
+  echo "==> criterion microbenches (quick mode)"
+  for bench in bigint_ops paillier_ops dgk_compare protocol_steps; do
+    cargo "${config[@]}" bench -p benches --bench "$bench" "${cargo_flags[@]}" -- --quick
+  done
+fi
+
+echo "==> bench_protocol → BENCH_protocol.json"
+protocol_args=(--out "$repo/BENCH_protocol.json")
+if [[ $smoke -eq 1 ]]; then
+  protocol_args+=(--smoke)
+fi
+cargo "${config[@]}" run --release -p benches --bin bench_protocol "${cargo_flags[@]}" \
+  -- "${protocol_args[@]}"
+
+echo "bench artifacts written to $repo/BENCH_protocol.json"

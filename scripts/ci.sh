@@ -26,4 +26,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> bench harness smoke (scripts/bench.sh --smoke)"
+bash scripts/bench.sh --smoke
+
 echo "CI checks passed."
