@@ -22,11 +22,20 @@
 //! strategy" ladder (division → rebuilt Montgomery → cached Montgomery →
 //! fixed-base window → Shamir double-exp) at a 256-bit modulus.
 //!
-//! Usage:
-//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--iters N] [--out PATH]`
+//! The `par_*` entries form the data-parallel thread-scaling sweep: the
+//! same hot loops (randomizer-pool generation, batch encryption, DGK
+//! witness construction, secure-sum aggregation, one full engine round at
+//! |U| = 8, K = 10) timed at 1/2/4/8 worker threads through the
+//! [`Parallelism`] engine. Every JSON sample carries the thread count it
+//! was measured at.
 //!
-//! `--smoke` runs 2 iterations per step (CI wiring); `--out` defaults to
-//! `BENCH_protocol.json` in the current directory.
+//! Usage:
+//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--iters N] [--threads N] [--out PATH]`
+//!
+//! `--smoke` runs 2 iterations per step and trims the thread sweep (CI
+//! wiring); `--threads` (default: the `CONSENSUS_THREADS` environment
+//! variable, else 1) is always included as a sweep point; `--out`
+//! defaults to `BENCH_protocol.json` in the current directory.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -35,11 +44,17 @@ use benches::Args;
 use bigint::modular::{modmul, modpow_basic};
 use bigint::montgomery::{FixedBaseTable, MontgomeryContext};
 use bigint::{random, Ubig};
+use consensus_core::config::ConsensusConfig;
+use consensus_core::secure::{RankingStrategy, SecureEngine};
+use dgk::comparison::{blinder_build_witnesses_par, evaluator_encrypt_bits_par};
 use dgk::{DgkKeypair, DgkParams};
-use paillier::{Keypair, RandomizerPool};
+use paillier::{Ciphertext, Keypair, RandomizerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use smc::secure_sum::aggregate_user_vectors;
+use smc::{Parallelism, SessionConfig};
 use std::sync::Arc;
+use transport::{Meter, Network, PartyId, Step};
 
 /// The dispatch threshold the pre-change `modular::modpow` used.
 const OLD_MONTGOMERY_EXP_THRESHOLD: u64 = 24;
@@ -89,17 +104,27 @@ fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> u128 {
 }
 
 struct Report {
-    entries: Vec<(String, u128)>,
+    entries: Vec<(String, u128, usize)>,
 }
 
 impl Report {
+    /// Records a single-threaded sample.
     fn record(&mut self, step: &str, ns: u128) {
+        self.record_at(step, ns, 1);
+    }
+
+    /// Records a sample measured at `threads` worker threads.
+    fn record_at(&mut self, step: &str, ns: u128, threads: usize) {
         println!("  {step:<44} {ns:>12} ns/iter");
-        self.entries.push((step.to_string(), ns));
+        self.entries.push((step.to_string(), ns, threads));
     }
 
     fn ns(&self, step: &str) -> u128 {
-        self.entries.iter().find(|(s, _)| s == step).map(|&(_, ns)| ns).expect("step recorded")
+        self.entries
+            .iter()
+            .find(|(s, _, _)| s == step)
+            .map(|&(_, ns, _)| ns)
+            .expect("step recorded")
     }
 
     fn speedup(&self, step: &str) -> f64 {
@@ -107,12 +132,15 @@ impl Report {
     }
 
     /// Hand-rolled JSON (the workspace has no serde_json): a flat
-    /// `{"step": ns, ...}` object.
+    /// `{"step": {"ns": N, "threads": T}, ...}` object, so every sample
+    /// records the worker-thread count it was measured at.
     fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        for (i, (step, ns)) in self.entries.iter().enumerate() {
+        for (i, (step, ns, threads)) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
-            out.push_str(&format!("  \"{step}\": {ns}{comma}\n"));
+            out.push_str(&format!(
+                "  \"{step}\": {{\"ns\": {ns}, \"threads\": {threads}}}{comma}\n"
+            ));
         }
         out.push_str("}\n");
         out
@@ -349,12 +377,146 @@ fn main() {
         }),
     );
 
+    // ----- Data-parallel thread-scaling sweep -----------------------------
+    // `--threads` (default: CONSENSUS_THREADS, else 1) is always a sweep
+    // point; the full 1/2/4/8 grid runs in non-smoke mode. Reported
+    // speedups are whatever this machine delivers — on a single-core box
+    // the parallel path degenerates to sequential chunking and the curve
+    // is flat by construction.
+    let cli_threads: usize = args.get("threads", Parallelism::from_env().threads());
+    let mut sweep: Vec<usize> = if smoke { vec![1] } else { vec![1, 2, 4, 8] };
+    if !sweep.contains(&cli_threads) {
+        sweep.push(cli_threads);
+    }
+    sweep.sort_unstable();
+
+    let batch = if smoke { 8usize } else { 32 };
+    let batch_values: Vec<Ubig> = (0..batch).map(|_| random::gen_below(&mut rng, &n)).collect();
+    let sweep_users = 8usize;
+    let sweep_classes = 10usize;
+    let e2e_iters: u64 = if smoke { 1 } else { 3 };
+    let upload: Vec<Ciphertext> = (0..sweep_classes)
+        .map(|_| {
+            let v = random::gen_below(&mut rng, &n);
+            let rr = random::gen_coprime(&mut rng, &n);
+            pk.encrypt_with_randomness(&v, &rr)
+        })
+        .collect();
+    let votes: Vec<Vec<f64>> = (0..sweep_users)
+        .map(|u| {
+            let mut v = vec![0.0; sweep_classes];
+            v[if u < sweep_users * 4 / 5 { 0 } else { 1 + u % (sweep_classes - 1) }] = 1.0;
+            v
+        })
+        .collect();
+    let (dgk_x, dgk_y) = (12_345u64, 54_321u64);
+
+    println!(
+        "\nThread-scaling sweep (threads ∈ {sweep:?}, |U| = {sweep_users}, K = {sweep_classes}):"
+    );
+    for &t in &sweep {
+        let par = Parallelism::new(t);
+
+        report.record_at(
+            &format!("par_pool_generate_per_item_t{t}"),
+            time_ns(heavy_iters, || {
+                black_box(RandomizerPool::generate_with(pk.clone(), pool_items, &par, &mut rng));
+            }) / pool_items as u128,
+            t,
+        );
+
+        // Batch encryption against a pool sized for every timed call, so
+        // the sample isolates the parallel encrypt path (no fallbacks).
+        let pool =
+            RandomizerPool::generate(pk.clone(), batch * (heavy_iters as usize + 2), &mut rng);
+        report.record_at(
+            &format!("par_encrypt_batch{batch}_t{t}"),
+            time_ns(heavy_iters, || {
+                black_box(pool.encrypt_batch(&batch_values, &par).expect("pool sized for run"));
+            }),
+            t,
+        );
+
+        let round1 = evaluator_encrypt_bits_par(dgk_x, &dpk, &par, &mut rng)
+            .expect("x in comparison domain");
+        report.record_at(
+            &format!("par_dgk_witnesses_t{t}"),
+            time_ns(heavy_iters, || {
+                black_box(
+                    blinder_build_witnesses_par(dgk_y, &round1, &dpk, &par, &mut rng)
+                        .expect("y in comparison domain"),
+                );
+            }),
+            t,
+        );
+
+        // Secure-sum aggregation over real channels: 8 users' uploads are
+        // re-sent each iteration, then folded per class slot.
+        let mut net = Network::new(sweep_users);
+        let mut server = net.take_endpoint(PartyId::Server1);
+        let mut user_eps: Vec<_> =
+            (0..sweep_users).map(|u| net.take_endpoint(PartyId::User(u))).collect();
+        report.record_at(
+            &format!("par_secure_sum_aggregate_t{t}"),
+            time_ns(iters.min(100), || {
+                for ep in &mut user_eps {
+                    ep.send(PartyId::Server1, Step::SecureSumVotes, &upload).expect("send");
+                }
+                black_box(
+                    aggregate_user_vectors(
+                        &mut server,
+                        Step::SecureSumVotes,
+                        sweep_users,
+                        sweep_classes,
+                        &pk,
+                        &par,
+                    )
+                    .expect("aggregate"),
+                );
+            }),
+            t,
+        );
+
+        // One full Alg. 5 round end-to-end (batched ranking).
+        let mut engine_rng = StdRng::seed_from_u64(7);
+        let engine = SecureEngine::new(
+            SessionConfig::test(sweep_users, sweep_classes),
+            ConsensusConfig::paper_default(2.0, 2.0),
+            &mut engine_rng,
+        )
+        .with_ranking(RankingStrategy::Batched)
+        .with_parallelism(par);
+        let meter = Meter::new();
+        report.record_at(
+            &format!("par_engine_round_u8_k10_t{t}"),
+            time_ns(e2e_iters, || {
+                black_box(
+                    engine
+                        .run_instance(&votes, Arc::clone(&meter), &mut engine_rng)
+                        .expect("secure run"),
+                );
+            }),
+            t,
+        );
+    }
+
     // ----- Summary + JSON -------------------------------------------------
     println!("\nSpeedups vs pre-change baseline (same operands):");
     for step in
         ["paillier_encrypt", "paillier_decrypt", "paillier_mul_plain", "dgk_encrypt", "dgk_is_zero"]
     {
         println!("  {step:<24} {:.2}x", report.speedup(step));
+    }
+    if sweep.len() > 1 {
+        let base = sweep[0];
+        println!("\nThread scaling vs {base} thread(s) (this machine):");
+        for kind in ["par_pool_generate_per_item", "par_engine_round_u8_k10"] {
+            let base_ns = report.ns(&format!("{kind}_t{base}"));
+            for &t in &sweep[1..] {
+                let ns = report.ns(&format!("{kind}_t{t}"));
+                println!("  {kind:<32} t{t}: {:.2}x", base_ns as f64 / ns as f64);
+            }
+        }
     }
 
     std::fs::write(&out_path, report.to_json()).expect("write BENCH_protocol.json");

@@ -59,7 +59,7 @@ use smc::secure_sum::{
     aggregate_surviving_vectors, aggregate_user_vectors, send_share_to_server1,
     send_share_to_server2,
 };
-use smc::{ServerContext, SessionConfig, SessionKeys, SmcError};
+use smc::{Parallelism, ServerContext, SessionConfig, SessionKeys, SmcError};
 use transport::{Endpoint, FaultPlan, Meter, Network, PartyId, Step, TimeoutPolicy};
 
 use crate::clear::draw_user_noise_shares;
@@ -238,6 +238,24 @@ impl SecureEngine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Sets the data-parallelism config every party in every round uses
+    /// for its crypto hot loops (Paillier batch encryption, per-label
+    /// aggregation/masking, per-bit DGK witnesses, pairwise compare
+    /// fan-out). Defaults to sequential. Protocol transcripts and
+    /// outcomes are bit-identical for every setting — parallel loops
+    /// derive per-item RNG streams from the same root draws the
+    /// sequential path uses (see the `parallel` crate).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.keys.set_parallelism(parallelism);
+        self
+    }
+
+    /// The configured data-parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.keys.parallelism()
     }
 
     /// The configured ranking strategy.
@@ -559,6 +577,7 @@ fn collect_votes_and_thresh(
     peer_key: &paillier::PublicKey,
     peer_server: PartyId,
     quorum: Option<usize>,
+    par: &Parallelism,
 ) -> Result<VotesThreshSurvivors, SmcError> {
     match quorum {
         None => {
@@ -568,6 +587,7 @@ fn collect_votes_and_thresh(
                 roster.len(),
                 num_classes,
                 peer_key,
+                par,
             )?;
             let thresh = aggregate_user_vectors(
                 endpoint,
@@ -575,6 +595,7 @@ fn collect_votes_and_thresh(
                 roster.len(),
                 num_classes,
                 peer_key,
+                par,
             )?;
             Ok((votes, thresh, roster.to_vec()))
         }
@@ -588,6 +609,7 @@ fn collect_votes_and_thresh(
                 peer_key,
                 peer_server,
                 q,
+                par,
             )?;
             let thresh = agg.sums.pop().expect("two aggregated vectors");
             let votes = agg.sums.pop().expect("two aggregated vectors");
@@ -604,6 +626,7 @@ fn collect_noisy(
     peer_key: &paillier::PublicKey,
     peer_server: PartyId,
     quorum: Option<usize>,
+    par: &Parallelism,
 ) -> Result<(Vec<Ciphertext>, Vec<usize>), SmcError> {
     match quorum {
         None => {
@@ -613,6 +636,7 @@ fn collect_noisy(
                 survivors.len(),
                 num_classes,
                 peer_key,
+                par,
             )?;
             Ok((noisy, survivors.to_vec()))
         }
@@ -626,6 +650,7 @@ fn collect_noisy(
                 peer_key,
                 peer_server,
                 q,
+                par,
             )?;
             let noisy = agg.sums.pop().expect("one aggregated vector");
             Ok((noisy, agg.survivors))
@@ -648,7 +673,15 @@ fn server1_run(
 
     // Step 2: aggregate the vote shares and threshold shares.
     let (enc_votes, enc_thresh, survivors) = meter.time(Step::SecureSumVotes, || {
-        collect_votes_and_thresh(endpoint, roster, num_classes, &pk2, PartyId::Server2, quorum)
+        collect_votes_and_thresh(
+            endpoint,
+            roster,
+            num_classes,
+            &pk2,
+            PartyId::Server2,
+            quorum,
+            ctx.parallelism(),
+        )
     })?;
 
     // Step 3: Blind-and-Permute over both vectors, one shared π.
@@ -677,7 +710,15 @@ fn server1_run(
 
     // Step 6: aggregate the noisy vote shares over the survivors.
     let (enc_noisy, noisy_survivors) = meter.time(Step::SecureSumNoisy, || {
-        collect_noisy(endpoint, &survivors, num_classes, &pk2, PartyId::Server2, quorum)
+        collect_noisy(
+            endpoint,
+            &survivors,
+            num_classes,
+            &pk2,
+            PartyId::Server2,
+            quorum,
+            ctx.parallelism(),
+        )
     })?;
 
     // Step 7: second Blind-and-Permute, fresh π′.
@@ -711,8 +752,15 @@ fn server2_run(
     let mut rng = StdRng::seed_from_u64(seed);
     let pk1 = ctx.peer_public().clone();
 
-    let (enc_votes, enc_thresh, survivors) =
-        collect_votes_and_thresh(endpoint, roster, num_classes, &pk1, PartyId::Server1, quorum)?;
+    let (enc_votes, enc_thresh, survivors) = collect_votes_and_thresh(
+        endpoint,
+        roster,
+        num_classes,
+        &pk1,
+        PartyId::Server1,
+        quorum,
+        ctx.parallelism(),
+    )?;
 
     let bp1 = server2_blind_permute(
         endpoint,
@@ -731,8 +779,15 @@ fn server2_run(
         return Ok(ServerReport { label: None, survivors, noisy_survivors: None });
     }
 
-    let (enc_noisy, noisy_survivors) =
-        collect_noisy(endpoint, &survivors, num_classes, &pk1, PartyId::Server1, quorum)?;
+    let (enc_noisy, noisy_survivors) = collect_noisy(
+        endpoint,
+        &survivors,
+        num_classes,
+        &pk1,
+        PartyId::Server1,
+        quorum,
+        ctx.parallelism(),
+    )?;
 
     let bp2 = server2_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)?;
 

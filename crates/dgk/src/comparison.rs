@@ -21,6 +21,7 @@
 //! use the in-memory driver [`compare_gt_plain`].
 
 use bigint::{random, Ubig};
+use parallel::Parallelism;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -63,9 +64,27 @@ pub fn evaluator_encrypt_bits<R: Rng + ?Sized>(
     pk: &DgkPublicKey,
     rng: &mut R,
 ) -> Result<EvaluatorBits, DgkError> {
+    evaluator_encrypt_bits_par(b, pk, &Parallelism::sequential(), rng)
+}
+
+/// [`evaluator_encrypt_bits`] with the `ℓ` bit encryptions fanned out
+/// according to `par`. Each bit draws its randomness from its own
+/// seed-derived stream, so the message is bit-identical for every thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`DgkError::InputTooWide`] if `b` does not fit `ℓ` bits.
+pub fn evaluator_encrypt_bits_par<R: Rng + ?Sized>(
+    b: u64,
+    pk: &DgkPublicKey,
+    par: &Parallelism,
+    rng: &mut R,
+) -> Result<EvaluatorBits, DgkError> {
     check_width(b, pk)?;
-    let encrypted_bits =
-        (0..pk.compare_bits()).map(|i| pk.encrypt_bit((b >> i) & 1 == 1, rng)).collect();
+    let encrypted_bits = par.map_n_seeded(pk.compare_bits() as usize, rng, |i, item_rng| {
+        pk.encrypt_bit((b >> i) & 1 == 1, item_rng)
+    });
     Ok(EvaluatorBits { encrypted_bits })
 }
 
@@ -83,6 +102,37 @@ pub fn blinder_build_witnesses<R: Rng + ?Sized>(
     pk: &DgkPublicKey,
     rng: &mut R,
 ) -> Result<BlindedWitnesses, DgkError> {
+    blinder_build_witnesses_par(a, round1, pk, &Parallelism::sequential(), rng)
+}
+
+/// [`blinder_build_witnesses`] with the expensive per-position work
+/// fanned out according to `par`.
+///
+/// The round splits into three stages:
+/// 1. `xor_enc[j] = E(a_j ⊕ b_j)` — RNG-free, parallel.
+/// 2. The suffix sums `E(Σ_{j>i} a_j ⊕ b_j)` — a chain of single modular
+///    multiplications where each entry extends the previous, so it stays
+///    sequential (parallelizing it would redo the prefix work per item).
+/// 3. The per-position witness pipeline (two `mul_plain` modpows, the
+///    blinding exponent, rerandomization) — the dominant cost, parallel,
+///    each position on its own seed-derived RNG stream.
+///
+/// The final Fisher–Yates shuffle consumes the caller's RNG in index
+/// order and stays sequential. Output is bit-identical for every thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`DgkError::InputTooWide`] if `a` does not fit `ℓ` bits, or
+/// [`DgkError::MalformedCiphertext`] if the round-1 message has the wrong
+/// arity.
+pub fn blinder_build_witnesses_par<R: Rng + ?Sized>(
+    a: u64,
+    round1: &EvaluatorBits,
+    pk: &DgkPublicKey,
+    par: &Parallelism,
+    rng: &mut R,
+) -> Result<BlindedWitnesses, DgkError> {
     check_width(a, pk)?;
     let ell = pk.compare_bits() as usize;
     if round1.encrypted_bits.len() != ell {
@@ -94,47 +144,45 @@ pub fn blinder_build_witnesses<R: Rng + ?Sized>(
 
     // xor_enc[j] = E(a_j ⊕ b_j): equals E(b_j) when a_j = 0, and
     // E(1 − b_j) = g · E(b_j)^{u−1} when a_j = 1.
-    let xor_enc: Vec<DgkCiphertext> = round1
-        .encrypted_bits
-        .iter()
-        .enumerate()
-        .map(|(j, e_bj)| {
-            if (a >> j) & 1 == 0 {
-                e_bj.clone()
-            } else {
-                pk.add_plain(&pk.neg(e_bj), &Ubig::one())
-            }
-        })
-        .collect();
-
-    // Walk positions from the top down, keeping the running product
-    // Π_{j>i} E(a_j ⊕ b_j) = E(Σ_{j>i} w_j).
-    let mut witnesses = Vec::with_capacity(ell);
-    let mut suffix_sum: Option<DgkCiphertext> = None; // None encodes E(0)·(empty)
-    for i in (0..ell).rev() {
-        let a_i = (a >> i) & 1;
-        // Plain part: a_i − 1 ∈ {−1, 0}, encoded mod u.
-        let plain = if a_i == 1 { Ubig::zero() } else { u_minus_1.clone() };
-        // c_i = g^{a_i − 1} · E(b_i)^{u−1} · E(Σ_{j>i} w_j)^3.
-        let mut c = pk.mul_plain(&round1.encrypted_bits[i], &u_minus_1);
-        c = pk.add_plain(&c, &plain);
-        if let Some(suffix) = &suffix_sum {
-            c = pk.add(&c, &pk.mul_plain(suffix, &three));
+    let xor_enc: Vec<DgkCiphertext> = par.map(&round1.encrypted_bits, |j, e_bj| {
+        if (a >> j) & 1 == 0 {
+            e_bj.clone()
+        } else {
+            pk.add_plain(&pk.neg(e_bj), &Ubig::one())
         }
-        // Blind by a random unit of Z_u and rerandomize the h component.
-        let r = random::gen_range(rng, &Ubig::one(), &u);
-        c = pk.mul_plain(&c, &r);
-        c = pk.rerandomize(&c, rng);
-        witnesses.push(c);
+    });
 
-        // Extend the suffix sum with position i for the next iteration.
-        suffix_sum = Some(match suffix_sum {
-            None => xor_enc[i].clone(),
-            Some(s) => pk.add(&s, &xor_enc[i]),
+    // suffixes[i] = E(Σ_{j>i} a_j ⊕ b_j), with None encoding the empty
+    // sum at the top position. Built top-down; each entry is one modular
+    // multiplication on top of the previous.
+    let mut suffixes: Vec<Option<DgkCiphertext>> = vec![None; ell];
+    for i in (0..ell.saturating_sub(1)).rev() {
+        suffixes[i] = Some(match &suffixes[i + 1] {
+            None => xor_enc[i + 1].clone(),
+            Some(s) => pk.add(s, &xor_enc[i + 1]),
         });
     }
 
+    // Per-position witnesses, kept in the top-down order the sequential
+    // loop produced: c_i = g^{a_i − 1} · E(b_i)^{u−1} · E(Σ_{j>i} w_j)^3,
+    // blinded by a random unit of Z_u and rerandomized.
+    let order: Vec<usize> = (0..ell).rev().collect();
+    let mut witnesses = par.map_seeded(&order, rng, |_, &i, item_rng| {
+        let a_i = (a >> i) & 1;
+        // Plain part: a_i − 1 ∈ {−1, 0}, encoded mod u.
+        let plain = if a_i == 1 { Ubig::zero() } else { u_minus_1.clone() };
+        let mut c = pk.mul_plain(&round1.encrypted_bits[i], &u_minus_1);
+        c = pk.add_plain(&c, &plain);
+        if let Some(suffix) = &suffixes[i] {
+            c = pk.add(&c, &pk.mul_plain(suffix, &three));
+        }
+        let r = random::gen_range(item_rng, &Ubig::one(), &u);
+        c = pk.mul_plain(&c, &r);
+        pk.rerandomize(&c, item_rng)
+    });
+
     // Fisher–Yates shuffle so B cannot tell which position witnessed.
+    // Swap-order-dependent, so it stays on the caller's RNG.
     for i in (1..witnesses.len()).rev() {
         let j = rng.gen_range(0..=i);
         witnesses.swap(i, j);
@@ -150,6 +198,34 @@ pub fn blinder_build_witnesses<R: Rng + ?Sized>(
 pub fn evaluator_decide(round2: &BlindedWitnesses, sk: &DgkPrivateKey) -> Result<bool, DgkError> {
     for w in &round2.witnesses {
         if sk.is_zero(w)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// [`evaluator_decide`] with the zero tests fanned out according to
+/// `par`.
+///
+/// The sequential path early-exits on the first zero; the parallel path
+/// tests every witness but reports results in index order, so a zero at
+/// index `i` shadows any malformed ciphertext at index `> i` exactly as
+/// the sequential loop would.
+///
+/// # Errors
+///
+/// Propagates [`DgkError::MalformedCiphertext`] from the zero test.
+pub fn evaluator_decide_par(
+    round2: &BlindedWitnesses,
+    sk: &DgkPrivateKey,
+    par: &Parallelism,
+) -> Result<bool, DgkError> {
+    if par.workers_for(round2.witnesses.len()) <= 1 {
+        return evaluator_decide(round2, sk);
+    }
+    let tests = par.map(&round2.witnesses, |_, w| sk.is_zero(w));
+    for test in tests {
+        if test? {
             return Ok(true);
         }
     }
@@ -284,6 +360,28 @@ mod tests {
         let r1 = evaluator_encrypt_bits(5, kp.public_key(), &mut rng).unwrap();
         let r2 = blinder_build_witnesses(3, &r1, kp.public_key(), &mut rng).unwrap();
         assert_eq!(r2.witnesses.len(), kp.public_key().compare_bits() as usize);
+    }
+
+    #[test]
+    fn parallel_round_messages_are_thread_count_invariant() {
+        let kp = keys();
+        for (a, b) in [(9u64, 4u64), (0, 0), (255, 254)] {
+            let runs: Vec<(EvaluatorBits, BlindedWitnesses, bool)> = [1usize, 4]
+                .into_iter()
+                .map(|threads| {
+                    let par = Parallelism::new(threads).with_min_batch(1);
+                    let mut rng = StdRng::seed_from_u64(40);
+                    let r1 =
+                        evaluator_encrypt_bits_par(b, kp.public_key(), &par, &mut rng).unwrap();
+                    let r2 = blinder_build_witnesses_par(a, &r1, kp.public_key(), &par, &mut rng)
+                        .unwrap();
+                    let gt = evaluator_decide_par(&r2, kp.private_key(), &par).unwrap();
+                    (r1, r2, gt)
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "{a} vs {b}");
+            assert_eq!(runs[0].2, a > b);
+        }
     }
 
     #[test]

@@ -5,24 +5,37 @@
 //! fast … we made a tweak by generating a table of random numbers
 //! beforehand". Paillier encryption spends nearly all its time computing
 //! `r^n mod n²`; this pool precomputes those powers once (optionally in
-//! parallel) so the hot path is a single modular multiplication, and
-//! encryption can fan out across threads without contending on an RNG.
+//! parallel via a [`Parallelism`] config) so the hot path is a single
+//! modular multiplication, and encryption can fan out across threads
+//! without contending on an RNG.
 //!
 //! Unlike the paper's prototype (which indexed the table "with the
 //! current time", risking reuse), the pool hands out each randomizer
 //! **exactly once** — reusing `r^n` across two ciphertexts would let an
-//! observer link them and cancel the blinding. When the pool runs dry,
-//! [`RandomizerPool::encrypt`] returns an error instead of degrading.
+//! observer link them and cancel the blinding. When the pool runs dry, a
+//! default pool degrades gracefully: the missing randomizers are
+//! generated on the fly (each from its own seed-derived RNG stream, so
+//! nothing is ever reused) and counted in
+//! [`RandomizerPool::fallback_generated`] so an operator can size the
+//! next pool correctly. A pool built with [`RandomizerPool::with_strict`]
+//! keeps the old behavior and returns
+//! [`PaillierError::PoolExhausted`] instead.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use bigint::modular::modmul;
 use bigint::{random, Ubig};
-use rand::Rng;
+use parallel::Parallelism;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::PaillierError;
 use crate::keys::PublicKey;
+
+/// Odd multiplier used to spread overflow indices into distinct fallback
+/// RNG streams (SplitMix64's increment constant).
+const FALLBACK_STREAM_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A single-use pool of precomputed Paillier randomizers `r^n mod n²`.
 ///
@@ -44,6 +57,12 @@ pub struct RandomizerPool {
     pk: PublicKey,
     randomizers: Vec<Ubig>,
     next: AtomicUsize,
+    strict: bool,
+    /// Root seed for on-the-fly randomizers once the table is exhausted;
+    /// drawn from the caller's RNG at generation time so fallback output
+    /// is as deterministic (per claimed index) as the pool itself.
+    fallback_seed: u64,
+    fallback_count: AtomicU64,
 }
 
 impl RandomizerPool {
@@ -51,53 +70,43 @@ impl RandomizerPool {
     /// `n²` Montgomery context is warmed first, so each `r^n` pays only
     /// the exponentiation — not a per-item context rebuild.
     pub fn generate<R: Rng + ?Sized>(pk: PublicKey, size: usize, rng: &mut R) -> Self {
-        pk.precompute();
-        let randomizers = (0..size).map(|_| Self::one_randomizer(&pk, rng)).collect();
-        RandomizerPool { pk, randomizers, next: AtomicUsize::new(0) }
+        Self::generate_with(pk, size, &Parallelism::sequential(), rng)
     }
 
-    /// Precomputes `size` randomizers across `threads` worker threads.
-    /// Each worker derives its own RNG stream from `rng`, so workers never
-    /// contend on a shared generator — the paper's bottleneck.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    pub fn generate_parallel<R: Rng + ?Sized>(
+    /// Precomputes `size` randomizers, fanning the exponentiations out
+    /// according to `par`. Each randomizer is derived from its own
+    /// seed-drawn RNG stream (see [`Parallelism::map_n_seeded`]), so the
+    /// pool contents are bit-identical for every thread count — workers
+    /// never contend on a shared generator, the paper's bottleneck.
+    pub fn generate_with<R: Rng + ?Sized>(
         pk: PublicKey,
         size: usize,
-        threads: usize,
+        par: &Parallelism,
         rng: &mut R,
     ) -> Self {
-        assert!(threads > 0, "need at least one worker");
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         // Warm the shared n² context once; every worker then reuses it
         // through the key reference instead of rebuilding per item.
         pk.precompute();
-        let seeds: Vec<u64> = (0..threads).map(|_| rng.gen()).collect();
-        let per_worker = size.div_ceil(threads);
-        let mut randomizers = Vec::with_capacity(size);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .enumerate()
-                .map(|(w, &seed)| {
-                    let pk = &pk;
-                    let count = per_worker.min(size.saturating_sub(w * per_worker));
-                    scope.spawn(move || {
-                        let mut worker_rng = StdRng::seed_from_u64(seed);
-                        (0..count)
-                            .map(|_| Self::one_randomizer(pk, &mut worker_rng))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                randomizers.extend(handle.join().expect("worker panicked"));
-            }
-        });
-        RandomizerPool { pk, randomizers, next: AtomicUsize::new(0) }
+        let fallback_seed: u64 = rng.gen();
+        let randomizers =
+            par.map_n_seeded(size, rng, |_, item_rng| Self::one_randomizer(&pk, item_rng));
+        RandomizerPool {
+            pk,
+            randomizers,
+            next: AtomicUsize::new(0),
+            strict: false,
+            fallback_seed,
+            fallback_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Makes exhaustion a hard [`PaillierError::PoolExhausted`] error
+    /// instead of generating missing randomizers on the fly. Use this
+    /// when the pool size is part of a performance budget that silent
+    /// fallback would mask.
+    pub fn with_strict(mut self) -> Self {
+        self.strict = true;
+        self
     }
 
     fn one_randomizer<R: Rng + ?Sized>(pk: &PublicKey, rng: &mut R) -> Ubig {
@@ -121,9 +130,16 @@ impl RandomizerPool {
         self.randomizers.len()
     }
 
+    /// How many randomizers were generated on the fly because the pool
+    /// ran dry. Non-zero means the pool was undersized for its workload.
+    pub fn fallback_generated(&self) -> u64 {
+        self.fallback_count.load(Ordering::Relaxed)
+    }
+
     /// Tops the pool back up with `additional` fresh randomizers, so a
-    /// long batch campaign can keep one pool alive instead of dying on
-    /// [`PaillierError::PoolExhausted`] mid-round. Requires exclusive
+    /// long batch campaign can keep one pool alive instead of falling
+    /// back (or, in strict mode, dying on
+    /// [`PaillierError::PoolExhausted`]) mid-round. Requires exclusive
     /// access (`&mut self`); already-claimed randomizers are unaffected.
     ///
     /// ```
@@ -132,7 +148,8 @@ impl RandomizerPool {
     ///
     /// let mut rng = rand::thread_rng();
     /// let kp = Keypair::generate(&mut rng, 64);
-    /// let mut pool = RandomizerPool::generate(kp.public_key().clone(), 1, &mut rng);
+    /// let mut pool =
+    ///     RandomizerPool::generate(kp.public_key().clone(), 1, &mut rng).with_strict();
     /// pool.encrypt(&Ubig::one())?;
     /// assert_eq!(pool.remaining(), 0);
     /// pool.refill(4, &mut rng);
@@ -140,79 +157,99 @@ impl RandomizerPool {
     /// # Ok::<(), paillier::PaillierError>(())
     /// ```
     pub fn refill<R: Rng + ?Sized>(&mut self, additional: usize, rng: &mut R) {
-        self.randomizers.extend((0..additional).map(|_| Self::one_randomizer(&self.pk, rng)));
+        self.refill_with(additional, &Parallelism::sequential(), rng);
+    }
+
+    /// [`RandomizerPool::refill`] with the exponentiations fanned out
+    /// according to `par`, same determinism contract as
+    /// [`RandomizerPool::generate_with`].
+    pub fn refill_with<R: Rng + ?Sized>(
+        &mut self,
+        additional: usize,
+        par: &Parallelism,
+        rng: &mut R,
+    ) {
+        let pk = &self.pk;
+        self.randomizers.extend(
+            par.map_n_seeded(additional, rng, |_, item_rng| Self::one_randomizer(pk, item_rng)),
+        );
     }
 
     /// Encrypts `m` using the next unused randomizer. Thread-safe: each
-    /// randomizer is claimed by exactly one caller.
+    /// randomizer (pooled or fallback) is claimed by exactly one caller.
     ///
     /// # Errors
     ///
-    /// Returns [`PaillierError::MessageOutOfRange`] if `m >= n`, or
+    /// Returns [`PaillierError::MessageOutOfRange`] if `m >= n`, or — on
+    /// a [`RandomizerPool::with_strict`] pool only —
     /// [`PaillierError::PoolExhausted`] once all randomizers are used.
+    /// A default pool generates the missing randomizer on the fly and
+    /// bumps [`RandomizerPool::fallback_generated`] instead.
     pub fn encrypt(&self, m: &Ubig) -> Result<Ciphertext, PaillierError> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        self.encrypt_at(idx, m)
+    }
+
+    /// Encrypts `m` with the randomizer for the already-claimed index
+    /// `idx` — the pooled entry if `idx` is in range, otherwise a
+    /// fallback randomizer derived deterministically from the pool's
+    /// fallback seed and `idx`.
+    fn encrypt_at(&self, idx: usize, m: &Ubig) -> Result<Ciphertext, PaillierError> {
         if m >= self.pk.modulus() {
             return Err(PaillierError::MessageOutOfRange);
         }
-        let idx = self.next.fetch_add(1, Ordering::Relaxed);
-        let r_n = self
-            .randomizers
-            .get(idx)
-            .ok_or(PaillierError::PoolExhausted { size: self.randomizers.len(), index: idx })?;
+        let fallback;
+        let r_n = match self.randomizers.get(idx) {
+            Some(r_n) => r_n,
+            None if self.strict => {
+                return Err(PaillierError::PoolExhausted {
+                    size: self.randomizers.len(),
+                    index: idx,
+                });
+            }
+            None => {
+                let seed = self.fallback_seed ^ (idx as u64).wrapping_mul(FALLBACK_STREAM_MUL);
+                let mut item_rng = StdRng::seed_from_u64(seed);
+                fallback = Self::one_randomizer(&self.pk, &mut item_rng);
+                self.fallback_count.fetch_add(1, Ordering::Relaxed);
+                &fallback
+            }
+        };
         let n2 = self.pk.modulus_squared();
         let g_m = &(Ubig::one() + modmul(m, self.pk.modulus(), n2)) % n2;
         Ok(Ciphertext::from_raw(modmul(&g_m, r_n, n2)))
     }
 
-    /// Encrypts a batch across `threads` worker threads, preserving input
-    /// order — the paper's "split instances into batches and run
+    /// Encrypts a batch, fanning out according to `par` and preserving
+    /// input order — the paper's "split instances into batches and run
     /// encryptions in parallel".
+    ///
+    /// The whole block of randomizer indices is claimed up front with one
+    /// atomic add, so value `i` always pairs with randomizer
+    /// `start + i`: the output is bit-identical regardless of thread
+    /// count or scheduling.
     ///
     /// # Errors
     ///
-    /// Fails if the pool has fewer than `values.len()` randomizers left,
-    /// or if any value is out of range.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// On a [`RandomizerPool::with_strict`] pool, fails with
+    /// [`PaillierError::PoolExhausted`] if the pool has fewer than
+    /// `values.len()` randomizers left; a default pool generates the
+    /// overflow on the fly. Fails with
+    /// [`PaillierError::MessageOutOfRange`] if any value is `>= n`
+    /// (lowest offending index wins).
     pub fn encrypt_batch(
         &self,
         values: &[Ubig],
-        threads: usize,
+        par: &Parallelism,
     ) -> Result<Vec<Ciphertext>, PaillierError> {
-        assert!(threads > 0, "need at least one worker");
-        if self.remaining() < values.len() {
+        if self.strict && self.remaining() < values.len() {
             return Err(PaillierError::PoolExhausted {
                 size: self.randomizers.len(),
                 index: self.next.load(Ordering::Relaxed) + values.len() - 1,
             });
         }
-        let chunk = values.len().div_ceil(threads).max(1);
-        let mut out: Vec<Option<Ciphertext>> = vec![None; values.len()];
-        let mut error = None;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = values
-                .chunks(chunk)
-                .map(|vals| {
-                    scope.spawn(move || vals.iter().map(|v| self.encrypt(v)).collect::<Vec<_>>())
-                })
-                .collect();
-            let mut pos = 0;
-            for handle in handles {
-                for result in handle.join().expect("worker panicked") {
-                    match result {
-                        Ok(ct) => out[pos] = Some(ct),
-                        Err(e) => error = Some(e),
-                    }
-                    pos += 1;
-                }
-            }
-        });
-        if let Some(e) = error {
-            return Err(e);
-        }
-        Ok(out.into_iter().map(|c| c.expect("filled above")).collect())
+        let start = self.next.fetch_add(values.len(), Ordering::Relaxed);
+        par.try_map(values, |i, v| self.encrypt_at(start + i, v))
     }
 }
 
@@ -243,7 +280,8 @@ mod tests {
     #[test]
     fn pool_exhaustion_is_an_error() {
         let mut rng = StdRng::seed_from_u64(2);
-        let pool = RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng);
+        let pool =
+            RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng).with_strict();
         pool.encrypt(&Ubig::one()).unwrap();
         pool.encrypt(&Ubig::one()).unwrap();
         // The error reports the capacity and the index that overran it.
@@ -251,12 +289,31 @@ mod tests {
             pool.encrypt(&Ubig::one()),
             Err(PaillierError::PoolExhausted { size: 2, index: 2 })
         );
+        assert_eq!(pool.fallback_generated(), 0);
+    }
+
+    #[test]
+    fn exhausted_default_pool_falls_back() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 2, &mut rng);
+        let mut cts = Vec::new();
+        for _ in 0..4 {
+            cts.push(pool.encrypt(&Ubig::from(5u64)).unwrap());
+        }
+        assert_eq!(pool.fallback_generated(), 2);
+        for ct in &cts {
+            assert_eq!(keypair().private_key().decrypt_u64(ct), 5);
+        }
+        // Fallback randomizers are fresh: no ciphertext repeats.
+        let unique: std::collections::HashSet<_> = cts.iter().map(|c| c.as_raw().clone()).collect();
+        assert_eq!(unique.len(), 4);
     }
 
     #[test]
     fn refill_revives_an_exhausted_pool() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut pool = RandomizerPool::generate(keypair().public_key().clone(), 1, &mut rng);
+        let mut pool =
+            RandomizerPool::generate(keypair().public_key().clone(), 1, &mut rng).with_strict();
         pool.encrypt(&Ubig::one()).unwrap();
         assert!(matches!(
             pool.encrypt(&Ubig::one()),
@@ -281,12 +338,23 @@ mod tests {
     }
 
     #[test]
-    fn parallel_generation_matches_capacity() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let pool =
-            RandomizerPool::generate_parallel(keypair().public_key().clone(), 10, 3, &mut rng);
-        assert_eq!(pool.remaining(), 10);
-        let c = pool.encrypt(&Ubig::from(9u64)).unwrap();
+    fn parallel_generation_is_deterministic() {
+        // Same seed, different thread counts → identical pool contents.
+        let pools: Vec<RandomizerPool> = [1usize, 3]
+            .into_iter()
+            .map(|threads| {
+                let mut rng = StdRng::seed_from_u64(4);
+                RandomizerPool::generate_with(
+                    keypair().public_key().clone(),
+                    10,
+                    &Parallelism::new(threads).with_min_batch(1),
+                    &mut rng,
+                )
+            })
+            .collect();
+        assert_eq!(pools[0].randomizers, pools[1].randomizers);
+        assert_eq!(pools[1].remaining(), 10);
+        let c = pools[1].encrypt(&Ubig::from(9u64)).unwrap();
         assert_eq!(keypair().private_key().decrypt_u64(&c), 9);
     }
 
@@ -295,19 +363,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let pool = RandomizerPool::generate(keypair().public_key().clone(), 20, &mut rng);
         let values: Vec<Ubig> = (0..17u64).map(Ubig::from).collect();
-        let cts = pool.encrypt_batch(&values, 4).unwrap();
+        let cts = pool.encrypt_batch(&values, &Parallelism::new(4)).unwrap();
         for (i, ct) in cts.iter().enumerate() {
             assert_eq!(keypair().private_key().decrypt_u64(ct), i as u64);
         }
     }
 
     #[test]
-    fn batch_larger_than_pool_rejected() {
+    fn batch_encryption_is_thread_count_invariant() {
+        let values: Vec<Ubig> = (0..9u64).map(Ubig::from).collect();
+        let batches: Vec<Vec<Ciphertext>> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let mut rng = StdRng::seed_from_u64(11);
+                // Undersized on purpose: the last 3 go through fallback.
+                let pool = RandomizerPool::generate(keypair().public_key().clone(), 6, &mut rng);
+                let out = pool
+                    .encrypt_batch(&values, &Parallelism::new(threads).with_min_batch(1))
+                    .unwrap();
+                assert_eq!(pool.fallback_generated(), 3);
+                out
+            })
+            .collect();
+        assert_eq!(batches[0], batches[1]);
+    }
+
+    #[test]
+    fn batch_larger_than_strict_pool_rejected() {
         let mut rng = StdRng::seed_from_u64(6);
-        let pool = RandomizerPool::generate(keypair().public_key().clone(), 3, &mut rng);
+        let pool =
+            RandomizerPool::generate(keypair().public_key().clone(), 3, &mut rng).with_strict();
         let values: Vec<Ubig> = (0..5u64).map(Ubig::from).collect();
         assert_eq!(
-            pool.encrypt_batch(&values, 2),
+            pool.encrypt_batch(&values, &Parallelism::new(2)),
             Err(PaillierError::PoolExhausted { size: 3, index: 4 })
         );
     }

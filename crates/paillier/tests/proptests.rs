@@ -1,11 +1,13 @@
 //! Property-based tests for the Paillier scheme: homomorphic identities,
-//! signed-codec ring arithmetic and fixed-point quantization bounds.
+//! signed-codec ring arithmetic, fixed-point quantization bounds, and
+//! thread-count invariance of the data-parallel pool paths.
 
 use bigint::Ubig;
-use paillier::{FixedCodec, Keypair, SignedCodec};
+use paillier::{FixedCodec, Keypair, RandomizerPool, SignedCodec};
+use parallel::Parallelism;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// One shared keypair for the whole suite: keygen is the expensive part and
 /// the properties quantify over messages, not keys.
@@ -89,5 +91,51 @@ proptest! {
         let c = pk.encrypt_u64(m as u64, &mut rng);
         let c2 = pk.rerandomize(&c, &mut rng);
         prop_assert_eq!(kp.private_key().decrypt_u64(&c2), m as u64);
+    }
+
+    #[test]
+    fn pool_generation_is_thread_count_invariant(
+        size in 1usize..12,
+        threads in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Sizes below the default min-batch (4) exercise the sequential
+        // degenerate path; larger sizes genuinely split across workers.
+        let pk = keypair().public_key().clone();
+        let mut rng_seq = StdRng::seed_from_u64(seed);
+        let mut rng_par = StdRng::seed_from_u64(seed);
+        let seq =
+            RandomizerPool::generate_with(pk.clone(), size, &Parallelism::sequential(), &mut rng_seq);
+        let par =
+            RandomizerPool::generate_with(pk.clone(), size, &Parallelism::new(threads), &mut rng_par);
+        // Identical pools encrypt identical values to identical ciphertexts.
+        let values: Vec<Ubig> = (0..size as u64).map(Ubig::from).collect();
+        let c_seq = seq.encrypt_batch(&values, &Parallelism::sequential()).unwrap();
+        let c_par = par.encrypt_batch(&values, &Parallelism::sequential()).unwrap();
+        prop_assert_eq!(c_seq, c_par);
+        // The caller RNG advanced by the same number of draws either way.
+        prop_assert_eq!(rng_seq.gen::<u64>(), rng_par.gen::<u64>());
+    }
+
+    #[test]
+    fn batch_encryption_is_thread_count_invariant(
+        raw_values in proptest::collection::vec(any::<u32>(), 1..10),
+        pool_size in 0usize..12,
+        threads in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Batches shorter than the pool exercise the pooled path, longer
+        // ones the deterministic on-the-fly fallback; batches under the
+        // min-batch threshold stay sequential regardless of `threads`.
+        let pk = keypair().public_key().clone();
+        let values: Vec<Ubig> = raw_values.iter().map(|&v| Ubig::from(v as u64)).collect();
+        let pool_seq = RandomizerPool::generate_with(
+            pk.clone(), pool_size, &Parallelism::sequential(), &mut StdRng::seed_from_u64(seed));
+        let pool_par = RandomizerPool::generate_with(
+            pk.clone(), pool_size, &Parallelism::sequential(), &mut StdRng::seed_from_u64(seed));
+        let c_seq = pool_seq.encrypt_batch(&values, &Parallelism::sequential()).unwrap();
+        let c_par = pool_par.encrypt_batch(&values, &Parallelism::new(threads)).unwrap();
+        prop_assert_eq!(c_seq, c_par);
+        prop_assert_eq!(pool_seq.fallback_generated(), pool_par.fallback_generated());
     }
 }

@@ -1,0 +1,353 @@
+//! Data-parallel execution layer for the collection-shaped protocol loops.
+//!
+//! Every per-item hot loop in the workspace (per-user aggregation, per-label
+//! rerandomization, per-bit DGK witnesses, pairwise compare fan-out) funnels
+//! through [`Parallelism`], a small engine-owned splitter built on
+//! `std::thread::scope`. Two invariants shape the design:
+//!
+//! 1. **Bit-identical to sequential.** Randomized loops never share an RNG
+//!    across a split. [`Parallelism::map_seeded`] draws one `u64` seed per
+//!    item from the caller's RNG *sequentially up front*, then hands each
+//!    item its own `StdRng` derived from its seed. The sequential path
+//!    (`threads == 1`, or a batch below [`Parallelism::min_batch`]) uses the
+//!    exact same derivation, so outputs do not depend on the thread count.
+//! 2. **Deterministic errors.** [`Parallelism::try_map`] evaluates every
+//!    item but always reports the error with the lowest index, matching what
+//!    a sequential early-exit loop would have returned.
+//!
+//! No work-stealing and no persistent pool: batches are split into one
+//! contiguous chunk per worker and joined in index order. The protocol's
+//! batches are uniform-cost (fixed-width modular exponentiations), so static
+//! chunking loses nothing to stealing and keeps the fan-out auditable.
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default minimum batch size before a loop is split across workers.
+///
+/// Below this, thread spawn/join overhead dominates the per-item modular
+/// arithmetic and the batch runs on the calling thread.
+pub const DEFAULT_MIN_BATCH: usize = 4;
+
+/// Environment variable consulted by [`Parallelism::from_env`].
+pub const THREADS_ENV: &str = "CONSENSUS_THREADS";
+
+/// Degree of data parallelism for the crypto hot loops.
+///
+/// `threads == 1` is the sequential fallback: no threads are spawned and
+/// every loop runs in deterministic index order on the calling thread.
+/// Because randomized loops derive per-item RNG streams from pre-drawn
+/// seeds (see [`Parallelism::map_seeded`]), results are bit-identical for
+/// every `threads` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+    min_batch: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl Parallelism {
+    /// Sequential execution: all loops run on the calling thread.
+    pub fn sequential() -> Self {
+        Self { threads: 1, min_batch: DEFAULT_MIN_BATCH }
+    }
+
+    /// Use up to `threads` worker threads per batch (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1), min_batch: DEFAULT_MIN_BATCH }
+    }
+
+    /// Set the minimum batch size before a loop is split (clamped to ≥ 1).
+    pub fn with_min_batch(mut self, min_batch: usize) -> Self {
+        self.min_batch = min_batch.max(1);
+        self
+    }
+
+    /// Read the thread count from `CONSENSUS_THREADS`.
+    ///
+    /// Unset or unparsable values mean sequential; `0` means "one worker per
+    /// available hardware thread".
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) => {
+                    Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+                }
+                Ok(n) => Self::new(n),
+                Err(_) => Self::sequential(),
+            },
+            Err(_) => Self::sequential(),
+        }
+    }
+
+    /// Configured worker-thread ceiling.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Minimum batch size before a loop is split across workers.
+    pub fn min_batch(&self) -> usize {
+        self.min_batch
+    }
+
+    /// Number of workers a batch of `n` items will actually use.
+    pub fn workers_for(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < self.min_batch {
+            1
+        } else {
+            self.threads.min(n)
+        }
+    }
+
+    /// Apply `f` to every item, returning outputs in index order.
+    ///
+    /// `f` receives the item's global index alongside the item.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, part)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let base = c * chunk;
+                        part.iter()
+                            .enumerate()
+                            .map(|(i, item)| f(base + i, item))
+                            .collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("parallel worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Fallible [`Parallelism::map`].
+    ///
+    /// All items are evaluated, but the returned error is always the one
+    /// with the lowest index — the same error a sequential early-exit loop
+    /// would have produced.
+    pub fn try_map<T, U, E, F>(&self, items: &[T], f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<U, E> + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| -> Result<(), E> {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, part)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let base = c * chunk;
+                        let mut done = Vec::with_capacity(part.len());
+                        for (i, item) in part.iter().enumerate() {
+                            match f(base + i, item) {
+                                Ok(v) => done.push(v),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            // Chunks are contiguous and ascending, so the first chunk (in
+            // order) that failed holds the lowest-index error.
+            for handle in handles {
+                match handle.join().expect("parallel worker panicked") {
+                    Ok(part) => out.extend(part),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Randomized map: one independent `StdRng` stream per item.
+    ///
+    /// Draws `items.len()` seeds from `rng` sequentially, then applies `f`
+    /// with a fresh `StdRng` seeded from the item's own seed. The caller's
+    /// RNG advances by exactly `items.len()` draws regardless of the thread
+    /// count, and per-item streams never interleave — this is what makes
+    /// parallel output bit-identical to sequential.
+    pub fn map_seeded<T, U, F, R>(&self, items: &[T], rng: &mut R, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T, &mut StdRng) -> U + Sync,
+        R: Rng + ?Sized,
+    {
+        let seeds: Vec<u64> = (0..items.len()).map(|_| rng.gen()).collect();
+        self.map(items, |i, item| {
+            let mut item_rng = StdRng::seed_from_u64(seeds[i]);
+            f(i, item, &mut item_rng)
+        })
+    }
+
+    /// Fallible [`Parallelism::map_seeded`] with lowest-index-error
+    /// semantics.
+    pub fn try_map_seeded<T, U, E, F, R>(&self, items: &[T], rng: &mut R, f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(usize, &T, &mut StdRng) -> Result<U, E> + Sync,
+        R: Rng + ?Sized,
+    {
+        let seeds: Vec<u64> = (0..items.len()).map(|_| rng.gen()).collect();
+        self.try_map(items, |i, item| {
+            let mut item_rng = StdRng::seed_from_u64(seeds[i]);
+            f(i, item, &mut item_rng)
+        })
+    }
+
+    /// Index-only [`Parallelism::map`]: apply `f` to `0..n`.
+    pub fn map_n<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map(&indices, |_, &i| f(i))
+    }
+
+    /// Index-only [`Parallelism::map_seeded`]: apply `f` to `0..n` with one
+    /// independent RNG stream per index.
+    pub fn map_n_seeded<U, F, R>(&self, n: usize, rng: &mut R, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, &mut StdRng) -> U + Sync,
+        R: Rng + ?Sized,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map_seeded(&indices, rng, |_, &i, item_rng| f(i, item_rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        let par = Parallelism::default();
+        assert_eq!(par.threads(), 1);
+        assert_eq!(par.workers_for(1000), 1);
+    }
+
+    #[test]
+    fn worker_count_respects_min_batch_and_len() {
+        let par = Parallelism::new(4).with_min_batch(8);
+        assert_eq!(par.workers_for(7), 1, "below min_batch stays sequential");
+        assert_eq!(par.workers_for(8), 4);
+        assert_eq!(par.workers_for(3), 1);
+        let wide = Parallelism::new(16).with_min_batch(1);
+        assert_eq!(wide.workers_for(5), 5, "never more workers than items");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let seq: Vec<u64> = Parallelism::sequential().map(&items, |i, &x| x * 3 + i as u64);
+        let par: Vec<u64> =
+            Parallelism::new(4).with_min_batch(1).map(&items, |i, &x| x * 3 + i as u64);
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 10 * 3 + 10);
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_batches() {
+        let par = Parallelism::new(8);
+        let empty: Vec<u32> = par.map(&[] as &[u32], |_, &x| x);
+        assert!(empty.is_empty());
+        let one = par.map(&[7u32], |i, &x| x + i as u32);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::new(threads).with_min_batch(1);
+            let got: Result<Vec<usize>, usize> =
+                par.try_map(&items, |i, &x| if x % 7 == 3 { Err(i) } else { Ok(x) });
+            assert_eq!(got, Err(3), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_succeeds_in_order() {
+        let items: Vec<usize> = (0..33).collect();
+        let par = Parallelism::new(4).with_min_batch(1);
+        let got: Result<Vec<usize>, ()> = par.try_map(&items, |_, &x| Ok(x * x));
+        assert_eq!(got.unwrap(), items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_seeded_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..41).collect();
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let par = Parallelism::new(threads).with_min_batch(1);
+            let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+            let out: Vec<u64> =
+                par.map_seeded(&items, &mut rng, |_, &x, item_rng| x ^ item_rng.gen::<u64>());
+            // The caller RNG must advance identically too.
+            let tail: u64 = rng.gen();
+            outputs.push((out, tail));
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn map_n_seeded_matches_manual_derivation() {
+        let par = Parallelism::new(4).with_min_batch(1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let out = par.map_n_seeded(5, &mut rng, |i, item_rng| (i as u64) + item_rng.gen::<u64>());
+
+        let mut manual_rng = StdRng::seed_from_u64(99);
+        let seeds: Vec<u64> = (0..5).map(|_| manual_rng.gen()).collect();
+        let manual: Vec<u64> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64) + StdRng::seed_from_u64(s).gen::<u64>())
+            .collect();
+        assert_eq!(out, manual);
+    }
+}

@@ -18,7 +18,7 @@
 //! "batched vs sequential" ablation DESIGN.md §5 calls for.
 
 use dgk::comparison::{
-    blinder_build_witnesses, evaluator_decide, evaluator_encrypt_bits, BlindedWitnesses,
+    blinder_build_witnesses_par, evaluator_decide, evaluator_encrypt_bits_par, BlindedWitnesses,
     EvaluatorBits,
 };
 use rand::Rng;
@@ -74,15 +74,21 @@ pub fn server1_argmax_batched<R: Rng + ?Sized>(
     assert!(k >= 1, "argmax needs at least one element");
     let keys = ctx.dgk_keys();
     let domain = ctx.domain();
+    let par = ctx.parallelism();
 
     // Round 1: bit-encrypt every left-hand difference in one message.
-    let round1: Vec<EvaluatorBits> = pairs(k)
-        .into_iter()
-        .map(|(i, j)| {
+    // The K(K-1)/2 pairs fan out, each pair's ℓ bit encryptions on its
+    // own seed-derived RNG stream.
+    let round1: Vec<EvaluatorBits> =
+        par.try_map_seeded(&pairs(k), rng, |_, &(i, j), item_rng| {
             let encoded = domain.encode_compare(sequence[i] - sequence[j])?;
-            Ok(evaluator_encrypt_bits(encoded, keys.public_key(), rng)?)
-        })
-        .collect::<Result<_, SmcError>>()?;
+            Ok::<_, SmcError>(evaluator_encrypt_bits_par(
+                encoded,
+                keys.public_key(),
+                &parallel::Parallelism::sequential(),
+                item_rng,
+            )?)
+        })?;
     endpoint.send(PartyId::Server2, step, &round1)?;
 
     // Round 2: all blinded witness sets come back together.
@@ -91,12 +97,10 @@ pub fn server1_argmax_batched<R: Rng + ?Sized>(
         return Err(SmcError::LengthMismatch { expected: round1.len(), got: round2.len() });
     }
 
-    // Round 3: zero-test everything, broadcast the outcome bits.
-    // The DGK primitive decides (right > left); c_i ≥ c_j is the negation.
-    let outcomes: Vec<bool> = round2
-        .iter()
-        .map(|w| Ok(!evaluator_decide(w, keys.private_key())?))
-        .collect::<Result<_, SmcError>>()?;
+    // Round 3: zero-test everything, broadcast the outcome bits. The
+    // per-pair zero tests are RNG-free, so the fan-out is a plain map.
+    let outcomes: Vec<bool> =
+        par.try_map(&round2, |_, w| Ok::<_, SmcError>(!evaluator_decide(w, keys.private_key())?))?;
     endpoint.send(PartyId::Server2, step, &outcomes)?;
 
     Ok(winner_from_outcomes(k, &outcomes))
@@ -122,6 +126,7 @@ pub fn server2_argmax_batched<R: Rng + ?Sized>(
     assert!(k >= 1, "argmax needs at least one element");
     let pk = ctx.dgk_public();
     let domain = ctx.domain();
+    let par = ctx.parallelism();
 
     let round1: Vec<EvaluatorBits> = endpoint.recv(PartyId::Server1, step)?;
     let expected = k * (k - 1) / 2;
@@ -129,14 +134,19 @@ pub fn server2_argmax_batched<R: Rng + ?Sized>(
         return Err(SmcError::LengthMismatch { expected, got: round1.len() });
     }
 
-    let round2: Vec<BlindedWitnesses> = pairs(k)
-        .into_iter()
-        .zip(&round1)
-        .map(|((i, j), bits)| {
+    // The witness builds dominate the round's cost: fan out per pair,
+    // each pair blinding on its own seed-derived RNG stream.
+    let round2: Vec<BlindedWitnesses> =
+        par.try_map_seeded(&pairs(k), rng, |p, &(i, j), item_rng| {
             let encoded = domain.encode_compare(sequence[j] - sequence[i])?;
-            Ok(blinder_build_witnesses(encoded, bits, pk, rng)?)
-        })
-        .collect::<Result<_, SmcError>>()?;
+            Ok::<_, SmcError>(blinder_build_witnesses_par(
+                encoded,
+                &round1[p],
+                pk,
+                &parallel::Parallelism::sequential(),
+                item_rng,
+            )?)
+        })?;
     endpoint.send(PartyId::Server1, step, &round2)?;
 
     let outcomes: Vec<bool> = endpoint.recv(PartyId::Server1, step)?;

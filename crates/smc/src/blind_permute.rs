@@ -72,18 +72,20 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
     let pk2 = ctx.peer_public();
     let codec1 = ctx.own_codec();
     let codec2 = ctx.peer_codec();
+    let par = ctx.parallelism();
     let pi1 = Permutation::random(k, rng);
     // One scalar mask per vector in the batch.
     let r1: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
 
-    // Step 1: send E_pk2[a + r1] to S2.
+    // Step 1: send E_pk2[a + r1] to S2. The per-entry mask additions are
+    // RNG-free homomorphic ops, fanned out across the K labels.
     let masked_a: Vec<Vec<Ciphertext>> = enc_a
         .iter()
         .zip(&r1)
         .map(|(vec, &mask)| {
             expect_len(vec, k)?;
             let mask_enc = codec2.encode_i128(mask)?;
-            Ok(vec.iter().map(|c| pk2.add_plain(c, &mask_enc)).collect())
+            Ok(par.map(vec, |_, c| pk2.add_plain(c, &mask_enc)))
         })
         .collect::<Result<_, SmcError>>()?;
     endpoint.send(PartyId::Server2, step, &masked_a)?;
@@ -100,13 +102,10 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
             Ok(pi1.apply(seq))
         })
         .collect::<Result<_, SmcError>>()?;
-    let enc_r1: Vec<Ciphertext> = r1
-        .iter()
-        .map(|&mask| {
-            let encoded = codec1.encode_i128(mask)?;
-            Ok(ctx.own_public().encrypt(&encoded, rng)?)
-        })
-        .collect::<Result<_, SmcError>>()?;
+    let enc_r1: Vec<Ciphertext> = par.try_map_seeded(&r1, rng, |_, &mask, item_rng| {
+        let encoded = codec1.encode_i128(mask)?;
+        Ok::<_, SmcError>(ctx.own_public().encrypt(&encoded, item_rng)?)
+    })?;
     endpoint.send(PartyId::Server2, step, &enc_r1)?;
 
     // Step 4 happens on S2; receive E_pk1[π2(b+r1+r2)+r3] and E_pk2[−r3].
@@ -116,20 +115,18 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
     expect_len(&neg_r3, m)?;
 
     // Step 5: decrypt under sk1, re-encrypt under pk2, strip r3
-    // homomorphically, permute with π1, return to S2.
+    // homomorphically, permute with π1, return to S2. Each entry pays a
+    // decrypt + encrypt, so the K labels fan out; only the re-encryption
+    // draws randomness, one seed-derived stream per entry.
     let mut reencrypted: Vec<Vec<Ciphertext>> = Vec::with_capacity(m);
     for (vec, negs) in masked_b.iter().zip(&neg_r3) {
         expect_len(vec, k)?;
         expect_len(negs, k)?;
-        let row: Vec<Ciphertext> = vec
-            .iter()
-            .zip(negs)
-            .map(|(c, neg)| {
-                let value = codec1.decode_i128(&ctx.own_private().decrypt(c)?)?;
-                let reenc = pk2.encrypt(&codec2.encode_i128(value)?, rng)?;
-                Ok(pk2.add(&reenc, neg))
-            })
-            .collect::<Result<_, SmcError>>()?;
+        let row: Vec<Ciphertext> = par.try_map_seeded(vec, rng, |i, c, item_rng| {
+            let value = codec1.decode_i128(&ctx.own_private().decrypt(c)?)?;
+            let reenc = pk2.encrypt(&codec2.encode_i128(value)?, item_rng)?;
+            Ok::<_, SmcError>(pk2.add(&reenc, &negs[i]))
+        })?;
         reencrypted.push(pi1.apply(&row));
     }
     endpoint.send(PartyId::Server2, step, &reencrypted)?;
@@ -157,20 +154,21 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
     let pk1 = ctx.peer_public();
     let codec1 = ctx.peer_codec();
     let codec2 = ctx.own_codec();
+    let par = ctx.parallelism();
     let pi2 = Permutation::random(k, rng);
     let r2: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
 
-    // Step 2: receive E_pk2[a + r1]; decrypt, add r2, permute by π2, send
-    // the plaintext sequences back.
+    // Step 2: receive E_pk2[a + r1]; decrypt (RNG-free, fanned out across
+    // the K labels), add r2, permute by π2, send the plaintext sequences
+    // back.
     let masked_a: Vec<Vec<Ciphertext>> = endpoint.recv(PartyId::Server1, step)?;
     expect_len(&masked_a, m)?;
     let mut permuted_a: Vec<Vec<i128>> = Vec::with_capacity(m);
     for (vec, &mask2) in masked_a.iter().zip(&r2) {
         expect_len(vec, k)?;
-        let plain: Vec<i128> = vec
-            .iter()
-            .map(|c| Ok(codec2.decode_i128(&ctx.own_private().decrypt(c)?)? + mask2))
-            .collect::<Result<_, SmcError>>()?;
+        let plain: Vec<i128> = par.try_map(vec, |_, c| {
+            Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)? + mask2)
+        })?;
         permuted_a.push(pi2.apply(&plain));
     }
     endpoint.send(PartyId::Server1, step, &permuted_a)?;
@@ -184,21 +182,21 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
     for ((vec, enc_mask1), &mask2) in enc_b.iter().zip(&enc_r1).zip(&r2) {
         expect_len(vec, k)?;
         let mask2_enc = codec1.encode_i128(mask2)?;
+        // Bias additions are RNG-free homomorphic ops: fan out per label.
         let biased: Vec<Ciphertext> =
-            vec.iter().map(|c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc)).collect();
+            par.map(vec, |_, c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc));
         let permuted = pi2.apply(&biased);
-        // Per-entry r3, applied after the permutation.
+        // Per-entry r3, applied after the permutation. The mask draws
+        // stay on the caller's RNG (cheap); the homomorphic additions and
+        // the −r3 encryptions fan out.
         let r3: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
-        let row: Vec<Ciphertext> = permuted
-            .iter()
-            .zip(&r3)
-            .map(|(c, &mask3)| Ok(pk1.add_plain(c, &codec1.encode_i128(mask3)?)))
-            .collect::<Result<_, SmcError>>()?;
+        let row: Vec<Ciphertext> = par.try_map(&permuted, |i, c| {
+            Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r3[i])?))
+        })?;
         masked_b.push(row);
-        let negs: Vec<Ciphertext> = r3
-            .iter()
-            .map(|&mask3| Ok(ctx.own_public().encrypt(&codec2.encode_i128(-mask3)?, rng)?))
-            .collect::<Result<_, SmcError>>()?;
+        let negs: Vec<Ciphertext> = par.try_map_seeded(&r3, rng, |_, &mask3, item_rng| {
+            Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(-mask3)?, item_rng)?)
+        })?;
         neg_r3_enc.push(negs);
     }
     endpoint.send(PartyId::Server1, step, &masked_b)?;
@@ -211,9 +209,9 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
         .iter()
         .map(|vec| {
             expect_len(vec, k)?;
-            vec.iter()
-                .map(|c| Ok(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?))
-                .collect::<Result<Vec<i128>, SmcError>>()
+            par.try_map(vec, |_, c| {
+                Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?)
+            })
         })
         .collect::<Result<_, SmcError>>()?;
 
@@ -257,6 +255,7 @@ mod tests {
                 Step::Setup,
                 a,
                 user_ctx.pk2(),
+                user_ctx.parallelism(),
                 &mut rng,
             )
             .unwrap();
@@ -268,6 +267,7 @@ mod tests {
                 Step::Setup,
                 b,
                 user_ctx.pk1(),
+                user_ctx.parallelism(),
                 &mut rng,
             )
             .unwrap();

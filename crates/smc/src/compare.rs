@@ -15,8 +15,8 @@
 //! shares the outcome — `x ≥ y ⟺ ¬(y > x)`.
 
 use dgk::comparison::{
-    blinder_build_witnesses, evaluator_decide, evaluator_encrypt_bits, BlindedWitnesses,
-    EvaluatorBits,
+    blinder_build_witnesses_par, evaluator_decide_par, evaluator_encrypt_bits_par,
+    BlindedWitnesses, EvaluatorBits,
 };
 use rand::Rng;
 use transport::{Endpoint, PartyId, Step};
@@ -38,10 +38,11 @@ pub fn server1_compare_geq<R: Rng + ?Sized>(
 ) -> Result<bool, SmcError> {
     let encoded = ctx.domain().encode_compare(x)?;
     let keys = ctx.dgk_keys();
-    let round1 = evaluator_encrypt_bits(encoded, keys.public_key(), rng)?;
+    let par = ctx.parallelism();
+    let round1 = evaluator_encrypt_bits_par(encoded, keys.public_key(), par, rng)?;
     endpoint.send(PartyId::Server2, step, &round1)?;
     let round2: BlindedWitnesses = endpoint.recv(PartyId::Server2, step)?;
-    let y_gt_x = evaluator_decide(&round2, keys.private_key())?;
+    let y_gt_x = evaluator_decide_par(&round2, keys.private_key(), par)?;
     let geq = !y_gt_x;
     endpoint.send(PartyId::Server2, step, &geq)?;
     Ok(geq)
@@ -61,7 +62,8 @@ pub fn server2_compare_geq<R: Rng + ?Sized>(
 ) -> Result<bool, SmcError> {
     let encoded = ctx.domain().encode_compare(y)?;
     let round1: EvaluatorBits = endpoint.recv(PartyId::Server1, step)?;
-    let round2 = blinder_build_witnesses(encoded, &round1, ctx.dgk_public(), rng)?;
+    let round2 =
+        blinder_build_witnesses_par(encoded, &round1, ctx.dgk_public(), ctx.parallelism(), rng)?;
     endpoint.send(PartyId::Server1, step, &round2)?;
     let geq: bool = endpoint.recv(PartyId::Server1, step)?;
     Ok(geq)

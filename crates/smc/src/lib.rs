@@ -37,5 +37,6 @@ pub mod session;
 
 pub use domain::{ShareDomain, SharesOutOfRange};
 pub use error::SmcError;
+pub use parallel::Parallelism;
 pub use permutation::Permutation;
 pub use session::{ServerContext, ServerRole, SessionConfig, SessionKeys, UserContext};

@@ -45,6 +45,7 @@ pub fn server1_restore<R: Rng + ?Sized>(
     let codec1 = ctx.own_codec();
     let codec2 = ctx.peer_codec();
     let pk2 = ctx.peer_public();
+    let par = ctx.parallelism();
 
     // Step 1 output from S2: E_pk2[π(e)].
     let enc_pi_e: Vec<Ciphertext> = endpoint.recv(PartyId::Server2, step)?;
@@ -55,11 +56,9 @@ pub fn server1_restore<R: Rng + ?Sized>(
     // Step 2: revert π1 and add per-entry mask r1.
     let reverted = pi1.inverse().apply(&enc_pi_e);
     let r1: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
-    let masked: Vec<Ciphertext> = reverted
-        .iter()
-        .zip(&r1)
-        .map(|(c, &mask)| Ok(pk2.add_plain(c, &codec2.encode_i128(mask)?)))
-        .collect::<Result<_, SmcError>>()?;
+    let masked: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
+        Ok::<_, SmcError>(pk2.add_plain(c, &codec2.encode_i128(r1[i])?))
+    })?;
     endpoint.send(PartyId::Server2, step, &masked)?;
 
     // Step 3 arrives in plaintext: π2(e) + r1.
@@ -68,12 +67,12 @@ pub fn server1_restore<R: Rng + ?Sized>(
         return Err(SmcError::LengthMismatch { expected: k, got: plain_masked.len() });
     }
 
-    // Step 4: strip r1 and re-encrypt under own pk1.
-    let enc_pi2_e: Vec<Ciphertext> = plain_masked
-        .iter()
-        .zip(&r1)
-        .map(|(&v, &mask)| Ok(ctx.own_public().encrypt(&codec1.encode_i128(v - mask)?, rng)?))
-        .collect::<Result<_, SmcError>>()?;
+    // Step 4: strip r1 and re-encrypt under own pk1 — one seed-derived
+    // RNG stream per entry, fanned out.
+    let enc_pi2_e: Vec<Ciphertext> =
+        par.try_map_seeded(&plain_masked, rng, |i, &v, item_rng| {
+            Ok::<_, SmcError>(ctx.own_public().encrypt(&codec1.encode_i128(v - r1[i])?, item_rng)?)
+        })?;
     endpoint.send(PartyId::Server2, step, &enc_pi2_e)?;
 
     // Step 5 output from S2: E_pk1[e + r2]; step 6: decrypt and return.
@@ -81,10 +80,9 @@ pub fn server1_restore<R: Rng + ?Sized>(
     if enc_e_masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: enc_e_masked.len() });
     }
-    let plain: Vec<i128> = enc_e_masked
-        .iter()
-        .map(|c| Ok(codec1.decode_i128(&ctx.own_private().decrypt(c)?)?))
-        .collect::<Result<_, SmcError>>()?;
+    let plain: Vec<i128> = par.try_map(&enc_e_masked, |_, c| {
+        Ok::<_, SmcError>(codec1.decode_i128(&ctx.own_private().decrypt(c)?)?)
+    })?;
     endpoint.send(PartyId::Server2, step, &plain)?;
 
     // Step 7: S2 announces the winner.
@@ -114,14 +112,15 @@ pub fn server2_restore<R: Rng + ?Sized>(
     let codec1 = ctx.peer_codec();
     let codec2 = ctx.own_codec();
     let pk1 = ctx.peer_public();
+    let par = ctx.parallelism();
 
     // Step 1: encrypted indicator at the permuted slot, under own pk2.
     let mut indicator = vec![0i128; k];
     indicator[permuted_slot] = 1;
-    let enc_indicator: Vec<Ciphertext> = indicator
-        .iter()
-        .map(|&v| Ok(ctx.own_public().encrypt(&codec2.encode_i128(v)?, rng)?))
-        .collect::<Result<_, SmcError>>()?;
+    let enc_indicator: Vec<Ciphertext> =
+        par.try_map_seeded(&indicator, rng, |_, &v, item_rng| {
+            Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(v)?, item_rng)?)
+        })?;
     endpoint.send(PartyId::Server1, step, &enc_indicator)?;
 
     // Step 3: decrypt S1's masked, π1-reverted vector and bounce it back
@@ -130,10 +129,9 @@ pub fn server2_restore<R: Rng + ?Sized>(
     if masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: masked.len() });
     }
-    let plain_masked: Vec<i128> = masked
-        .iter()
-        .map(|c| Ok(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?))
-        .collect::<Result<_, SmcError>>()?;
+    let plain_masked: Vec<i128> = par.try_map(&masked, |_, c| {
+        Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?)
+    })?;
     endpoint.send(PartyId::Server1, step, &plain_masked)?;
 
     // Step 5: revert π2 on the re-encrypted vector and add r2.
@@ -143,11 +141,9 @@ pub fn server2_restore<R: Rng + ?Sized>(
     }
     let reverted = pi2.inverse().apply(&enc_pi2_e);
     let r2: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
-    let masked_e: Vec<Ciphertext> = reverted
-        .iter()
-        .zip(&r2)
-        .map(|(c, &mask)| Ok(pk1.add_plain(c, &codec1.encode_i128(mask)?)))
-        .collect::<Result<_, SmcError>>()?;
+    let masked_e: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
+        Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r2[i])?))
+    })?;
     endpoint.send(PartyId::Server1, step, &masked_e)?;
 
     // Step 6 arrives in plaintext: e + r2. Step 7: strip r2 and read the

@@ -12,6 +12,7 @@
 //! context setup.
 
 use paillier::{Ciphertext, PublicKey, SignedCodec};
+use parallel::Parallelism;
 use rand::Rng;
 use transport::{Endpoint, PartyId, Step, TransportError};
 
@@ -19,7 +20,9 @@ use crate::error::SmcError;
 use crate::session::UserContext;
 
 /// User side: encrypts the signed vector `values` under `recipient_key`
-/// and sends it to `to`, tagged with `step`.
+/// and sends it to `to`, tagged with `step`. The per-entry encryptions
+/// fan out according to `par`, each on its own seed-derived RNG stream,
+/// so the message is bit-identical for every thread count.
 ///
 /// `recipient_key` must be the *other* server's key: `pk2` when sending
 /// to S1, `pk1` when sending to S2 (use
@@ -35,16 +38,14 @@ pub fn send_encrypted_vector<R: Rng + ?Sized>(
     step: Step,
     values: &[i128],
     recipient_key: &PublicKey,
+    par: &Parallelism,
     rng: &mut R,
 ) -> Result<(), SmcError> {
     let codec = SignedCodec::new(recipient_key);
-    let encrypted: Vec<Ciphertext> = values
-        .iter()
-        .map(|&v| {
-            let encoded = codec.encode_i128(v)?;
-            recipient_key.encrypt(&encoded, rng)
-        })
-        .collect::<Result<_, _>>()?;
+    let encrypted: Vec<Ciphertext> = par.try_map_seeded(values, rng, |_, &v, item_rng| {
+        let encoded = codec.encode_i128(v)?;
+        recipient_key.encrypt(&encoded, item_rng).map_err(SmcError::from)
+    })?;
     endpoint.send(to, step, &encrypted)?;
     Ok(())
 }
@@ -61,7 +62,15 @@ pub fn send_share_to_server1<R: Rng + ?Sized>(
     values: &[i128],
     rng: &mut R,
 ) -> Result<(), SmcError> {
-    send_encrypted_vector(endpoint, PartyId::Server1, step, values, ctx.pk2(), rng)
+    send_encrypted_vector(
+        endpoint,
+        PartyId::Server1,
+        step,
+        values,
+        ctx.pk2(),
+        ctx.parallelism(),
+        rng,
+    )
 }
 
 /// User side: sends the S2-bound share vector (encrypted under pk1).
@@ -76,12 +85,27 @@ pub fn send_share_to_server2<R: Rng + ?Sized>(
     values: &[i128],
     rng: &mut R,
 ) -> Result<(), SmcError> {
-    send_encrypted_vector(endpoint, PartyId::Server2, step, values, ctx.pk1(), rng)
+    send_encrypted_vector(
+        endpoint,
+        PartyId::Server2,
+        step,
+        values,
+        ctx.pk1(),
+        ctx.parallelism(),
+        rng,
+    )
 }
 
 /// Server side: receives one encrypted vector from each of `num_users`
 /// users and aggregates them homomorphically under `peer_key` (the key
 /// the users encrypted with — i.e. this server's *peer's* key).
+///
+/// Uploads are drained in user-id order, which is safe under any arrival
+/// order: since PR 1 the endpoint matches each receive by
+/// `(sender, step)`, so user `u+1` arriving first is stashed, not
+/// misread as user `u`. Once everything is collected, the per-label
+/// ciphertext products of Eqn. 1 fan out across labels according to
+/// `par` — each label's product is an independent fold.
 ///
 /// Returns the element-wise encrypted sum `E[Σ_u v^u]`.
 ///
@@ -94,18 +118,23 @@ pub fn aggregate_user_vectors(
     num_users: usize,
     num_classes: usize,
     peer_key: &PublicKey,
+    par: &Parallelism,
 ) -> Result<Vec<Ciphertext>, SmcError> {
-    let mut acc: Vec<Ciphertext> = vec![peer_key.zero_ciphertext(); num_classes];
+    let mut uploads: Vec<Vec<Ciphertext>> = Vec::with_capacity(num_users);
     for u in 0..num_users {
         let shares: Vec<Ciphertext> = endpoint.recv(PartyId::User(u), step)?;
         if shares.len() != num_classes {
             return Err(SmcError::LengthMismatch { expected: num_classes, got: shares.len() });
         }
-        for (slot, share) in acc.iter_mut().zip(&shares) {
-            *slot = peer_key.add(slot, share);
-        }
+        uploads.push(shares);
     }
-    Ok(acc)
+    Ok(par.map_n(num_classes, |k| {
+        let mut slot = peer_key.zero_ciphertext();
+        for shares in &uploads {
+            slot = peer_key.add(&slot, &shares[k]);
+        }
+        slot
+    }))
 }
 
 /// Result of a dropout-tolerant aggregation ([`aggregate_surviving_vectors`]):
@@ -149,6 +178,7 @@ pub fn aggregate_surviving_vectors(
     peer_key: &PublicKey,
     peer_server: PartyId,
     min_users: usize,
+    par: &Parallelism,
 ) -> Result<SurvivorAggregate, SmcError> {
     let mut collected: Vec<(usize, Vec<Vec<Ciphertext>>)> = Vec::with_capacity(users.len());
     for &u in users {
@@ -202,17 +232,21 @@ pub fn aggregate_surviving_vectors(
         return Err(SmcError::QuorumLost { step, survivors: survivors.len(), required: min_users });
     }
 
-    let mut sums = vec![vec![peer_key.zero_ciphertext(); num_classes]; vectors_per_user];
-    for (u, vecs) in &collected {
-        if !survivors.contains(u) {
-            continue;
-        }
-        for (sum, vec) in sums.iter_mut().zip(vecs) {
-            for (slot, share) in sum.iter_mut().zip(vec) {
-                *slot = peer_key.add(slot, share);
-            }
-        }
-    }
+    // Each (vector kind, label) cell is an independent ciphertext fold
+    // over the survivors, so the per-label products fan out in parallel.
+    let surviving: Vec<&Vec<Vec<Ciphertext>>> =
+        collected.iter().filter(|(u, _)| survivors.contains(u)).map(|(_, vecs)| vecs).collect();
+    let sums: Vec<Vec<Ciphertext>> = (0..vectors_per_user)
+        .map(|v| {
+            par.map_n(num_classes, |k| {
+                let mut slot = peer_key.zero_ciphertext();
+                for vecs in &surviving {
+                    slot = peer_key.add(&slot, &vecs[v][k]);
+                }
+                slot
+            })
+        })
+        .collect();
     Ok(SurvivorAggregate { sums, survivors })
 }
 
@@ -263,6 +297,7 @@ mod tests {
             3,
             4,
             keys.server1().peer_public(),
+            &Parallelism::new(2),
         )
         .unwrap();
         let enc_b = aggregate_user_vectors(
@@ -271,6 +306,7 @@ mod tests {
             3,
             4,
             keys.server2().peer_public(),
+            &Parallelism::new(2),
         )
         .unwrap();
 
@@ -310,6 +346,7 @@ mod tests {
             1,
             3,
             keys.server1().peer_public(),
+            &Parallelism::sequential(),
         )
         .unwrap_err();
         assert!(matches!(err, SmcError::LengthMismatch { expected: 3, got: 2 }));
@@ -356,6 +393,7 @@ mod tests {
                     keys.server1().peer_public(),
                     PartyId::Server2,
                     1,
+                    &Parallelism::sequential(),
                 )
             });
             let h2 = scope.spawn(|| {
@@ -368,6 +406,7 @@ mod tests {
                     keys.server2().peer_public(),
                     PartyId::Server1,
                     1,
+                    &Parallelism::sequential(),
                 )
             });
             (h1.join().unwrap().unwrap(), h2.join().unwrap().unwrap())
@@ -422,6 +461,7 @@ mod tests {
                     keys.server1().peer_public(),
                     PartyId::Server2,
                     2,
+                    &Parallelism::sequential(),
                 )
             });
             let h2 = scope.spawn(|| {
@@ -434,6 +474,7 @@ mod tests {
                     keys.server2().peer_public(),
                     PartyId::Server1,
                     2,
+                    &Parallelism::sequential(),
                 )
             });
             (h1.join().unwrap(), h2.join().unwrap())
@@ -465,6 +506,7 @@ mod tests {
             1,
             2,
             keys.server1().peer_public(),
+            &Parallelism::sequential(),
         )
         .unwrap();
         let report = net.meter().report();

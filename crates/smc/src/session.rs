@@ -12,6 +12,7 @@
 
 use dgk::{DgkKeypair, DgkParams, DgkPublicKey};
 use paillier::{Keypair, PrivateKey, PublicKey, SignedCodec};
+use parallel::Parallelism;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,7 @@ pub struct SessionKeys {
     paillier1: Keypair,
     paillier2: Keypair,
     dgk: DgkKeypair,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for SessionKeys {
@@ -131,9 +133,34 @@ impl SessionKeys {
         let paillier1 = Keypair::generate(rng, config.paillier_bits);
         let paillier2 = Keypair::generate(rng, config.paillier_bits);
         let dgk = DgkKeypair::generate(rng, &config.dgk);
-        let keys = SessionKeys { config, paillier1, paillier2, dgk };
+        let keys = SessionKeys {
+            config,
+            paillier1,
+            paillier2,
+            dgk,
+            parallelism: Parallelism::sequential(),
+        };
         keys.precompute();
         keys
+    }
+
+    /// Sets the data-parallelism config every party context built from
+    /// these keys will use for its crypto hot loops. Defaults to
+    /// sequential; results are bit-identical for every setting (see the
+    /// `parallel` crate).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// In-place variant of [`SessionKeys::with_parallelism`].
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The data-parallelism config party contexts inherit.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Warms every per-key exponentiation cache (Paillier `n²`/`p²`/`q²`
@@ -164,6 +191,7 @@ impl SessionKeys {
             peer_public: self.paillier2.public_key().clone(),
             dgk_private: Some(self.dgk.clone()),
             dgk_public: self.dgk.public_key().clone(),
+            parallelism: self.parallelism,
         }
     }
 
@@ -177,6 +205,7 @@ impl SessionKeys {
             peer_public: self.paillier1.public_key().clone(),
             dgk_private: None,
             dgk_public: self.dgk.public_key().clone(),
+            parallelism: self.parallelism,
         }
     }
 
@@ -186,6 +215,7 @@ impl SessionKeys {
             config: self.config.clone(),
             pk1: self.paillier1.public_key().clone(),
             pk2: self.paillier2.public_key().clone(),
+            parallelism: self.parallelism,
         }
     }
 }
@@ -199,6 +229,7 @@ pub struct ServerContext {
     peer_public: PublicKey,
     dgk_private: Option<DgkKeypair>,
     dgk_public: DgkPublicKey,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for ServerContext {
@@ -261,6 +292,11 @@ impl ServerContext {
     pub fn dgk_public(&self) -> &DgkPublicKey {
         &self.dgk_public
     }
+
+    /// The data-parallelism config for this server's crypto hot loops.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.parallelism
+    }
 }
 
 /// A user's key material: both servers' public keys.
@@ -269,6 +305,7 @@ pub struct UserContext {
     config: SessionConfig,
     pk1: PublicKey,
     pk2: PublicKey,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for UserContext {
@@ -296,6 +333,11 @@ impl UserContext {
     /// S2's Paillier public key.
     pub fn pk2(&self) -> &PublicKey {
         &self.pk2
+    }
+
+    /// The data-parallelism config for this user's crypto hot loops.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.parallelism
     }
 }
 

@@ -1,10 +1,15 @@
 //! Property-based tests for the SMC building blocks: permutation algebra,
-//! share-domain arithmetic, and the comparison encoding.
+//! share-domain arithmetic, the comparison encoding, and thread-count
+//! invariance of the data-parallel protocol loops.
 
+use paillier::{Ciphertext, Keypair};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smc::{Permutation, ShareDomain};
+use smc::blind_permute::{server1_blind_permute, server2_blind_permute, BlindPermuteOutput};
+use smc::secure_sum::{aggregate_user_vectors, send_encrypted_vector};
+use smc::{Parallelism, Permutation, SessionConfig, SessionKeys, ShareDomain};
+use transport::{Network, PartyId, Step};
 
 proptest! {
     #[test]
@@ -103,5 +108,143 @@ proptest! {
         let lhs = a - t_half_a + z_a + bias;
         let rhs = t_half_b - b - z_b + bias;
         prop_assert_eq!(a + b + noise >= t, lhs >= rhs);
+    }
+}
+
+/// One shared Paillier keypair for the aggregation invariance property.
+fn agg_keypair() -> &'static Keypair {
+    use std::sync::OnceLock;
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(&mut StdRng::seed_from_u64(417), 64))
+}
+
+/// Receives `num_users` uploads over a fresh network and aggregates them
+/// with the given parallelism. Uploads are re-sent per call so both the
+/// sequential and the parallel run see identical ciphertexts.
+fn aggregate_uploads(uploads: &[Vec<Ciphertext>], par: &Parallelism) -> Vec<Ciphertext> {
+    let num_users = uploads.len();
+    let num_classes = uploads[0].len();
+    let mut net = Network::new(num_users);
+    let mut server = net.take_endpoint(PartyId::Server1);
+    for (u, vec) in uploads.iter().enumerate() {
+        let ep = net.take_endpoint(PartyId::User(u));
+        ep.send(PartyId::Server1, Step::SecureSumVotes, vec).unwrap();
+    }
+    aggregate_user_vectors(
+        &mut server,
+        Step::SecureSumVotes,
+        num_users,
+        num_classes,
+        agg_keypair().public_key(),
+        par,
+    )
+    .unwrap()
+}
+
+/// Runs a batched blind-and-permute over real channels with the given
+/// per-server parallelism, deterministically in every RNG stream.
+fn run_blind_permute(
+    seed: u64,
+    a_vec: &[i128],
+    b_vec: &[i128],
+    par: Parallelism,
+) -> (BlindPermuteOutput, BlindPermuteOutput) {
+    let k = a_vec.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = SessionKeys::generate(SessionConfig::test(1, k), &mut rng).with_parallelism(par);
+    let s1_ctx = keys.server1();
+    let s2_ctx = keys.server2();
+    let user_ctx = keys.user();
+
+    let mut net = Network::new(1);
+    let mut s1 = net.take_endpoint(PartyId::Server1);
+    let mut s2 = net.take_endpoint(PartyId::Server2);
+    let user = net.take_endpoint(PartyId::User(0));
+
+    send_encrypted_vector(
+        &user,
+        PartyId::Server1,
+        Step::Setup,
+        a_vec,
+        user_ctx.pk2(),
+        user_ctx.parallelism(),
+        &mut rng,
+    )
+    .unwrap();
+    send_encrypted_vector(
+        &user,
+        PartyId::Server2,
+        Step::Setup,
+        b_vec,
+        user_ctx.pk1(),
+        user_ctx.parallelism(),
+        &mut rng,
+    )
+    .unwrap();
+
+    std::thread::scope(|scope| {
+        let h1 = scope.spawn(move || {
+            let enc_a: Vec<Ciphertext> = s1.recv(PartyId::User(0), Step::Setup).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+            server1_blind_permute(&mut s1, &s1_ctx, &[enc_a], Step::BlindPermute1, &mut rng)
+                .unwrap()
+        });
+        let h2 = scope.spawn(move || {
+            let enc_b: Vec<Ciphertext> = s2.recv(PartyId::User(0), Step::Setup).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+            server2_blind_permute(&mut s2, &s2_ctx, &[enc_b], Step::BlindPermute1, &mut rng)
+                .unwrap()
+        });
+        (h1.join().unwrap(), h2.join().unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn secure_sum_aggregation_is_thread_count_invariant(
+        votes in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 1..6), 1..5),
+        threads in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        // |U| = 1 and K = 1 degenerates are in range, as are class counts
+        // below the min-batch split threshold.
+        let num_classes = votes[0].len();
+        let pk = agg_keypair().public_key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uploads: Vec<Vec<Ciphertext>> = votes
+            .iter()
+            .map(|row| {
+                (0..num_classes)
+                    .map(|k| pk.encrypt_u64(row[k % row.len()] as u64, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let seq = aggregate_uploads(&uploads, &Parallelism::sequential());
+        let par = aggregate_uploads(&uploads, &Parallelism::new(threads));
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn blind_permute_is_thread_count_invariant(
+        a_vec in proptest::collection::vec(-1000i128..1000, 1..6),
+        b_vec_raw in proptest::collection::vec(-1000i128..1000, 1..6),
+        threads in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        // K = 1 exercises the no-split degenerate; larger K the real
+        // mask/rerandomize fan-out on both servers.
+        let b_vec: Vec<i128> =
+            (0..a_vec.len()).map(|i| b_vec_raw[i % b_vec_raw.len()]).collect();
+        let (s1_seq, s2_seq) =
+            run_blind_permute(seed, &a_vec, &b_vec, Parallelism::sequential());
+        let (s1_par, s2_par) =
+            run_blind_permute(seed, &a_vec, &b_vec, Parallelism::new(threads));
+        prop_assert_eq!(s1_seq.sequences, s1_par.sequences);
+        prop_assert_eq!(s2_seq.sequences, s2_par.sequences);
+        prop_assert_eq!(s1_seq.own_permutation, s1_par.own_permutation);
+        prop_assert_eq!(s2_seq.own_permutation, s2_par.own_permutation);
     }
 }

@@ -5,13 +5,20 @@
 //! direction (user→server vs server↔server), plus wall-clock time per
 //! step. [`MeterReport`] renders the same rows as the paper's Table I
 //! (computational costs) and Table II (communication costs).
+//!
+//! The meter is shared by every endpoint and, since the data-parallel
+//! engine landed, by every worker thread inside a single endpoint's hot
+//! loops. Counters are therefore plain relaxed atomics over fixed
+//! `Step × LinkKind` arrays — recording never takes a lock and never
+//! allocates, so metering adds no serialization point to parallel
+//! sections.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// The protocol step a message or timing belongs to, named and numbered as
@@ -51,6 +58,21 @@ impl Step {
         Step::CompareNoisyRank,
         Step::Restoration,
     ];
+
+    /// Dense index into the meter's per-step counter arrays.
+    const fn index(self) -> usize {
+        match self {
+            Step::Setup => 0,
+            Step::SecureSumVotes => 1,
+            Step::BlindPermute1 => 2,
+            Step::CompareRank => 3,
+            Step::ThresholdCheck => 4,
+            Step::SecureSumNoisy => 5,
+            Step::BlindPermute2 => 6,
+            Step::CompareNoisyRank => 7,
+            Step::Restoration => 8,
+        }
+    }
 
     /// The step number used in Alg. 5 / Tables I-II, or `None` for setup.
     pub fn paper_number(&self) -> Option<u8> {
@@ -97,6 +119,21 @@ pub enum LinkKind {
     ServerToServer,
     /// A server replying to a user (rare in this protocol).
     ServerToUser,
+}
+
+impl LinkKind {
+    /// All link kinds, in counter-array order.
+    const ALL: [LinkKind; 3] =
+        [LinkKind::UserToServer, LinkKind::ServerToServer, LinkKind::ServerToUser];
+
+    /// Dense index into the meter's per-link counter arrays.
+    const fn index(self) -> usize {
+        match self {
+            LinkKind::UserToServer => 0,
+            LinkKind::ServerToServer => 1,
+            LinkKind::ServerToUser => 2,
+        }
+    }
 }
 
 impl fmt::Display for LinkKind {
@@ -168,22 +205,27 @@ pub struct FaultStats {
     pub crashed_sends: u64,
 }
 
-impl FaultStats {
-    fn bump(&mut self, event: FaultEvent) {
-        let slot = match event {
-            FaultEvent::Timeout => &mut self.timeouts,
-            FaultEvent::Retry => &mut self.retries,
-            FaultEvent::DropInjected => &mut self.drops_injected,
-            FaultEvent::DelayInjected => &mut self.delays_injected,
-            FaultEvent::DuplicateInjected => &mut self.duplicates_injected,
-            FaultEvent::DuplicateSuppressed => &mut self.duplicates_suppressed,
-            FaultEvent::CorruptionInjected => &mut self.corruptions_injected,
-            FaultEvent::CorruptionDetected => &mut self.corruptions_detected,
-            FaultEvent::CrashedSend => &mut self.crashed_sends,
-        };
-        *slot += 1;
+impl FaultEvent {
+    /// Dense index into the meter's fault-counter array.
+    const fn index(self) -> usize {
+        match self {
+            FaultEvent::Timeout => 0,
+            FaultEvent::Retry => 1,
+            FaultEvent::DropInjected => 2,
+            FaultEvent::DelayInjected => 3,
+            FaultEvent::DuplicateInjected => 4,
+            FaultEvent::DuplicateSuppressed => 5,
+            FaultEvent::CorruptionInjected => 6,
+            FaultEvent::CorruptionDetected => 7,
+            FaultEvent::CrashedSend => 8,
+        }
     }
+}
 
+/// Number of [`FaultEvent`] variants (fault-counter array length).
+const FAULT_KINDS: usize = 9;
+
+impl FaultStats {
     /// True if no event was ever recorded.
     pub fn is_empty(&self) -> bool {
         *self == FaultStats::default()
@@ -199,17 +241,33 @@ pub struct TimeStats {
     pub spans: u64,
 }
 
+/// Message/byte counters for one (step, link) cell.
 #[derive(Default)]
-struct MeterInner {
-    comm: BTreeMap<(Step, LinkKind), LinkStats>,
-    time: BTreeMap<Step, TimeStats>,
-    faults: FaultStats,
+struct CommCell {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Wall-clock counters for one step.
+#[derive(Default)]
+struct TimeCell {
+    nanos: AtomicU64,
+    spans: AtomicU64,
 }
 
 /// Thread-safe accumulator shared by all endpoints of a [`crate::Network`].
+///
+/// Internally a fixed `Step × LinkKind` grid of relaxed atomics: recording
+/// a message, span or fault is a pair of `fetch_add`s with no lock and no
+/// allocation, so worker threads inside the data-parallel hot loops never
+/// serialize on the meter. Snapshots ([`Meter::report`]) are *per-counter*
+/// consistent, not cross-counter atomic — fine for accounting, as every
+/// caller quiesces the protocol before reading.
 #[derive(Default)]
 pub struct Meter {
-    inner: Mutex<MeterInner>,
+    comm: [[CommCell; LinkKind::ALL.len()]; Step::ALL.len()],
+    time: [TimeCell; Step::ALL.len()],
+    faults: [AtomicU64; FAULT_KINDS],
 }
 
 impl Meter {
@@ -220,18 +278,17 @@ impl Meter {
 
     /// Records one message of `bytes` payload bytes.
     pub fn record_message(&self, step: Step, link: LinkKind, bytes: usize) {
-        let mut inner = self.inner.lock();
-        let stats = inner.comm.entry((step, link)).or_default();
-        stats.messages += 1;
-        stats.bytes += bytes as u64;
+        let cell = &self.comm[step.index()][link.index()];
+        cell.messages.fetch_add(1, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records `elapsed` wall-clock time against `step`.
     pub fn record_time(&self, step: Step, elapsed: Duration) {
-        let mut inner = self.inner.lock();
-        let stats = inner.time.entry(step).or_default();
-        stats.total += elapsed;
-        stats.spans += 1;
+        let cell = &self.time[step.index()];
+        cell.nanos
+            .fetch_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        cell.spans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Times a closure and records its duration against `step`.
@@ -244,32 +301,78 @@ impl Meter {
 
     /// Records one reliability event.
     pub fn record_fault(&self, event: FaultEvent) {
-        self.inner.lock().faults.bump(event);
+        self.faults[event.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the reliability counters alone.
     pub fn fault_stats(&self) -> FaultStats {
-        self.inner.lock().faults
+        let read = |event: FaultEvent| self.faults[event.index()].load(Ordering::Relaxed);
+        FaultStats {
+            timeouts: read(FaultEvent::Timeout),
+            retries: read(FaultEvent::Retry),
+            drops_injected: read(FaultEvent::DropInjected),
+            delays_injected: read(FaultEvent::DelayInjected),
+            duplicates_injected: read(FaultEvent::DuplicateInjected),
+            duplicates_suppressed: read(FaultEvent::DuplicateSuppressed),
+            corruptions_injected: read(FaultEvent::CorruptionInjected),
+            corruptions_detected: read(FaultEvent::CorruptionDetected),
+            crashed_sends: read(FaultEvent::CrashedSend),
+        }
     }
 
-    /// Snapshot of all counters.
+    /// Snapshot of all counters. Only touched rows appear in the report,
+    /// mirroring the map-based meter this replaced.
     pub fn report(&self) -> MeterReport {
-        let inner = self.inner.lock();
-        MeterReport { comm: inner.comm.clone(), time: inner.time.clone(), faults: inner.faults }
+        let mut comm = BTreeMap::new();
+        let mut time = BTreeMap::new();
+        for step in Step::ALL {
+            for link in LinkKind::ALL {
+                let cell = &self.comm[step.index()][link.index()];
+                let stats = LinkStats {
+                    messages: cell.messages.load(Ordering::Relaxed),
+                    bytes: cell.bytes.load(Ordering::Relaxed),
+                };
+                if stats.messages > 0 || stats.bytes > 0 {
+                    comm.insert((step, link), stats);
+                }
+            }
+            let cell = &self.time[step.index()];
+            let spans = cell.spans.load(Ordering::Relaxed);
+            if spans > 0 {
+                let total = Duration::from_nanos(cell.nanos.load(Ordering::Relaxed));
+                time.insert(step, TimeStats { total, spans });
+            }
+        }
+        MeterReport { comm, time, faults: self.fault_stats() }
     }
 
     /// Clears all counters (e.g. between benchmark warmup and measurement).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
-        inner.comm.clear();
-        inner.time.clear();
-        inner.faults = FaultStats::default();
+        for row in &self.comm {
+            for cell in row {
+                cell.messages.store(0, Ordering::Relaxed);
+                cell.bytes.store(0, Ordering::Relaxed);
+            }
+        }
+        for cell in &self.time {
+            cell.nanos.store(0, Ordering::Relaxed);
+            cell.spans.store(0, Ordering::Relaxed);
+        }
+        for counter in &self.faults {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 
 impl fmt::Debug for Meter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Meter({} rows)", self.inner.lock().comm.len())
+        let rows = self
+            .comm
+            .iter()
+            .flatten()
+            .filter(|cell| cell.messages.load(Ordering::Relaxed) > 0)
+            .count();
+        write!(f, "Meter({rows} rows)")
     }
 }
 
@@ -512,5 +615,35 @@ mod tests {
             }
         });
         assert_eq!(meter.report().total_bytes(), 800);
+    }
+
+    #[test]
+    fn concurrent_time_and_fault_recording() {
+        let meter = Meter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&meter);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        m.record_time(Step::CompareRank, Duration::from_nanos(10));
+                        m.record_fault(FaultEvent::Retry);
+                    }
+                });
+            }
+        });
+        let report = meter.report();
+        assert_eq!(report.step_time(Step::CompareRank), Duration::from_nanos(2000));
+        assert_eq!(report.fault_stats().retries, 200);
+    }
+
+    #[test]
+    fn untouched_steps_stay_out_of_the_report() {
+        let meter = Meter::new();
+        meter.record_message(Step::Restoration, LinkKind::ServerToUser, 0);
+        let report = meter.report();
+        assert_eq!(report.comm_rows().count(), 1);
+        let stats = report.link_stats(Step::Restoration, LinkKind::ServerToUser);
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.bytes, 0);
     }
 }

@@ -5,15 +5,18 @@
 # the perf trajectory is tracked by (see DESIGN.md, "Exponentiation
 # strategy").
 #
-# Usage: scripts/bench.sh [--smoke] [--offline]
+# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N]
 #
-#   --smoke    minimal iteration counts and no criterion sweep — the CI
-#              wiring (scripts/ci.sh) uses this to keep the harness from
-#              rotting without burning CI minutes on real measurements.
-#   --offline  point cargo at the .localdeps/ shims (sandboxes without
-#              crates.io access, same mechanism as scripts/devcheck.sh).
-#              The criterion shim executes each bench closure once
-#              without timing, so only bench_protocol produces numbers.
+#   --smoke      minimal iteration counts and no criterion sweep — the CI
+#                wiring (scripts/ci.sh) uses this to keep the harness from
+#                rotting without burning CI minutes on real measurements.
+#   --offline    point cargo at the .localdeps/ shims (sandboxes without
+#                crates.io access, same mechanism as scripts/devcheck.sh).
+#                The criterion shim executes each bench closure once
+#                without timing, so only bench_protocol produces numbers.
+#   --threads N  forward a worker-thread count to bench_protocol's
+#                data-parallel sweep (default: the CONSENSUS_THREADS
+#                environment variable, else 1).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,15 +24,22 @@ cd "$repo"
 
 smoke=0
 offline=0
-for arg in "$@"; do
-  case "$arg" in
+threads=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --smoke) smoke=1 ;;
     --offline) offline=1 ;;
+    --threads)
+      [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
+      threads="$2"
+      shift
+      ;;
     *)
-      echo "usage: $0 [--smoke] [--offline]" >&2
+      echo "usage: $0 [--smoke] [--offline] [--threads N]" >&2
       exit 2
       ;;
   esac
+  shift
 done
 
 config=()
@@ -52,6 +62,9 @@ echo "==> bench_protocol → BENCH_protocol.json"
 protocol_args=(--out "$repo/BENCH_protocol.json")
 if [[ $smoke -eq 1 ]]; then
   protocol_args+=(--smoke)
+fi
+if [[ -n $threads ]]; then
+  protocol_args+=(--threads "$threads")
 fi
 cargo "${config[@]}" run --release -p benches --bin bench_protocol "${cargo_flags[@]}" \
   -- "${protocol_args[@]}"

@@ -26,7 +26,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
-echo "==> bench harness smoke (scripts/bench.sh --smoke)"
-bash scripts/bench.sh --smoke
+echo "==> bench harness smoke (scripts/bench.sh --smoke, 2 worker threads)"
+bash scripts/bench.sh --smoke --threads 2
 
 echo "CI checks passed."

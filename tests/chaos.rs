@@ -13,7 +13,7 @@ use consensus_core::config::{scale_votes, ConsensusConfig};
 use consensus_core::secure::{SecureEngine, SecureOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smc::{SessionConfig, SessionKeys, SmcError};
+use smc::{Parallelism, SessionConfig, SessionKeys, SmcError};
 use transport::{FaultPlan, LinkKind, Meter, PartyId, Step, TimeoutPolicy};
 
 const USERS: usize = 5;
@@ -277,4 +277,61 @@ fn batch_roster_shrinks_and_noise_recalibrates() {
         assert_eq!(out.label, Some(0));
         assert_eq!(out.witness.threshold_scaled, scale_votes(0.6 * 4.0));
     }
+}
+
+/// A resilient engine at the given parallelism. The receive windows are
+/// wider than `engine()`'s so that worker-pool scheduling jitter can
+/// never turn a healthy link into a retry on one side of the comparison.
+fn engine_par(min_users: usize, plan: FaultPlan, par: Parallelism) -> SecureEngine {
+    SecureEngine::with_keys(
+        keys().clone().with_parallelism(par),
+        ConsensusConfig::paper_default(1e-6, 1e-6).with_min_users(min_users),
+    )
+    .with_timeout(TimeoutPolicy::with_retries(Duration::from_millis(150), 1, 2.0))
+    .with_fault_plan(plan)
+}
+
+/// The data-parallel engine under chaos: with per-item RNG streams split
+/// deterministically, a 4-thread round must replay the sequential round
+/// bit-for-bit — same label, same witness, same `RoundHealth` — under
+/// every (deterministic) fault plan. Only plans whose injections do not
+/// depend on wall-clock timing are swept; probabilistic delay plans
+/// legitimately diverge in retry counts.
+#[test]
+fn parallel_rounds_replay_sequential_rounds_under_faults() {
+    type PlanBuilder = fn() -> FaultPlan;
+    let plans: Vec<(&str, PlanBuilder)> = vec![
+        ("clean", || FaultPlan::new(11)),
+        ("crash before upload", || {
+            FaultPlan::new(12).crash(PartyId::User(3), Step::SecureSumVotes)
+        }),
+        ("crash between sums", || FaultPlan::new(13).crash(PartyId::User(1), Step::SecureSumNoisy)),
+        ("duplicate everything", || FaultPlan::new(14).duplicate_messages(1.0)),
+    ];
+    let votes = vec![onehot(2), onehot(2), onehot(2), onehot(0), onehot(2)];
+    for (name, plan) in &plans {
+        let run = |par: Parallelism| {
+            let eng = engine_par(3, plan(), par);
+            let mut rng = StdRng::seed_from_u64(4000);
+            eng.run_instance(&votes, Meter::new(), &mut rng).unwrap()
+        };
+        let seq = run(Parallelism::sequential());
+        let par = run(Parallelism::new(4));
+        assert_outcome_valid(&seq, 1e-6, 1e-6);
+        assert_eq!(seq, par, "{name}: parallel outcome diverged from sequential");
+    }
+
+    // Quorum loss aborts identically on both paths.
+    let lossy = || {
+        FaultPlan::new(15)
+            .crash(PartyId::User(1), Step::SecureSumVotes)
+            .crash(PartyId::User(2), Step::SecureSumVotes)
+            .crash(PartyId::User(3), Step::SecureSumVotes)
+    };
+    let abort = |par: Parallelism| {
+        let eng = engine_par(3, lossy(), par);
+        let mut rng = StdRng::seed_from_u64(4001);
+        eng.run_instance(&votes, Meter::new(), &mut rng).unwrap_err().to_string()
+    };
+    assert_eq!(abort(Parallelism::sequential()), abort(Parallelism::new(4)));
 }
