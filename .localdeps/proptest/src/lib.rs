@@ -41,6 +41,22 @@ pub trait Strategy {
     {
         Filter { inner: self, whence, pred }
     }
+
+    /// Builds a dependent strategy from each sampled value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Uniformly permutes sampled vectors (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
 }
 
 /// Output of [`Strategy::prop_map`].
@@ -73,6 +89,121 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             }
         }
         panic!("prop_filter '{}' rejected 1000 consecutive samples", self.whence);
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<T> {
+        let mut v = self.inner.sample(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+/// One of several same-valued strategies, chosen uniformly per sample —
+/// the runtime half of [`prop_oneof!`]. Unlike real proptest the shim
+/// ignores weights (none of the workspace properties use them).
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Fn(&mut StdRng) -> V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from the boxed samplers [`prop_oneof!`] collects.
+    pub fn new(options: Vec<Box<dyn Fn(&mut StdRng) -> V>>) -> OneOf<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        (self.options[i])(rng)
+    }
+}
+
+/// Chooses one of the given strategies uniformly per sampled case. All
+/// branches must share one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut rand::rngs::StdRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $(
+            let __s = $strat;
+            __options.push(::std::boxed::Box::new(
+                move |__rng: &mut rand::rngs::StdRng| $crate::Strategy::sample(&__s, __rng),
+            ));
+        )+
+        $crate::OneOf::new(__options)
+    }};
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::*;
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, `Some(element)` otherwise (real
+    /// proptest's default 1-in-4 `None` weight).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: element }
     }
 }
 
@@ -330,7 +461,7 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy,
     };
 }

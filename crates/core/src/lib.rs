@@ -19,6 +19,9 @@
 //! * [`secure`] — the full Alg. 5: users secret-share votes to two
 //!   servers, which run secure sum, Blind-and-Permute, DGK comparisons,
 //!   threshold check and Restoration over real channels;
+//! * [`recovery`] — crash-recoverable rounds: durable per-step
+//!   checkpoints, a resuming round supervisor, and exactly-once RDP
+//!   accounting across resumptions;
 //! * [`pipeline`] — end-to-end experiment drivers (teachers → consensus
 //!   labeling → student) for the single-label and multi-label workloads.
 //!
@@ -44,9 +47,11 @@ pub mod campaign;
 pub mod clear;
 pub mod config;
 pub mod pipeline;
+pub mod recovery;
 pub mod secure;
 
 pub use campaign::{Campaign, CampaignOutcome};
 pub use config::{ConsensusConfig, VoteKind};
 pub use pipeline::{ExperimentOutcome, LabelingMode};
-pub use secure::{RoundHealth, SecureEngine, SecureOutcome, SecureWitness};
+pub use recovery::{RdpLedger, RoundSupervisor};
+pub use secure::{ConsensusFingerprint, RoundHealth, SecureEngine, SecureOutcome, SecureWitness};

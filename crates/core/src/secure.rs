@@ -55,12 +55,12 @@ use smc::batch::{server1_argmax_batched, server2_argmax_batched};
 use smc::blind_permute::{server1_blind_permute, server2_blind_permute};
 use smc::compare::{server1_compare_geq, server2_compare_geq};
 use smc::restoration::{server1_restore, server2_restore};
-use smc::secure_sum::{
-    aggregate_surviving_vectors, aggregate_user_vectors, send_share_to_server1,
-    send_share_to_server2,
+use smc::secure_sum::{aggregate_surviving_vectors, aggregate_user_vectors, encrypt_share_vector};
+use smc::{Parallelism, RoundState, ServerContext, SessionConfig, SessionKeys, SmcError};
+use transport::{
+    CheckpointStore, Endpoint, FaultEvent, FaultPlan, FaultStats, Meter, Network, PartyId, Step,
+    TimeoutPolicy, Wire,
 };
-use smc::{Parallelism, ServerContext, SessionConfig, SessionKeys, SmcError};
-use transport::{Endpoint, FaultPlan, Meter, Network, PartyId, Step, TimeoutPolicy};
 
 use crate::clear::draw_user_noise_shares;
 use crate::config::{scale_vote_vector, scale_votes, split_evenly, ConsensusConfig};
@@ -113,13 +113,20 @@ pub struct RoundHealth {
     /// The argmax-noise scale actually realized over `U''`; `None` when
     /// step 6 never ran.
     pub realized_sigma2: Option<f64>,
+    /// How many times a crashed round attempt was resumed from durable
+    /// checkpoints before this outcome was produced (0 = uninterrupted).
+    pub resumptions: u64,
+    /// For each resumption, the step the round re-entered the pipeline
+    /// at after restoring the latest consistent S1/S2 snapshot pair.
+    pub resumed_from: Vec<Step>,
 }
 
 impl RoundHealth {
-    /// `true` when every intended user survived and no receive needed a
-    /// retry — the round ran exactly as the strict protocol would.
+    /// `true` when every intended user survived, no receive needed a
+    /// retry and the round was never resumed from a checkpoint — it ran
+    /// exactly as the strict protocol would.
     pub fn is_clean(&self) -> bool {
-        self.dropouts.is_empty() && self.retries == 0 && self.timeouts == 0
+        self.dropouts.is_empty() && self.retries == 0 && self.timeouts == 0 && self.resumptions == 0
     }
 
     /// The RDP cost of the round *actually executed*: the Sparse Vector
@@ -152,6 +159,51 @@ pub struct SecureOutcome {
     pub health: RoundHealth,
 }
 
+/// Everything about a round's *consensus result* — as opposed to its
+/// *execution history*. Two runs of the same round agree on this
+/// fingerprint iff they released the same label from the same counted
+/// contributions at the same realized noise scales; a recovered run
+/// necessarily differs from an uninterrupted one in timeouts, retries
+/// and resumption counters, and identically-recovered consensus is
+/// exactly what the recovery subsystem guarantees (see `tests/chaos.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusFingerprint {
+    /// The released label (`None` = `⊥`).
+    pub label: Option<usize>,
+    /// Ground-truth aggregates over the counted users.
+    pub witness: SecureWitness,
+    /// The roster the round was launched with.
+    pub intended_users: Vec<usize>,
+    /// The step-2 surviving set `U'`.
+    pub survivors: Vec<usize>,
+    /// The step-6 surviving set `U''`, when step 6 ran.
+    pub noisy_survivors: Option<Vec<usize>>,
+    /// Users lost, each with the step it first failed.
+    pub dropouts: Vec<(usize, Step)>,
+    /// Realized threshold-noise scale.
+    pub realized_sigma1: f64,
+    /// Realized argmax-noise scale, when step 6 ran.
+    pub realized_sigma2: Option<f64>,
+}
+
+impl SecureOutcome {
+    /// Projects out the [`ConsensusFingerprint`] — the part of the
+    /// outcome that must be bit-identical between a crash-recovered
+    /// round and the same round run uninterrupted.
+    pub fn consensus_fingerprint(&self) -> ConsensusFingerprint {
+        ConsensusFingerprint {
+            label: self.label,
+            witness: self.witness.clone(),
+            intended_users: self.health.intended_users.clone(),
+            survivors: self.health.survivors.clone(),
+            noisy_survivors: self.health.noisy_survivors.clone(),
+            dropouts: self.health.dropouts.clone(),
+            realized_sigma1: self.health.realized_sigma1,
+            realized_sigma2: self.health.realized_sigma2,
+        }
+    }
+}
+
 /// How the servers rank the permuted sequences in steps 4 and 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RankingStrategy {
@@ -182,12 +234,37 @@ impl std::fmt::Debug for SecureEngine {
     }
 }
 
-/// What one server learned from a full protocol run: the label plus the
-/// surviving sets its aggregations actually covered.
-struct ServerReport {
-    label: Option<usize>,
-    survivors: Vec<usize>,
-    noisy_survivors: Option<Vec<usize>>,
+/// One user's six captured upload payloads, already encrypted. Sending
+/// them is a pure replay: a supervisor can rebuild the network after a
+/// crash and re-inject the *same* ciphertexts, which is what keeps a
+/// recovered round bit-identical to an uninterrupted one.
+pub(crate) struct UserUpload {
+    user: usize,
+    /// S1-bound: votes + threshold shares (step 2), noisy shares (step 6).
+    s1_votes: Vec<Ciphertext>,
+    s1_thresh: Vec<Ciphertext>,
+    s1_noisy: Vec<Ciphertext>,
+    /// S2-bound mirrors.
+    s2_votes: Vec<Ciphertext>,
+    s2_thresh: Vec<Ciphertext>,
+    s2_noisy: Vec<Ciphertext>,
+}
+
+/// Everything drawn ONCE per logical round, before the first attempt:
+/// user shares, noise, encrypted payloads, witness bookkeeping and the
+/// two server seeds. Crash-recovery attempts replay this; nothing in it
+/// is re-drawn, so every attempt reruns the *same* round.
+pub(crate) struct PreparedRound {
+    roster: Vec<usize>,
+    num_classes: usize,
+    uploads: Vec<UserUpload>,
+    user_counts: Vec<Vec<i64>>,
+    user_z1: Vec<Vec<i64>>,
+    user_z2: Vec<Vec<i64>>,
+    /// Exact integer split of T across 2|U| share slots.
+    offsets: Vec<i64>,
+    seed1: u64,
+    seed2: u64,
 }
 
 impl SecureEngine {
@@ -370,6 +447,44 @@ impl SecureEngine {
         meter: Arc<Meter>,
         rng: &mut R,
     ) -> Result<SecureOutcome, SmcError> {
+        let prepared = self.prepare_round(votes, roster, rng)?;
+        let fault_stats_before = meter.fault_stats();
+        let mut net = self.build_network(&meter, self.faults.clone());
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+        self.send_uploads(&mut net, &prepared)?;
+        let (done1, done2) = self.drive_servers(
+            &mut s1,
+            &mut s2,
+            &prepared,
+            RoundState::Start,
+            RoundState::Start,
+            None,
+        )?;
+        Ok(self.finalize_round(&prepared, done1, done2, &meter, fault_stats_before, 0, Vec::new()))
+    }
+
+    /// The attached fault-injection plan, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The user phase, run once per *logical* round: shares, noise,
+    /// threshold offsets and the six encrypted payloads per user are all
+    /// drawn here. Crash-recovery attempts replay this prepared data
+    /// verbatim — nothing is re-drawn, so every attempt reruns the same
+    /// round and a recovered outcome can be bit-identical to an
+    /// uninterrupted one.
+    ///
+    /// Randomness is consumed in the exact order the pre-decomposition
+    /// engine did (per user: z1, z2, share split, then the six payload
+    /// encryptions in upload order, and finally the two server seeds).
+    pub(crate) fn prepare_round<R: Rng + ?Sized>(
+        &self,
+        votes: &[Vec<f64>],
+        roster: &[usize],
+        rng: &mut R,
+    ) -> Result<PreparedRound, SmcError> {
         let total_users = self.keys.config().num_users;
         let num_classes = self.keys.config().num_classes;
         let num_users = roster.len();
@@ -379,9 +494,8 @@ impl SecureEngine {
             "roster must be strictly ascending user ids below {total_users}"
         );
         assert_eq!(votes.len(), num_users, "one vote vector per roster user");
-        let mode: Option<usize> = if self.resilient() { Some(self.quorum()) } else { None };
         assert!(
-            mode.is_some() || roster.iter().copied().eq(0..total_users),
+            self.resilient() || roster.iter().copied().eq(0..total_users),
             "a partial roster requires resilient mode (set min_users or attach a fault plan)"
         );
 
@@ -391,27 +505,15 @@ impl SecureEngine {
         let offsets = split_evenly(threshold_scaled, 2 * num_users);
         let (off1, off2) = offsets.split_at(num_users);
 
-        let fault_stats_before = meter.fault_stats();
-        let mut builder =
-            Network::builder(total_users).meter(Arc::clone(&meter)).timeout(self.timeout);
-        if let Some(plan) = &self.faults {
-            builder = builder.faults(plan.clone());
-        }
-        let mut net = builder.build();
-        let mut s1_endpoint = net.take_endpoint(PartyId::Server1);
-        let mut s2_endpoint = net.take_endpoint(PartyId::Server2);
         let user_ctx = self.keys.user();
         let domain = user_ctx.domain();
-
-        // ---- User phase: share, add noise, send. ----
-        // Contributions are kept per user: which ones enter the witness
-        // aggregates depends on who the servers end up counting.
+        let par = user_ctx.parallelism();
+        let mut uploads: Vec<UserUpload> = Vec::with_capacity(num_users);
         let mut user_counts: Vec<Vec<i64>> = Vec::with_capacity(num_users);
         let mut user_z1: Vec<Vec<i64>> = Vec::with_capacity(num_users);
         let mut user_z2: Vec<Vec<i64>> = Vec::with_capacity(num_users);
         for (idx, (&u, vote)) in roster.iter().zip(votes).enumerate() {
             assert_eq!(vote.len(), num_classes, "vote arity for user {u}");
-            let endpoint = net.take_endpoint(PartyId::User(u));
             let scaled = scale_vote_vector(vote);
             let z1 = draw_user_noise_shares(self.consensus.sigma1, num_users, num_classes, rng);
             let z2 = draw_user_noise_shares(self.consensus.sigma2, num_users, num_classes, rng);
@@ -433,44 +535,151 @@ impl SecureEngine {
             let noisy_b: Vec<i128> =
                 (0..num_classes).map(|k| b[k] + z2.for_s2[k] as i128).collect();
 
-            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &a, rng)?;
-            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumVotes, &thresh_a, rng)?;
-            send_share_to_server1(&endpoint, &user_ctx, Step::SecureSumNoisy, &noisy_a, rng)?;
-            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &b, rng)?;
-            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumVotes, &thresh_b, rng)?;
-            send_share_to_server2(&endpoint, &user_ctx, Step::SecureSumNoisy, &noisy_b, rng)?;
+            uploads.push(UserUpload {
+                user: u,
+                s1_votes: encrypt_share_vector(&a, user_ctx.pk2(), par, rng)?,
+                s1_thresh: encrypt_share_vector(&thresh_a, user_ctx.pk2(), par, rng)?,
+                s1_noisy: encrypt_share_vector(&noisy_a, user_ctx.pk2(), par, rng)?,
+                s2_votes: encrypt_share_vector(&b, user_ctx.pk1(), par, rng)?,
+                s2_thresh: encrypt_share_vector(&thresh_b, user_ctx.pk1(), par, rng)?,
+                s2_noisy: encrypt_share_vector(&noisy_b, user_ctx.pk1(), par, rng)?,
+            });
         }
+        Ok(PreparedRound {
+            roster: roster.to_vec(),
+            num_classes,
+            uploads,
+            user_counts,
+            user_z1,
+            user_z2,
+            offsets,
+            seed1: rng.gen(),
+            seed2: rng.gen(),
+        })
+    }
 
-        // ---- Server phase: two real threads. ----
+    /// Builds one attempt's in-process network (`plan` may differ from
+    /// the engine's own on recovery attempts, where the supervisor strips
+    /// the server crashes that already fired).
+    pub(crate) fn build_network(&self, meter: &Arc<Meter>, plan: Option<FaultPlan>) -> Network {
+        let mut builder = Network::builder(self.keys.config().num_users)
+            .meter(Arc::clone(meter))
+            .timeout(self.timeout);
+        if let Some(plan) = plan {
+            builder = builder.faults(plan);
+        }
+        builder.build()
+    }
+
+    /// Injects the prepared uploads into a fresh network, in the same
+    /// per-user, per-link order as the original engine — fresh networks
+    /// restart each link's sequence numbers at 1, so fault decisions
+    /// keyed on (from, to, step, seq) reproduce identically per attempt.
+    pub(crate) fn send_uploads(
+        &self,
+        net: &mut Network,
+        prepared: &PreparedRound,
+    ) -> Result<(), SmcError> {
+        for up in &prepared.uploads {
+            let endpoint = net.take_endpoint(PartyId::User(up.user));
+            endpoint.send(PartyId::Server1, Step::SecureSumVotes, &up.s1_votes)?;
+            endpoint.send(PartyId::Server1, Step::SecureSumVotes, &up.s1_thresh)?;
+            endpoint.send(PartyId::Server1, Step::SecureSumNoisy, &up.s1_noisy)?;
+            endpoint.send(PartyId::Server2, Step::SecureSumVotes, &up.s2_votes)?;
+            endpoint.send(PartyId::Server2, Step::SecureSumVotes, &up.s2_thresh)?;
+            endpoint.send(PartyId::Server2, Step::SecureSumNoisy, &up.s2_noisy)?;
+        }
+        Ok(())
+    }
+
+    /// Runs both server threads from the given states to termination,
+    /// snapshotting each completed step into `checkpoints` when attached.
+    pub(crate) fn drive_servers(
+        &self,
+        s1: &mut Endpoint,
+        s2: &mut Endpoint,
+        prepared: &PreparedRound,
+        state1: RoundState,
+        state2: RoundState,
+        checkpoints: Option<(&dyn CheckpointStore, u64)>,
+    ) -> Result<(RoundState, RoundState), SmcError> {
         let ctx1 = self.keys.server1();
         let ctx2 = self.keys.server2();
-        let seed1: u64 = rng.gen();
-        let seed2: u64 = rng.gen();
         let ranking = self.ranking;
+        let quorum = if self.resilient() { Some(self.quorum()) } else { None };
+        let roster = &prepared.roster;
+        let num_classes = prepared.num_classes;
+        let (seed1, seed2) = (prepared.seed1, prepared.seed2);
         let (r1, r2) = std::thread::scope(|scope| {
-            let h1 = scope.spawn(|| {
-                server1_run(&mut s1_endpoint, &ctx1, roster, num_classes, seed1, ranking, mode)
+            let h1 = scope.spawn(move || {
+                server_drive(
+                    PartyId::Server1,
+                    s1,
+                    &ctx1,
+                    roster,
+                    num_classes,
+                    seed1,
+                    ranking,
+                    quorum,
+                    state1,
+                    checkpoints,
+                )
             });
-            let h2 = scope.spawn(|| {
-                server2_run(&mut s2_endpoint, &ctx2, roster, num_classes, seed2, ranking, mode)
+            let h2 = scope.spawn(move || {
+                server_drive(
+                    PartyId::Server2,
+                    s2,
+                    &ctx2,
+                    roster,
+                    num_classes,
+                    seed2,
+                    ranking,
+                    quorum,
+                    state2,
+                    checkpoints,
+                )
             });
             (h1.join().expect("S1 thread panicked"), h2.join().expect("S2 thread panicked"))
         });
         // When one server fails mid-protocol the other times out waiting;
         // surface the root cause, not the timeout it induced.
-        let (rep1, rep2) = match (r1, r2) {
-            (Ok(l1), Ok(l2)) => (l1, l2),
-            (Err(SmcError::Transport(_)), Err(root)) => return Err(root),
-            (Err(root), _) => return Err(root),
-            (_, Err(root)) => return Err(root),
+        match (r1, r2) {
+            (Ok(d1), Ok(d2)) => Ok((d1, d2)),
+            (Err(SmcError::Transport(_)), Err(root)) => Err(root),
+            (Err(root), _) => Err(root),
+            (_, Err(root)) => Err(root),
+        }
+    }
+
+    /// Cross-checks the two terminal states and assembles the outcome:
+    /// witness aggregates over the sets actually counted, plus the
+    /// round's fault and recovery history.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finalize_round(
+        &self,
+        prepared: &PreparedRound,
+        done1: RoundState,
+        done2: RoundState,
+        meter: &Meter,
+        fault_stats_before: FaultStats,
+        resumptions: u64,
+        resumed_from: Vec<Step>,
+    ) -> SecureOutcome {
+        let (
+            RoundState::Done { label, survivors, noisy_survivors },
+            RoundState::Done { label: label2, survivors: survivors2, noisy_survivors: noisy2 },
+        ) = (done1, done2)
+        else {
+            panic!("drive_servers must return terminal states");
         };
-        assert_eq!(rep1.label, rep2.label, "servers must agree on the outcome");
-        assert_eq!(rep1.survivors, rep2.survivors, "servers must agree on the surviving set");
-        assert_eq!(
-            rep1.noisy_survivors, rep2.noisy_survivors,
-            "servers must agree on the step-6 surviving set"
-        );
-        let ServerReport { label, survivors, noisy_survivors } = rep1;
+        assert_eq!(label, label2, "servers must agree on the outcome");
+        assert_eq!(survivors, survivors2, "servers must agree on the surviving set");
+        assert_eq!(noisy_survivors, noisy2, "servers must agree on the step-6 surviving set");
+
+        let roster = &prepared.roster;
+        let num_users = roster.len();
+        let num_classes = prepared.num_classes;
+        let (off1, off2) = prepared.offsets.split_at(num_users);
 
         // ---- Witness and health over the sets actually counted. ----
         let pos = |user: usize| {
@@ -486,16 +695,16 @@ impl SecureEngine {
         for &u in &survivors {
             let p = pos(u);
             for k in 0..num_classes {
-                witness.counts_scaled[k] += user_counts[p][k];
-                witness.z1_scaled[k] += user_z1[p][k];
+                witness.counts_scaled[k] += prepared.user_counts[p][k];
+                witness.z1_scaled[k] += prepared.user_z1[p][k];
             }
         }
         let z2_cohort = noisy_survivors.as_deref().unwrap_or(&survivors);
         for &u in z2_cohort {
             let p = pos(u);
             for k in 0..num_classes {
-                witness.noisy_counts_scaled[k] += user_counts[p][k];
-                witness.z2_scaled[k] += user_z2[p][k];
+                witness.noisy_counts_scaled[k] += prepared.user_counts[p][k];
+                witness.z2_scaled[k] += prepared.user_z2[p][k];
             }
         }
 
@@ -522,8 +731,10 @@ impl SecureEngine {
             dropouts,
             retries: fault_stats.retries - fault_stats_before.retries,
             timeouts: fault_stats.timeouts - fault_stats_before.timeouts,
+            resumptions,
+            resumed_from,
         };
-        Ok(SecureOutcome { label, witness, health })
+        SecureOutcome { label, witness, health }
     }
 }
 
@@ -658,151 +869,301 @@ fn collect_noisy(
     }
 }
 
-fn server1_run(
-    endpoint: &mut Endpoint,
-    ctx: &ServerContext,
-    roster: &[usize],
-    num_classes: usize,
-    seed: u64,
-    ranking: RankingStrategy,
-    quorum: Option<usize>,
-) -> Result<ServerReport, SmcError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let meter = Arc::clone(endpoint.meter());
-    let pk2 = ctx.peer_public().clone();
-
-    // Step 2: aggregate the vote shares and threshold shares.
-    let (enc_votes, enc_thresh, survivors) = meter.time(Step::SecureSumVotes, || {
-        collect_votes_and_thresh(
-            endpoint,
-            roster,
-            num_classes,
-            &pk2,
-            PartyId::Server2,
-            quorum,
-            ctx.parallelism(),
-        )
-    })?;
-
-    // Step 3: Blind-and-Permute over both vectors, one shared π.
-    let bp1 = meter.time(Step::BlindPermute1, || {
-        server1_blind_permute(
-            endpoint,
-            ctx,
-            &[enc_votes, enc_thresh],
-            Step::BlindPermute1,
-            &mut rng,
-        )
-    })?;
-
-    // Step 4: ranking → permuted winner slot.
-    let slot = meter.time(Step::CompareRank, || {
-        server1_rank(endpoint, ctx, &bp1.sequences[0], Step::CompareRank, ranking, &mut rng)
-    })?;
-
-    // Step 5: noisy threshold check at that slot.
-    let passed = meter.time(Step::ThresholdCheck, || {
-        server1_compare_geq(endpoint, ctx, bp1.sequences[1][slot], Step::ThresholdCheck, &mut rng)
-    })?;
-    if !passed {
-        return Ok(ServerReport { label: None, survivors, noisy_survivors: None });
-    }
-
-    // Step 6: aggregate the noisy vote shares over the survivors.
-    let (enc_noisy, noisy_survivors) = meter.time(Step::SecureSumNoisy, || {
-        collect_noisy(
-            endpoint,
-            &survivors,
-            num_classes,
-            &pk2,
-            PartyId::Server2,
-            quorum,
-            ctx.parallelism(),
-        )
-    })?;
-
-    // Step 7: second Blind-and-Permute, fresh π′.
-    let bp2 = meter.time(Step::BlindPermute2, || {
-        server1_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)
-    })?;
-
-    // Step 8: rank the noisy votes.
-    let noisy_slot = meter.time(Step::CompareNoisyRank, || {
-        server1_rank(endpoint, ctx, &bp2.sequences[0], Step::CompareNoisyRank, ranking, &mut rng)
-    })?;
-    let _ = noisy_slot; // S2 drives restoration from the same slot.
-
-    // Step 9: restore the true label.
-    let label = meter.time(Step::Restoration, || {
-        server1_restore(endpoint, ctx, &bp2.own_permutation, Step::Restoration, &mut rng)
-    })?;
-    Ok(ServerReport { label: Some(label), survivors, noisy_survivors: Some(noisy_survivors) })
+/// Derives the RNG for one protocol step from a server's root seed
+/// (SplitMix64 of the seed and the step ordinal).
+///
+/// Each step draws from its own derived stream instead of one rolling
+/// RNG: resuming the pipeline at step *k* then reproduces the exact
+/// randomness the uninterrupted run would have used there, which is what
+/// makes recovered rounds bit-identical. Crash recovery never needs to
+/// checkpoint RNG *states* — only the root seeds, drawn once per round.
+fn step_rng(root_seed: u64, step: Step) -> StdRng {
+    let mut z = root_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(step.ordinal()) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
-/// S2's full Alg. 5 run (mirror of [`server1_run`], no timing records).
-fn server2_run(
+/// Executes the single next step of S1's pipeline from `state`,
+/// returning the state after it. S1 wraps every step in the meter's wall
+/// clock (S2's overlapping work is covered by the same clock, matching
+/// how the paper reports per-step costs).
+#[allow(clippy::too_many_arguments)]
+fn server1_advance(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     roster: &[usize],
     num_classes: usize,
-    seed: u64,
+    root_seed: u64,
     ranking: RankingStrategy,
     quorum: Option<usize>,
-) -> Result<ServerReport, SmcError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pk1 = ctx.peer_public().clone();
+    state: RoundState,
+) -> Result<RoundState, SmcError> {
+    let meter = Arc::clone(endpoint.meter());
+    let step = state.next_step().expect("cannot advance a terminal round state");
+    let mut rng = step_rng(root_seed, step);
+    Ok(match state {
+        RoundState::Start => {
+            // Step 2: aggregate the vote shares and threshold shares.
+            let pk2 = ctx.peer_public().clone();
+            let (votes, thresh, survivors) = meter.time(Step::SecureSumVotes, || {
+                collect_votes_and_thresh(
+                    endpoint,
+                    roster,
+                    num_classes,
+                    &pk2,
+                    PartyId::Server2,
+                    quorum,
+                    ctx.parallelism(),
+                )
+            })?;
+            RoundState::Summed { votes, thresh, survivors }
+        }
+        RoundState::Summed { votes, thresh, survivors } => {
+            // Step 3: Blind-and-Permute over both vectors, one shared π.
+            let bp = meter.time(Step::BlindPermute1, || {
+                server1_blind_permute(
+                    endpoint,
+                    ctx,
+                    &[votes, thresh],
+                    Step::BlindPermute1,
+                    &mut rng,
+                )
+            })?;
+            let [votes_seq, thresh_seq]: [Vec<i128>; 2] =
+                bp.sequences.try_into().expect("two permuted sequences");
+            RoundState::Permuted {
+                votes_seq,
+                thresh_seq,
+                permutation: bp.own_permutation,
+                survivors,
+            }
+        }
+        RoundState::Permuted { votes_seq, thresh_seq, survivors, .. } => {
+            // Step 4: ranking → permuted winner slot.
+            let slot = meter.time(Step::CompareRank, || {
+                server1_rank(endpoint, ctx, &votes_seq, Step::CompareRank, ranking, &mut rng)
+            })?;
+            RoundState::Ranked { slot, thresh_seq, survivors }
+        }
+        RoundState::Ranked { slot, thresh_seq, survivors } => {
+            // Step 5: noisy threshold check at that slot.
+            let passed = meter.time(Step::ThresholdCheck, || {
+                server1_compare_geq(endpoint, ctx, thresh_seq[slot], Step::ThresholdCheck, &mut rng)
+            })?;
+            if passed {
+                RoundState::Gated { survivors }
+            } else {
+                RoundState::Done { label: None, survivors, noisy_survivors: None }
+            }
+        }
+        RoundState::Gated { survivors } => {
+            // Step 6: aggregate the noisy vote shares over the survivors.
+            let pk2 = ctx.peer_public().clone();
+            let (noisy, noisy_survivors) = meter.time(Step::SecureSumNoisy, || {
+                collect_noisy(
+                    endpoint,
+                    &survivors,
+                    num_classes,
+                    &pk2,
+                    PartyId::Server2,
+                    quorum,
+                    ctx.parallelism(),
+                )
+            })?;
+            RoundState::SummedNoisy { noisy, survivors, noisy_survivors: Some(noisy_survivors) }
+        }
+        RoundState::SummedNoisy { noisy, survivors, noisy_survivors } => {
+            // Step 7: second Blind-and-Permute, fresh π′.
+            let bp = meter.time(Step::BlindPermute2, || {
+                server1_blind_permute(endpoint, ctx, &[noisy], Step::BlindPermute2, &mut rng)
+            })?;
+            let [noisy_seq]: [Vec<i128>; 1] =
+                bp.sequences.try_into().expect("one permuted sequence");
+            RoundState::PermutedNoisy {
+                noisy_seq,
+                permutation: bp.own_permutation,
+                survivors,
+                noisy_survivors,
+            }
+        }
+        RoundState::PermutedNoisy { noisy_seq, permutation, survivors, noisy_survivors } => {
+            // Step 8: rank the noisy votes (S2 drives restoration from
+            // the same slot).
+            let noisy_slot = meter.time(Step::CompareNoisyRank, || {
+                server1_rank(endpoint, ctx, &noisy_seq, Step::CompareNoisyRank, ranking, &mut rng)
+            })?;
+            RoundState::RankedNoisy { noisy_slot, permutation, survivors, noisy_survivors }
+        }
+        RoundState::RankedNoisy { permutation, survivors, noisy_survivors, .. } => {
+            // Step 9: restore the true label.
+            let label = meter.time(Step::Restoration, || {
+                server1_restore(endpoint, ctx, &permutation, Step::Restoration, &mut rng)
+            })?;
+            RoundState::Done { label: Some(label), survivors, noisy_survivors }
+        }
+        RoundState::Done { .. } => unreachable!("terminal state has no next step"),
+    })
+}
 
-    let (enc_votes, enc_thresh, survivors) = collect_votes_and_thresh(
-        endpoint,
-        roster,
-        num_classes,
-        &pk1,
-        PartyId::Server1,
-        quorum,
-        ctx.parallelism(),
-    )?;
+/// Executes the single next step of S2's pipeline (mirror of
+/// [`server1_advance`], no timing records).
+#[allow(clippy::too_many_arguments)]
+fn server2_advance(
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    roster: &[usize],
+    num_classes: usize,
+    root_seed: u64,
+    ranking: RankingStrategy,
+    quorum: Option<usize>,
+    state: RoundState,
+) -> Result<RoundState, SmcError> {
+    let step = state.next_step().expect("cannot advance a terminal round state");
+    let mut rng = step_rng(root_seed, step);
+    Ok(match state {
+        RoundState::Start => {
+            let pk1 = ctx.peer_public().clone();
+            let (votes, thresh, survivors) = collect_votes_and_thresh(
+                endpoint,
+                roster,
+                num_classes,
+                &pk1,
+                PartyId::Server1,
+                quorum,
+                ctx.parallelism(),
+            )?;
+            RoundState::Summed { votes, thresh, survivors }
+        }
+        RoundState::Summed { votes, thresh, survivors } => {
+            let bp = server2_blind_permute(
+                endpoint,
+                ctx,
+                &[votes, thresh],
+                Step::BlindPermute1,
+                &mut rng,
+            )?;
+            let [votes_seq, thresh_seq]: [Vec<i128>; 2] =
+                bp.sequences.try_into().expect("two permuted sequences");
+            RoundState::Permuted {
+                votes_seq,
+                thresh_seq,
+                permutation: bp.own_permutation,
+                survivors,
+            }
+        }
+        RoundState::Permuted { votes_seq, thresh_seq, survivors, .. } => {
+            let slot =
+                server2_rank(endpoint, ctx, &votes_seq, Step::CompareRank, ranking, &mut rng)?;
+            RoundState::Ranked { slot, thresh_seq, survivors }
+        }
+        RoundState::Ranked { slot, thresh_seq, survivors } => {
+            let passed = server2_compare_geq(
+                endpoint,
+                ctx,
+                thresh_seq[slot],
+                Step::ThresholdCheck,
+                &mut rng,
+            )?;
+            if passed {
+                RoundState::Gated { survivors }
+            } else {
+                RoundState::Done { label: None, survivors, noisy_survivors: None }
+            }
+        }
+        RoundState::Gated { survivors } => {
+            let pk1 = ctx.peer_public().clone();
+            let (noisy, noisy_survivors) = collect_noisy(
+                endpoint,
+                &survivors,
+                num_classes,
+                &pk1,
+                PartyId::Server1,
+                quorum,
+                ctx.parallelism(),
+            )?;
+            RoundState::SummedNoisy { noisy, survivors, noisy_survivors: Some(noisy_survivors) }
+        }
+        RoundState::SummedNoisy { noisy, survivors, noisy_survivors } => {
+            let bp = server2_blind_permute(endpoint, ctx, &[noisy], Step::BlindPermute2, &mut rng)?;
+            let [noisy_seq]: [Vec<i128>; 1] =
+                bp.sequences.try_into().expect("one permuted sequence");
+            RoundState::PermutedNoisy {
+                noisy_seq,
+                permutation: bp.own_permutation,
+                survivors,
+                noisy_survivors,
+            }
+        }
+        RoundState::PermutedNoisy { noisy_seq, permutation, survivors, noisy_survivors } => {
+            let noisy_slot =
+                server2_rank(endpoint, ctx, &noisy_seq, Step::CompareNoisyRank, ranking, &mut rng)?;
+            RoundState::RankedNoisy { noisy_slot, permutation, survivors, noisy_survivors }
+        }
+        RoundState::RankedNoisy { noisy_slot, permutation, survivors, noisy_survivors } => {
+            let label = server2_restore(
+                endpoint,
+                ctx,
+                &permutation,
+                noisy_slot,
+                Step::Restoration,
+                &mut rng,
+            )?;
+            RoundState::Done { label: Some(label), survivors, noisy_survivors }
+        }
+        RoundState::Done { .. } => unreachable!("terminal state has no next step"),
+    })
+}
 
-    let bp1 = server2_blind_permute(
-        endpoint,
-        ctx,
-        &[enc_votes, enc_thresh],
-        Step::BlindPermute1,
-        &mut rng,
-    )?;
-
-    let slot =
-        server2_rank(endpoint, ctx, &bp1.sequences[0], Step::CompareRank, ranking, &mut rng)?;
-
-    let passed =
-        server2_compare_geq(endpoint, ctx, bp1.sequences[1][slot], Step::ThresholdCheck, &mut rng)?;
-    if !passed {
-        return Ok(ServerReport { label: None, survivors, noisy_survivors: None });
+/// Runs one server from `state` to a terminal state, snapshotting after
+/// every completed step when a checkpoint store is attached. A resumed
+/// server passes its restored state here and re-enters the pipeline at
+/// exactly the step the snapshot pair agrees on.
+#[allow(clippy::too_many_arguments)]
+fn server_drive(
+    side: PartyId,
+    endpoint: &mut Endpoint,
+    ctx: &ServerContext,
+    roster: &[usize],
+    num_classes: usize,
+    root_seed: u64,
+    ranking: RankingStrategy,
+    quorum: Option<usize>,
+    mut state: RoundState,
+    checkpoints: Option<(&dyn CheckpointStore, u64)>,
+) -> Result<RoundState, SmcError> {
+    while !state.is_terminal() {
+        state = match side {
+            PartyId::Server1 => server1_advance(
+                endpoint,
+                ctx,
+                roster,
+                num_classes,
+                root_seed,
+                ranking,
+                quorum,
+                state,
+            )?,
+            PartyId::Server2 => server2_advance(
+                endpoint,
+                ctx,
+                roster,
+                num_classes,
+                root_seed,
+                ranking,
+                quorum,
+                state,
+            )?,
+            PartyId::User(_) => unreachable!("only servers drive the pipeline"),
+        };
+        if let Some((store, round)) = checkpoints {
+            store
+                .save(round, side, state.completed_step(), &state.to_bytes())
+                .expect("checkpoint store failed while saving a snapshot");
+            endpoint.meter().record_fault(FaultEvent::CheckpointSaved);
+        }
     }
-
-    let (enc_noisy, noisy_survivors) = collect_noisy(
-        endpoint,
-        &survivors,
-        num_classes,
-        &pk1,
-        PartyId::Server1,
-        quorum,
-        ctx.parallelism(),
-    )?;
-
-    let bp2 = server2_blind_permute(endpoint, ctx, &[enc_noisy], Step::BlindPermute2, &mut rng)?;
-
-    let noisy_slot =
-        server2_rank(endpoint, ctx, &bp2.sequences[0], Step::CompareNoisyRank, ranking, &mut rng)?;
-
-    let label = server2_restore(
-        endpoint,
-        ctx,
-        &bp2.own_permutation,
-        noisy_slot,
-        Step::Restoration,
-        &mut rng,
-    )?;
-    Ok(ServerReport { label: Some(label), survivors, noisy_survivors: Some(noisy_survivors) })
+    Ok(state)
 }
 
 #[cfg(test)]

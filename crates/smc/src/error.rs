@@ -23,6 +23,27 @@ pub enum SmcError {
         /// Received element count.
         got: usize,
     },
+    /// An uploaded Paillier ciphertext failed server-side validation:
+    /// zero, not reduced modulo `n²`, or sharing a factor with `n`. Such
+    /// a value is either garbage or an active probe; it is rejected
+    /// before any homomorphic work touches it.
+    InvalidCiphertext {
+        /// Who uploaded the bad ciphertext.
+        from: transport::PartyId,
+        /// Position of the offending element in the uploaded vector.
+        index: usize,
+    },
+    /// The same (sender, step, sequence) tuple was submitted twice.
+    /// The transport already de-duplicates redelivered envelopes; this
+    /// application-level guard catches a peer that *re-numbers* a replay.
+    DuplicateSubmission {
+        /// The replaying sender.
+        from: transport::PartyId,
+        /// The protocol step of the replay.
+        step: transport::Step,
+        /// The per-link sequence number seen twice.
+        seq: u64,
+    },
     /// Too few users survived a collection step to continue the round —
     /// the typed clean abort of the dropout-resilient path. Both servers
     /// reach this verdict from the same reconciled survivor set, so the
@@ -47,6 +68,12 @@ impl fmt::Display for SmcError {
             SmcError::LengthMismatch { expected, got } => {
                 write!(f, "vector length mismatch: expected {expected}, got {got}")
             }
+            SmcError::InvalidCiphertext { from, index } => {
+                write!(f, "invalid ciphertext from {from:?} at index {index}")
+            }
+            SmcError::DuplicateSubmission { from, step, seq } => {
+                write!(f, "duplicate submission from {from:?} at {step} (seq {seq})")
+            }
             SmcError::QuorumLost { step, survivors, required } => {
                 write!(f, "quorum lost at {step}: {survivors} survivors < {required} required")
             }
@@ -61,7 +88,10 @@ impl Error for SmcError {
             SmcError::Paillier(e) => Some(e),
             SmcError::Dgk(e) => Some(e),
             SmcError::Domain(e) => Some(e),
-            SmcError::LengthMismatch { .. } | SmcError::QuorumLost { .. } => None,
+            SmcError::LengthMismatch { .. }
+            | SmcError::InvalidCiphertext { .. }
+            | SmcError::DuplicateSubmission { .. }
+            | SmcError::QuorumLost { .. } => None,
         }
     }
 }

@@ -16,7 +16,11 @@
 //! * [`argmax`] — pairwise secure ranking (step 4/8) in the permuted
 //!   domain;
 //! * [`restoration`] — Alg. 3, recovering the true label index of a
-//!   permuted position.
+//!   permuted position;
+//! * [`state`] — the serializable per-step round state machine behind
+//!   crash recovery (checkpointed through [`transport::checkpoint`]);
+//! * [`validate`] — adversarial validation of inbound uploads
+//!   (ciphertext well-formedness, arity, replay freshness).
 //!
 //! Each protocol has a deterministic plaintext *reference model* used by
 //! tests to pin the secure execution to its specification.
@@ -34,9 +38,13 @@ pub mod permutation;
 pub mod restoration;
 pub mod secure_sum;
 pub mod session;
+pub mod state;
+pub mod validate;
 
 pub use domain::{ShareDomain, SharesOutOfRange};
 pub use error::SmcError;
 pub use parallel::Parallelism;
 pub use permutation::Permutation;
 pub use session::{ServerContext, ServerRole, SessionConfig, SessionKeys, UserContext};
+pub use state::RoundState;
+pub use validate::UploadValidator;

@@ -18,6 +18,7 @@ use transport::{Endpoint, PartyId, Step, TransportError};
 
 use crate::error::SmcError;
 use crate::session::UserContext;
+use crate::validate::UploadValidator;
 
 /// User side: encrypts the signed vector `values` under `recipient_key`
 /// and sends it to `to`, tagged with `step`. The per-entry encryptions
@@ -41,13 +42,32 @@ pub fn send_encrypted_vector<R: Rng + ?Sized>(
     par: &Parallelism,
     rng: &mut R,
 ) -> Result<(), SmcError> {
-    let codec = SignedCodec::new(recipient_key);
-    let encrypted: Vec<Ciphertext> = par.try_map_seeded(values, rng, |_, &v, item_rng| {
-        let encoded = codec.encode_i128(v)?;
-        recipient_key.encrypt(&encoded, item_rng).map_err(SmcError::from)
-    })?;
+    let encrypted = encrypt_share_vector(values, recipient_key, par, rng)?;
     endpoint.send(to, step, &encrypted)?;
     Ok(())
+}
+
+/// Encrypts the signed vector `values` under `recipient_key` without
+/// sending it — the payload-capture half of [`send_encrypted_vector`],
+/// drawing randomness in the identical order. The crash-recovery
+/// supervisor uses this to prepare a user's upload once and replay the
+/// *same* ciphertexts across round attempts, keeping recovered rounds
+/// bit-identical to uninterrupted ones.
+///
+/// # Errors
+///
+/// Fails on signed-window overflow or encryption failure.
+pub fn encrypt_share_vector<R: Rng + ?Sized>(
+    values: &[i128],
+    recipient_key: &PublicKey,
+    par: &Parallelism,
+    rng: &mut R,
+) -> Result<Vec<Ciphertext>, SmcError> {
+    let codec = SignedCodec::new(recipient_key);
+    par.try_map_seeded(values, rng, |_, &v, item_rng| {
+        let encoded = codec.encode_i128(v)?;
+        recipient_key.encrypt(&encoded, item_rng).map_err(SmcError::from)
+    })
 }
 
 /// User side: sends the S1-bound share vector (encrypted under pk2).
@@ -111,7 +131,10 @@ pub fn send_share_to_server2<R: Rng + ?Sized>(
 ///
 /// # Errors
 ///
-/// Fails on transport errors or if any user sends the wrong arity.
+/// Fails on transport errors or if any upload flunks validation:
+/// wrong arity, malformed ciphertext, or a replayed sequence number
+/// (see [`UploadValidator`]). Strict collection treats all of these as
+/// fatal — this is the non-resilient path.
 pub fn aggregate_user_vectors(
     endpoint: &mut Endpoint,
     step: Step,
@@ -120,12 +143,13 @@ pub fn aggregate_user_vectors(
     peer_key: &PublicKey,
     par: &Parallelism,
 ) -> Result<Vec<Ciphertext>, SmcError> {
+    let meter = std::sync::Arc::clone(endpoint.meter());
+    let mut validator = UploadValidator::new(num_classes);
     let mut uploads: Vec<Vec<Ciphertext>> = Vec::with_capacity(num_users);
     for u in 0..num_users {
-        let shares: Vec<Ciphertext> = endpoint.recv(PartyId::User(u), step)?;
-        if shares.len() != num_classes {
-            return Err(SmcError::LengthMismatch { expected: num_classes, got: shares.len() });
-        }
+        let from = PartyId::User(u);
+        let (seq, shares): (u64, Vec<Ciphertext>) = endpoint.recv_tagged(from, step)?;
+        validator.check(&meter, from, step, seq, &shares, peer_key)?;
         uploads.push(shares);
     }
     Ok(par.map_n(num_classes, |k| {
@@ -180,18 +204,30 @@ pub fn aggregate_surviving_vectors(
     min_users: usize,
     par: &Parallelism,
 ) -> Result<SurvivorAggregate, SmcError> {
+    let meter = std::sync::Arc::clone(endpoint.meter());
+    let mut validator = UploadValidator::new(num_classes);
     let mut collected: Vec<(usize, Vec<Vec<Ciphertext>>)> = Vec::with_capacity(users.len());
     for &u in users {
+        let from = PartyId::User(u);
         let mut vecs: Vec<Vec<Ciphertext>> = Vec::with_capacity(vectors_per_user);
         for _ in 0..vectors_per_user {
-            match endpoint.recv::<Vec<Ciphertext>>(PartyId::User(u), step) {
-                Ok(v) if v.len() == num_classes => vecs.push(v),
-                // Wrong arity, lost, late, or damaged: the user is out
-                // for this step. Its remaining messages (if any) stay
-                // stashed under their own step tags and are never
-                // misread as another user's data.
-                Ok(_)
-                | Err(
+            match endpoint.recv_tagged::<Vec<Ciphertext>>(from, step) {
+                // Validation failure (arity, malformed ciphertext,
+                // replayed seq) is a dropout here, not an abort — the
+                // validator has already counted the rejection on the
+                // meter.
+                Ok((seq, v)) => {
+                    if validator.check(&meter, from, step, seq, &v, peer_key).is_err() {
+                        vecs.clear();
+                        break;
+                    }
+                    vecs.push(v);
+                }
+                // Lost, late, or damaged: the user is out for this
+                // step. Its remaining messages (if any) stay stashed
+                // under their own step tags and are never misread as
+                // another user's data.
+                Err(
                     TransportError::Timeout(_)
                     | TransportError::Corrupt(_)
                     | TransportError::Codec(_)
@@ -431,6 +467,64 @@ mod tests {
             })
             .collect();
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn hostile_ciphertext_becomes_a_dropout_in_resilient_mode() {
+        // User 1 uploads a zero ciphertext to both servers: resilient
+        // collection must drop it (and count the rejection), not panic
+        // or fold garbage into the sum.
+        let mut rng = StdRng::seed_from_u64(15);
+        let keys = SessionKeys::generate(SessionConfig::test(2, 2), &mut rng);
+        let user_ctx = keys.user();
+        let domain = user_ctx.domain();
+        let mut net = transport::Network::builder(2)
+            .timeout(transport::TimeoutPolicy::new(std::time::Duration::from_millis(50)))
+            .build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let mut s2 = net.take_endpoint(PartyId::Server2);
+
+        let good = net.take_endpoint(PartyId::User(0));
+        let (a, b) = domain.split_vec(&[1, 0], &mut rng);
+        send_share_to_server1(&good, &user_ctx, Step::SecureSumVotes, &a, &mut rng).unwrap();
+        send_share_to_server2(&good, &user_ctx, Step::SecureSumVotes, &b, &mut rng).unwrap();
+        let evil = net.take_endpoint(PartyId::User(1));
+        let zeros = vec![paillier::Ciphertext::from_raw(bigint::Ubig::from(0u64)); 2];
+        evil.send(PartyId::Server1, Step::SecureSumVotes, &zeros).unwrap();
+        evil.send(PartyId::Server2, Step::SecureSumVotes, &zeros).unwrap();
+
+        let (r1, r2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s1,
+                    Step::SecureSumVotes,
+                    &[0, 1],
+                    2,
+                    1,
+                    keys.server1().peer_public(),
+                    PartyId::Server2,
+                    1,
+                    &Parallelism::sequential(),
+                )
+            });
+            let h2 = scope.spawn(|| {
+                aggregate_surviving_vectors(
+                    &mut s2,
+                    Step::SecureSumVotes,
+                    &[0, 1],
+                    2,
+                    1,
+                    keys.server2().peer_public(),
+                    PartyId::Server1,
+                    1,
+                    &Parallelism::sequential(),
+                )
+            });
+            (h1.join().unwrap().unwrap(), h2.join().unwrap().unwrap())
+        });
+        assert_eq!(r1.survivors, vec![0]);
+        assert_eq!(r2.survivors, vec![0]);
+        assert_eq!(net.meter().fault_stats().rejected_ciphertexts, 2);
     }
 
     #[test]

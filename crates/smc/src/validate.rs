@@ -1,0 +1,176 @@
+//! Adversarial input validation for the servers' receive paths.
+//!
+//! Users are honest-but-curious in the paper's model, but a robust
+//! implementation cannot assume honest *encodings*: a flipped bit, a
+//! replayed upload or a deliberately malformed ciphertext must be
+//! rejected with a typed error before any homomorphic work touches it —
+//! never absorbed, never a panic. [`UploadValidator`] centralizes the
+//! three checks every encrypted upload must pass:
+//!
+//! 1. **freshness** — the (sender, step, sequence) tuple has not been
+//!    seen before (the transport de-duplicates redelivered envelopes;
+//!    this catches a peer that re-numbers a replay);
+//! 2. **arity** — the vector has exactly one entry per class;
+//! 3. **well-formedness** — each ciphertext is a unit of `Z_{n²}`:
+//!    non-zero, fully reduced, and coprime with `n`. This mirrors the
+//!    check `PrivateKey::decrypt` performs, but runs it on the *public*
+//!    side so a hostile value is refused at the door of the server that
+//!    cannot decrypt it.
+//!
+//! Every rejection increments the matching [`transport::FaultEvent`]
+//! counter on the round's [`Meter`], so chaos runs and operators can see
+//! exactly what was refused and why.
+
+use std::collections::HashSet;
+
+use bigint::gcd::gcd;
+use paillier::{Ciphertext, PublicKey};
+use transport::{FaultEvent, Meter, PartyId, Step};
+
+use crate::error::SmcError;
+
+/// Stateful validator for one server's inbound uploads within a round.
+///
+/// Keep one instance per collection phase (its replay window is the set
+/// of tuples it has seen); it is cheap — the per-ciphertext gcd is the
+/// only non-trivial work, and it runs once per upload element.
+#[derive(Debug)]
+pub struct UploadValidator {
+    num_classes: usize,
+    seen: HashSet<(PartyId, Step, u64)>,
+}
+
+impl UploadValidator {
+    /// A validator expecting `num_classes` entries per uploaded vector.
+    pub fn new(num_classes: usize) -> UploadValidator {
+        UploadValidator { num_classes, seen: HashSet::new() }
+    }
+
+    /// Validates one received upload. On failure, records the matching
+    /// rejection counter on `meter` and returns the typed error; the
+    /// caller decides whether that is fatal (strict collection) or a
+    /// dropout (resilient collection).
+    ///
+    /// # Errors
+    ///
+    /// [`SmcError::DuplicateSubmission`], [`SmcError::LengthMismatch`]
+    /// or [`SmcError::InvalidCiphertext`], checked in that order.
+    pub fn check(
+        &mut self,
+        meter: &Meter,
+        from: PartyId,
+        step: Step,
+        seq: u64,
+        shares: &[Ciphertext],
+        key: &PublicKey,
+    ) -> Result<(), SmcError> {
+        if !self.seen.insert((from, step, seq)) {
+            meter.record_fault(FaultEvent::RejectedDuplicate);
+            return Err(SmcError::DuplicateSubmission { from, step, seq });
+        }
+        if shares.len() != self.num_classes {
+            meter.record_fault(FaultEvent::RejectedArity);
+            return Err(SmcError::LengthMismatch { expected: self.num_classes, got: shares.len() });
+        }
+        let n = key.modulus();
+        let n2 = key.modulus_squared();
+        for (index, share) in shares.iter().enumerate() {
+            let raw = share.as_raw();
+            if raw.is_zero() || raw >= n2 || !gcd(raw, n).is_one() {
+                meter.record_fault(FaultEvent::RejectedCiphertext);
+                return Err(SmcError::InvalidCiphertext { from, index });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionConfig, SessionKeys};
+    use bigint::Ubig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, Vec<Ciphertext>) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let keys = SessionKeys::generate(SessionConfig::test(1, 2), &mut rng);
+        let key = keys.server1().peer_public().clone();
+        let good: Vec<Ciphertext> =
+            (0..2).map(|v| key.encrypt(&Ubig::from(v as u64 + 1), &mut rng).unwrap()).collect();
+        (key, good)
+    }
+
+    #[test]
+    fn well_formed_upload_passes() {
+        let (key, good) = setup();
+        let key = &key;
+        let meter = Meter::new();
+        let mut v = UploadValidator::new(2);
+        v.check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, key).unwrap();
+        let stats = meter.fault_stats();
+        assert_eq!(stats.rejected_ciphertexts, 0);
+        assert_eq!(stats.rejected_arity, 0);
+        assert_eq!(stats.rejected_duplicates, 0);
+    }
+
+    #[test]
+    fn replayed_sequence_number_is_rejected() {
+        let (key, good) = setup();
+        let key = &key;
+        let meter = Meter::new();
+        let mut v = UploadValidator::new(2);
+        v.check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, key).unwrap();
+        let err =
+            v.check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, key).unwrap_err();
+        assert!(matches!(
+            err,
+            SmcError::DuplicateSubmission {
+                from: PartyId::User(0),
+                step: Step::SecureSumVotes,
+                seq: 1
+            }
+        ));
+        assert_eq!(meter.fault_stats().rejected_duplicates, 1);
+        // Same seq from a different sender or step is fine.
+        v.check(&meter, PartyId::User(1), Step::SecureSumVotes, 1, &good, key).unwrap();
+        v.check(&meter, PartyId::User(0), Step::SecureSumNoisy, 1, &good, key).unwrap();
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected_and_counted() {
+        let (key, good) = setup();
+        let key = &key;
+        let meter = Meter::new();
+        let mut v = UploadValidator::new(3);
+        let err =
+            v.check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, key).unwrap_err();
+        assert!(matches!(err, SmcError::LengthMismatch { expected: 3, got: 2 }));
+        assert_eq!(meter.fault_stats().rejected_arity, 1);
+    }
+
+    #[test]
+    fn hostile_ciphertexts_are_rejected_and_counted() {
+        let (key, good) = setup();
+        let key = &key;
+        let meter = Meter::new();
+        let zero = Ciphertext::from_raw(Ubig::from(0u64));
+        let unreduced = Ciphertext::from_raw(key.modulus_squared().clone());
+        // A multiple of n shares a factor with n, so it is not a unit.
+        let non_unit = Ciphertext::from_raw(key.modulus().clone());
+        for (seq, bad) in [zero, unreduced, non_unit].into_iter().enumerate() {
+            let mut shares = good.clone();
+            shares[1] = bad;
+            let mut v = UploadValidator::new(2);
+            let err = v
+                .check(&meter, PartyId::User(0), Step::SecureSumVotes, seq as u64, &shares, key)
+                .unwrap_err();
+            assert!(
+                matches!(err, SmcError::InvalidCiphertext { from: PartyId::User(0), index: 1 }),
+                "seq {seq}: {err:?}"
+            );
+        }
+        assert_eq!(meter.fault_stats().rejected_ciphertexts, 3);
+    }
+}

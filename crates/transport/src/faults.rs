@@ -69,6 +69,9 @@ pub struct FaultPlan {
     corrupt_prob: f64,
     /// Party → first step at which the party is dead.
     crashes: BTreeMap<PartyId, Step>,
+    /// Party → first step at which a crashed party is alive again. A
+    /// party with a crash entry but no revive entry stays dead forever.
+    revives: BTreeMap<PartyId, Step>,
     /// When set, probabilistic faults only hit this link direction.
     link_filter: Option<LinkKind>,
     /// When set, probabilistic faults only hit this step.
@@ -87,6 +90,7 @@ impl FaultPlan {
             duplicate_prob: 0.0,
             corrupt_prob: 0.0,
             crashes: BTreeMap::new(),
+            revives: BTreeMap::new(),
             link_filter: None,
             step_filter: None,
         }
@@ -134,6 +138,42 @@ impl FaultPlan {
         self
     }
 
+    /// Revives a previously [`Self::crash`]ed party `steps` protocol steps
+    /// after its crash point: the crash becomes a blackout window rather
+    /// than a permanent death, modeling crash-then-restart. With
+    /// `steps == 0` the crash never manifests; if the window extends past
+    /// [`Step::Restoration`] the party stays dead for the whole round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` has no scheduled crash.
+    #[must_use]
+    pub fn revive_after(mut self, party: PartyId, steps: usize) -> FaultPlan {
+        let at = *self
+            .crashes
+            .get(&party)
+            .unwrap_or_else(|| panic!("revive_after({party:?}) without a scheduled crash"));
+        match Step::from_ordinal((at.ordinal() as usize).saturating_add(steps).min(255) as u8) {
+            Some(back) => {
+                self.revives.insert(party, back);
+            }
+            // Window runs past the last step: equivalent to crash-forever.
+            None => {
+                self.revives.remove(&party);
+            }
+        }
+        self
+    }
+
+    /// Removes any crash (and revive) scheduled for `party`, as when a
+    /// supervisor restarts a crashed server before retrying a round.
+    #[must_use]
+    pub fn without_crash(mut self, party: PartyId) -> FaultPlan {
+        self.crashes.remove(&party);
+        self.revives.remove(&party);
+        self
+    }
+
     /// Restricts probabilistic faults to one link direction (crashes are
     /// unaffected).
     #[must_use]
@@ -160,9 +200,19 @@ impl FaultPlan {
         self.crashes.get(&party).copied()
     }
 
-    /// True if `party` is dead by `step` (its sends must vanish).
+    /// The step at which a crashed `party` comes back, if scheduled via
+    /// [`Self::revive_after`].
+    pub fn revive_step(&self, party: PartyId) -> Option<Step> {
+        self.revives.get(&party).copied()
+    }
+
+    /// True if `party` is dead at `step` (its sends must vanish): at or
+    /// past its crash step and, when a revival is scheduled, before the
+    /// revival step.
     pub fn is_crashed(&self, party: PartyId, step: Step) -> bool {
-        self.crashes.get(&party).is_some_and(|&at| step >= at)
+        self.crashes.get(&party).is_some_and(|&at| {
+            step >= at && self.revives.get(&party).is_none_or(|&back| step < back)
+        })
     }
 
     /// The deterministic decision for message `seq` from `from` to `to`
@@ -290,6 +340,60 @@ mod tests {
         assert!(plan.is_crashed(PartyId::User(2), Step::Restoration));
         assert!(!plan.is_crashed(PartyId::User(1), Step::Restoration));
         assert_eq!(plan.crash_step(PartyId::User(2)), Some(Step::SecureSumNoisy));
+    }
+
+    #[test]
+    fn revive_after_turns_crash_into_a_window() {
+        let plan = FaultPlan::new(21)
+            .crash(PartyId::Server1, Step::BlindPermute1)
+            .revive_after(PartyId::Server1, 2);
+        assert!(!plan.is_crashed(PartyId::Server1, Step::SecureSumVotes));
+        assert!(plan.is_crashed(PartyId::Server1, Step::BlindPermute1));
+        assert!(plan.is_crashed(PartyId::Server1, Step::CompareRank));
+        assert!(!plan.is_crashed(PartyId::Server1, Step::ThresholdCheck));
+        assert!(!plan.is_crashed(PartyId::Server1, Step::Restoration));
+        assert_eq!(plan.revive_step(PartyId::Server1), Some(Step::ThresholdCheck));
+    }
+
+    #[test]
+    fn revive_past_last_step_is_crash_forever() {
+        let plan = FaultPlan::new(22)
+            .crash(PartyId::User(0), Step::CompareNoisyRank)
+            .revive_after(PartyId::User(0), 5);
+        assert!(plan.is_crashed(PartyId::User(0), Step::Restoration));
+        assert_eq!(plan.revive_step(PartyId::User(0)), None);
+    }
+
+    #[test]
+    fn revive_after_zero_steps_never_crashes() {
+        let plan = FaultPlan::new(23)
+            .crash(PartyId::User(1), Step::SecureSumVotes)
+            .revive_after(PartyId::User(1), 0);
+        for step in Step::ALL {
+            assert!(!plan.is_crashed(PartyId::User(1), step), "{step:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a scheduled crash")]
+    fn revive_without_crash_panics() {
+        let _ = FaultPlan::new(24).revive_after(PartyId::Server2, 1);
+    }
+
+    #[test]
+    fn without_crash_clears_crash_and_revive() {
+        let plan = FaultPlan::new(25)
+            .crash(PartyId::Server2, Step::Setup)
+            .revive_after(PartyId::Server2, 3)
+            .crash(PartyId::User(4), Step::SecureSumNoisy)
+            .without_crash(PartyId::Server2);
+        for step in Step::ALL {
+            assert!(!plan.is_crashed(PartyId::Server2, step), "{step:?}");
+        }
+        assert_eq!(plan.crash_step(PartyId::Server2), None);
+        assert_eq!(plan.revive_step(PartyId::Server2), None);
+        // Other parties' crashes survive the removal.
+        assert!(plan.is_crashed(PartyId::User(4), Step::SecureSumNoisy));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod faults;
 pub mod latency;
 pub mod metrics;
@@ -44,6 +45,9 @@ pub mod network;
 pub mod segment;
 pub mod wire;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
+};
 pub use faults::{FaultDecision, FaultPlan};
 pub use latency::{LinkProfile, NetworkProfile};
 pub use metrics::{FaultEvent, FaultStats, LinkKind, Meter, MeterReport, Step};

@@ -74,6 +74,17 @@ impl Step {
         }
     }
 
+    /// Position of this step in [`Step::ALL`] — a dense, stable ordinal
+    /// also used as the step's wire tag in checkpoint records.
+    pub const fn ordinal(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Inverse of [`Step::ordinal`]: `None` if `tag` is out of range.
+    pub fn from_ordinal(tag: u8) -> Option<Step> {
+        Step::ALL.get(tag as usize).copied()
+    }
+
     /// The step number used in Alg. 5 / Tables I-II, or `None` for setup.
     pub fn paper_number(&self) -> Option<u8> {
         match self {
@@ -180,6 +191,18 @@ pub enum FaultEvent {
     CorruptionDetected,
     /// A crashed party attempted a send (silently discarded).
     CrashedSend,
+    /// A round state snapshot was written to a checkpoint store.
+    CheckpointSaved,
+    /// A round state snapshot was restored from a checkpoint store.
+    CheckpointRestored,
+    /// A supervised round was resumed from a checkpoint after a failure.
+    RoundResumed,
+    /// An inbound Paillier ciphertext failed well-formedness validation.
+    RejectedCiphertext,
+    /// An inbound share vector had the wrong arity for the session.
+    RejectedArity,
+    /// An inbound (sender, step, seq) submission was already processed.
+    RejectedDuplicate,
 }
 
 /// Totals of reliability events, one counter per [`FaultEvent`].
@@ -203,6 +226,18 @@ pub struct FaultStats {
     pub corruptions_detected: u64,
     /// Sends attempted by crashed parties.
     pub crashed_sends: u64,
+    /// Round state snapshots written to a checkpoint store.
+    pub checkpoints_saved: u64,
+    /// Round state snapshots restored from a checkpoint store.
+    pub checkpoints_restored: u64,
+    /// Supervised rounds resumed from a checkpoint after a failure.
+    pub rounds_resumed: u64,
+    /// Inbound ciphertexts rejected by well-formedness validation.
+    pub rejected_ciphertexts: u64,
+    /// Inbound share vectors rejected for wrong arity.
+    pub rejected_arity: u64,
+    /// Inbound submissions rejected as (sender, step, seq) duplicates.
+    pub rejected_duplicates: u64,
 }
 
 impl FaultEvent {
@@ -218,12 +253,18 @@ impl FaultEvent {
             FaultEvent::CorruptionInjected => 6,
             FaultEvent::CorruptionDetected => 7,
             FaultEvent::CrashedSend => 8,
+            FaultEvent::CheckpointSaved => 9,
+            FaultEvent::CheckpointRestored => 10,
+            FaultEvent::RoundResumed => 11,
+            FaultEvent::RejectedCiphertext => 12,
+            FaultEvent::RejectedArity => 13,
+            FaultEvent::RejectedDuplicate => 14,
         }
     }
 }
 
 /// Number of [`FaultEvent`] variants (fault-counter array length).
-const FAULT_KINDS: usize = 9;
+const FAULT_KINDS: usize = 15;
 
 impl FaultStats {
     /// True if no event was ever recorded.
@@ -317,6 +358,12 @@ impl Meter {
             corruptions_injected: read(FaultEvent::CorruptionInjected),
             corruptions_detected: read(FaultEvent::CorruptionDetected),
             crashed_sends: read(FaultEvent::CrashedSend),
+            checkpoints_saved: read(FaultEvent::CheckpointSaved),
+            checkpoints_restored: read(FaultEvent::CheckpointRestored),
+            rounds_resumed: read(FaultEvent::RoundResumed),
+            rejected_ciphertexts: read(FaultEvent::RejectedCiphertext),
+            rejected_arity: read(FaultEvent::RejectedArity),
+            rejected_duplicates: read(FaultEvent::RejectedDuplicate),
         }
     }
 
@@ -439,6 +486,12 @@ impl MeterReport {
             ("corruptions injected", f.corruptions_injected),
             ("corruptions detected", f.corruptions_detected),
             ("sends by crashed parties", f.crashed_sends),
+            ("checkpoints saved", f.checkpoints_saved),
+            ("checkpoints restored", f.checkpoints_restored),
+            ("rounds resumed", f.rounds_resumed),
+            ("ciphertexts rejected", f.rejected_ciphertexts),
+            ("bad-arity vectors rejected", f.rejected_arity),
+            ("duplicate submissions rejected", f.rejected_duplicates),
         ] {
             if count > 0 {
                 out.push_str(&format!("{label:<28} | {count}\n"));
@@ -592,6 +645,39 @@ mod tests {
         let report = meter.report();
         assert!(!report.render_table1().contains("Reliability events"));
         assert!(report.render_fault_summary().contains("no timeouts"));
+    }
+
+    #[test]
+    fn recovery_and_rejection_counters_accumulate() {
+        let meter = Meter::new();
+        meter.record_fault(FaultEvent::CheckpointSaved);
+        meter.record_fault(FaultEvent::CheckpointSaved);
+        meter.record_fault(FaultEvent::CheckpointRestored);
+        meter.record_fault(FaultEvent::RoundResumed);
+        meter.record_fault(FaultEvent::RejectedCiphertext);
+        meter.record_fault(FaultEvent::RejectedArity);
+        meter.record_fault(FaultEvent::RejectedDuplicate);
+        let stats = meter.fault_stats();
+        assert_eq!(stats.checkpoints_saved, 2);
+        assert_eq!(stats.checkpoints_restored, 1);
+        assert_eq!(stats.rounds_resumed, 1);
+        assert_eq!(stats.rejected_ciphertexts, 1);
+        assert_eq!(stats.rejected_arity, 1);
+        assert_eq!(stats.rejected_duplicates, 1);
+        let summary = meter.report().render_fault_summary();
+        assert!(summary.contains("checkpoints saved"), "{summary}");
+        assert!(summary.contains("rounds resumed"), "{summary}");
+        assert!(summary.contains("duplicate submissions rejected"), "{summary}");
+    }
+
+    #[test]
+    fn step_ordinals_roundtrip() {
+        for (i, &step) in Step::ALL.iter().enumerate() {
+            assert_eq!(step.ordinal() as usize, i);
+            assert_eq!(Step::from_ordinal(step.ordinal()), Some(step));
+        }
+        assert_eq!(Step::from_ordinal(9), None);
+        assert_eq!(Step::from_ordinal(255), None);
     }
 
     #[test]

@@ -378,6 +378,25 @@ impl Endpoint {
         self.recv_with_timeout(from, step, self.timeout)
     }
 
+    /// [`Self::recv`], additionally returning the frame's per-link
+    /// sequence number so application-layer validation can reject
+    /// duplicate `(sender, step, seq)` submissions and recovery replay
+    /// can stay idempotent.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::recv`].
+    pub fn recv_tagged<T: Wire>(
+        &mut self,
+        from: PartyId,
+        step: Step,
+    ) -> Result<(u64, T), TransportError> {
+        let env = self.recv_envelope(from, step, self.timeout)?;
+        let seq = env.seq;
+        let value = T::from_bytes(env.payload)?;
+        Ok((seq, value))
+    }
+
     /// [`Self::recv`] with an explicit per-call timeout policy.
     ///
     /// # Errors
@@ -389,6 +408,19 @@ impl Endpoint {
         step: Step,
         policy: TimeoutPolicy,
     ) -> Result<T, TransportError> {
+        let env = self.recv_envelope(from, step, policy)?;
+        T::from_bytes(env.payload).map_err(Into::into)
+    }
+
+    /// The blocking matcher behind every receive: returns the next
+    /// checksum-verified envelope from `(from, step)` within the policy's
+    /// windows, stashing unrelated traffic.
+    fn recv_envelope(
+        &mut self,
+        from: PartyId,
+        step: Step,
+        policy: TimeoutPolicy,
+    ) -> Result<Envelope, TransportError> {
         let start = Instant::now();
         let final_deadline = start + policy.total_budget();
         let mut window_end = start + policy.window(0);
@@ -407,10 +439,10 @@ impl Endpoint {
                     .and_then(|q| q.remove(idx))
                     .expect("stash index just found");
                 match classify_delay(&env, window_end, final_deadline) {
-                    Delivery::Ready => return self.open_envelope(env),
+                    Delivery::Ready => return self.verify_envelope(env),
                     Delivery::Sleep(until) => {
                         std::thread::sleep(until.saturating_duration_since(Instant::now()));
-                        return self.open_envelope(env);
+                        return self.verify_envelope(env);
                     }
                     Delivery::NotYet => {
                         // Re-insert at the same position: it stays the
@@ -430,10 +462,10 @@ impl Endpoint {
                     let Some(env) = self.intake(env) else { continue };
                     if env.from == from && env.step == step && !stream_blocked {
                         match classify_delay(&env, window_end, final_deadline) {
-                            Delivery::Ready => return self.open_envelope(env),
+                            Delivery::Ready => return self.verify_envelope(env),
                             Delivery::Sleep(until) => {
                                 std::thread::sleep(until.saturating_duration_since(Instant::now()));
-                                return self.open_envelope(env);
+                                return self.verify_envelope(env);
                             }
                             Delivery::NotYet => {
                                 self.stashed.entry(from).or_default().push_back(env);
@@ -473,13 +505,13 @@ impl Endpoint {
         Some(env)
     }
 
-    /// Checksum-verifies and decodes a deliverable envelope.
-    fn open_envelope<T: Wire>(&self, env: Envelope) -> Result<T, TransportError> {
+    /// Checksum-verifies a deliverable envelope.
+    fn verify_envelope(&self, env: Envelope) -> Result<Envelope, TransportError> {
         if frame_checksum(&env.payload, env.seq) != env.checksum {
             self.meter.record_fault(FaultEvent::CorruptionDetected);
             return Err(TransportError::Corrupt(env.from));
         }
-        T::from_bytes(env.payload).map_err(Into::into)
+        Ok(env)
     }
 
     /// Receives one message from each of `froms`, in the given order,
@@ -957,6 +989,42 @@ mod tests {
         assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
         let stats = net.meter().fault_stats();
         assert_eq!(stats.crashed_sends, 1);
+    }
+
+    #[test]
+    fn recv_tagged_exposes_per_link_sequence_numbers() {
+        let mut net = Network::new(1);
+        let u = net.take_endpoint(PartyId::User(0));
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        u.send(PartyId::Server1, Step::SecureSumVotes, &7u64).unwrap();
+        u.send(PartyId::Server1, Step::SecureSumVotes, &8u64).unwrap();
+        let (seq_a, a): (u64, u64) =
+            s1.recv_tagged(PartyId::User(0), Step::SecureSumVotes).unwrap();
+        let (seq_b, b): (u64, u64) =
+            s1.recv_tagged(PartyId::User(0), Step::SecureSumVotes).unwrap();
+        assert_eq!((a, b), (7, 8));
+        assert_eq!((seq_a, seq_b), (1, 2), "per-link seq starts at 1 and increments");
+    }
+
+    #[test]
+    fn revived_party_sends_deliver_again() {
+        // Crash window covers only SecureSumNoisy: sends before and after
+        // the window deliver, sends inside it vanish.
+        let plan = FaultPlan::new(7)
+            .crash(PartyId::User(0), Step::SecureSumNoisy)
+            .revive_after(PartyId::User(0), 1);
+        let mut net = Network::builder(1).timeout(quick()).faults(plan).build();
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        let u = net.take_endpoint(PartyId::User(0));
+        u.send(PartyId::Server1, Step::SecureSumVotes, &1u64).unwrap();
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::SecureSumVotes).unwrap(), 1);
+        u.send(PartyId::Server1, Step::SecureSumNoisy, &2u64).unwrap();
+        let err = s1.recv::<u64>(PartyId::User(0), Step::SecureSumNoisy).unwrap_err();
+        assert_eq!(err, TransportError::Timeout(PartyId::User(0)));
+        // Back from the dead at BlindPermute2.
+        u.send(PartyId::Server1, Step::BlindPermute2, &3u64).unwrap();
+        assert_eq!(s1.recv::<u64>(PartyId::User(0), Step::BlindPermute2).unwrap(), 3);
+        assert_eq!(net.meter().fault_stats().crashed_sends, 1);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use paillier::Ciphertext;
 use std::error::Error;
 use std::fmt;
 
+use crate::metrics::Step;
+
 /// Errors produced when decoding a wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -22,6 +24,9 @@ pub enum WireError {
     InvalidTag(u8),
     /// A declared length exceeds sanity bounds.
     LengthOverflow(u64),
+    /// The bytes decoded but violate a structural invariant of the type
+    /// (e.g. a permutation whose indices are not a bijection).
+    Malformed(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -30,6 +35,7 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "wire payload truncated"),
             WireError::InvalidTag(t) => write!(f, "invalid wire tag {t:#04x}"),
             WireError::LengthOverflow(n) => write!(f, "declared length {n} exceeds bounds"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
         }
     }
 }
@@ -166,6 +172,17 @@ impl Wire for usize {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let v = u64::decode(buf)?;
         usize::try_from(v).map_err(|_| WireError::LengthOverflow(v))
+    }
+}
+
+impl Wire for Step {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.ordinal());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Step::from_ordinal(tag).ok_or(WireError::InvalidTag(tag))
     }
 }
 
@@ -377,6 +394,17 @@ mod tests {
         };
         roundtrip(bits);
         roundtrip(BlindedWitnesses { witnesses: vec![DgkCiphertext::from_raw(Ubig::one())] });
+    }
+
+    #[test]
+    fn steps_roundtrip_and_reject_bad_tags() {
+        for step in Step::ALL {
+            roundtrip(step);
+        }
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        assert_eq!(Step::from_bytes(buf.freeze()), Err(WireError::InvalidTag(9)));
+        assert_eq!(Step::from_bytes(Bytes::new()), Err(WireError::Truncated));
     }
 
     #[test]

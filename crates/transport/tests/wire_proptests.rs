@@ -5,7 +5,9 @@
 
 use bigint::{Ibig, Ubig};
 use bytes::Bytes;
+use paillier::Ciphertext;
 use proptest::prelude::*;
+use smc::{Permutation, RoundState};
 use transport::wire::{Wire, WireError};
 
 /// Decodes `bytes` as `T`, returning the error if any; the call itself
@@ -118,4 +120,121 @@ proptest! {
 fn invalid_bool_and_option_tags_are_typed_errors() {
     assert_eq!(try_decode::<bool>(&[2]), Err(WireError::InvalidTag(2)));
     assert_eq!(try_decode::<Option<u8>>(&[7, 0]), Err(WireError::InvalidTag(7)));
+}
+
+/// Raw ciphertext vectors as a checkpoint would hold them: the codec
+/// carries them opaquely, so arbitrary residues (valid or hostile) must
+/// round-trip byte-for-byte.
+fn ciphertext_vecs() -> impl Strategy<Value = Vec<Ciphertext>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u64>(), 0..4)
+            .prop_map(|limbs| Ciphertext::from_raw(Ubig::from_limbs(limbs))),
+        0..4,
+    )
+}
+
+/// Genuine bijections only — a shuffled identity of arbitrary length.
+fn permutations() -> impl Strategy<Value = Permutation> {
+    (0usize..8).prop_flat_map(|n| {
+        Just((0..n).collect::<Vec<usize>>()).prop_shuffle().prop_map(|idx| {
+            Permutation::from_indices(idx).expect("shuffled identity is a bijection")
+        })
+    })
+}
+
+fn rosters() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..64, 0..6)
+}
+
+fn sequences() -> impl Strategy<Value = Vec<i128>> {
+    proptest::collection::vec(any::<i128>(), 0..5)
+}
+
+/// Every [`RoundState`] variant the recovery journal can hold, with
+/// arbitrary payloads in each field.
+fn round_states() -> impl Strategy<Value = RoundState> {
+    prop_oneof![
+        Just(RoundState::Start),
+        (ciphertext_vecs(), ciphertext_vecs(), rosters()).prop_map(|(votes, thresh, survivors)| {
+            RoundState::Summed { votes, thresh, survivors }
+        }),
+        (sequences(), sequences(), permutations(), rosters()).prop_map(
+            |(votes_seq, thresh_seq, permutation, survivors)| RoundState::Permuted {
+                votes_seq,
+                thresh_seq,
+                permutation,
+                survivors,
+            }
+        ),
+        (any::<usize>(), sequences(), rosters()).prop_map(|(slot, thresh_seq, survivors)| {
+            RoundState::Ranked { slot, thresh_seq, survivors }
+        }),
+        rosters().prop_map(|survivors| RoundState::Gated { survivors }),
+        (ciphertext_vecs(), rosters(), proptest::option::of(rosters())).prop_map(
+            |(noisy, survivors, noisy_survivors)| RoundState::SummedNoisy {
+                noisy,
+                survivors,
+                noisy_survivors,
+            }
+        ),
+        (sequences(), permutations(), rosters(), proptest::option::of(rosters())).prop_map(
+            |(noisy_seq, permutation, survivors, noisy_survivors)| RoundState::PermutedNoisy {
+                noisy_seq,
+                permutation,
+                survivors,
+                noisy_survivors,
+            }
+        ),
+        (any::<usize>(), permutations(), rosters(), proptest::option::of(rosters())).prop_map(
+            |(noisy_slot, permutation, survivors, noisy_survivors)| RoundState::RankedNoisy {
+                noisy_slot,
+                permutation,
+                survivors,
+                noisy_survivors,
+            }
+        ),
+        (proptest::option::of(any::<usize>()), rosters(), proptest::option::of(rosters()))
+            .prop_map(|(label, survivors, noisy_survivors)| RoundState::Done {
+                label,
+                survivors,
+                noisy_survivors,
+            }),
+    ]
+}
+
+proptest! {
+    /// The recovery invariant's foundation: a snapshot decodes back to
+    /// exactly the state that was journaled, for every variant.
+    #[test]
+    fn round_state_round_trips(state in round_states()) {
+        let bytes = state.to_bytes();
+        let back = RoundState::from_bytes(bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, state);
+    }
+
+    /// A torn journal tail — any strict prefix of a snapshot — must be a
+    /// typed error, so a crashed-mid-write checkpoint degrades to the
+    /// previous snapshot instead of a panic or a half-read state.
+    #[test]
+    fn truncated_round_states_error(state in round_states()) {
+        assert_prefixes_error::<RoundState>(&state.to_bytes());
+    }
+
+    /// Unknown step tags (the first snapshot byte) are typed errors.
+    #[test]
+    fn unknown_round_state_tags_error(tag in 9u8.., tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&tail);
+        prop_assert_eq!(try_decode::<RoundState>(&frame), Err(WireError::InvalidTag(tag)));
+    }
+
+    /// Bit flips and random garbage may decode or error, never panic.
+    #[test]
+    fn damaged_round_states_never_panic(state in round_states(), byte_pos in any::<u64>(), bit in 0u8..8, garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = state.to_bytes().to_vec();
+        let idx = (byte_pos as usize) % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = try_decode::<RoundState>(&bytes);
+        let _ = try_decode::<RoundState>(&garbage);
+    }
 }

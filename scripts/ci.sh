@@ -26,6 +26,9 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> crash-recovery smoke (1 crash step, 2 seeds)"
+cargo test -q -p consensus-core --test recovery recovery_smoke_two_seeds
+
 echo "==> bench harness smoke (scripts/bench.sh --smoke, 2 worker threads)"
 bash scripts/bench.sh --smoke --threads 2
 
