@@ -1,14 +1,29 @@
 //! Offline functional shim for the `crossbeam 0.8` channel surface used
 //! by this workspace, backed by `std::sync::mpsc`.
 
-/// MPSC channels with timeout-aware receive.
+/// MPSC channels (bounded and unbounded) with timeout-aware receive.
 pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
+    /// The two `std::sync::mpsc` sender flavors behind one surface.
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
     /// Sending half (clonable).
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Flavor<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -25,6 +40,15 @@ pub mod channel {
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv_timeout`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,13 +73,37 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message.
+        /// Enqueues a message, blocking while a bounded channel is full.
         ///
         /// # Errors
         ///
         /// Returns the message if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                Flavor::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                Flavor::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Non-blocking enqueue.
+        ///
+        /// # Errors
+        ///
+        /// `Full` when a bounded channel is at capacity, `Disconnected`
+        /// when the receiver was dropped. Unbounded channels never report
+        /// `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Flavor::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                Flavor::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
@@ -99,7 +147,14 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: Flavor::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages;
+    /// [`Sender::send`] blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: Flavor::Bounded(tx) }, Receiver { inner: rx })
     }
 }
 
@@ -116,5 +171,32 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         drop(tx);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2u32).unwrap();
+        assert_eq!(tx.try_send(3u32), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3u32).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4u32), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // Blocks until the consumer below makes room.
+                tx.send(2u32).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
     }
 }

@@ -29,6 +29,12 @@
 //! [`Parallelism`] engine. Every JSON sample carries the thread count it
 //! was measured at.
 //!
+//! The emitted JSON also contains one `fault_counters` object with the
+//! reliability counters the end-to-end rounds accumulated — timeouts,
+//! retries, `rejected_*` upload-validation refusals, backpressure and
+//! socket events — all expected to be zero on a healthy machine, so a
+//! trend line notices the first run where they are not.
+//!
 //! Usage:
 //! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--iters N] [--threads N] [--out PATH]`
 //!
@@ -54,7 +60,7 @@ use rand::SeedableRng;
 use smc::secure_sum::aggregate_user_vectors;
 use smc::{Parallelism, SessionConfig};
 use std::sync::Arc;
-use transport::{Meter, Network, PartyId, Step};
+use transport::{FaultStats, Meter, Network, PartyId, Step};
 
 /// The dispatch threshold the pre-change `modular::modpow` used.
 const OLD_MONTGOMERY_EXP_THRESHOLD: u64 = 24;
@@ -105,6 +111,12 @@ fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> u128 {
 
 struct Report {
     entries: Vec<(String, u128, usize)>,
+    /// Reliability counters accumulated by the end-to-end engine rounds:
+    /// upload-validation rejections (`rejected_*`), injected/detected
+    /// faults, backpressure and socket-level events. All zero on a
+    /// healthy machine — the point is that CI trend lines notice when
+    /// they stop being zero.
+    faults: FaultStats,
 }
 
 impl Report {
@@ -133,16 +145,41 @@ impl Report {
 
     /// Hand-rolled JSON (the workspace has no serde_json): a flat
     /// `{"step": {"ns": N, "threads": T}, ...}` object, so every sample
-    /// records the worker-thread count it was measured at.
+    /// records the worker-thread count it was measured at, plus one
+    /// `"fault_counters"` object with the reliability and upload-
+    /// validation counters observed by the end-to-end engine rounds.
     fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        for (i, (step, ns, threads)) in self.entries.iter().enumerate() {
-            let comma = if i + 1 == self.entries.len() { "" } else { "," };
-            out.push_str(&format!(
-                "  \"{step}\": {{\"ns\": {ns}, \"threads\": {threads}}}{comma}\n"
-            ));
+        for (step, ns, threads) in &self.entries {
+            out.push_str(&format!("  \"{step}\": {{\"ns\": {ns}, \"threads\": {threads}}},\n"));
         }
-        out.push_str("}\n");
+        let f = &self.faults;
+        let counters = [
+            ("timeouts", f.timeouts),
+            ("retries", f.retries),
+            ("drops_injected", f.drops_injected),
+            ("delays_injected", f.delays_injected),
+            ("duplicates_injected", f.duplicates_injected),
+            ("duplicates_suppressed", f.duplicates_suppressed),
+            ("corruptions_injected", f.corruptions_injected),
+            ("corruptions_detected", f.corruptions_detected),
+            ("crashed_sends", f.crashed_sends),
+            ("checkpoints_saved", f.checkpoints_saved),
+            ("checkpoints_restored", f.checkpoints_restored),
+            ("rounds_resumed", f.rounds_resumed),
+            ("rejected_ciphertexts", f.rejected_ciphertexts),
+            ("rejected_arity", f.rejected_arity),
+            ("rejected_duplicates", f.rejected_duplicates),
+            ("backpressure_blocked", f.backpressure_blocked),
+            ("liveness_expired", f.liveness_expired),
+            ("reconnects", f.reconnects),
+        ];
+        out.push_str("  \"fault_counters\": {");
+        for (i, (name, count)) in counters.iter().enumerate() {
+            let comma = if i + 1 == counters.len() { "" } else { ", " };
+            out.push_str(&format!("\"{name}\": {count}{comma}"));
+        }
+        out.push_str("}\n}\n");
         out
     }
 }
@@ -155,7 +192,7 @@ fn main() {
     let out_path: String = args.get("out", "BENCH_protocol.json".to_string());
 
     let mut rng = StdRng::seed_from_u64(42);
-    let mut report = Report { entries: Vec::new() };
+    let mut report = Report { entries: Vec::new(), faults: FaultStats::default() };
     println!(
         "bench_protocol: {} iters/step ({} for heavy steps){}",
         iters,
@@ -414,6 +451,9 @@ fn main() {
     println!(
         "\nThread-scaling sweep (threads ∈ {sweep:?}, |U| = {sweep_users}, K = {sweep_classes}):"
     );
+    // One meter across the whole sweep: its counters become the JSON's
+    // `fault_counters` object.
+    let meter = Meter::new();
     for &t in &sweep {
         let par = Parallelism::new(t);
 
@@ -486,7 +526,6 @@ fn main() {
         )
         .with_ranking(RankingStrategy::Batched)
         .with_parallelism(par);
-        let meter = Meter::new();
         report.record_at(
             &format!("par_engine_round_u8_k10_t{t}"),
             time_ns(e2e_iters, || {
@@ -501,6 +540,7 @@ fn main() {
     }
 
     // ----- Summary + JSON -------------------------------------------------
+    report.faults = meter.fault_stats();
     println!("\nSpeedups vs pre-change baseline (same operands):");
     for step in
         ["paillier_encrypt", "paillier_decrypt", "paillier_mul_plain", "dgk_encrypt", "dgk_is_zero"]

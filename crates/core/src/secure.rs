@@ -59,7 +59,7 @@ use smc::secure_sum::{aggregate_surviving_vectors, aggregate_user_vectors, encry
 use smc::{Parallelism, RoundState, ServerContext, SessionConfig, SessionKeys, SmcError};
 use transport::{
     CheckpointStore, Endpoint, FaultEvent, FaultPlan, FaultStats, Meter, Network, PartyId, Step,
-    TimeoutPolicy, Wire,
+    TimeoutPolicy, TransportBackend, Wire,
 };
 
 use crate::clear::draw_user_noise_shares;
@@ -226,6 +226,7 @@ pub struct SecureEngine {
     ranking: RankingStrategy,
     timeout: TimeoutPolicy,
     faults: Option<FaultPlan>,
+    transport: TransportBackend,
 }
 
 impl std::fmt::Debug for SecureEngine {
@@ -291,6 +292,7 @@ impl SecureEngine {
             ranking: RankingStrategy::default(),
             timeout: TimeoutPolicy::default(),
             faults: None,
+            transport: TransportBackend::default(),
         }
     }
 
@@ -315,6 +317,21 @@ impl SecureEngine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Selects the transport backend every round's network is built over
+    /// (default in-proc channels). The protocol is backend-agnostic:
+    /// rounds over loopback TCP produce fingerprints bit-identical to
+    /// in-proc rounds under the same seed.
+    #[must_use]
+    pub fn with_transport(mut self, backend: TransportBackend) -> Self {
+        self.transport = backend;
+        self
+    }
+
+    /// The configured transport backend.
+    pub fn transport(&self) -> TransportBackend {
+        self.transport
     }
 
     /// Sets the data-parallelism config every party in every round uses
@@ -558,13 +575,15 @@ impl SecureEngine {
         })
     }
 
-    /// Builds one attempt's in-process network (`plan` may differ from
-    /// the engine's own on recovery attempts, where the supervisor strips
-    /// the server crashes that already fired).
+    /// Builds one attempt's network over the engine's transport backend
+    /// (`plan` may differ from the engine's own on recovery attempts,
+    /// where the supervisor strips the server crashes that already
+    /// fired).
     pub(crate) fn build_network(&self, meter: &Arc<Meter>, plan: Option<FaultPlan>) -> Network {
         let mut builder = Network::builder(self.keys.config().num_users)
             .meter(Arc::clone(meter))
-            .timeout(self.timeout);
+            .timeout(self.timeout)
+            .backend(self.transport);
         if let Some(plan) = plan {
             builder = builder.faults(plan);
         }

@@ -22,6 +22,13 @@
 //! * **Crash** — from the given step onward the party's sends vanish
 //!   silently (the crashed party does not know it is dead; its peers
 //!   observe only missing messages).
+//!
+//! The TCP backend adds a *socket* fault layer below all of the above:
+//! a [`SocketFault`] attached to a directed link routes that link
+//! through a chaos proxy ([`crate::ChaosProxy`]) that severs the
+//! connection mid-frame, stalls reads, or fragments writes. Socket
+//! faults exercise the transport's reconnect-and-resume machinery and
+//! are ignored by the in-proc backend (which has no sockets to break).
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -54,6 +61,24 @@ impl FaultDecision {
     }
 }
 
+/// Socket-level chaos injected on one directed TCP link (applied by a
+/// [`crate::ChaosProxy`] sitting between the dialer and the listener).
+/// All byte counts are measured on the dialer → listener stream,
+/// handshake bytes included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SocketFault {
+    /// Sever the connection (both directions, mid-frame) once this many
+    /// bytes have been forwarded. Fires once; subsequent reconnections
+    /// pass cleanly, so resume machinery is what gets tested.
+    pub kill_after_bytes: Option<u64>,
+    /// Stall forwarding for the given pause once this many bytes have
+    /// been forwarded (fires once) — models a hung read.
+    pub stall: Option<(u64, Duration)>,
+    /// Fragment every forwarded write into tiny chunks, exercising
+    /// short-read handling in the framing layer.
+    pub partial_writes: bool,
+}
+
 /// A deterministic, seedable schedule of transport faults.
 ///
 /// Probabilities are evaluated against a seeded per-message hash, not a
@@ -76,6 +101,9 @@ pub struct FaultPlan {
     link_filter: Option<LinkKind>,
     /// When set, probabilistic faults only hit this step.
     step_filter: Option<Step>,
+    /// Socket-level chaos per directed link, applied only by the TCP
+    /// backend (via a chaos proxy on that link).
+    socket_faults: BTreeMap<(PartyId, PartyId), SocketFault>,
 }
 
 impl FaultPlan {
@@ -93,6 +121,7 @@ impl FaultPlan {
             revives: BTreeMap::new(),
             link_filter: None,
             step_filter: None,
+            socket_faults: BTreeMap::new(),
         }
     }
 
@@ -188,6 +217,48 @@ impl FaultPlan {
     pub fn only_step(mut self, step: Step) -> FaultPlan {
         self.step_filter = Some(step);
         self
+    }
+
+    /// Severs the TCP connection carrying `from → to` traffic once
+    /// `after_bytes` have crossed it (mid-frame, both directions). The
+    /// kill fires once; the link's writer is expected to reconnect and
+    /// replay unacknowledged frames. Ignored by the in-proc backend.
+    #[must_use]
+    pub fn sever_connection(mut self, from: PartyId, to: PartyId, after_bytes: u64) -> FaultPlan {
+        self.socket_faults.entry((from, to)).or_default().kill_after_bytes = Some(after_bytes);
+        self
+    }
+
+    /// Stalls the `from → to` TCP stream for `pause` once `after_bytes`
+    /// have crossed it (fires once). Ignored by the in-proc backend.
+    #[must_use]
+    pub fn stall_connection(
+        mut self,
+        from: PartyId,
+        to: PartyId,
+        after_bytes: u64,
+        pause: Duration,
+    ) -> FaultPlan {
+        self.socket_faults.entry((from, to)).or_default().stall = Some((after_bytes, pause));
+        self
+    }
+
+    /// Fragments every write on the `from → to` TCP stream into tiny
+    /// chunks. Ignored by the in-proc backend.
+    #[must_use]
+    pub fn partial_writes(mut self, from: PartyId, to: PartyId) -> FaultPlan {
+        self.socket_faults.entry((from, to)).or_default().partial_writes = true;
+        self
+    }
+
+    /// The socket fault attached to the directed link `from → to`, if any.
+    pub fn socket_fault(&self, from: PartyId, to: PartyId) -> Option<SocketFault> {
+        self.socket_faults.get(&(from, to)).copied()
+    }
+
+    /// All scheduled socket faults, keyed by directed link.
+    pub fn socket_faults(&self) -> &BTreeMap<(PartyId, PartyId), SocketFault> {
+        &self.socket_faults
     }
 
     /// The plan's seed.
@@ -416,6 +487,23 @@ mod tests {
             FaultPlan::new(5).drop_messages(1.0).duplicate_messages(1.0).corrupt_messages(1.0);
         let d = plan.decide(PartyId::User(0), PartyId::Server1, Step::SecureSumVotes, 1);
         assert!(d.drop && d.duplicates == 0 && !d.corrupt);
+    }
+
+    #[test]
+    fn socket_faults_accumulate_per_link() {
+        let plan = FaultPlan::new(30)
+            .sever_connection(PartyId::Server1, PartyId::Server2, 1024)
+            .partial_writes(PartyId::Server1, PartyId::Server2)
+            .stall_connection(PartyId::User(0), PartyId::Server1, 64, Duration::from_millis(5));
+        let s12 = plan.socket_fault(PartyId::Server1, PartyId::Server2).unwrap();
+        assert_eq!(s12.kill_after_bytes, Some(1024));
+        assert!(s12.partial_writes);
+        assert_eq!(s12.stall, None);
+        let u0 = plan.socket_fault(PartyId::User(0), PartyId::Server1).unwrap();
+        assert_eq!(u0.stall, Some((64, Duration::from_millis(5))));
+        assert_eq!(u0.kill_after_bytes, None);
+        assert_eq!(plan.socket_fault(PartyId::Server2, PartyId::Server1), None);
+        assert_eq!(plan.socket_faults().len(), 2);
     }
 
     #[test]

@@ -8,12 +8,22 @@
 //! * [`wire`] — a compact length-prefixed binary codec for every message
 //!   type the protocol exchanges (big integers, ciphertexts, share
 //!   vectors, comparison rounds);
-//! * [`network`] — an in-process network of parties (N users + two
-//!   servers) connected by unbounded channels, with blocking typed
-//!   send/receive;
+//! * [`network`] — a network of parties (N users + two servers) with
+//!   blocking typed send/receive over one of two interchangeable
+//!   backends ([`TransportBackend`]): bounded in-process channels, or
+//!   real loopback TCP sockets;
+//! * [`tcp`] — the TCP backend: length-prefixed framing, a versioned
+//!   session handshake, heartbeats with a liveness deadline, and
+//!   reconnect-and-resume from the last acknowledged sequence number;
+//! * [`proxy`] — a socket-level chaos proxy (mid-frame severs, stalled
+//!   reads, fragmented writes) driven by [`FaultPlan`] socket faults;
 //! * [`metrics`] — per-protocol-step counters of bytes, messages and wall
 //!   time, split by link direction. These counters regenerate Table I
 //!   (computation) and Table II (communication) of the paper.
+//!
+//! Link queues on both backends are *bounded*: a slow consumer blocks its
+//! senders (recorded as backpressure on the [`Meter`]) instead of growing
+//! an unbounded buffer.
 //!
 //! # Examples
 //!
@@ -40,18 +50,24 @@
 pub mod checkpoint;
 pub mod faults;
 pub mod latency;
+mod link;
 pub mod metrics;
 pub mod network;
+pub mod proxy;
 pub mod segment;
+pub mod tcp;
 pub mod wire;
 
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
 };
-pub use faults::{FaultDecision, FaultPlan};
+pub use faults::{FaultDecision, FaultPlan, SocketFault};
 pub use latency::{LinkProfile, NetworkProfile};
 pub use metrics::{FaultEvent, FaultStats, LinkKind, Meter, MeterReport, Step};
 pub use network::{
-    Endpoint, Network, NetworkBuilder, PartyId, RecvEachError, TimeoutPolicy, TransportError,
+    Endpoint, Network, NetworkBuilder, PartyId, RecvEachError, TimeoutPolicy, TransportBackend,
+    TransportError,
 };
+pub use proxy::ChaosProxy;
+pub use tcp::TcpConfig;
 pub use wire::{Wire, WireError};

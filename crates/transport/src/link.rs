@@ -1,0 +1,115 @@
+//! The link abstraction shared by every transport backend.
+//!
+//! An [`crate::Endpoint`] holds one *link sender* per peer and one
+//! incoming envelope queue; everything above this line (sequence
+//! numbers, checksums, dedup, stashing, timeouts, fault injection) is
+//! backend-agnostic. A [`LinkSender`] is the backend-specific sending
+//! half:
+//!
+//! * **In-proc** — a bounded channel straight into the peer's incoming
+//!   queue (the classic mesh, now with backpressure);
+//! * **TCP** — a bounded queue into a per-link writer thread that owns a
+//!   real loopback socket (see [`crate::tcp`]).
+//!
+//! Both flavors are *bounded*: a send that finds the queue full records
+//! [`FaultEvent::BackpressureBlocked`] on the meter and then blocks until
+//! the consumer makes room — a slow consumer applies backpressure instead
+//! of growing an unbounded buffer.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{Sender, TrySendError};
+
+use crate::metrics::{FaultEvent, Meter, Step};
+use crate::network::{PartyId, TransportError};
+use crate::tcp::TcpLink;
+
+/// Default bounded capacity of every link queue: generous enough that a
+/// full protocol round never blocks on it, small enough that a runaway
+/// sender cannot exhaust memory.
+pub(crate) const DEFAULT_CAPACITY: usize = 4096;
+
+/// One message in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub(crate) from: PartyId,
+    /// Carried for (sender, step) receive matching and wire framing.
+    pub(crate) step: Step,
+    /// Per-link sequence number (starts at 1); duplicates share it.
+    pub(crate) seq: u64,
+    /// Frame checksum over `(seq, payload)` computed before any fault
+    /// mutation, so in-flight corruption is detectable.
+    pub(crate) checksum: u64,
+    /// Injected delivery delay: the receiver must not consume the frame
+    /// before this instant.
+    pub(crate) deliver_after: Option<Instant>,
+    pub(crate) payload: Bytes,
+}
+
+/// FNV-1a over the payload, seeded with the sequence number.
+pub(crate) fn frame_checksum(payload: &[u8], seq: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seq.wrapping_mul(0x0100_0000_01b3);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministically flips one payload bit (position derived from `seq`).
+pub(crate) fn corrupt_payload(payload: &Bytes, seq: u64) -> Bytes {
+    let mut v = payload.to_vec();
+    if !v.is_empty() {
+        let idx = (seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize) % v.len();
+        v[idx] ^= 1 << (seq % 8);
+    }
+    Bytes::from(v)
+}
+
+/// Enqueues into a bounded channel with backpressure accounting: a full
+/// queue is recorded once, then the send blocks until room appears.
+pub(crate) fn send_bounded(
+    tx: &Sender<Envelope>,
+    env: Envelope,
+    to: PartyId,
+    meter: &Meter,
+) -> Result<(), TransportError> {
+    match tx.try_send(env) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(_)) => Err(TransportError::Disconnected(to)),
+        Err(TrySendError::Full(env)) => {
+            meter.record_fault(FaultEvent::BackpressureBlocked);
+            tx.send(env).map_err(|_| TransportError::Disconnected(to))
+        }
+    }
+}
+
+/// The sending half of one directed link, over whichever backend the
+/// network was built with.
+pub(crate) enum LinkSender {
+    /// Bounded channel straight into the peer's incoming queue.
+    Channel(Sender<Envelope>),
+    /// Bounded queue into a socket writer thread.
+    Tcp(TcpLink),
+}
+
+impl LinkSender {
+    /// Hands an envelope to the link, blocking under backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the peer's queue (in-proc)
+    /// or the link's writer (TCP, after fabric shutdown) is gone.
+    pub(crate) fn send(
+        &self,
+        env: Envelope,
+        to: PartyId,
+        meter: &Meter,
+    ) -> Result<(), TransportError> {
+        match self {
+            LinkSender::Channel(tx) => send_bounded(tx, env, to, meter),
+            LinkSender::Tcp(link) => link.send(env, to, meter),
+        }
+    }
+}

@@ -203,6 +203,15 @@ pub enum FaultEvent {
     RejectedArity,
     /// An inbound (sender, step, seq) submission was already processed.
     RejectedDuplicate,
+    /// A send found its bounded link queue full and had to block until
+    /// the consumer made room (backpressure, not loss).
+    BackpressureBlocked,
+    /// A connected peer went silent past the liveness deadline and was
+    /// declared dead (the receive fails over to the dropout path).
+    LivenessExpired,
+    /// A severed socket link was re-established and resumed from the
+    /// last acknowledged sequence number.
+    Reconnected,
 }
 
 /// Totals of reliability events, one counter per [`FaultEvent`].
@@ -238,6 +247,12 @@ pub struct FaultStats {
     pub rejected_arity: u64,
     /// Inbound submissions rejected as (sender, step, seq) duplicates.
     pub rejected_duplicates: u64,
+    /// Sends that blocked on a full bounded link queue.
+    pub backpressure_blocked: u64,
+    /// Peers declared dead after going silent past the liveness deadline.
+    pub liveness_expired: u64,
+    /// Socket links re-established after a connection loss.
+    pub reconnects: u64,
 }
 
 impl FaultEvent {
@@ -259,12 +274,15 @@ impl FaultEvent {
             FaultEvent::RejectedCiphertext => 12,
             FaultEvent::RejectedArity => 13,
             FaultEvent::RejectedDuplicate => 14,
+            FaultEvent::BackpressureBlocked => 15,
+            FaultEvent::LivenessExpired => 16,
+            FaultEvent::Reconnected => 17,
         }
     }
 }
 
 /// Number of [`FaultEvent`] variants (fault-counter array length).
-const FAULT_KINDS: usize = 15;
+const FAULT_KINDS: usize = 18;
 
 impl FaultStats {
     /// True if no event was ever recorded.
@@ -364,6 +382,9 @@ impl Meter {
             rejected_ciphertexts: read(FaultEvent::RejectedCiphertext),
             rejected_arity: read(FaultEvent::RejectedArity),
             rejected_duplicates: read(FaultEvent::RejectedDuplicate),
+            backpressure_blocked: read(FaultEvent::BackpressureBlocked),
+            liveness_expired: read(FaultEvent::LivenessExpired),
+            reconnects: read(FaultEvent::Reconnected),
         }
     }
 
@@ -492,6 +513,9 @@ impl MeterReport {
             ("ciphertexts rejected", f.rejected_ciphertexts),
             ("bad-arity vectors rejected", f.rejected_arity),
             ("duplicate submissions rejected", f.rejected_duplicates),
+            ("sends blocked on backpressure", f.backpressure_blocked),
+            ("peers declared dead (liveness)", f.liveness_expired),
+            ("connections re-established", f.reconnects),
         ] {
             if count > 0 {
                 out.push_str(&format!("{label:<28} | {count}\n"));
@@ -668,6 +692,23 @@ mod tests {
         assert!(summary.contains("checkpoints saved"), "{summary}");
         assert!(summary.contains("rounds resumed"), "{summary}");
         assert!(summary.contains("duplicate submissions rejected"), "{summary}");
+    }
+
+    #[test]
+    fn transport_robustness_counters_accumulate() {
+        let meter = Meter::new();
+        meter.record_fault(FaultEvent::BackpressureBlocked);
+        meter.record_fault(FaultEvent::BackpressureBlocked);
+        meter.record_fault(FaultEvent::LivenessExpired);
+        meter.record_fault(FaultEvent::Reconnected);
+        let stats = meter.fault_stats();
+        assert_eq!(stats.backpressure_blocked, 2);
+        assert_eq!(stats.liveness_expired, 1);
+        assert_eq!(stats.reconnects, 1);
+        let summary = meter.report().render_fault_summary();
+        assert!(summary.contains("sends blocked on backpressure"), "{summary}");
+        assert!(summary.contains("peers declared dead (liveness)"), "{summary}");
+        assert!(summary.contains("connections re-established"), "{summary}");
     }
 
     #[test]

@@ -1,29 +1,41 @@
-//! In-process network: parties, endpoints and typed blocking channels.
+//! Network of parties and endpoints with typed, metered send/receive.
 //!
 //! A [`Network`] wires `N` users and two servers into a full mesh of
-//! unbounded crossbeam channels. Each party takes its [`Endpoint`] and can
-//! then be moved onto its own thread; `send`/`recv` are typed through the
-//! [`Wire`] codec and metered per [`Step`].
+//! *bounded* links over one of two interchangeable backends
+//! ([`TransportBackend`]): the in-proc channel mesh, or real loopback
+//! TCP sockets (see [`crate::tcp`]). Each party takes its [`Endpoint`]
+//! and can then be moved onto its own thread; `send`/`recv` are typed
+//! through the [`Wire`] codec and metered per [`Step`]. Everything above
+//! the link — sequence numbers, checksums, dedup, stashing, timeouts,
+//! fault injection — is backend-agnostic, so protocol code runs
+//! unmodified over either backend and produces identical transcripts.
 //!
 //! Reliability: every frame carries a sequence number and checksum, so
 //! duplicated frames are suppressed and corrupted frames are detected on
-//! receive. Receive deadlines come from a per-network [`TimeoutPolicy`]
+//! receive. Link queues are bounded (a slow consumer blocks its senders
+//! instead of growing an unbounded buffer — see [`crate::link`]).
+//! Receive deadlines come from a per-network [`TimeoutPolicy`]
 //! (overridable per call), and a [`FaultPlan`] can be attached at
 //! construction to inject deterministic drop/delay/duplicate/corrupt/crash
-//! faults — see [`crate::faults`].
+//! faults — see [`crate::faults`]. On the TCP backend a heartbeat-fed
+//! liveness deadline additionally converts a dead peer into a prompt
+//! [`TransportError::Timeout`] (the existing dropout path).
 
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 
 use crate::faults::FaultPlan;
+use crate::link::{corrupt_payload, frame_checksum, Envelope, LinkSender, DEFAULT_CAPACITY};
 use crate::metrics::{FaultEvent, LinkKind, Meter, Step};
+use crate::tcp::{build_mesh, Liveness, TcpConfig, TcpFabric};
 use crate::wire::{Wire, WireError};
 
 /// Identifies a protocol party.
@@ -54,6 +66,28 @@ impl PartyId {
             (PartyId::User(_), _) => LinkKind::UserToServer,
             (_, PartyId::User(_)) => LinkKind::ServerToUser,
             _ => LinkKind::ServerToServer,
+        }
+    }
+}
+
+impl Wire for PartyId {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PartyId::Server1 => 1u8.encode(buf),
+            PartyId::Server2 => 2u8.encode(buf),
+            PartyId::User(u) => {
+                3u8.encode(buf);
+                (*u as u64).encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            1 => Ok(PartyId::Server1),
+            2 => Ok(PartyId::Server2),
+            3 => Ok(PartyId::User(u64::decode(buf)? as usize)),
+            tag => Err(WireError::InvalidTag(tag)),
         }
     }
 }
@@ -141,6 +175,14 @@ impl TimeoutPolicy {
         TimeoutPolicy { base, max_retries, backoff }
     }
 
+    /// Tuned for loopback transports in tests, examples and CI smokes:
+    /// short windows with a couple of backed-off retries (~350 ms total
+    /// budget), so a dead loopback peer is detected in milliseconds
+    /// instead of riding the 120 s default.
+    pub fn fast_local() -> TimeoutPolicy {
+        TimeoutPolicy::with_retries(Duration::from_millis(50), 2, 2.0)
+    }
+
     /// The duration of wait window `attempt` (0 = initial window).
     pub fn window(&self, attempt: u32) -> Duration {
         self.base.mul_f64(self.backoff.powi(attempt as i32))
@@ -150,45 +192,6 @@ impl TimeoutPolicy {
     pub fn total_budget(&self) -> Duration {
         (0..=self.max_retries).map(|a| self.window(a)).sum()
     }
-}
-
-/// One message in flight.
-#[derive(Debug, Clone)]
-struct Envelope {
-    from: PartyId,
-    /// Carried for wire-level diagnostics (inspected via `Debug` when a
-    /// receive mismatch is being investigated); routing is sender-based.
-    #[allow(dead_code)]
-    step: Step,
-    /// Per-link sequence number (starts at 1); duplicates share it.
-    seq: u64,
-    /// Frame checksum over `(seq, payload)` computed before any fault
-    /// mutation, so in-flight corruption is detectable.
-    checksum: u64,
-    /// Injected delivery delay: the receiver must not consume the frame
-    /// before this instant.
-    deliver_after: Option<Instant>,
-    payload: Bytes,
-}
-
-/// FNV-1a over the payload, seeded with the sequence number.
-fn frame_checksum(payload: &[u8], seq: u64) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seq.wrapping_mul(0x0100_0000_01b3);
-    for &b in payload {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
-}
-
-/// Deterministically flips one payload bit (position derived from `seq`).
-fn corrupt_payload(payload: &Bytes, seq: u64) -> Bytes {
-    let mut v = payload.to_vec();
-    if !v.is_empty() {
-        let idx = (seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize) % v.len();
-        v[idx] ^= 1 << (seq % 8);
-    }
-    Bytes::from(v)
 }
 
 /// How a pulled envelope relates to the current receive deadline.
@@ -264,7 +267,7 @@ impl<T> Error for RecvEachError<T> {}
 /// meter.
 pub struct Endpoint {
     id: PartyId,
-    outgoing: HashMap<PartyId, Sender<Envelope>>,
+    outgoing: HashMap<PartyId, LinkSender>,
     incoming: Receiver<Envelope>,
     /// Messages received from other parties while waiting for a specific
     /// sender; replayed on later receives.
@@ -277,6 +280,11 @@ pub struct Endpoint {
     timeout: TimeoutPolicy,
     faults: Option<Arc<FaultPlan>>,
     meter: Arc<Meter>,
+    /// TCP backend only: when each connected peer was last heard from.
+    liveness: Option<Arc<Liveness>>,
+    /// TCP backend only: keeps the socket fabric alive for as long as any
+    /// endpoint is.
+    _fabric: Option<Arc<TcpFabric>>,
 }
 
 impl fmt::Debug for Endpoint {
@@ -354,9 +362,9 @@ impl Endpoint {
             self.meter.record_fault(FaultEvent::DuplicateInjected);
             // A failed duplicate enqueue is indistinguishable from the
             // duplicate being lost — ignore it.
-            let _ = sender.send(env.clone());
+            let _ = sender.send(env.clone(), to, &self.meter);
         }
-        sender.send(env).map_err(|_| TransportError::Disconnected(to))
+        sender.send(env, to, &self.meter)
     }
 
     /// Receives the next message *from a specific sender tagged with a
@@ -456,7 +464,12 @@ impl Endpoint {
             // A stashed NotYet head must keep blocking the stream.
             let stream_blocked =
                 self.stashed.get(&from).is_some_and(|q| q.iter().any(|e| e.step == step));
-            let wait = window_end.saturating_duration_since(Instant::now());
+            let mut wait = window_end.saturating_duration_since(Instant::now());
+            if let Some(live) = &self.liveness {
+                // Wake periodically so a peer going silent mid-window is
+                // noticed at the liveness deadline, not the policy one.
+                wait = wait.min(live.poll_interval());
+            }
             match self.incoming.recv_timeout(wait) {
                 Ok(env) => {
                     let Some(env) = self.intake(env) else { continue };
@@ -477,6 +490,17 @@ impl Endpoint {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    if self.liveness.as_ref().is_some_and(|l| l.expired(from)) {
+                        // The peer connected and then went silent past the
+                        // heartbeat deadline: declare it dead now instead
+                        // of waiting out the full receive budget.
+                        self.meter.record_fault(FaultEvent::LivenessExpired);
+                        self.meter.record_fault(FaultEvent::Timeout);
+                        return Err(TransportError::Timeout(from));
+                    }
+                    if Instant::now() < window_end {
+                        continue; // liveness poll tick, window still open
+                    }
                     if attempt < policy.max_retries {
                         attempt += 1;
                         self.meter.record_fault(FaultEvent::Retry);
@@ -543,6 +567,26 @@ impl Endpoint {
     }
 }
 
+/// Which wire a [`Network`]'s links run over.
+///
+/// Protocol code is backend-agnostic: the same engine, supervisor and
+/// examples run unmodified over either backend and produce bit-identical
+/// transcripts (per-link FIFO and the seq-keyed dedup layer are
+/// preserved by both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportBackend {
+    /// Bounded in-process channels — fastest, no sockets.
+    #[default]
+    InProc,
+    /// Real loopback TCP sockets with handshake, heartbeats and
+    /// reconnect-and-resume — see [`crate::tcp`].
+    Tcp(TcpConfig),
+}
+
+/// Source of default session ids: every network gets a fresh one so a
+/// stray TCP connection from an earlier round fails the handshake.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
 /// Configures a [`Network`] before construction.
 #[derive(Debug)]
 pub struct NetworkBuilder {
@@ -550,6 +594,9 @@ pub struct NetworkBuilder {
     meter: Option<Arc<Meter>>,
     timeout: TimeoutPolicy,
     faults: Option<FaultPlan>,
+    capacity: usize,
+    backend: TransportBackend,
+    session: Option<u64>,
 }
 
 impl NetworkBuilder {
@@ -574,23 +621,55 @@ impl NetworkBuilder {
         self
     }
 
+    /// Bounded capacity of every link queue (default
+    /// generous — a full protocol round never blocks on it). A send into
+    /// a full queue records backpressure on the meter and blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> NetworkBuilder {
+        assert!(capacity > 0, "link capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Selects the transport backend (default in-proc).
+    #[must_use]
+    pub fn backend(mut self, backend: TransportBackend) -> NetworkBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`Self::backend`] with a TCP configuration.
+    #[must_use]
+    pub fn tcp(self, cfg: TcpConfig) -> NetworkBuilder {
+        self.backend(TransportBackend::Tcp(cfg))
+    }
+
+    /// Overrides the session id the TCP handshake negotiates (defaults
+    /// to a process-unique counter value).
+    #[must_use]
+    pub fn session(mut self, session: u64) -> NetworkBuilder {
+        self.session = Some(session);
+        self
+    }
+
     /// Wires the mesh.
     pub fn build(self) -> Network {
-        Network::assemble(
-            self.num_users,
-            self.meter.unwrap_or_default(),
-            self.timeout,
-            self.faults.map(Arc::new),
-        )
+        Network::assemble(self)
     }
 }
 
-/// An in-process network of `num_users` users plus the two servers.
+/// A network of `num_users` users plus the two servers over one
+/// [`TransportBackend`].
 pub struct Network {
     endpoints: HashMap<PartyId, Endpoint>,
     meter: Arc<Meter>,
     num_users: usize,
     faults: Option<Arc<FaultPlan>>,
+    fabric: Option<Arc<TcpFabric>>,
 }
 
 impl fmt::Debug for Network {
@@ -613,50 +692,78 @@ impl Network {
 
     /// Starts configuring a network.
     pub fn builder(num_users: usize) -> NetworkBuilder {
-        NetworkBuilder { num_users, meter: None, timeout: TimeoutPolicy::default(), faults: None }
+        NetworkBuilder {
+            num_users,
+            meter: None,
+            timeout: TimeoutPolicy::default(),
+            faults: None,
+            capacity: DEFAULT_CAPACITY,
+            backend: TransportBackend::default(),
+            session: None,
+        }
     }
 
-    fn assemble(
-        num_users: usize,
-        meter: Arc<Meter>,
-        timeout: TimeoutPolicy,
-        faults: Option<Arc<FaultPlan>>,
-    ) -> Network {
+    fn assemble(builder: NetworkBuilder) -> Network {
+        let NetworkBuilder { num_users, meter, timeout, faults, capacity, backend, session } =
+            builder;
+        let meter = meter.unwrap_or_default();
+        let faults = faults.map(Arc::new);
+        let session = session.unwrap_or_else(|| NEXT_SESSION.fetch_add(1, Ordering::Relaxed));
         let parties: Vec<PartyId> =
             (0..num_users).map(PartyId::User).chain([PartyId::Server1, PartyId::Server2]).collect();
-        let mut senders: HashMap<PartyId, Sender<Envelope>> = HashMap::new();
-        let mut receivers: HashMap<PartyId, Receiver<Envelope>> = HashMap::new();
-        for &p in &parties {
-            let (tx, rx) = unbounded();
-            senders.insert(p, tx);
-            receivers.insert(p, rx);
-        }
-        let endpoints = parties
-            .iter()
-            .map(|&p| {
+
+        let (mut incoming, mut outgoing, liveness, fabric) = match backend {
+            TransportBackend::InProc => {
+                let mut senders: HashMap<PartyId, crossbeam::channel::Sender<Envelope>> =
+                    HashMap::new();
+                let mut receivers: HashMap<PartyId, Receiver<Envelope>> = HashMap::new();
+                for &p in &parties {
+                    let (tx, rx) = bounded(capacity);
+                    senders.insert(p, tx);
+                    receivers.insert(p, rx);
+                }
                 // No self-sender: a party never messages itself, and keeping
                 // one alive would stop channel disconnection from propagating
                 // when a peer's endpoint is dropped mid-protocol.
                 let outgoing = parties
                     .iter()
-                    .filter(|&&q| q != p)
-                    .map(|&q| (q, senders[&q].clone()))
+                    .map(|&p| {
+                        let links = parties
+                            .iter()
+                            .filter(|&&q| q != p)
+                            .map(|&q| (q, LinkSender::Channel(senders[&q].clone())))
+                            .collect::<HashMap<_, _>>();
+                        (p, links)
+                    })
                     .collect::<HashMap<_, _>>();
+                (receivers, outgoing, HashMap::new(), None)
+            }
+            TransportBackend::Tcp(cfg) => {
+                let mesh = build_mesh(&parties, session, cfg, capacity, &meter, faults.as_deref());
+                (mesh.incoming, mesh.outgoing, mesh.liveness, Some(mesh.fabric))
+            }
+        };
+
+        let endpoints = parties
+            .iter()
+            .map(|&p| {
                 let endpoint = Endpoint {
                     id: p,
-                    outgoing,
-                    incoming: receivers.remove(&p).expect("each party has a receiver"),
+                    outgoing: outgoing.remove(&p).expect("each party has links"),
+                    incoming: incoming.remove(&p).expect("each party has a receiver"),
                     stashed: HashMap::new(),
                     send_seq: Mutex::new(HashMap::new()),
                     seen_seq: HashMap::new(),
                     timeout,
                     faults: faults.clone(),
                     meter: Arc::clone(&meter),
+                    liveness: liveness.get(&p).cloned(),
+                    _fabric: fabric.clone(),
                 };
                 (p, endpoint)
             })
             .collect();
-        Network { endpoints, meter, num_users, faults }
+        Network { endpoints, meter, num_users, faults, fabric }
     }
 
     /// Number of users in the mesh.
@@ -677,6 +784,13 @@ impl Network {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_deref()
+    }
+
+    /// Loopback listener address of each party when built with the TCP
+    /// backend (`None` in-proc) — for diagnostics and for tests that poke
+    /// the fabric with raw sockets.
+    pub fn listener_addrs(&self) -> Option<&HashMap<PartyId, std::net::SocketAddr>> {
+        self.fabric.as_ref().map(|f| &f.addrs)
     }
 
     /// Removes and returns a party's endpoint so it can be moved to a
@@ -1045,5 +1159,51 @@ mod tests {
         let b = run(99);
         assert_eq!(a, b, "same seed must reproduce the same fault schedule");
         assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok), "p=0.5 should mix: {a:?}");
+    }
+
+    #[test]
+    fn party_id_wire_roundtrip() {
+        for p in [PartyId::Server1, PartyId::Server2, PartyId::User(0), PartyId::User(12345)] {
+            let bytes = p.to_bytes();
+            assert_eq!(PartyId::from_bytes(bytes).unwrap(), p);
+        }
+        assert!(PartyId::from_bytes(Bytes::from(vec![9u8])).is_err());
+    }
+
+    #[test]
+    fn fast_local_policy_is_sub_second() {
+        let policy = TimeoutPolicy::fast_local();
+        assert!(policy.total_budget() < Duration::from_secs(1));
+        assert!(policy.max_retries >= 1, "must grant at least one retry window");
+    }
+
+    #[test]
+    fn slow_consumer_applies_backpressure_instead_of_growing() {
+        // Capacity 2 with 40 sends: the producer must block on the full
+        // queue (recorded on the meter) and every message still arrives.
+        let mut net = Network::builder(1).capacity(2).timeout(quick()).build();
+        let u = net.take_endpoint(PartyId::User(0));
+        let mut s1 = net.take_endpoint(PartyId::Server1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..40u64 {
+                    u.send(PartyId::Server1, Step::SecureSumVotes, &i).unwrap();
+                }
+            });
+            // Let the producer hit the bound before consuming anything.
+            std::thread::sleep(Duration::from_millis(50));
+            for i in 0..40u64 {
+                let v: u64 = s1
+                    .recv_with_timeout(
+                        PartyId::User(0),
+                        Step::SecureSumVotes,
+                        TimeoutPolicy::new(Duration::from_secs(2)),
+                    )
+                    .unwrap();
+                assert_eq!(v, i);
+            }
+        });
+        let stats = net.meter().fault_stats();
+        assert!(stats.backpressure_blocked >= 1, "{stats:?}");
     }
 }

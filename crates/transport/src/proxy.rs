@@ -1,0 +1,270 @@
+//! Socket-level chaos: a loopback TCP proxy that injects faults a
+//! channel-based injector cannot express.
+//!
+//! A [`ChaosProxy`] sits between a dialing link writer and the real
+//! listener of the receiving party. The forward (dialer → listener)
+//! stream passes through the fault spec ([`SocketFault`]): it can be
+//! severed mid-frame after a byte budget, stalled for a pause, or
+//! fragmented into tiny writes. The reverse stream (acks, `HelloAck`)
+//! is forwarded untouched. One-shot faults (kill, stall) fire exactly
+//! once across the proxy's lifetime, so the connection a link
+//! re-establishes after the fault passes cleanly — which is precisely
+//! what lets tests assert that reconnect-and-resume, not luck, carried
+//! the round to completion.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::faults::SocketFault;
+
+/// Size of the write fragments used when `partial_writes` is active.
+const FRAGMENT: usize = 3;
+
+/// Fault bookkeeping shared by every connection through one proxy.
+struct ChaosState {
+    fault: SocketFault,
+    /// Bytes forwarded dialer → listener so far, across connections.
+    forwarded: AtomicU64,
+    killed: AtomicBool,
+    stalled: AtomicBool,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl ChaosState {
+    fn register(&self, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().push(clone);
+        }
+    }
+}
+
+/// A running chaos proxy; dropping it closes the listener and severs
+/// every connection it is carrying.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ChaosState>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding every
+    /// accepted connection to `target` under the given fault spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn spawn(target: SocketAddr, fault: SocketFault) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ChaosState {
+            fault,
+            forwarded: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("chaos-proxy-accept".into())
+            .spawn(move || run_acceptor(listener, target, accept_state))
+            .expect("spawn chaos proxy acceptor");
+        Ok(ChaosProxy { addr, state })
+    }
+
+    /// The address dialers should connect to instead of the real target.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        for conn in self.state.conns.lock().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn run_acceptor(listener: TcpListener, target: SocketAddr, state: Arc<ChaosState>) {
+    listener.set_nonblocking(true).expect("nonblocking chaos listener");
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let Ok(upstream) = TcpStream::connect(target) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let _ = client.set_nonblocking(false);
+                let _ = client.set_nodelay(true);
+                let _ = upstream.set_nodelay(true);
+                state.register(&client);
+                state.register(&upstream);
+                let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone())
+                else {
+                    continue;
+                };
+                let fwd_state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name("chaos-proxy-fwd".into())
+                    .spawn(move || pump_forward(client_r, upstream, &fwd_state))
+                    .expect("spawn chaos forward pump");
+                std::thread::Builder::new()
+                    .name("chaos-proxy-rev".into())
+                    .spawn(move || pump_reverse(upstream_r, client))
+                    .expect("spawn chaos reverse pump");
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Writes `chunk` downstream, optionally fragmented into tiny writes.
+fn write_chunk(mut out: &TcpStream, chunk: &[u8], fragment: bool) -> std::io::Result<()> {
+    if fragment {
+        for piece in chunk.chunks(FRAGMENT) {
+            out.write_all(piece)?;
+            out.flush()?;
+        }
+        Ok(())
+    } else {
+        out.write_all(chunk)
+    }
+}
+
+/// The chaotic direction: dialer → listener, with faults applied.
+fn pump_forward(mut client: TcpStream, upstream: TcpStream, state: &ChaosState) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match client.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        let before = state.forwarded.load(Ordering::SeqCst);
+
+        if let Some((at, pause)) = state.fault.stall {
+            if before < at && before + n as u64 >= at && !state.stalled.swap(true, Ordering::SeqCst)
+            {
+                std::thread::sleep(pause);
+            }
+        }
+
+        if let Some(kill_at) = state.fault.kill_after_bytes {
+            if !state.killed.load(Ordering::SeqCst) && before + n as u64 > kill_at {
+                // Forward only the bytes up to the kill point — a frame
+                // in flight is torn in half — then sever both directions.
+                state.killed.store(true, Ordering::SeqCst);
+                let keep = kill_at.saturating_sub(before) as usize;
+                let _ = write_chunk(&upstream, &chunk[..keep], state.fault.partial_writes);
+                state.forwarded.fetch_add(keep as u64, Ordering::SeqCst);
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = upstream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+
+        if write_chunk(&upstream, chunk, state.fault.partial_writes).is_err() {
+            break;
+        }
+        state.forwarded.fetch_add(n as u64, Ordering::SeqCst);
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = upstream.shutdown(Shutdown::Both);
+}
+
+/// The clean direction: listener → dialer (acks and handshake replies).
+fn pump_reverse(mut upstream: TcpStream, mut client: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match upstream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if client.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = upstream.shutdown(Shutdown::Both);
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if stream.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_proxy_forwards_both_ways() {
+        let target = echo_server();
+        let proxy = ChaosProxy::spawn(target, SocketFault::default()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+    }
+
+    #[test]
+    fn partial_writes_still_deliver_everything() {
+        let target = echo_server();
+        let fault = SocketFault { partial_writes: true, ..SocketFault::default() };
+        let proxy = ChaosProxy::spawn(target, fault).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let payload: Vec<u8> = (0..=255).collect();
+        conn.write_all(&payload).unwrap();
+        let mut back = vec![0u8; payload.len()];
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn kill_fires_once_then_later_connections_pass() {
+        let target = echo_server();
+        let fault = SocketFault { kill_after_bytes: Some(2), ..SocketFault::default() };
+        let proxy = ChaosProxy::spawn(target, fault).unwrap();
+
+        let mut first = TcpStream::connect(proxy.addr()).unwrap();
+        first.write_all(b"abcdef").unwrap();
+        first.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = Vec::new();
+        // At most the 2 pre-kill bytes come back before the sever.
+        let got = first.read_to_end(&mut sink).unwrap_or(sink.len());
+        assert!(got <= 2, "kill must truncate the stream, got {got} bytes");
+
+        let mut second = TcpStream::connect(proxy.addr()).unwrap();
+        second.write_all(b"again").unwrap();
+        let mut back = [0u8; 5];
+        second.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"again");
+    }
+}

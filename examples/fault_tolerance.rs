@@ -9,6 +9,12 @@
 //! recovered result is bit-identical to an uninterrupted round, and its
 //! privacy budget is charged exactly once.
 //!
+//! Two more fault classes round out the tour: hostile upload encodings
+//! (replays, wrong arity, malformed ciphertexts) refused at the door
+//! with their `rejected_*` counters surfaced on the meter, and a
+//! mid-round TCP connection kill that the socket transport heals by
+//! reconnect-and-replay without the protocol ever noticing.
+//!
 //! ```bash
 //! cargo run --release -p consensus-core --example fault_tolerance
 //! ```
@@ -16,13 +22,18 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bigint::Ubig;
 use consensus_core::config::ConsensusConfig;
 use consensus_core::recovery::{RdpLedger, RoundSupervisor};
 use consensus_core::secure::SecureEngine;
+use paillier::Ciphertext;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smc::{SessionConfig, SessionKeys, SmcError};
-use transport::{FaultPlan, MemoryCheckpointStore, Meter, PartyId, Step, TimeoutPolicy};
+use smc::{SessionConfig, SessionKeys, SmcError, UploadValidator};
+use transport::{
+    FaultPlan, MemoryCheckpointStore, Meter, PartyId, Step, TcpConfig, TimeoutPolicy,
+    TransportBackend,
+};
 
 fn main() {
     let users = 5;
@@ -105,7 +116,7 @@ fn main() {
         .expect("baseline round completes");
 
     let crash_plan = FaultPlan::new(9).crash(PartyId::Server2, Step::CompareRank);
-    let engine = SecureEngine::with_keys(keys, config)
+    let engine = SecureEngine::with_keys(keys.clone(), config)
         .with_timeout(TimeoutPolicy::with_retries(Duration::from_millis(100), 1, 2.0))
         .with_fault_plan(crash_plan);
     let ledger = Arc::new(RdpLedger::new());
@@ -135,4 +146,60 @@ fn main() {
         ledger.charges(),
         ledger.total().expect("one round charged").to_epsilon(delta)
     );
+
+    // Hostile encodings never reach the homomorphic pipeline: a replayed
+    // sequence number, a wrong-arity vector and a malformed ciphertext
+    // are each refused at the door of the server that cannot decrypt
+    // them, and every refusal lands on a `rejected_*` meter counter.
+    println!("\n== adversarial uploads rejected at the door ==");
+    let key = keys.server1().peer_public().clone();
+    let good: Vec<Ciphertext> =
+        (0..classes).map(|_| key.encrypt(&Ubig::from(1u64), &mut rng).expect("encrypt")).collect();
+    let meter = Meter::new();
+    let mut validator = UploadValidator::new(classes);
+    validator
+        .check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, &key)
+        .expect("a well-formed upload passes");
+    let replay = validator.check(&meter, PartyId::User(0), Step::SecureSumVotes, 1, &good, &key);
+    println!("replayed sequence:    {}", replay.unwrap_err());
+    let arity =
+        validator.check(&meter, PartyId::User(1), Step::SecureSumVotes, 1, &good[..1], &key);
+    println!("truncated vector:     {}", arity.unwrap_err());
+    let mut hostile = good.clone();
+    hostile[0] = Ciphertext::from_raw(Ubig::from(0u64));
+    let malformed =
+        validator.check(&meter, PartyId::User(2), Step::SecureSumVotes, 2, &hostile, &key);
+    println!("malformed ciphertext: {}", malformed.unwrap_err());
+    print!("\n{}", meter.report().render_fault_summary());
+
+    // The same story over real loopback sockets: a chaos proxy severs
+    // the server spine mid-frame, the link layer redials and replays
+    // from the last acknowledged sequence number, and the round lands on
+    // the in-proc fingerprint without the protocol ever seeing a
+    // dropout.
+    println!("\n== mid-round connection kill over real TCP sockets ==");
+    let inproc_engine =
+        SecureEngine::with_keys(keys.clone(), config).with_timeout(TimeoutPolicy::fast_local());
+    let mut tcp_rng = StdRng::seed_from_u64(91);
+    let inproc = inproc_engine
+        .run_instance(&instance, Meter::new(), &mut tcp_rng)
+        .expect("in-proc reference completes");
+
+    let sever_plan = FaultPlan::new(11).sever_connection(PartyId::Server1, PartyId::Server2, 2_000);
+    let tcp_engine = SecureEngine::with_keys(keys, config)
+        .with_timeout(TimeoutPolicy::fast_local())
+        .with_fault_plan(sever_plan)
+        .with_transport(TransportBackend::Tcp(TcpConfig::fast_local()));
+    let meter = Meter::new();
+    let mut tcp_rng = StdRng::seed_from_u64(91);
+    let tcp = tcp_engine
+        .run_instance(&instance, meter.clone(), &mut tcp_rng)
+        .expect("tcp round completes");
+    let stats = meter.fault_stats();
+    println!("reconnects={} dropouts={:?}", stats.reconnects, tcp.health.dropouts);
+    println!(
+        "tcp fingerprint matches in-proc: {}",
+        tcp.consensus_fingerprint() == inproc.consensus_fingerprint()
+    );
+    print!("\n{}", meter.report().render_fault_summary());
 }

@@ -29,6 +29,10 @@ cargo test -q
 echo "==> crash-recovery smoke (1 crash step, 2 seeds)"
 cargo test -q -p consensus-core --test recovery recovery_smoke_two_seeds
 
+echo "==> tcp transport smoke (fingerprint parity + mid-round connection kill, 2 seeds)"
+cargo test -q -p consensus-core --test chaos tcp_backend_matches_inproc_fingerprint
+cargo test -q -p consensus-core --test recovery tcp_connection_kill_recovers_two_seeds
+
 echo "==> bench harness smoke (scripts/bench.sh --smoke, 2 worker threads)"
 bash scripts/bench.sh --smoke --threads 2
 

@@ -14,7 +14,9 @@ use consensus_core::secure::{SecureEngine, SecureOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smc::{Parallelism, SessionConfig, SessionKeys, SmcError};
-use transport::{FaultPlan, LinkKind, Meter, PartyId, Step, TimeoutPolicy};
+use transport::{
+    FaultPlan, LinkKind, Meter, PartyId, Step, TcpConfig, TimeoutPolicy, TransportBackend,
+};
 
 const USERS: usize = 5;
 const CLASSES: usize = 3;
@@ -334,4 +336,67 @@ fn parallel_rounds_replay_sequential_rounds_under_faults() {
         eng.run_instance(&votes, Meter::new(), &mut rng).unwrap_err().to_string()
     };
     assert_eq!(abort(Parallelism::sequential()), abort(Parallelism::new(4)));
+}
+
+/// The chaos engine rebased onto real loopback sockets: same keys and
+/// fault semantics, with the in-proc mesh swapped for TCP links.
+fn engine_tcp(min_users: usize, plan: FaultPlan) -> SecureEngine {
+    SecureEngine::with_keys(
+        keys().clone(),
+        ConsensusConfig::paper_default(1e-6, 1e-6).with_min_users(min_users),
+    )
+    .with_timeout(TimeoutPolicy::fast_local())
+    .with_fault_plan(plan)
+    .with_transport(TransportBackend::Tcp(TcpConfig::fast_local()))
+}
+
+/// The TCP backend is a drop-in for the in-proc mesh: under the same
+/// host seed the full secure round over real sockets must produce a
+/// consensus fingerprint bit-identical to the channel mesh's. Swept
+/// over two seeds; replays, acks and heartbeats must never perturb the
+/// per-(sender, step) FIFO order the pipeline depends on.
+#[test]
+fn tcp_backend_matches_inproc_fingerprint() {
+    let votes = vec![onehot(2), onehot(2), onehot(2), onehot(0), onehot(2)];
+    for seed in [60u64, 61] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = engine(3, FaultPlan::new(9))
+            .run_instance(&votes, Meter::new(), &mut rng)
+            .expect("in-proc round completes");
+        assert_outcome_valid(&base, 1e-6, 1e-6);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = engine_tcp(3, FaultPlan::new(9))
+            .run_instance(&votes, Meter::new(), &mut rng)
+            .expect("tcp round completes");
+        assert_outcome_valid(&out, 1e-6, 1e-6);
+        assert_eq!(
+            out.consensus_fingerprint(),
+            base.consensus_fingerprint(),
+            "seed {seed}: tcp fingerprint diverged from in-proc"
+        );
+    }
+}
+
+/// Socket-level degradation that never kills a connection: a one-shot
+/// read stall on the server spine plus fragmented 3-byte writes on a
+/// user uplink. Both must be absorbed inside the retry budget and the
+/// round must still match the clean in-proc fingerprint.
+#[test]
+fn tcp_round_survives_stalls_and_fragmented_writes() {
+    let votes: Vec<Vec<f64>> = (0..USERS).map(|_| onehot(1)).collect();
+    let mut rng = StdRng::seed_from_u64(62);
+    let base = engine(3, FaultPlan::new(10))
+        .run_instance(&votes, Meter::new(), &mut rng)
+        .expect("in-proc round completes");
+
+    let plan = FaultPlan::new(10)
+        .stall_connection(PartyId::Server1, PartyId::Server2, 1_000, Duration::from_millis(40))
+        .partial_writes(PartyId::User(0), PartyId::Server1);
+    let mut rng = StdRng::seed_from_u64(62);
+    let out = engine_tcp(3, plan)
+        .run_instance(&votes, Meter::new(), &mut rng)
+        .expect("degraded tcp round completes");
+    assert_outcome_valid(&out, 1e-6, 1e-6);
+    assert_eq!(out.consensus_fingerprint(), base.consensus_fingerprint());
 }

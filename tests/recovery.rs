@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use smc::{SessionConfig, SessionKeys};
 use transport::{
     CheckpointStore, FaultPlan, FileCheckpointStore, MemoryCheckpointStore, Meter, PartyId, Step,
-    TimeoutPolicy,
+    TcpConfig, TimeoutPolicy, TransportBackend,
 };
 
 const USERS: usize = 5;
@@ -169,6 +169,44 @@ fn recovery_smoke_two_seeds() {
         assert_eq!(out.consensus_fingerprint(), base.consensus_fingerprint(), "seed {seed}");
         assert!(out.health.resumptions >= 1, "seed {seed}");
         assert_eq!(ledger.charges(), 1, "seed {seed}");
+    }
+}
+
+/// A mid-round TCP connection kill on the server spine: the chaos proxy
+/// severs the Server1 → Server2 socket in the middle of a frame, the
+/// link layer redials and replays from the last acknowledged sequence
+/// number, and the supervised round finishes with the uninterrupted
+/// in-proc fingerprint and a single RDP charge. The socket failure must
+/// stay below the protocol: no dropout, no resumption, no torn frame
+/// ever surfacing as data.
+#[test]
+fn tcp_connection_kill_recovers_two_seeds() {
+    for seed in [80u64, 81] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = engine(FaultPlan::new(7))
+            .run_instance(&votes(), Meter::new(), &mut rng)
+            .expect("baseline completes");
+
+        let plan = FaultPlan::new(7).sever_connection(PartyId::Server1, PartyId::Server2, 2_000);
+        let eng = engine(plan)
+            .with_timeout(TimeoutPolicy::fast_local())
+            .with_transport(TransportBackend::Tcp(TcpConfig::fast_local()));
+        let ledger = Arc::new(RdpLedger::new());
+        let mut sup = RoundSupervisor::new(&eng, Arc::new(MemoryCheckpointStore::new()))
+            .with_ledger(Arc::clone(&ledger));
+        let meter = Meter::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = sup.run_instance(&votes(), Arc::clone(&meter), &mut rng).expect("recovered");
+
+        assert_eq!(
+            out.consensus_fingerprint(),
+            base.consensus_fingerprint(),
+            "seed {seed}: fingerprint after the connection kill"
+        );
+        assert_eq!(ledger.charges(), 1, "seed {seed}: RDP charged exactly once");
+        let stats = meter.fault_stats();
+        assert!(stats.reconnects >= 1, "seed {seed}: the kill never forced a redial");
+        assert!(out.health.dropouts.is_empty(), "seed {seed}: a severed socket is not a dropout");
     }
 }
 
