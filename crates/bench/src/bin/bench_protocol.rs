@@ -40,7 +40,11 @@
 //!
 //! `--smoke` runs 2 iterations per step and trims the thread sweep (CI
 //! wiring); `--threads` (default: the `CONSENSUS_THREADS` environment
-//! variable, else 1) is always included as a sweep point; `--out`
+//! variable, else 1) is always included as a sweep point; `--audit`
+//! additionally times the full engine round with the covert-security
+//! audit layer off vs. on (`audit_off_engine_round_*` /
+//! `audit_on_engine_round_*` rows), so the cost of commit-and-challenge
+//! verification is a tracked number rather than folklore; `--out`
 //! defaults to `BENCH_protocol.json` in the current directory.
 
 use std::hint::black_box;
@@ -58,7 +62,7 @@ use paillier::{Ciphertext, Keypair, RandomizerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smc::secure_sum::aggregate_user_vectors;
-use smc::{Parallelism, SessionConfig};
+use smc::{AuditPolicy, Parallelism, SessionConfig};
 use std::sync::Arc;
 use transport::{FaultStats, Meter, Network, PartyId, Step};
 
@@ -173,6 +177,9 @@ impl Report {
             ("backpressure_blocked", f.backpressure_blocked),
             ("liveness_expired", f.liveness_expired),
             ("reconnects", f.reconnects),
+            ("audit_challenges", f.audit_challenges),
+            ("audit_failures", f.audit_failures),
+            ("equivocation_detected", f.equivocation_detected),
         ];
         out.push_str("  \"fault_counters\": {");
         for (i, (name, count)) in counters.iter().enumerate() {
@@ -537,6 +544,44 @@ fn main() {
             }),
             t,
         );
+    }
+
+    // ----- Audit overhead (opt-in: --audit) -------------------------------
+    // The same full round timed with the covert-security layer off and
+    // on (challenge rate 1.0 — every step audited, the worst case), so
+    // the pair bounds the per-round cost of commit-and-challenge
+    // verification on this machine.
+    if args.has("audit") {
+        println!("\nAudit overhead (strict policy, every round challenged):");
+        let policies: [(&str, Option<AuditPolicy>); 2] =
+            [("audit_off", None), ("audit_on", Some(AuditPolicy::strict()))];
+        for (name, policy) in policies {
+            let mut engine_rng = StdRng::seed_from_u64(7);
+            let mut engine = SecureEngine::new(
+                SessionConfig::test(sweep_users, sweep_classes),
+                ConsensusConfig::paper_default(2.0, 2.0),
+                &mut engine_rng,
+            )
+            .with_ranking(RankingStrategy::Batched)
+            .with_parallelism(Parallelism::new(cli_threads));
+            if let Some(p) = policy {
+                engine = engine.with_audit(p);
+            }
+            report.record_at(
+                &format!("{name}_engine_round_u8_k10_t{cli_threads}"),
+                time_ns(e2e_iters, || {
+                    black_box(
+                        engine
+                            .run_instance(&votes, Arc::clone(&meter), &mut engine_rng)
+                            .expect("secure run"),
+                    );
+                }),
+                cli_threads,
+            );
+        }
+        let off = report.ns(&format!("audit_off_engine_round_u8_k10_t{cli_threads}"));
+        let on = report.ns(&format!("audit_on_engine_round_u8_k10_t{cli_threads}"));
+        println!("  audit-on / audit-off: {:.3}x", on as f64 / off as f64);
     }
 
     // ----- Summary + JSON -------------------------------------------------

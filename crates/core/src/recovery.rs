@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 
 use dp::rdp::LinearRdp;
 use rand::Rng;
-use smc::{RoundState, SmcError};
+use smc::{AuditCheckpoint, CheckpointImage, RoundState, SmcError};
 use transport::{CheckpointStore, FaultEvent, Meter, PartyId, Step, Wire};
 
 use crate::secure::{SecureEngine, SecureOutcome};
@@ -199,14 +199,14 @@ impl<'e> RoundSupervisor<'e> {
                     p.without_crash(PartyId::Server1).without_crash(PartyId::Server2)
                 }
             });
-            let (state1, state2) = if attempt == 0 {
-                (RoundState::Start, RoundState::Start)
+            let (state1, state2, audit1, audit2) = if attempt == 0 {
+                (RoundState::Start, RoundState::Start, None, None)
             } else {
-                let (state1, state2) = self.restore_pair(round, &meter);
+                let (state1, state2, audit1, audit2) = self.restore_pair(round, &meter);
                 resumptions += 1;
                 resumed_from.push(state1.next_step().unwrap_or(Step::Restoration));
                 meter.record_fault(FaultEvent::RoundResumed);
-                (state1, state2)
+                (state1, state2, audit1, audit2)
             };
 
             let mut net = self.engine.build_network(&meter, plan);
@@ -219,6 +219,8 @@ impl<'e> RoundSupervisor<'e> {
                 &prepared,
                 state1,
                 state2,
+                (audit1, audit2),
+                round,
                 Some((self.store.as_ref(), round)),
             ) {
                 Ok((done1, done2)) => {
@@ -249,11 +251,19 @@ impl<'e> RoundSupervisor<'e> {
     /// states at `min(latest S1 step, latest S2 step)`. Snapshots are
     /// written in step order, so the slower side's latest step is held by
     /// both. Missing or undecodable snapshots degrade to a from-scratch
-    /// restart — never a panic, never a half-restored pair.
-    fn restore_pair(&self, round: u64, meter: &Meter) -> (RoundState, RoundState) {
+    /// restart — never a panic, never a half-restored pair. Each side's
+    /// audit commitments ride in the same image so a resumed challenge
+    /// round re-verifies against the seeds committed before the crash.
+    #[allow(clippy::type_complexity)]
+    fn restore_pair(
+        &self,
+        round: u64,
+        meter: &Meter,
+    ) -> (RoundState, RoundState, Option<AuditCheckpoint>, Option<AuditCheckpoint>) {
+        let fresh = || (RoundState::Start, RoundState::Start, None, None);
         let latest = |party| self.store.load_latest(round, party).ok().flatten();
         let (Some(c1), Some(c2)) = (latest(PartyId::Server1), latest(PartyId::Server2)) else {
-            return (RoundState::Start, RoundState::Start);
+            return fresh();
         };
         let step = c1.step.min(c2.step);
         let at = |party, ckpt: transport::Checkpoint| {
@@ -262,15 +272,15 @@ impl<'e> RoundSupervisor<'e> {
             } else {
                 self.store.load_at(round, party, step).ok().flatten().map(|c| c.payload)
             };
-            payload.and_then(|p| RoundState::from_bytes(p.into()).ok())
+            payload.and_then(|p| CheckpointImage::from_bytes(p.into()).ok())
         };
         match (at(PartyId::Server1, c1), at(PartyId::Server2, c2)) {
-            (Some(s1), Some(s2)) => {
+            (Some(i1), Some(i2)) => {
                 meter.record_fault(FaultEvent::CheckpointRestored);
                 meter.record_fault(FaultEvent::CheckpointRestored);
-                (s1, s2)
+                (i1.state, i2.state, i1.audit, i2.audit)
             }
-            _ => (RoundState::Start, RoundState::Start),
+            _ => fresh(),
         }
     }
 }

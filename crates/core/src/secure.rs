@@ -42,6 +42,7 @@
 //! and the noise scale actually realized (see `DESIGN.md`, "Failure
 //! model").
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use paillier::Ciphertext;
@@ -56,7 +57,10 @@ use smc::blind_permute::{server1_blind_permute, server2_blind_permute};
 use smc::compare::{server1_compare_geq, server2_compare_geq};
 use smc::restoration::{server1_restore, server2_restore};
 use smc::secure_sum::{aggregate_surviving_vectors, aggregate_user_vectors, encrypt_share_vector};
-use smc::{Parallelism, RoundState, ServerContext, SessionConfig, SessionKeys, SmcError};
+use smc::{
+    AuditCheckpoint, AuditContext, AuditPolicy, CheckpointImage, Parallelism, RoundState,
+    ServerContext, SessionConfig, SessionKeys, SmcError,
+};
 use transport::{
     CheckpointStore, Endpoint, FaultEvent, FaultPlan, FaultStats, Meter, Network, PartyId, Step,
     TimeoutPolicy, TransportBackend, Wire,
@@ -119,6 +123,9 @@ pub struct RoundHealth {
     /// For each resumption, the step the round re-entered the pipeline
     /// at after restoring the latest consistent S1/S2 snapshot pair.
     pub resumed_from: Vec<Step>,
+    /// Covert-security audit challenges verified during the round (0
+    /// when auditing is off or the round was not a challenge round).
+    pub audit_challenges: u64,
 }
 
 impl RoundHealth {
@@ -227,6 +234,10 @@ pub struct SecureEngine {
     timeout: TimeoutPolicy,
     faults: Option<FaultPlan>,
     transport: TransportBackend,
+    audit: Option<AuditPolicy>,
+    /// Monotonic round counter feeding the audit challenge schedule
+    /// (each [`SecureEngine::run_round`] call is one audited round id).
+    audit_rounds: AtomicU64,
 }
 
 impl std::fmt::Debug for SecureEngine {
@@ -293,6 +304,8 @@ impl SecureEngine {
             timeout: TimeoutPolicy::default(),
             faults: None,
             transport: TransportBackend::default(),
+            audit: None,
+            audit_rounds: AtomicU64::new(0),
         }
     }
 
@@ -332,6 +345,22 @@ impl SecureEngine {
     /// The configured transport backend.
     pub fn transport(&self) -> TransportBackend {
         self.transport
+    }
+
+    /// Attaches a covert-security [`AuditPolicy`]: servers exchange
+    /// commitments to their per-step randomness before every audited
+    /// step, and a seeded `challenge_rate` fraction of rounds
+    /// cross-verify the opened transcripts, turning a deviating server
+    /// into a typed [`SmcError::AuditFailure`].
+    #[must_use]
+    pub fn with_audit(mut self, policy: AuditPolicy) -> Self {
+        self.audit = Some(policy);
+        self
+    }
+
+    /// The attached audit policy, if any.
+    pub fn audit(&self) -> Option<AuditPolicy> {
+        self.audit
     }
 
     /// Sets the data-parallelism config every party in every round uses
@@ -470,12 +499,15 @@ impl SecureEngine {
         let mut s1 = net.take_endpoint(PartyId::Server1);
         let mut s2 = net.take_endpoint(PartyId::Server2);
         self.send_uploads(&mut net, &prepared)?;
+        let round_id = self.audit_rounds.fetch_add(1, Ordering::Relaxed);
         let (done1, done2) = self.drive_servers(
             &mut s1,
             &mut s2,
             &prepared,
             RoundState::Start,
             RoundState::Start,
+            (None, None),
+            round_id,
             None,
         )?;
         Ok(self.finalize_round(&prepared, done1, done2, &meter, fault_stats_before, 0, Vec::new()))
@@ -613,6 +645,9 @@ impl SecureEngine {
 
     /// Runs both server threads from the given states to termination,
     /// snapshotting each completed step into `checkpoints` when attached.
+    /// `audits` carries each side's restored audit material on recovery
+    /// attempts; `round_id` feeds the audit challenge schedule.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn drive_servers(
         &self,
         s1: &mut Endpoint,
@@ -620,6 +655,8 @@ impl SecureEngine {
         prepared: &PreparedRound,
         state1: RoundState,
         state2: RoundState,
+        audits: (Option<AuditCheckpoint>, Option<AuditCheckpoint>),
+        round_id: u64,
         checkpoints: Option<(&dyn CheckpointStore, u64)>,
     ) -> Result<(RoundState, RoundState), SmcError> {
         let ctx1 = self.keys.server1();
@@ -629,6 +666,9 @@ impl SecureEngine {
         let roster = &prepared.roster;
         let num_classes = prepared.num_classes;
         let (seed1, seed2) = (prepared.seed1, prepared.seed2);
+        let policy = self.audit;
+        let faults = self.faults.as_ref();
+        let (audit1, audit2) = audits;
         let (r1, r2) = std::thread::scope(|scope| {
             let h1 = scope.spawn(move || {
                 server_drive(
@@ -642,6 +682,10 @@ impl SecureEngine {
                     quorum,
                     state1,
                     checkpoints,
+                    policy,
+                    round_id,
+                    audit1,
+                    faults,
                 )
             });
             let h2 = scope.spawn(move || {
@@ -656,14 +700,23 @@ impl SecureEngine {
                     quorum,
                     state2,
                     checkpoints,
+                    policy,
+                    round_id,
+                    audit2,
+                    faults,
                 )
             });
             (h1.join().expect("S1 thread panicked"), h2.join().expect("S2 thread panicked"))
         });
         // When one server fails mid-protocol the other times out waiting;
-        // surface the root cause, not the timeout it induced.
+        // surface the root cause, not the timeout it induced. An audit
+        // conviction outranks everything — the convicted side's own
+        // error (usually the timeout its abort induced on the peer, or
+        // a transport teardown) must never mask the verdict.
         match (r1, r2) {
             (Ok(d1), Ok(d2)) => Ok((d1, d2)),
+            (Err(e @ SmcError::AuditFailure { .. }), _)
+            | (_, Err(e @ SmcError::AuditFailure { .. })) => Err(e),
             (Err(SmcError::Transport(_)), Err(root)) => Err(root),
             (Err(root), _) => Err(root),
             (_, Err(root)) => Err(root),
@@ -752,6 +805,7 @@ impl SecureEngine {
             timeouts: fault_stats.timeouts - fault_stats_before.timeouts,
             resumptions,
             resumed_from,
+            audit_challenges: fault_stats.audit_challenges - fault_stats_before.audit_challenges,
         };
         SecureOutcome { label, witness, health }
     }
@@ -888,7 +942,7 @@ fn collect_noisy(
     }
 }
 
-/// Derives the RNG for one protocol step from a server's root seed
+/// Derives the RNG seed for one protocol step from a server's root seed
 /// (SplitMix64 of the seed and the step ordinal).
 ///
 /// Each step draws from its own derived stream instead of one rolling
@@ -896,11 +950,13 @@ fn collect_noisy(
 /// randomness the uninterrupted run would have used there, which is what
 /// makes recovered rounds bit-identical. Crash recovery never needs to
 /// checkpoint RNG *states* — only the root seeds, drawn once per round.
-fn step_rng(root_seed: u64, step: Step) -> StdRng {
+/// The audit layer commits to this seed before the step runs, so a
+/// challenged server's draws can be replayed verbatim by its peer.
+fn step_seed(root_seed: u64, step: Step) -> u64 {
     let mut z = root_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(step.ordinal()) + 1);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+    z ^ (z >> 31)
 }
 
 /// Executes the single next step of S1's pipeline from `state`,
@@ -917,10 +973,14 @@ fn server1_advance(
     ranking: RankingStrategy,
     quorum: Option<usize>,
     state: RoundState,
+    audit: &mut AuditContext,
+    faults: Option<&FaultPlan>,
 ) -> Result<RoundState, SmcError> {
     let meter = Arc::clone(endpoint.meter());
     let step = state.next_step().expect("cannot advance a terminal round state");
-    let mut rng = step_rng(root_seed, step);
+    let seed = step_seed(root_seed, step);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let byz = faults.and_then(|p| p.byzantine_action(PartyId::Server1, step));
     Ok(match state {
         RoundState::Start => {
             // Step 2: aggregate the vote shares and threshold shares.
@@ -940,6 +1000,7 @@ fn server1_advance(
         }
         RoundState::Summed { votes, thresh, survivors } => {
             // Step 3: Blind-and-Permute over both vectors, one shared π.
+            let mut tap = audit.tap(step, seed, byz);
             let bp = meter.time(Step::BlindPermute1, || {
                 server1_blind_permute(
                     endpoint,
@@ -947,8 +1008,10 @@ fn server1_advance(
                     &[votes, thresh],
                     Step::BlindPermute1,
                     &mut rng,
+                    &mut tap,
                 )
             })?;
+            audit.complete(&tap);
             let [votes_seq, thresh_seq]: [Vec<i128>; 2] =
                 bp.sequences.try_into().expect("two permuted sequences");
             RoundState::Permuted {
@@ -994,9 +1057,18 @@ fn server1_advance(
         }
         RoundState::SummedNoisy { noisy, survivors, noisy_survivors } => {
             // Step 7: second Blind-and-Permute, fresh π′.
+            let mut tap = audit.tap(step, seed, byz);
             let bp = meter.time(Step::BlindPermute2, || {
-                server1_blind_permute(endpoint, ctx, &[noisy], Step::BlindPermute2, &mut rng)
+                server1_blind_permute(
+                    endpoint,
+                    ctx,
+                    &[noisy],
+                    Step::BlindPermute2,
+                    &mut rng,
+                    &mut tap,
+                )
             })?;
+            audit.complete(&tap);
             let [noisy_seq]: [Vec<i128>; 1] =
                 bp.sequences.try_into().expect("one permuted sequence");
             RoundState::PermutedNoisy {
@@ -1016,9 +1088,11 @@ fn server1_advance(
         }
         RoundState::RankedNoisy { permutation, survivors, noisy_survivors, .. } => {
             // Step 9: restore the true label.
+            let mut tap = audit.tap(step, seed, byz);
             let label = meter.time(Step::Restoration, || {
-                server1_restore(endpoint, ctx, &permutation, Step::Restoration, &mut rng)
+                server1_restore(endpoint, ctx, &permutation, Step::Restoration, &mut rng, &mut tap)
             })?;
+            audit.complete(&tap);
             RoundState::Done { label: Some(label), survivors, noisy_survivors }
         }
         RoundState::Done { .. } => unreachable!("terminal state has no next step"),
@@ -1037,9 +1111,13 @@ fn server2_advance(
     ranking: RankingStrategy,
     quorum: Option<usize>,
     state: RoundState,
+    audit: &mut AuditContext,
+    faults: Option<&FaultPlan>,
 ) -> Result<RoundState, SmcError> {
     let step = state.next_step().expect("cannot advance a terminal round state");
-    let mut rng = step_rng(root_seed, step);
+    let seed = step_seed(root_seed, step);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let byz = faults.and_then(|p| p.byzantine_action(PartyId::Server2, step));
     Ok(match state {
         RoundState::Start => {
             let pk1 = ctx.peer_public().clone();
@@ -1055,13 +1133,16 @@ fn server2_advance(
             RoundState::Summed { votes, thresh, survivors }
         }
         RoundState::Summed { votes, thresh, survivors } => {
+            let mut tap = audit.tap(step, seed, byz);
             let bp = server2_blind_permute(
                 endpoint,
                 ctx,
                 &[votes, thresh],
                 Step::BlindPermute1,
                 &mut rng,
+                &mut tap,
             )?;
+            audit.complete(&tap);
             let [votes_seq, thresh_seq]: [Vec<i128>; 2] =
                 bp.sequences.try_into().expect("two permuted sequences");
             RoundState::Permuted {
@@ -1104,7 +1185,16 @@ fn server2_advance(
             RoundState::SummedNoisy { noisy, survivors, noisy_survivors: Some(noisy_survivors) }
         }
         RoundState::SummedNoisy { noisy, survivors, noisy_survivors } => {
-            let bp = server2_blind_permute(endpoint, ctx, &[noisy], Step::BlindPermute2, &mut rng)?;
+            let mut tap = audit.tap(step, seed, byz);
+            let bp = server2_blind_permute(
+                endpoint,
+                ctx,
+                &[noisy],
+                Step::BlindPermute2,
+                &mut rng,
+                &mut tap,
+            )?;
+            audit.complete(&tap);
             let [noisy_seq]: [Vec<i128>; 1] =
                 bp.sequences.try_into().expect("one permuted sequence");
             RoundState::PermutedNoisy {
@@ -1120,6 +1210,7 @@ fn server2_advance(
             RoundState::RankedNoisy { noisy_slot, permutation, survivors, noisy_survivors }
         }
         RoundState::RankedNoisy { noisy_slot, permutation, survivors, noisy_survivors } => {
+            let mut tap = audit.tap(step, seed, byz);
             let label = server2_restore(
                 endpoint,
                 ctx,
@@ -1127,7 +1218,9 @@ fn server2_advance(
                 noisy_slot,
                 Step::Restoration,
                 &mut rng,
+                &mut tap,
             )?;
+            audit.complete(&tap);
             RoundState::Done { label: Some(label), survivors, noisy_survivors }
         }
         RoundState::Done { .. } => unreachable!("terminal state has no next step"),
@@ -1150,7 +1243,15 @@ fn server_drive(
     quorum: Option<usize>,
     mut state: RoundState,
     checkpoints: Option<(&dyn CheckpointStore, u64)>,
+    audit_policy: Option<AuditPolicy>,
+    round_id: u64,
+    restored_audit: Option<AuditCheckpoint>,
+    faults: Option<&FaultPlan>,
 ) -> Result<RoundState, SmcError> {
+    let mut audit = match restored_audit {
+        Some(ckpt) => AuditContext::restore(audit_policy, round_id, side, ckpt),
+        None => AuditContext::new(audit_policy, round_id, side),
+    };
     while !state.is_terminal() {
         state = match side {
             PartyId::Server1 => server1_advance(
@@ -1162,6 +1263,8 @@ fn server_drive(
                 ranking,
                 quorum,
                 state,
+                &mut audit,
+                faults,
             )?,
             PartyId::Server2 => server2_advance(
                 endpoint,
@@ -1172,12 +1275,18 @@ fn server_drive(
                 ranking,
                 quorum,
                 state,
+                &mut audit,
+                faults,
             )?,
             PartyId::User(_) => unreachable!("only servers drive the pipeline"),
         };
         if let Some((store, round)) = checkpoints {
+            let image = CheckpointImage {
+                state: state.clone(),
+                audit: audit_policy.is_some().then(|| audit.checkpoint()),
+            };
             store
-                .save(round, side, state.completed_step(), &state.to_bytes())
+                .save(round, side, state.completed_step(), &image.to_bytes())
                 .expect("checkpoint store failed while saving a snapshot");
             endpoint.meter().record_fault(FaultEvent::CheckpointSaved);
         }

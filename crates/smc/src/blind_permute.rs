@@ -27,8 +27,9 @@
 
 use paillier::Ciphertext;
 use rand::Rng;
-use transport::{Endpoint, PartyId, Step};
+use transport::{ByzantineAction, Endpoint, PartyId, Step};
 
+use crate::audit::{transpose01, AuditTap};
 use crate::error::SmcError;
 use crate::permutation::Permutation;
 use crate::session::ServerContext;
@@ -55,16 +56,20 @@ fn expect_len<T>(v: &[T], expected: usize) -> Result<(), SmcError> {
 /// S1's side of Alg. 2.
 ///
 /// `enc_a` are the aggregated `a`-share vectors encrypted under pk2.
+/// `tap` records the audit transcript (and carries any scheduled covert
+/// deviation); pass [`AuditTap::disabled`] for unaudited runs.
 ///
 /// # Errors
 ///
-/// Fails on transport, cryptosystem or domain errors.
+/// Fails on transport, cryptosystem or domain errors, and with
+/// [`SmcError::AuditFailure`] when a challenge convicts the peer.
 pub fn server1_blind_permute<R: Rng + ?Sized>(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     enc_a: &[Vec<Ciphertext>],
     step: Step,
     rng: &mut R,
+    tap: &mut AuditTap,
 ) -> Result<BlindPermuteOutput, SmcError> {
     let k = ctx.config().num_classes;
     let m = enc_a.len();
@@ -73,13 +78,25 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
     let codec1 = ctx.own_codec();
     let codec2 = ctx.peer_codec();
     let par = ctx.parallelism();
-    let pi1 = Permutation::random(k, rng);
+    tap.begin(endpoint)?;
+    let mut pi1 = Permutation::random(k, rng);
     // One scalar mask per vector in the batch.
-    let r1: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
+    let mut r1: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
+    // Covert deviations replace the committed draws with tampered ones;
+    // the tap attests to what is actually used, so a challenge replay
+    // from the committed seed exposes the substitution.
+    if tap.byzantine() == Some(ByzantineAction::TamperPermutation) {
+        pi1 = transpose01(&pi1);
+    }
+    if tap.byzantine() == Some(ByzantineAction::DropMask) {
+        r1[0] = 0;
+    }
+    tap.permutation(&pi1);
+    tap.masks(&r1);
 
     // Step 1: send E_pk2[a + r1] to S2. The per-entry mask additions are
     // RNG-free homomorphic ops, fanned out across the K labels.
-    let masked_a: Vec<Vec<Ciphertext>> = enc_a
+    let mut masked_a: Vec<Vec<Ciphertext>> = enc_a
         .iter()
         .zip(&r1)
         .map(|(vec, &mask)| {
@@ -88,10 +105,16 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
             Ok(par.map(vec, |_, c| pk2.add_plain(c, &mask_enc)))
         })
         .collect::<Result<_, SmcError>>()?;
+    tap.record_sent(&masked_a);
+    if tap.byzantine() == Some(ByzantineAction::Equivocate) {
+        // Attest to the honest frame, put a different one on the wire.
+        masked_a[0][0] = pk2.add_plain(&masked_a[0][0], &codec2.encode_i128(1)?);
+    }
     endpoint.send(PartyId::Server2, step, &masked_a)?;
 
     // Step 2 happens on S2; receive π2(a + r1 + r2) in plaintext.
     let permuted_a: Vec<Vec<i128>> = endpoint.recv(PartyId::Server2, step)?;
+    tap.record_received(&permuted_a);
     expect_len(&permuted_a, m)?;
 
     // Step 3: apply π1 — this is S1's output half. Send E_pk1[r1] to S2.
@@ -106,13 +129,20 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
         let encoded = codec1.encode_i128(mask)?;
         Ok::<_, SmcError>(ctx.own_public().encrypt(&encoded, item_rng)?)
     })?;
+    tap.record_sent(&enc_r1);
     endpoint.send(PartyId::Server2, step, &enc_r1)?;
 
     // Step 4 happens on S2; receive E_pk1[π2(b+r1+r2)+r3] and E_pk2[−r3].
     let masked_b: Vec<Vec<Ciphertext>> = endpoint.recv(PartyId::Server2, step)?;
     let neg_r3: Vec<Vec<Ciphertext>> = endpoint.recv(PartyId::Server2, step)?;
+    tap.record_received(&masked_b);
+    tap.record_received(&neg_r3);
     expect_len(&masked_b, m)?;
     expect_len(&neg_r3, m)?;
+
+    // Challenge-verify S2's opening before trusting anything it sent:
+    // the decrypt-and-re-encrypt pass below consumes S2's frames.
+    tap.verify_peer(endpoint, k, m, &domain)?;
 
     // Step 5: decrypt under sk1, re-encrypt under pk2, strip r3
     // homomorphically, permute with π1, return to S2. Each entry pays a
@@ -129,7 +159,15 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
         })?;
         reencrypted.push(pi1.apply(&row));
     }
-    endpoint.send(PartyId::Server2, step, &reencrypted)?;
+    tap.record_sent(&reencrypted);
+    if tap.byzantine() == Some(ByzantineAction::ReplayStaleFrame) {
+        // Resend the step-1 frame in place of the re-encryption; it has
+        // the same shape and decrypts cleanly, but is stale.
+        endpoint.send(PartyId::Server2, step, &masked_a)?;
+    } else {
+        endpoint.send(PartyId::Server2, step, &reencrypted)?;
+    }
+    tap.flush_opening(endpoint)?;
 
     Ok(BlindPermuteOutput { sequences, own_permutation: pi1 })
 }
@@ -137,16 +175,20 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
 /// S2's side of Alg. 2.
 ///
 /// `enc_b` are the aggregated `b`-share vectors encrypted under pk1.
+/// `tap` records the audit transcript (and carries any scheduled covert
+/// deviation); pass [`AuditTap::disabled`] for unaudited runs.
 ///
 /// # Errors
 ///
-/// Fails on transport, cryptosystem or domain errors.
+/// Fails on transport, cryptosystem or domain errors, and with
+/// [`SmcError::AuditFailure`] when a challenge convicts the peer.
 pub fn server2_blind_permute<R: Rng + ?Sized>(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     enc_b: &[Vec<Ciphertext>],
     step: Step,
     rng: &mut R,
+    tap: &mut AuditTap,
 ) -> Result<BlindPermuteOutput, SmcError> {
     let k = ctx.config().num_classes;
     let m = enc_b.len();
@@ -155,13 +197,23 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
     let codec1 = ctx.peer_codec();
     let codec2 = ctx.own_codec();
     let par = ctx.parallelism();
-    let pi2 = Permutation::random(k, rng);
-    let r2: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
+    tap.begin(endpoint)?;
+    let mut pi2 = Permutation::random(k, rng);
+    let mut r2: Vec<i128> = (0..m).map(|_| domain.random_mask(rng)).collect();
+    if tap.byzantine() == Some(ByzantineAction::TamperPermutation) {
+        pi2 = transpose01(&pi2);
+    }
+    if tap.byzantine() == Some(ByzantineAction::DropMask) {
+        r2[0] = 0;
+    }
+    tap.permutation(&pi2);
+    tap.masks(&r2);
 
     // Step 2: receive E_pk2[a + r1]; decrypt (RNG-free, fanned out across
     // the K labels), add r2, permute by π2, send the plaintext sequences
     // back.
     let masked_a: Vec<Vec<Ciphertext>> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&masked_a);
     expect_len(&masked_a, m)?;
     let mut permuted_a: Vec<Vec<i128>> = Vec::with_capacity(m);
     for (vec, &mask2) in masked_a.iter().zip(&r2) {
@@ -171,11 +223,16 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
         })?;
         permuted_a.push(pi2.apply(&plain));
     }
+    tap.record_sent(&permuted_a);
+    if tap.byzantine() == Some(ByzantineAction::Equivocate) {
+        permuted_a[0][0] += 1;
+    }
     endpoint.send(PartyId::Server1, step, &permuted_a)?;
 
     // Step 4: receive E_pk1[r1]; build E_pk1[π2(b+r1+r2)+r3] and
     // E_pk2[−r3].
     let enc_r1: Vec<Ciphertext> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&enc_r1);
     expect_len(&enc_r1, m)?;
     let mut masked_b: Vec<Vec<Ciphertext>> = Vec::with_capacity(m);
     let mut neg_r3_enc: Vec<Vec<Ciphertext>> = Vec::with_capacity(m);
@@ -200,11 +257,24 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
         neg_r3_enc.push(negs);
     }
     endpoint.send(PartyId::Server1, step, &masked_b)?;
-    endpoint.send(PartyId::Server1, step, &neg_r3_enc)?;
+    tap.record_sent(&masked_b);
+    tap.record_sent(&neg_r3_enc);
+    if tap.byzantine() == Some(ByzantineAction::ReplayStaleFrame) {
+        // Resend the masked-b frame in place of −r3; same shape, stale
+        // content.
+        endpoint.send(PartyId::Server1, step, &masked_b)?;
+    } else {
+        endpoint.send(PartyId::Server1, step, &neg_r3_enc)?;
+    }
+    tap.flush_opening(endpoint)?;
 
     // Step 6: receive E_pk2[π(b + r1 + r2)] and decrypt — S2's output.
     let final_enc: Vec<Vec<Ciphertext>> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&final_enc);
     expect_len(&final_enc, m)?;
+
+    // Challenge-verify S1's opening before decrypting its output frame.
+    tap.verify_peer(endpoint, k, m, &domain)?;
     let sequences: Vec<Vec<i128>> = final_enc
         .iter()
         .map(|vec| {
@@ -279,16 +349,30 @@ mod tests {
                     .map(|_| s1.recv(PartyId::User(0), Step::Setup).unwrap())
                     .collect();
                 let mut rng = StdRng::seed_from_u64(seed + 1);
-                server1_blind_permute(&mut s1, &s1_ctx, &enc_a, Step::BlindPermute1, &mut rng)
-                    .unwrap()
+                server1_blind_permute(
+                    &mut s1,
+                    &s1_ctx,
+                    &enc_a,
+                    Step::BlindPermute1,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
             let h2 = scope.spawn(move || {
                 let enc_b: Vec<Vec<paillier::Ciphertext>> = (0..b_vectors.len())
                     .map(|_| s2.recv(PartyId::User(0), Step::Setup).unwrap())
                     .collect();
                 let mut rng = StdRng::seed_from_u64(seed + 2);
-                server2_blind_permute(&mut s2, &s2_ctx, &enc_b, Step::BlindPermute1, &mut rng)
-                    .unwrap()
+                server2_blind_permute(
+                    &mut s2,
+                    &s2_ctx,
+                    &enc_b,
+                    Step::BlindPermute1,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
             (h1.join().unwrap(), h2.join().unwrap())
         })

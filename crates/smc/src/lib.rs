@@ -17,6 +17,8 @@
 //!   domain;
 //! * [`restoration`] — Alg. 3, recovering the true label index of a
 //!   permuted position;
+//! * [`audit`] — covert-security commit-and-challenge verification of
+//!   the blind-permute/restoration transcripts (typed audit aborts);
 //! * [`state`] — the serializable per-step round state machine behind
 //!   crash recovery (checkpointed through [`transport::checkpoint`]);
 //! * [`validate`] — adversarial validation of inbound uploads
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod argmax;
+pub mod audit;
 pub mod batch;
 pub mod blind_permute;
 pub mod compare;
@@ -41,10 +44,11 @@ pub mod session;
 pub mod state;
 pub mod validate;
 
+pub use audit::{AuditCheckpoint, AuditContext, AuditEvidence, AuditPolicy, AuditTap};
 pub use domain::{ShareDomain, SharesOutOfRange};
 pub use error::SmcError;
 pub use parallel::Parallelism;
 pub use permutation::Permutation;
 pub use session::{ServerContext, ServerRole, SessionConfig, SessionKeys, UserContext};
-pub use state::RoundState;
+pub use state::{CheckpointImage, RoundState};
 pub use validate::UploadValidator;

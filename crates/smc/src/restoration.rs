@@ -21,24 +21,29 @@
 
 use paillier::Ciphertext;
 use rand::Rng;
-use transport::{Endpoint, PartyId, Step};
+use transport::{ByzantineAction, Endpoint, PartyId, Step};
 
+use crate::audit::{transpose01, AuditTap};
 use crate::error::SmcError;
 use crate::permutation::Permutation;
 use crate::session::ServerContext;
 
 /// S1's side of restoration. `pi1` is the permutation S1 chose during
-/// Blind-and-Permute. Returns the true label index.
+/// Blind-and-Permute. `tap` records the audit transcript; pass
+/// [`AuditTap::disabled`] for unaudited runs. Returns the true label
+/// index.
 ///
 /// # Errors
 ///
-/// Fails on transport, cryptosystem or domain errors.
+/// Fails on transport, cryptosystem or domain errors, and with
+/// [`SmcError::AuditFailure`] when a challenge convicts the peer.
 pub fn server1_restore<R: Rng + ?Sized>(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     pi1: &Permutation,
     step: Step,
     rng: &mut R,
+    tap: &mut AuditTap,
 ) -> Result<usize, SmcError> {
     let k = ctx.config().num_classes;
     let domain = ctx.domain();
@@ -46,23 +51,40 @@ pub fn server1_restore<R: Rng + ?Sized>(
     let codec2 = ctx.peer_codec();
     let pk2 = ctx.peer_public();
     let par = ctx.parallelism();
+    tap.begin(endpoint)?;
+    // A tampering S1 walks the indicator through the wrong inverse; the
+    // tap attests to the permutation actually used, which Restoration
+    // checks against the one verified at the second Blind-and-Permute.
+    let used_pi1 = if tap.byzantine() == Some(ByzantineAction::TamperPermutation) {
+        transpose01(pi1)
+    } else {
+        pi1.clone()
+    };
+    tap.permutation(&used_pi1);
 
     // Step 1 output from S2: E_pk2[π(e)].
     let enc_pi_e: Vec<Ciphertext> = endpoint.recv(PartyId::Server2, step)?;
+    tap.record_received(&enc_pi_e);
     if enc_pi_e.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: enc_pi_e.len() });
     }
 
     // Step 2: revert π1 and add per-entry mask r1.
-    let reverted = pi1.inverse().apply(&enc_pi_e);
-    let r1: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    let reverted = used_pi1.inverse().apply(&enc_pi_e);
+    let mut r1: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    if tap.byzantine() == Some(ByzantineAction::DropMask) {
+        r1[0] = 0;
+    }
+    tap.masks(&r1);
     let masked: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
         Ok::<_, SmcError>(pk2.add_plain(c, &codec2.encode_i128(r1[i])?))
     })?;
+    tap.record_sent(&masked);
     endpoint.send(PartyId::Server2, step, &masked)?;
 
     // Step 3 arrives in plaintext: π2(e) + r1.
     let plain_masked: Vec<i128> = endpoint.recv(PartyId::Server2, step)?;
+    tap.record_received(&plain_masked);
     if plain_masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: plain_masked.len() });
     }
@@ -73,19 +95,31 @@ pub fn server1_restore<R: Rng + ?Sized>(
         par.try_map_seeded(&plain_masked, rng, |i, &v, item_rng| {
             Ok::<_, SmcError>(ctx.own_public().encrypt(&codec1.encode_i128(v - r1[i])?, item_rng)?)
         })?;
+    tap.record_sent(&enc_pi2_e);
     endpoint.send(PartyId::Server2, step, &enc_pi2_e)?;
 
     // Step 5 output from S2: E_pk1[e + r2]; step 6: decrypt and return.
     let enc_e_masked: Vec<Ciphertext> = endpoint.recv(PartyId::Server2, step)?;
+    tap.record_received(&enc_e_masked);
     if enc_e_masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: enc_e_masked.len() });
     }
-    let plain: Vec<i128> = par.try_map(&enc_e_masked, |_, c| {
+
+    // Challenge-verify S2's opening before decrypting its final frame.
+    tap.verify_peer(endpoint, k, 0, &domain)?;
+
+    let mut plain: Vec<i128> = par.try_map(&enc_e_masked, |_, c| {
         Ok::<_, SmcError>(codec1.decode_i128(&ctx.own_private().decrypt(c)?)?)
     })?;
+    tap.record_sent(&plain);
+    if tap.byzantine() == Some(ByzantineAction::Equivocate) {
+        plain[0] += 1;
+    }
     endpoint.send(PartyId::Server2, step, &plain)?;
+    tap.flush_opening(endpoint)?;
 
-    // Step 7: S2 announces the winner.
+    // Step 7: S2 announces the winner. (The announcement is not part of
+    // the audited transcript — it trails both openings.)
     let winner: u64 = endpoint.recv(PartyId::Server2, step)?;
     Ok(winner as usize)
 }
@@ -106,6 +140,7 @@ pub fn server2_restore<R: Rng + ?Sized>(
     permuted_slot: usize,
     step: Step,
     rng: &mut R,
+    tap: &mut AuditTap,
 ) -> Result<usize, SmcError> {
     let k = ctx.config().num_classes;
     let domain = ctx.domain();
@@ -113,6 +148,13 @@ pub fn server2_restore<R: Rng + ?Sized>(
     let codec2 = ctx.own_codec();
     let pk1 = ctx.peer_public();
     let par = ctx.parallelism();
+    tap.begin(endpoint)?;
+    let used_pi2 = if tap.byzantine() == Some(ByzantineAction::TamperPermutation) {
+        transpose01(pi2)
+    } else {
+        pi2.clone()
+    };
+    tap.permutation(&used_pi2);
 
     // Step 1: encrypted indicator at the permuted slot, under own pk2.
     let mut indicator = vec![0i128; k];
@@ -121,37 +163,61 @@ pub fn server2_restore<R: Rng + ?Sized>(
         par.try_map_seeded(&indicator, rng, |_, &v, item_rng| {
             Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(v)?, item_rng)?)
         })?;
+    tap.record_sent(&enc_indicator);
     endpoint.send(PartyId::Server1, step, &enc_indicator)?;
 
     // Step 3: decrypt S1's masked, π1-reverted vector and bounce it back
     // in plaintext.
     let masked: Vec<Ciphertext> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&masked);
     if masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: masked.len() });
     }
-    let plain_masked: Vec<i128> = par.try_map(&masked, |_, c| {
+    let mut plain_masked: Vec<i128> = par.try_map(&masked, |_, c| {
         Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?)
     })?;
+    tap.record_sent(&plain_masked);
+    if tap.byzantine() == Some(ByzantineAction::Equivocate) {
+        plain_masked[0] += 1;
+    }
     endpoint.send(PartyId::Server1, step, &plain_masked)?;
 
     // Step 5: revert π2 on the re-encrypted vector and add r2.
     let enc_pi2_e: Vec<Ciphertext> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&enc_pi2_e);
     if enc_pi2_e.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: enc_pi2_e.len() });
     }
-    let reverted = pi2.inverse().apply(&enc_pi2_e);
-    let r2: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    let reverted = used_pi2.inverse().apply(&enc_pi2_e);
+    let mut r2: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
+    if tap.byzantine() == Some(ByzantineAction::DropMask) {
+        r2[0] = 0;
+    }
+    tap.masks(&r2);
     let masked_e: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
         Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r2[i])?))
     })?;
-    endpoint.send(PartyId::Server1, step, &masked_e)?;
+    tap.record_sent(&masked_e);
+    if tap.byzantine() == Some(ByzantineAction::ReplayStaleFrame) {
+        // Resend the step-1 indicator frame in place of the masked one;
+        // same shape, stale content.
+        endpoint.send(PartyId::Server1, step, &enc_indicator)?;
+    } else {
+        endpoint.send(PartyId::Server1, step, &masked_e)?;
+    }
+    tap.flush_opening(endpoint)?;
 
     // Step 6 arrives in plaintext: e + r2. Step 7: strip r2 and read the
     // indicator.
     let plain_e_masked: Vec<i128> = endpoint.recv(PartyId::Server1, step)?;
+    tap.record_received(&plain_e_masked);
     if plain_e_masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: plain_e_masked.len() });
     }
+
+    // Challenge-verify S1's opening before the one-hot read-off: a
+    // convicted peer must never influence the announced label.
+    tap.verify_peer(endpoint, k, 0, &domain)?;
     let e: Vec<i128> = plain_e_masked.iter().zip(&r2).map(|(&v, &m)| v - m).collect();
     let winner = e.iter().position(|&v| v == 1);
     let valid = winner.is_some() && e.iter().filter(|&&v| v != 0).count() == 1;
@@ -202,12 +268,28 @@ mod tests {
             let pi2_ref = &pi2;
             let h1 = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed + 1);
-                server1_restore(&mut s1, &s1_ctx, pi1_ref, Step::Restoration, &mut rng).unwrap()
+                server1_restore(
+                    &mut s1,
+                    &s1_ctx,
+                    pi1_ref,
+                    Step::Restoration,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
             let h2 = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed + 2);
-                server2_restore(&mut s2, &s2_ctx, pi2_ref, slot, Step::Restoration, &mut rng)
-                    .unwrap()
+                server2_restore(
+                    &mut s2,
+                    &s2_ctx,
+                    pi2_ref,
+                    slot,
+                    Step::Restoration,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
             (h1.join().unwrap(), h2.join().unwrap())
         })
@@ -249,11 +331,28 @@ mod tests {
             let pi2 = &pi2;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(4);
-                server1_restore(&mut s1, &s1_ctx, pi1, Step::Restoration, &mut rng).unwrap()
+                server1_restore(
+                    &mut s1,
+                    &s1_ctx,
+                    pi1,
+                    Step::Restoration,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(5);
-                server2_restore(&mut s2, &s2_ctx, pi2, slot, Step::Restoration, &mut rng).unwrap()
+                server2_restore(
+                    &mut s2,
+                    &s2_ctx,
+                    pi2,
+                    slot,
+                    Step::Restoration,
+                    &mut rng,
+                    &mut AuditTap::disabled(),
+                )
+                .unwrap()
             });
         });
         assert!(meter.report().step_bytes(Step::Restoration) > 0);

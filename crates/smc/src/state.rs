@@ -281,6 +281,35 @@ impl Wire for RoundState {
     }
 }
 
+/// What actually goes into a durable round checkpoint: the pipeline
+/// [`RoundState`] plus, when auditing is on, the commit-and-challenge
+/// material accumulated so far ([`crate::audit::AuditCheckpoint`]). A
+/// resumed round re-verifies from the same commitments instead of
+/// re-charging the privacy budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointImage {
+    /// The server's position in the pipeline.
+    pub state: RoundState,
+    /// Audit commitments and cross-step digests; `None` when auditing
+    /// is off (and for checkpoints written before the audit layer).
+    pub audit: Option<crate::audit::AuditCheckpoint>,
+}
+
+impl Wire for CheckpointImage {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.state.encode(buf);
+        self.audit.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let state = RoundState::decode(buf)?;
+        // Pre-audit checkpoints end right after the state; treat the
+        // missing trailer as "no audit material" rather than truncation.
+        let audit = if buf.has_remaining() { Option::decode(buf)? } else { None };
+        Ok(CheckpointImage { state, audit })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +429,30 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(42);
         assert_eq!(RoundState::from_bytes(buf.freeze()), Err(WireError::InvalidTag(42)));
+    }
+
+    #[test]
+    fn checkpoint_image_roundtrips_with_and_without_audit() {
+        let audit = crate::audit::AuditCheckpoint {
+            commitments: vec![(Step::BlindPermute1, 7)],
+            peer_perm: Some(9),
+        };
+        for state in sample_states() {
+            for audit in [None, Some(audit.clone())] {
+                let image = CheckpointImage { state: state.clone(), audit };
+                assert_eq!(CheckpointImage::from_bytes(image.to_bytes()).unwrap(), image);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_audit_checkpoint_bytes_decode_as_image() {
+        // A bare RoundState payload (what PR 4 checkpoints wrote) must
+        // decode as an image with no audit material.
+        for state in sample_states() {
+            let image = CheckpointImage::from_bytes(state.to_bytes()).unwrap();
+            assert_eq!(image, CheckpointImage { state, audit: None });
+        }
     }
 
     #[test]

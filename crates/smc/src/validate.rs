@@ -1,11 +1,15 @@
 //! Adversarial input validation for the servers' receive paths.
 //!
-//! Users are honest-but-curious in the paper's model, but a robust
-//! implementation cannot assume honest *encodings*: a flipped bit, a
-//! replayed upload or a deliberately malformed ciphertext must be
-//! rejected with a typed error before any homomorphic work touches it —
-//! never absorbed, never a panic. [`UploadValidator`] centralizes the
-//! three checks every encrypted upload must pass:
+//! Every party is honest-but-curious in the paper's model. This
+//! implementation hardens both directions of that assumption: *user*
+//! encodings are never trusted — a flipped bit, a replayed upload or a
+//! deliberately malformed ciphertext must be rejected with a typed
+//! error before any homomorphic work touches it, never absorbed, never
+//! a panic — and the *servers* themselves are held to covert security
+//! by the commit-and-challenge layer in [`crate::audit`], which catches
+//! a server deviating from its committed randomness with tunable
+//! probability. [`UploadValidator`] centralizes the user-facing half:
+//! the three checks every encrypted upload must pass:
 //!
 //! 1. **freshness** — the (sender, step, sequence) tuple has not been
 //!    seen before (the transport de-duplicates redelivered envelopes;

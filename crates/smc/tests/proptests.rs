@@ -6,9 +6,10 @@ use paillier::{Ciphertext, Keypair};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use smc::audit::{commit_seed, fnv1a, fnv1a_start};
 use smc::blind_permute::{server1_blind_permute, server2_blind_permute, BlindPermuteOutput};
 use smc::secure_sum::{aggregate_user_vectors, send_encrypted_vector};
-use smc::{Parallelism, Permutation, SessionConfig, SessionKeys, ShareDomain};
+use smc::{AuditTap, Parallelism, Permutation, SessionConfig, SessionKeys, ShareDomain};
 use transport::{Network, PartyId, Step};
 
 proptest! {
@@ -54,6 +55,78 @@ proptest! {
         prop_assert_eq!(composed.apply(&xs), p1.apply(&p2.apply(&xs)));
         let slot = composed.apply_index(label);
         prop_assert_eq!(composed.apply(&xs)[slot], label);
+    }
+
+    #[test]
+    fn permutation_composed_with_inverse_is_identity(seed in any::<u64>(), k in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(k, &mut rng);
+        let identity: Vec<usize> = (0..k).collect();
+        let xs: Vec<usize> = (7..7 + k).collect();
+        prop_assert_eq!(p.compose(&p.inverse()).apply(&xs), xs.clone());
+        prop_assert_eq!(p.inverse().compose(&p).apply(&xs), xs);
+        for (i, &x) in identity.iter().enumerate() {
+            prop_assert_eq!(p.compose(&p.inverse()).apply_index(i), x);
+        }
+    }
+
+    #[test]
+    fn audit_commitment_reopens_from_same_coordinates(
+        audit_seed in any::<u64>(),
+        step_idx in 0usize..9,
+        round_id in any::<u64>(),
+    ) {
+        // Commit/open round-trip: re-deriving the commitment from the
+        // opened (seed, step, round) always matches what was committed.
+        let step = Step::ALL[step_idx];
+        let committed = commit_seed(audit_seed, step, round_id);
+        prop_assert_eq!(commit_seed(audit_seed, step, round_id), committed);
+    }
+
+    #[test]
+    fn audit_commitment_binds_every_coordinate(
+        audit_seed in any::<u64>(),
+        step_idx in 0usize..9,
+        round_id in any::<u64>(),
+        other_seed in any::<u64>(),
+        other_round in any::<u64>(),
+        other_step_idx in 0usize..9,
+    ) {
+        // Binding: changing ANY of (seed, step, round) changes the
+        // commitment, so an equivocating server cannot reopen a stale
+        // commitment under fresh coordinates.
+        let step = Step::ALL[step_idx];
+        let committed = commit_seed(audit_seed, step, round_id);
+        if other_seed != audit_seed {
+            prop_assert_ne!(commit_seed(other_seed, step, round_id), committed);
+        }
+        if other_round != round_id {
+            prop_assert_ne!(commit_seed(audit_seed, step, other_round), committed);
+        }
+        if other_step_idx != step_idx {
+            prop_assert_ne!(
+                commit_seed(audit_seed, Step::ALL[other_step_idx], round_id),
+                committed
+            );
+        }
+    }
+
+    #[test]
+    fn audit_transcript_digest_rejects_single_byte_mutation(
+        transcript in proptest::collection::vec(any::<u8>(), 1..64),
+        at in any::<usize>(),
+        flip in 1u8..255,
+    ) {
+        // Any single-byte substitution in an opened transcript changes
+        // its digest — the property the challenge verification relies on
+        // to catch tampered replays.
+        let mut mutated = transcript.clone();
+        let i = at % mutated.len();
+        mutated[i] ^= flip;
+        prop_assert_ne!(
+            fnv1a(fnv1a_start(), &mutated),
+            fnv1a(fnv1a_start(), &transcript)
+        );
     }
 
     #[test]
@@ -186,14 +259,28 @@ fn run_blind_permute(
         let h1 = scope.spawn(move || {
             let enc_a: Vec<Ciphertext> = s1.recv(PartyId::User(0), Step::Setup).unwrap();
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-            server1_blind_permute(&mut s1, &s1_ctx, &[enc_a], Step::BlindPermute1, &mut rng)
-                .unwrap()
+            server1_blind_permute(
+                &mut s1,
+                &s1_ctx,
+                &[enc_a],
+                Step::BlindPermute1,
+                &mut rng,
+                &mut AuditTap::disabled(),
+            )
+            .unwrap()
         });
         let h2 = scope.spawn(move || {
             let enc_b: Vec<Ciphertext> = s2.recv(PartyId::User(0), Step::Setup).unwrap();
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
-            server2_blind_permute(&mut s2, &s2_ctx, &[enc_b], Step::BlindPermute1, &mut rng)
-                .unwrap()
+            server2_blind_permute(
+                &mut s2,
+                &s2_ctx,
+                &[enc_b],
+                Step::BlindPermute1,
+                &mut rng,
+                &mut AuditTap::disabled(),
+            )
+            .unwrap()
         });
         (h1.join().unwrap(), h2.join().unwrap())
     })

@@ -61,7 +61,7 @@ pub mod wire;
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
 };
-pub use faults::{FaultDecision, FaultPlan, SocketFault};
+pub use faults::{ByzantineAction, FaultDecision, FaultPlan, SocketFault};
 pub use latency::{LinkProfile, NetworkProfile};
 pub use metrics::{FaultEvent, FaultStats, LinkKind, Meter, MeterReport, Step};
 pub use network::{

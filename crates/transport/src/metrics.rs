@@ -212,6 +212,16 @@ pub enum FaultEvent {
     /// A severed socket link was re-established and resumed from the
     /// last acknowledged sequence number.
     Reconnected,
+    /// A covert-security audit challenge verification ran on a
+    /// server-to-server step (commitment opened and replayed).
+    AuditChallenge,
+    /// An audit verification found a deviation and raised a typed
+    /// audit failure.
+    AuditFailureDetected,
+    /// An audit verification caught a server equivocating: the frames it
+    /// attested to differ from the frames it put on the wire, or its
+    /// opening does not match its pre-step commitment.
+    EquivocationDetected,
 }
 
 /// Totals of reliability events, one counter per [`FaultEvent`].
@@ -253,6 +263,13 @@ pub struct FaultStats {
     pub liveness_expired: u64,
     /// Socket links re-established after a connection loss.
     pub reconnects: u64,
+    /// Audit challenge verifications run on server-to-server steps.
+    pub audit_challenges: u64,
+    /// Audit verifications that found a deviation.
+    pub audit_failures: u64,
+    /// Audit verifications that caught a server equivocating between its
+    /// attested transcript and the frames it actually sent.
+    pub equivocation_detected: u64,
 }
 
 impl FaultEvent {
@@ -277,12 +294,15 @@ impl FaultEvent {
             FaultEvent::BackpressureBlocked => 15,
             FaultEvent::LivenessExpired => 16,
             FaultEvent::Reconnected => 17,
+            FaultEvent::AuditChallenge => 18,
+            FaultEvent::AuditFailureDetected => 19,
+            FaultEvent::EquivocationDetected => 20,
         }
     }
 }
 
 /// Number of [`FaultEvent`] variants (fault-counter array length).
-const FAULT_KINDS: usize = 18;
+const FAULT_KINDS: usize = 21;
 
 impl FaultStats {
     /// True if no event was ever recorded.
@@ -385,6 +405,9 @@ impl Meter {
             backpressure_blocked: read(FaultEvent::BackpressureBlocked),
             liveness_expired: read(FaultEvent::LivenessExpired),
             reconnects: read(FaultEvent::Reconnected),
+            audit_challenges: read(FaultEvent::AuditChallenge),
+            audit_failures: read(FaultEvent::AuditFailureDetected),
+            equivocation_detected: read(FaultEvent::EquivocationDetected),
         }
     }
 
@@ -516,6 +539,9 @@ impl MeterReport {
             ("sends blocked on backpressure", f.backpressure_blocked),
             ("peers declared dead (liveness)", f.liveness_expired),
             ("connections re-established", f.reconnects),
+            ("audit challenges run", f.audit_challenges),
+            ("audit failures detected", f.audit_failures),
+            ("equivocations detected", f.equivocation_detected),
         ] {
             if count > 0 {
                 out.push_str(&format!("{label:<28} | {count}\n"));
@@ -709,6 +735,24 @@ mod tests {
         assert!(summary.contains("sends blocked on backpressure"), "{summary}");
         assert!(summary.contains("peers declared dead (liveness)"), "{summary}");
         assert!(summary.contains("connections re-established"), "{summary}");
+    }
+
+    #[test]
+    fn audit_counters_accumulate_and_render() {
+        let meter = Meter::new();
+        meter.record_fault(FaultEvent::AuditChallenge);
+        meter.record_fault(FaultEvent::AuditChallenge);
+        meter.record_fault(FaultEvent::AuditFailureDetected);
+        meter.record_fault(FaultEvent::EquivocationDetected);
+        let stats = meter.fault_stats();
+        assert_eq!(stats.audit_challenges, 2);
+        assert_eq!(stats.audit_failures, 1);
+        assert_eq!(stats.equivocation_detected, 1);
+        assert!(!stats.is_empty());
+        let summary = meter.report().render_fault_summary();
+        assert!(summary.contains("audit challenges run"), "{summary}");
+        assert!(summary.contains("audit failures detected"), "{summary}");
+        assert!(summary.contains("equivocations detected"), "{summary}");
     }
 
     #[test]

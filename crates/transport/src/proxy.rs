@@ -32,6 +32,7 @@ struct ChaosState {
     forwarded: AtomicU64,
     killed: AtomicBool,
     stalled: AtomicBool,
+    tampered: AtomicBool,
     shutdown: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
 }
@@ -66,6 +67,7 @@ impl ChaosProxy {
             forwarded: AtomicU64::new(0),
             killed: AtomicBool::new(false),
             stalled: AtomicBool::new(false),
+            tampered: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
@@ -146,8 +148,19 @@ fn pump_forward(mut client: TcpStream, upstream: TcpStream, state: &ChaosState) 
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
-        let chunk = &buf[..n];
         let before = state.forwarded.load(Ordering::SeqCst);
+
+        if let Some(at) = state.fault.tamper_byte_at {
+            if before <= at
+                && at < before + n as u64
+                && !state.tampered.swap(true, Ordering::SeqCst)
+            {
+                // Flip one byte in flight; the frame checksum downstream
+                // detects it and the link tears down and resumes.
+                buf[(at - before) as usize] ^= 0xFF;
+            }
+        }
+        let chunk = &buf[..n];
 
         if let Some((at, pause)) = state.fault.stall {
             if before < at && before + n as u64 >= at && !state.stalled.swap(true, Ordering::SeqCst)
@@ -245,6 +258,62 @@ mod tests {
         let mut back = vec![0u8; payload.len()];
         conn.read_exact(&mut back).unwrap();
         assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn tamper_flips_exactly_one_byte_then_later_connections_pass() {
+        let target = echo_server();
+        let fault = SocketFault { tamper_byte_at: Some(2), ..SocketFault::default() };
+        let proxy = ChaosProxy::spawn(target, fault).unwrap();
+
+        let mut first = TcpStream::connect(proxy.addr()).unwrap();
+        first.write_all(b"abcdef").unwrap();
+        let mut back = [0u8; 6];
+        first.read_exact(&mut back).unwrap();
+        let mut expect = *b"abcdef";
+        expect[2] ^= 0xFF;
+        assert_eq!(back, expect, "byte at offset 2 must be flipped, rest untouched");
+
+        // One-shot: a later connection through the same proxy is clean.
+        let mut second = TcpStream::connect(proxy.addr()).unwrap();
+        second.write_all(b"again").unwrap();
+        let mut clean = [0u8; 5];
+        second.read_exact(&mut clean).unwrap();
+        assert_eq!(&clean, b"again");
+    }
+
+    #[test]
+    fn one_shot_faults_do_not_refire_after_reconnect() {
+        // Regression: every one-shot fault (kill, stall, tamper) must fire
+        // at most once across the proxy's lifetime, so the connection a
+        // link re-establishes after the fault passes cleanly.
+        let target = echo_server();
+        let fault = SocketFault {
+            kill_after_bytes: Some(4),
+            stall: Some((1, Duration::from_millis(1))),
+            tamper_byte_at: Some(2),
+            ..SocketFault::default()
+        };
+        let proxy = ChaosProxy::spawn(target, fault).unwrap();
+
+        // First connection eats all three faults: stall at byte 1, tamper
+        // at byte 2, kill at byte 4.
+        let mut first = TcpStream::connect(proxy.addr()).unwrap();
+        first.write_all(b"abcdefgh").unwrap();
+        first.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = Vec::new();
+        let got = first.read_to_end(&mut sink).unwrap_or(sink.len());
+        assert!(got <= 4, "kill must truncate the stream, got {got} bytes");
+
+        // Reconnections pass untouched, repeatedly.
+        for round in 0..3u8 {
+            let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+            let payload = [round; 16];
+            conn.write_all(&payload).unwrap();
+            let mut back = [0u8; 16];
+            conn.read_exact(&mut back).unwrap();
+            assert_eq!(back, payload, "reconnect #{round} must be clean");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 # the perf trajectory is tracked by (see DESIGN.md, "Exponentiation
 # strategy").
 #
-# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N]
+# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N] [--audit]
 #
 #   --smoke      minimal iteration counts and no criterion sweep — the CI
 #                wiring (scripts/ci.sh) uses this to keep the harness from
@@ -17,6 +17,9 @@
 #   --threads N  forward a worker-thread count to bench_protocol's
 #                data-parallel sweep (default: the CONSENSUS_THREADS
 #                environment variable, else 1).
+#   --audit      also time the full engine round with the covert-security
+#                audit layer off vs. on (audit_off_/audit_on_ rows in
+#                BENCH_protocol.json).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,18 +27,20 @@ cd "$repo"
 
 smoke=0
 offline=0
+audit=0
 threads=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=1 ;;
     --offline) offline=1 ;;
+    --audit) audit=1 ;;
     --threads)
       [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
       threads="$2"
       shift
       ;;
     *)
-      echo "usage: $0 [--smoke] [--offline] [--threads N]" >&2
+      echo "usage: $0 [--smoke] [--offline] [--threads N] [--audit]" >&2
       exit 2
       ;;
   esac
@@ -65,6 +70,9 @@ if [[ $smoke -eq 1 ]]; then
 fi
 if [[ -n $threads ]]; then
   protocol_args+=(--threads "$threads")
+fi
+if [[ $audit -eq 1 ]]; then
+  protocol_args+=(--audit)
 fi
 cargo "${config[@]}" run --release -p benches --bin bench_protocol "${cargo_flags[@]}" \
   -- "${protocol_args[@]}"

@@ -33,6 +33,9 @@ echo "==> tcp transport smoke (fingerprint parity + mid-round connection kill, 2
 cargo test -q -p consensus-core --test chaos tcp_backend_matches_inproc_fingerprint
 cargo test -q -p consensus-core --test recovery tcp_connection_kill_recovers_two_seeds
 
+echo "==> covert-audit smoke (strict conviction + resilient clean abort, 2 seeds)"
+cargo test -q -p consensus-core --test audit audit_smoke_two_seeds
+
 echo "==> bench harness smoke (scripts/bench.sh --smoke, 2 worker threads)"
 bash scripts/bench.sh --smoke --threads 2
 
