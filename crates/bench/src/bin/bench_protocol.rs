@@ -36,7 +36,7 @@
 //! trend line notices the first run where they are not.
 //!
 //! Usage:
-//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--iters N] [--threads N] [--out PATH]`
+//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--batch] [--iters N] [--threads N] [--out PATH]`
 //!
 //! `--smoke` runs 2 iterations per step and trims the thread sweep (CI
 //! wiring); `--threads` (default: the `CONSENSUS_THREADS` environment
@@ -44,15 +44,21 @@
 //! additionally times the full engine round with the covert-security
 //! audit layer off vs. on (`audit_off_engine_round_*` /
 //! `audit_on_engine_round_*` rows), so the cost of commit-and-challenge
-//! verification is a tracked number rather than folklore; `--out`
-//! defaults to `BENCH_protocol.json` in the current directory.
+//! verification is a tracked number rather than folklore; `--batch` adds
+//! the batched-kernel ablation rows (Straus multi-exp vs iterated modpow
+//! at k ∈ {1, 4, 16, 64}, Karatsuba vs schoolbook Montgomery product at
+//! 4096 bits, fixed-Garner vs gcd CRT recombination, batched vs per-item
+//! pool refill and DGK zero test), each k-sweep reported as per-item
+//! nanoseconds; `--out` defaults to `BENCH_protocol.json` in the current
+//! directory.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use benches::Args;
-use bigint::modular::{modmul, modpow_basic};
+use bigint::modular::{crt_pair, modinverse, modmul, modpow_basic, modsub};
 use bigint::montgomery::{FixedBaseTable, MontgomeryContext};
+use bigint::prime::gen_prime;
 use bigint::{random, Ubig};
 use consensus_core::config::ConsensusConfig;
 use consensus_core::secure::{RankingStrategy, SecureEngine};
@@ -420,6 +426,140 @@ fn main() {
             black_box(atable.pow_mul(&aexp, &htable, &bexp));
         }),
     );
+
+    // ----- Batched-kernel ablation (`--batch`) ----------------------------
+    // Old-vs-new rows for every kernel this round touched, each k-sweep
+    // reported as **per-item** nanoseconds so the amortization curve reads
+    // directly off the k ∈ {1, 4, 16, 64} columns.
+    if args.has("batch") {
+        println!("\nBatched-kernel ablation (k in {{1, 4, 16, 64}}):");
+        let ks: [usize; 4] = [1, 4, 16, 64];
+
+        // (a) k independent 256-bit exponentiations folded by modular
+        // multiply, vs one interleaved Straus multi-exponentiation that
+        // shares a single squaring chain across all k bases.
+        for &k in &ks {
+            let pairs_owned: Vec<(Ubig, Ubig)> = (0..k)
+                .map(|_| (random::gen_below(&mut rng, &am), random::gen_exact_bits(&mut rng, 256)))
+                .collect();
+            let pairs: Vec<(&Ubig, &Ubig)> = pairs_owned.iter().map(|(b, e)| (b, e)).collect();
+            report.record(
+                &format!("ablation_multiexp_iter_k{k}"),
+                (time_ns(heavy_iters, || {
+                    let mut acc = Ubig::one();
+                    for (b, e) in &pairs_owned {
+                        acc = modmul(&acc, &actx.modpow(b, e), &am);
+                    }
+                    black_box(acc);
+                }) / k as u128)
+                    .max(1),
+            );
+            report.record(
+                &format!("ablation_multiexp_straus_k{k}"),
+                (time_ns(heavy_iters, || {
+                    black_box(actx.modpow_multi(&pairs));
+                }) / k as u128)
+                    .max(1),
+            );
+        }
+
+        // (b) One Montgomery product at a 4096-bit modulus (64 limbs, above
+        // the Karatsuba crossover) with the limb multiply pinned to
+        // schoolbook vs the production Karatsuba dispatch.
+        let mut wm = random::gen_exact_bits(&mut rng, 4096);
+        wm.set_bit(0, true);
+        let wctx = MontgomeryContext::new(&wm).expect("odd modulus");
+        let wa = wctx.to_mont(&random::gen_below(&mut rng, &wm));
+        let wb = wctx.to_mont(&random::gen_below(&mut rng, &wm));
+        report.record(
+            "ablation_mont_mul_school_4096",
+            time_ns(iters, || {
+                black_box(wctx.mont_mul_ablation(&wa, &wb, false));
+            }),
+        );
+        report.record(
+            "ablation_mont_mul_karatsuba_4096",
+            time_ns(iters, || {
+                black_box(wctx.mont_mul_ablation(&wa, &wb, true));
+            }),
+        );
+
+        // (c) CRT recombination on two half-size prime proxies: the
+        // generic extended-gcd `crt_pair` (what `decrypt_crt` used to call
+        // per decryption) vs the fixed Garner form with a precomputed
+        // `p⁻¹ mod q` (what the key now caches).
+        let cp = gen_prime(&mut rng, 32);
+        let cq = {
+            let mut q = gen_prime(&mut rng, 32);
+            while q == cp {
+                q = gen_prime(&mut rng, 32);
+            }
+            q
+        };
+        let mp = random::gen_below(&mut rng, &cp);
+        let mq = random::gen_below(&mut rng, &cq);
+        let p_inv_q = modinverse(&cp, &cq).expect("distinct primes are coprime");
+        report.record(
+            "ablation_crt_recombine_gcd",
+            time_ns(iters, || {
+                black_box(crt_pair(&mp, &cp, &mq, &cq).expect("coprime moduli"));
+            }),
+        );
+        report.record(
+            "ablation_crt_recombine_fixed",
+            time_ns(iters, || {
+                let t = modmul(&modsub(&mq, &mp, &cq), &p_inv_q, &cq);
+                black_box(&mp + &(&cp * &t));
+            }),
+        );
+
+        // (d) Randomizer-pool refill: one full-width `r^n mod n²` per entry
+        // vs the batched fixed-base short-exponent kernel. The batched
+        // pool's bases are pre-warmed outside the timed region so the rows
+        // compare steady-state refill cost, not the one-time table build.
+        let seq = Parallelism::sequential();
+        let mut pool_iter = RandomizerPool::generate(pk.clone(), 1, &mut rng);
+        let mut pool_batched = RandomizerPool::generate(pk.clone(), 1, &mut rng);
+        pool_batched.refill_batched(1, &seq, &mut rng);
+        for &k in &ks {
+            report.record(
+                &format!("ablation_pool_refill_k{k}"),
+                (time_ns(heavy_iters, || {
+                    pool_iter.refill_with(k, &seq, &mut rng);
+                }) / k as u128)
+                    .max(1),
+            );
+            report.record(
+                &format!("ablation_pool_refill_batched_k{k}"),
+                (time_ns(heavy_iters, || {
+                    pool_batched.refill_batched(k, &seq, &mut rng);
+                }) / k as u128)
+                    .max(1),
+            );
+        }
+
+        // (e) DGK zero test over the same k ciphertexts: a per-item loop
+        // vs the batched scratch-reusing CRT test.
+        for &k in &ks {
+            let zcs: Vec<_> = (0..k).map(|i| dpk.encrypt_u64((i % 3) as u64, &mut rng)).collect();
+            report.record(
+                &format!("ablation_dgk_zero_loop_k{k}"),
+                (time_ns(iters, || {
+                    for c in &zcs {
+                        black_box(dsk.is_zero(c).expect("well-formed ciphertext"));
+                    }
+                }) / k as u128)
+                    .max(1),
+            );
+            report.record(
+                &format!("ablation_dgk_zero_batch_k{k}"),
+                (time_ns(iters, || {
+                    black_box(dsk.is_zero_batch(&zcs).expect("well-formed ciphertexts"));
+                }) / k as u128)
+                    .max(1),
+            );
+        }
+    }
 
     // ----- Data-parallel thread-scaling sweep -----------------------------
     // `--threads` (default: CONSENSUS_THREADS, else 1) is always a sweep

@@ -46,6 +46,8 @@ pub mod random;
 
 pub use error::ParseBigIntError;
 pub use ibig::{Ibig, Sign};
+#[doc(hidden)]
+pub use mul::mul_for_ablation;
 pub use ubig::Ubig;
 
 /// Number of bits in one limb of a [`Ubig`].

@@ -11,10 +11,14 @@
 //! strategy"):
 //!
 //! * [`MontgomeryContext`] — per-modulus precomputation with a 4-bit
-//!   windowed [`MontgomeryContext::modpow`] and a Shamir/Straus
+//!   windowed [`MontgomeryContext::modpow`], a Shamir/Straus
 //!   simultaneous double exponentiation [`MontgomeryContext::modpow2`],
-//!   both running on reusable limb scratch buffers (no per-step
-//!   allocation);
+//!   and its k-ary generalization [`MontgomeryContext::modpow_multi`]
+//!   (one shared squaring chain across a whole batch of bases), all
+//!   running on reusable limb scratch buffers (no per-step allocation);
+//!   batch callers hold a [`PowScratch`] and use
+//!   [`MontgomeryContext::modpow_with_scratch`] to amortize even the
+//!   per-call buffer setup;
 //! * [`FixedBaseTable`] — windowed fixed-base exponentiation for
 //!   generators that never change (DGK `g`, `h`): all squarings are
 //!   precomputed, leaving one multiplication per 4-bit exponent digit;
@@ -40,6 +44,12 @@ const WINDOW_BITS: u32 = 4;
 /// the 16-entry window table (the table costs ~14 Montgomery squarings
 /// and multiplications up front).
 const WINDOW_THRESHOLD: u64 = 64;
+
+/// Operand limb count at which the Montgomery product switches from the
+/// in-place schoolbook kernel to the Karatsuba multiply in [`crate::mul`].
+/// Matches the `Ubig` multiplication threshold: below it the extra
+/// allocations of the recursive path cost more than the saved limb work.
+const MONT_KARATSUBA_LIMBS: usize = 32;
 
 /// Precomputed context for arithmetic modulo a fixed odd `n`.
 ///
@@ -102,12 +112,19 @@ fn sub_limbs_in_place(a: &mut [Limb], b: &[Limb]) -> Limb {
     borrow
 }
 
-/// Schoolbook product of `a` and `b` into `out` (zeroed first).
+/// Product of `a` and `b` into `out` (zeroed first). Schoolbook in place
+/// for narrow operands; at [`MONT_KARATSUBA_LIMBS`] limbs and above the
+/// sub-quadratic Karatsuba multiply wins despite its allocations.
 /// `out.len()` must be at least `a.len() + b.len()`.
 fn mul_limbs_into(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
     debug_assert!(out.len() >= a.len() + b.len());
     out.fill(0);
     if a.is_empty() || b.is_empty() {
+        return;
+    }
+    if a.len().min(b.len()) >= MONT_KARATSUBA_LIMBS {
+        let prod = crate::mul::mul_limbs(a, b);
+        out[..prod.len()].copy_from_slice(&prod);
         return;
     }
     for (i, &ai) in a.iter().enumerate() {
@@ -129,18 +146,25 @@ fn mul_limbs_into(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
 /// Reads the `w`-th `WINDOW_BITS`-wide digit of `exp` (digit 0 is least
 /// significant).
 fn window_digit(exp: &Ubig, w: usize) -> usize {
+    window_digit_w(exp, w, WINDOW_BITS)
+}
+
+/// Reads the `w`-th `width`-bit digit of `exp` (digit 0 is least
+/// significant). `width` must be in `1..LIMB_BITS`.
+fn window_digit_w(exp: &Ubig, w: usize, width: u32) -> usize {
+    debug_assert!((1..LIMB_BITS).contains(&width));
     let limbs = exp.as_limbs();
-    let start = w as u64 * WINDOW_BITS as u64;
+    let start = w as u64 * width as u64;
     let limb = (start / LIMB_BITS as u64) as usize;
     let off = (start % LIMB_BITS as u64) as u32;
     let Some(&lo) = limbs.get(limb) else { return 0 };
     let mut d = lo >> off;
-    if off + WINDOW_BITS > LIMB_BITS {
+    if off + width > LIMB_BITS {
         if let Some(&hi) = limbs.get(limb + 1) {
             d |= hi << (LIMB_BITS - off);
         }
     }
-    (d & ((1 << WINDOW_BITS) - 1)) as usize
+    (d & ((1 << width) - 1)) as usize
 }
 
 impl MontgomeryContext {
@@ -227,6 +251,16 @@ impl MontgomeryContext {
         scratch[self.k..2 * self.k].to_vec()
     }
 
+    /// [`MontgomeryContext::to_mont_limbs`] writing into a reusable
+    /// output vector instead of allocating.
+    fn to_mont_limbs_into(&self, x: &Ubig, scratch: &mut [Limb], out: &mut Vec<Limb>) {
+        debug_assert!(x < &self.n);
+        mul_limbs_into(x.as_limbs(), self.r_squared.as_limbs(), scratch);
+        self.redc_in_place(scratch);
+        out.clear();
+        out.extend_from_slice(&scratch[self.k..2 * self.k]);
+    }
+
     /// Converts a `k`-limb Montgomery value back to a normalized [`Ubig`].
     #[allow(clippy::wrong_self_convention)] // converts the argument, not self
     fn from_mont_limbs(&self, a: &[Limb], scratch: &mut [Limb]) -> Ubig {
@@ -280,52 +314,70 @@ impl MontgomeryContext {
     ///
     /// Matches [`crate::modular::modpow`] exactly (property-tested).
     pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let mut ws = PowScratch::new();
+        self.modpow_with_scratch(base, exp, &mut ws)
+    }
+
+    /// [`MontgomeryContext::modpow`] with all working buffers drawn from a
+    /// caller-owned [`PowScratch`], so batch loops (pool refills, zero-test
+    /// fan-outs) pay zero heap allocation per exponentiation after the
+    /// first. Bit-exact with `modpow` — it *is* the implementation
+    /// `modpow` delegates to.
+    pub fn modpow_with_scratch(&self, base: &Ubig, exp: &Ubig, ws: &mut PowScratch) -> Ubig {
         let base = base % &self.n;
         if exp.is_zero() {
             return if self.n.is_one() { Ubig::zero() } else { Ubig::one() };
         }
         let k = self.k;
-        let mut scratch = vec![0; self.scratch_len()];
-        let base_m = self.to_mont_limbs(&base, &mut scratch);
+        ws.scratch.clear();
+        ws.scratch.resize(self.scratch_len(), 0);
+        self.to_mont_limbs_into(&base, &mut ws.scratch, &mut ws.base);
         let nbits = exp.bits();
-        let mut acc = self.one_mont_limbs();
-        let mut tmp = vec![0; k];
+        ws.acc.clear();
+        ws.acc.resize(k, 0);
+        ws.acc[..self.one_mont.as_limbs().len()].copy_from_slice(self.one_mont.as_limbs());
+        ws.tmp.clear();
+        ws.tmp.resize(k, 0);
         if nbits < WINDOW_THRESHOLD {
             // Plain left-to-right binary ladder.
             for i in (0..nbits).rev() {
-                self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
-                std::mem::swap(&mut acc, &mut tmp);
+                self.mont_mul_limbs(&ws.acc, &ws.acc, &mut ws.tmp, &mut ws.scratch);
+                std::mem::swap(&mut ws.acc, &mut ws.tmp);
                 if exp.bit(i) {
-                    self.mont_mul_limbs(&acc, &base_m, &mut tmp, &mut scratch);
-                    std::mem::swap(&mut acc, &mut tmp);
+                    self.mont_mul_limbs(&ws.acc, &ws.base, &mut ws.tmp, &mut ws.scratch);
+                    std::mem::swap(&mut ws.acc, &mut ws.tmp);
                 }
             }
         } else {
-            // Fixed 4-bit windows: pows[d] = base^d in Montgomery form.
-            let mut pows: Vec<Vec<Limb>> = Vec::with_capacity(1 << WINDOW_BITS);
-            pows.push(self.one_mont_limbs());
-            pows.push(base_m);
-            for d in 2..1usize << WINDOW_BITS {
-                let mut next = vec![0; k];
-                self.mont_mul_limbs(&pows[d - 1], &pows[1], &mut next, &mut scratch);
-                pows.push(next);
+            // Fixed 4-bit windows: pows[d-1] = base^d in Montgomery form.
+            let count = (1usize << WINDOW_BITS) - 1;
+            if ws.pows.len() < count {
+                ws.pows.resize_with(count, Vec::new);
+            }
+            ws.pows[0].clear();
+            ws.pows[0].extend_from_slice(&ws.base);
+            for d in 2..=count {
+                let (head, tail) = ws.pows.split_at_mut(d - 1);
+                tail[0].clear();
+                tail[0].resize(k, 0);
+                self.mont_mul_limbs(&head[d - 2], &ws.base, &mut tail[0], &mut ws.scratch);
             }
             let nwin = nbits.div_ceil(WINDOW_BITS as u64) as usize;
             for w in (0..nwin).rev() {
                 if w + 1 != nwin {
                     for _ in 0..WINDOW_BITS {
-                        self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
-                        std::mem::swap(&mut acc, &mut tmp);
+                        self.mont_mul_limbs(&ws.acc, &ws.acc, &mut ws.tmp, &mut ws.scratch);
+                        std::mem::swap(&mut ws.acc, &mut ws.tmp);
                     }
                 }
                 let digit = window_digit(exp, w);
                 if digit != 0 {
-                    self.mont_mul_limbs(&acc, &pows[digit], &mut tmp, &mut scratch);
-                    std::mem::swap(&mut acc, &mut tmp);
+                    self.mont_mul_limbs(&ws.acc, &ws.pows[digit - 1], &mut ws.tmp, &mut ws.scratch);
+                    std::mem::swap(&mut ws.acc, &mut ws.tmp);
                 }
             }
         }
-        self.from_mont_limbs(&acc, &mut scratch)
+        self.from_mont_limbs(&ws.acc, &mut ws.scratch)
     }
 
     /// Simultaneous double exponentiation `g^a · h^b mod n` by the
@@ -364,7 +416,7 @@ impl MontgomeryContext {
         let mut acc = self.one_mont_limbs();
         let mut tmp = vec![0; k];
         for i in (0..nbits).rev() {
-            self.mont_mul_limbs(&acc, &acc.clone(), &mut tmp, &mut scratch);
+            self.mont_mul_limbs(&acc, &acc, &mut tmp, &mut scratch);
             std::mem::swap(&mut acc, &mut tmp);
             let factor = match (a.bit(i), b.bit(i)) {
                 (true, true) => Some(&gh_m),
@@ -378,6 +430,136 @@ impl MontgomeryContext {
             }
         }
         self.from_mont_limbs(&acc, &mut scratch)
+    }
+
+    /// Simultaneous k-ary multi-exponentiation
+    /// `∏ baseᵢ^expᵢ mod n` — the interleaved windowed Straus
+    /// generalization of [`MontgomeryContext::modpow2`]: all bases share
+    /// **one** squaring chain over the widest exponent, each contributing
+    /// one table multiplication per non-zero window digit. For k bases of
+    /// `b`-bit exponents that is `b` squarings total instead of `k·b`,
+    /// which is where the batched kernels (pool refill, witness blinding)
+    /// get their speedup.
+    ///
+    /// The window width adapts to the exponent size: 1 bit (plain
+    /// interleaving) below [`WINDOW_THRESHOLD`], else [`WINDOW_BITS`]
+    /// with a per-base odd-power table.
+    ///
+    /// Bit-exact with folding `modpow` results via `modmul`
+    /// (property-tested); an empty slice yields `1 mod n`.
+    ///
+    /// ```
+    /// use bigint::{montgomery::MontgomeryContext, modular, Ubig};
+    ///
+    /// let n = Ubig::from(1_000_003u64);
+    /// let ctx = MontgomeryContext::new(&n).expect("odd modulus");
+    /// let pairs = [
+    ///     (Ubig::from(3u64), Ubig::from(100u64)),
+    ///     (Ubig::from(5u64), Ubig::from(200u64)),
+    ///     (Ubig::from(7u64), Ubig::from(300u64)),
+    /// ];
+    /// let refs: Vec<(&Ubig, &Ubig)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+    /// let mut expect = Ubig::one();
+    /// for (b, e) in &pairs {
+    ///     expect = modular::modmul(&expect, &modular::modpow(b, e, &n), &n);
+    /// }
+    /// assert_eq!(ctx.modpow_multi(&refs), expect);
+    /// ```
+    pub fn modpow_multi(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        let nbits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        if nbits == 0 {
+            return if self.n.is_one() { Ubig::zero() } else { Ubig::one() };
+        }
+        let k = self.k;
+        let mut scratch = vec![0; self.scratch_len()];
+        let w: u32 = if nbits < WINDOW_THRESHOLD { 1 } else { WINDOW_BITS };
+        // Per-base window tables: tables[i][d-1] = baseᵢ^d in Montgomery
+        // form, d in 1..2^w.
+        let mut tables: Vec<Vec<Vec<Limb>>> = Vec::with_capacity(pairs.len());
+        for (base, _) in pairs {
+            let base_m = self.to_mont_limbs(&(*base % &self.n), &mut scratch);
+            let mut entries: Vec<Vec<Limb>> = Vec::with_capacity((1usize << w) - 1);
+            entries.push(base_m);
+            for d in 2..1usize << w {
+                let mut next = vec![0; k];
+                self.mont_mul_limbs(&entries[d - 2], &entries[0], &mut next, &mut scratch);
+                entries.push(next);
+            }
+            tables.push(entries);
+        }
+        let mut acc = self.one_mont_limbs();
+        let mut tmp = vec![0; k];
+        let nwin = nbits.div_ceil(w as u64) as usize;
+        for win in (0..nwin).rev() {
+            if win + 1 != nwin {
+                for _ in 0..w {
+                    self.mont_mul_limbs(&acc, &acc, &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            for (i, (_, exp)) in pairs.iter().enumerate() {
+                let digit = window_digit_w(exp, win, w);
+                if digit != 0 {
+                    self.mont_mul_limbs(&acc, &tables[i][digit - 1], &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+        }
+        self.from_mont_limbs(&acc, &mut scratch)
+    }
+
+    /// One Montgomery product `a·b·R⁻¹ mod n` of two Montgomery-form
+    /// values with the limb multiply pinned to schoolbook
+    /// (`karatsuba = false`) or the production dispatch (`true`). Bench
+    /// ablation hook only — not part of the public API surface.
+    #[doc(hidden)]
+    pub fn mont_mul_ablation(&self, a_mont: &Ubig, b_mont: &Ubig, karatsuba: bool) -> Ubig {
+        let prod = crate::mul::mul_for_ablation(a_mont, b_mont, karatsuba);
+        self.redc(&prod)
+    }
+}
+
+/// Reusable working buffers for [`MontgomeryContext::modpow_with_scratch`]
+/// and [`MontgomeryContext::modpow_multi`].
+///
+/// One `PowScratch` amortizes every intermediate allocation (REDC
+/// scratch, accumulator, window tables) across a batch of
+/// exponentiations — the per-call `Vec` churn is a measurable fraction of
+/// the runtime at the 1–2 limb moduli the prototypes bench at. Buffers
+/// are resized on use, so one scratch can serve contexts of different
+/// widths.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::{montgomery::{MontgomeryContext, PowScratch}, Ubig};
+///
+/// let n = Ubig::from(1_000_003u64);
+/// let ctx = MontgomeryContext::new(&n).expect("odd modulus");
+/// let mut ws = PowScratch::new();
+/// for e in 1u64..5 {
+///     let got = ctx.modpow_with_scratch(&Ubig::from(7u64), &Ubig::from(e), &mut ws);
+///     assert_eq!(got, ctx.modpow(&Ubig::from(7u64), &Ubig::from(e)));
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct PowScratch {
+    /// `2k+1`-limb REDC buffer.
+    scratch: Vec<Limb>,
+    /// Running accumulator in Montgomery form.
+    acc: Vec<Limb>,
+    /// Swap partner for `acc` (Montgomery products cannot alias out).
+    tmp: Vec<Limb>,
+    /// The reduced base in Montgomery form.
+    base: Vec<Limb>,
+    /// Window table: `pows[d-1] = base^d` in Montgomery form.
+    pows: Vec<Vec<Limb>>,
+}
+
+impl PowScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -437,7 +619,7 @@ impl FixedBaseTable {
             }
             // base^(16^(w+1)) = (base^(8·16^w))^2.
             let mut next_cur = vec![0; k];
-            ctx.mont_mul_limbs(&entries[7], &entries[7].clone(), &mut next_cur, &mut scratch);
+            ctx.mont_mul_limbs(&entries[7], &entries[7], &mut next_cur, &mut scratch);
             cur = next_cur;
             windows.push(entries);
         }
@@ -855,6 +1037,117 @@ mod tests {
         assert_eq!(cell, CachedContext::new());
         // The clone carries the resolved context (shared Arc).
         assert!(clone.context(&m).is_some());
+    }
+
+    #[test]
+    fn modpow_multi_matches_iterated_modpow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for bits in [64u64, 128, 256] {
+            let mut n = random::gen_exact_bits(&mut rng, bits);
+            n.set_bit(0, true);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for k in 1usize..=5 {
+                let pairs: Vec<(Ubig, Ubig)> = (0..k)
+                    .map(|_| (random::gen_below(&mut rng, &n), random::gen_bits(&mut rng, bits)))
+                    .collect();
+                let refs: Vec<(&Ubig, &Ubig)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+                let mut expect = if n.is_one() { Ubig::zero() } else { Ubig::one() };
+                for (b, e) in &pairs {
+                    expect = modmul(&expect, &modpow_basic(b, e, &n), &n);
+                }
+                assert_eq!(ctx.modpow_multi(&refs), expect, "bits {bits} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_multi_short_exponents_use_interleaved_ladder() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut n = random::gen_exact_bits(&mut rng, 128);
+        n.set_bit(0, true);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let pairs: Vec<(Ubig, Ubig)> = (0..3)
+            .map(|_| (random::gen_below(&mut rng, &n), random::gen_bits(&mut rng, 20)))
+            .collect();
+        let refs: Vec<(&Ubig, &Ubig)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        let mut expect = Ubig::one();
+        for (b, e) in &pairs {
+            expect = modmul(&expect, &modpow_basic(b, e, &n), &n);
+        }
+        assert_eq!(ctx.modpow_multi(&refs), expect);
+    }
+
+    #[test]
+    fn modpow_multi_edge_cases() {
+        let n = Ubig::from(101u64);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        // Empty product is 1.
+        assert_eq!(ctx.modpow_multi(&[]), Ubig::one());
+        // All-zero exponents collapse to 1 as well.
+        let (b1, b2) = (Ubig::from(7u64), Ubig::from(9u64));
+        let z = Ubig::zero();
+        assert_eq!(ctx.modpow_multi(&[(&b1, &z), (&b2, &z)]), Ubig::one());
+        // Mixed zero / non-zero exponents and unreduced bases.
+        let wide = Ubig::from(108u64); // 108 ≡ 7 (mod 101)
+        let e = Ubig::from(13u64);
+        assert_eq!(ctx.modpow_multi(&[(&wide, &e), (&b2, &z)]), modpow_basic(&b1, &e, &n));
+        // Trivial modulus 1: everything is 0.
+        // (MontgomeryContext::new rejects n=1, so only n>1 applies here.)
+        let one_pair = [(&b1, &e)];
+        assert_eq!(ctx.modpow_multi(&one_pair), modpow_basic(&b1, &e, &n));
+    }
+
+    #[test]
+    fn modpow_with_scratch_reuses_buffers_across_widths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ws = PowScratch::new();
+        for bits in [64u64, 256, 128] {
+            let mut n = random::gen_exact_bits(&mut rng, bits);
+            n.set_bit(0, true);
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            // Alternate ladder-path (short) and window-path (wide)
+            // exponents through the same scratch.
+            for ebits in [1u64, bits, 17, bits / 2 + 64] {
+                let base = random::gen_below(&mut rng, &n);
+                let exp = random::gen_bits(&mut rng, ebits);
+                assert_eq!(
+                    ctx.modpow_with_scratch(&base, &exp, &mut ws),
+                    modpow_basic(&base, &exp, &n),
+                    "bits {bits} ebits {ebits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_mont_path_matches_plain_at_wide_moduli() {
+        // 2048-bit modulus = 32 limbs: mul_limbs_into crosses
+        // MONT_KARATSUBA_LIMBS and routes through crate::mul.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut n = random::gen_exact_bits(&mut rng, 2048);
+        n.set_bit(0, true);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let a = random::gen_below(&mut rng, &n);
+        let b = random::gen_below(&mut rng, &n);
+        let expect = modmul(&a, &b, &n);
+        let got = ctx.from_mont(&ctx.mul_mont(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        assert_eq!(got, expect);
+        let exp = random::gen_exact_bits(&mut rng, 64);
+        assert_eq!(ctx.modpow(&a, &exp), modpow_basic(&a, &exp, &n));
+    }
+
+    #[test]
+    fn mont_mul_ablation_agrees_between_kernels() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut n = random::gen_exact_bits(&mut rng, 2048);
+        n.set_bit(0, true);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let a = ctx.to_mont(&random::gen_below(&mut rng, &n));
+        let b = ctx.to_mont(&random::gen_below(&mut rng, &n));
+        let school = ctx.mont_mul_ablation(&a, &b, false);
+        let kara = ctx.mont_mul_ablation(&a, &b, true);
+        assert_eq!(school, kara);
+        assert_eq!(school, ctx.mul_mont(&a, &b));
     }
 
     #[test]

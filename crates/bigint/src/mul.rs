@@ -36,53 +36,110 @@ fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 }
 
 /// Karatsuba multiplication: splits both operands at `half` limbs and
-/// recombines with three recursive products.
+/// recombines with three recursive products. The recombination runs
+/// entirely on limb slices — no `Ubig` temporaries, no shifted copies —
+/// because at the ~2× threshold widths where one recursion level fires,
+/// the 25% saving in limb products is smaller than the cost of naive
+/// allocate-and-shift recombination.
 fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
-    let n = a.len().max(b.len());
     if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
         return mul_schoolbook(a, b);
     }
-    let half = n / 2;
-    let (a0, a1) = split(a, half);
-    let (b0, b1) = split(b, half);
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(half.min(a.len()));
+    let (b0, b1) = b.split_at(half.min(b.len()));
 
-    let z0 = Ubig::from_limbs(mul_karatsuba(&a0.limbs, &b0.limbs));
-    let z2 = Ubig::from_limbs(mul_karatsuba(&a1.limbs, &b1.limbs));
-    let sa = &a0 + &a1;
-    let sb = &b0 + &b1;
-    let z1_full = Ubig::from_limbs(mul_karatsuba(&sa.limbs, &sb.limbs));
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+    let sa = add_limbs(a0, a1);
+    let sb = add_limbs(b0, b1);
     // z1 = (a0+a1)(b0+b1) - z0 - z2 >= 0 always.
-    let z1 = &(&z1_full - &z0) - &z2;
+    let mut z1 = mul_karatsuba(&sa, &sb);
+    sub_limbs_in_place(&mut z1, &z0);
+    sub_limbs_in_place(&mut z1, &z2);
 
-    let mut result = z0;
-    let mut mid = z1;
-    mid.shl_limbs(half);
-    result += &mid;
-    let mut top = z2;
-    top.shl_limbs(2 * half);
-    result += &top;
-    result.limbs
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    out[..z0.len()].copy_from_slice(&z0);
+    add_limbs_at(&mut out, &z1, half);
+    add_limbs_at(&mut out, &z2, 2 * half);
+    out
 }
 
-fn split(x: &[Limb], at: usize) -> (Ubig, Ubig) {
-    if x.len() <= at {
-        (Ubig::from_limbs(x.to_vec()), Ubig::zero())
+/// `a + b` over raw limb slices.
+fn add_limbs(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: Limb = 0;
+    for (i, &l) in long.iter().enumerate() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (v1, c1) = l.overflowing_add(s);
+        let (v2, c2) = v1.overflowing_add(carry);
+        out.push(v2);
+        carry = c1 as Limb + c2 as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a -= b` over raw limb slices; the caller guarantees `a >= b`.
+fn sub_limbs_in_place(a: &mut [Limb], b: &[Limb]) {
+    debug_assert!(b.len() <= a.len(), "karatsuba z1 holds the widest product");
+    let mut borrow: Limb = 0;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (v1, b1) = limb.overflowing_sub(s);
+        let (v2, b2) = v1.overflowing_sub(borrow);
+        *limb = v2;
+        borrow = b1 as Limb + b2 as Limb;
+        if i >= b.len() && borrow == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "karatsuba z1 is non-negative");
+}
+
+/// `out += src << (64·at)` in place; the true product always fits `out`,
+/// so any `src` limbs past the end are zeros.
+fn add_limbs_at(out: &mut [Limb], src: &[Limb], at: usize) {
+    let mut carry: Limb = 0;
+    let mut i = 0;
+    while i < src.len() || carry != 0 {
+        let s = src.get(i).copied().unwrap_or(0);
+        let Some(slot) = out.get_mut(at + i) else {
+            debug_assert!(s == 0 && carry == 0, "karatsuba recombination overflow");
+            break;
+        };
+        let (v1, c1) = slot.overflowing_add(s);
+        let (v2, c2) = v1.overflowing_add(carry);
+        *slot = v2;
+        carry = c1 as Limb + c2 as Limb;
+        i += 1;
+    }
+}
+
+/// Limb-level product with the same Karatsuba/schoolbook dispatch as the
+/// [`Mul`] impl; the Montgomery kernels call this for wide operands so
+/// 2048-bit `n²` multiplies stop paying schoolbook `O(limbs²)`.
+pub(crate) fn mul_limbs(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    mul_karatsuba(a, b)
+}
+
+/// Forces one multiplication algorithm for benchmark ablations:
+/// `karatsuba = false` pins schoolbook, `true` uses the production
+/// dispatch (Karatsuba above [`KARATSUBA_THRESHOLD`] limbs). Not part of
+/// the public API surface.
+#[doc(hidden)]
+pub fn mul_for_ablation(a: &Ubig, b: &Ubig, karatsuba: bool) -> Ubig {
+    if karatsuba {
+        Ubig::from_limbs(mul_karatsuba(&a.limbs, &b.limbs))
     } else {
-        (Ubig::from_limbs(x[..at].to_vec()), Ubig::from_limbs(x[at..].to_vec()))
+        Ubig::from_limbs(mul_schoolbook(&a.limbs, &b.limbs))
     }
 }
 
 impl Ubig {
-    /// Shifts left by whole limbs (multiply by `2^(64*n)`).
-    pub(crate) fn shl_limbs(&mut self, n: usize) {
-        if self.is_zero() || n == 0 {
-            return;
-        }
-        let mut limbs = vec![0; n];
-        limbs.extend_from_slice(&self.limbs);
-        self.limbs = limbs;
-    }
-
     /// Squares `self`.
     ///
     /// ```
@@ -163,16 +220,6 @@ mod tests {
     fn square_matches_mul() {
         let x = Ubig::from_limbs(vec![0xdead_beef, 42, 7]);
         assert_eq!(x.square(), &x * &x);
-    }
-
-    #[test]
-    fn shl_limbs_scales_by_2_64() {
-        let mut x = Ubig::from(3u64);
-        x.shl_limbs(2);
-        assert_eq!(x.as_limbs(), &[0, 0, 3]);
-        let mut z = Ubig::zero();
-        z.shl_limbs(5);
-        assert!(z.is_zero());
     }
 
     #[test]

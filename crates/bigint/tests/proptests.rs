@@ -264,4 +264,67 @@ proptest! {
         let th = FixedBaseTable::new(arc, &(&h % &m), 256);
         prop_assert_eq!(tg.pow_mul(&a, &th, &b), expect);
     }
+
+    #[test]
+    fn multi_exp_matches_iterated_modpow(
+        pairs in proptest::collection::vec((ubig(), exponent()), 0..6),
+        m in odd_modulus(),
+    ) {
+        // The k-ary Straus walk vs. folding k reference exponentiations
+        // with modmul. Bases are deliberately unreduced, exponents are
+        // biased toward zero/tiny, and the modulus reaches down to a
+        // single limb, covering every dispatch edge.
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let refs: Vec<(&Ubig, &Ubig)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        let mut expect = &Ubig::one() % &m;
+        for (b, e) in &pairs {
+            expect = modmul(&expect, &modpow_basic(b, e, &m), &m);
+        }
+        prop_assert_eq!(ctx.modpow_multi(&refs), expect);
+    }
+
+    #[test]
+    fn scratch_modpow_matches_basic(
+        base in ubig(),
+        exps in proptest::collection::vec(exponent(), 1..4),
+        m in odd_modulus(),
+    ) {
+        // One PowScratch reused across several exponentiations must be
+        // invisible: every result identical to the allocation-per-call
+        // reference.
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let mut ws = bigint::montgomery::PowScratch::new();
+        for e in &exps {
+            prop_assert_eq!(
+                ctx.modpow_with_scratch(&base, e, &mut ws),
+                modpow_basic(&base, e, &m)
+            );
+        }
+    }
+}
+
+proptest! {
+    // Wide-operand cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn karatsuba_mont_mul_matches_schoolbook(
+        seed_a in proptest::collection::vec(any::<u64>(), 33..40),
+        seed_b in proptest::collection::vec(any::<u64>(), 33..40),
+        m in proptest::collection::vec(any::<u64>(), 33..40),
+    ) {
+        // Moduli above MONT_KARATSUBA_LIMBS route mont_mul through the
+        // Karatsuba multiply; pin it to the schoolbook kernel.
+        let mut m = Ubig::from_limbs(m);
+        m.set_bit(0, true);
+        prop_assume!(m > Ubig::one());
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let a = ctx.to_mont(&(&Ubig::from_limbs(seed_a) % &m));
+        let b = ctx.to_mont(&(&Ubig::from_limbs(seed_b) % &m));
+        prop_assert_eq!(
+            ctx.mont_mul_ablation(&a, &b, true),
+            ctx.mont_mul_ablation(&a, &b, false)
+        );
+        prop_assert_eq!(ctx.mont_mul_ablation(&a, &b, true), ctx.mul_mont(&a, &b));
+    }
 }

@@ -20,6 +20,7 @@
 //! out), so the `smc` crate can run them over real channels while tests
 //! use the in-memory driver [`compare_gt_plain`].
 
+use bigint::montgomery::PowScratch;
 use bigint::{random, Ubig};
 use parallel::Parallelism;
 use rand::Rng;
@@ -42,6 +43,15 @@ pub struct EvaluatorBits {
 pub struct BlindedWitnesses {
     /// Blinded `E(r_i · c_i)` in random order.
     pub witnesses: Vec<DgkCiphertext>,
+}
+
+/// Rough wall-clock model (ns) for one protocol-step item costing
+/// `exp_bits` Montgomery multiplications over `Z_n`, used to hint
+/// [`Parallelism`] splitting at the round call sites. The hint only
+/// affects chunking; outputs stay bit-identical.
+fn step_cost_ns(pk: &DgkPublicKey, exp_bits: u64) -> u64 {
+    let k = pk.modulus().bits().div_ceil(64).max(1);
+    exp_bits.max(1) * (k * k).max(4) * 5
 }
 
 /// Validates that `v` fits the protocol's `ℓ`-bit input domain.
@@ -82,6 +92,10 @@ pub fn evaluator_encrypt_bits_par<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<EvaluatorBits, DgkError> {
     check_width(b, pk)?;
+    // One bit encryption = a fixed-base double exponentiation of
+    // ~(|u| + blind_bits)/4 multiplies (all squarings precomputed).
+    let par = par
+        .with_item_cost_ns(step_cost_ns(pk, (pk.plaintext_space().bits() + pk.blind_bits()) / 4));
     let encrypted_bits = par.map_n_seeded(pk.compare_bits() as usize, rng, |i, item_rng| {
         pk.encrypt_bit((b >> i) & 1 == 1, item_rng)
     });
@@ -113,9 +127,17 @@ pub fn blinder_build_witnesses<R: Rng + ?Sized>(
 /// 2. The suffix sums `E(Σ_{j>i} a_j ⊕ b_j)` — a chain of single modular
 ///    multiplications where each entry extends the previous, so it stays
 ///    sequential (parallelizing it would redo the prefix work per item).
-/// 3. The per-position witness pipeline (two `mul_plain` modpows, the
-///    blinding exponent, rerandomization) — the dominant cost, parallel,
-///    each position on its own seed-derived RNG stream.
+/// 3. The per-position witness pipeline — the dominant cost, parallel,
+///    each position on its own seed-derived RNG stream. The whole
+///    algebraic chain `((E(b_i)^{u−1} · g^{a_i−1} · S^3))^r · h^{r'}`
+///    folds into **one** interleaved multi-exponentiation
+///    ([`bigint::montgomery::MontgomeryContext::modpow_multi`]) over the
+///    bases `E(b_i)`, `g`, `S` with the blinding exponent `r`
+///    pre-multiplied in, followed by a fixed-base `h^{r'}` lookup — one
+///    shared squaring chain instead of three independent modpows.
+///    `g`'s order is `u·v_p·v_q`, not `u`, so the folded exponent
+///    `(a_i−1 mod u)·r` stays unreduced; the result is the same group
+///    element the step-by-step pipeline produces, bit for bit.
 ///
 /// The final Fisher–Yates shuffle consumes the caller's RNG in index
 /// order and stays sequential. Output is bit-identical for every thread
@@ -143,8 +165,9 @@ pub fn blinder_build_witnesses_par<R: Rng + ?Sized>(
     let three = Ubig::from(3u64);
 
     // xor_enc[j] = E(a_j ⊕ b_j): equals E(b_j) when a_j = 0, and
-    // E(1 − b_j) = g · E(b_j)^{u−1} when a_j = 1.
-    let xor_enc: Vec<DgkCiphertext> = par.map(&round1.encrypted_bits, |j, e_bj| {
+    // E(1 − b_j) = g · E(b_j)^{u−1} when a_j = 1 (one |u|-bit modpow).
+    let xor_par = par.with_item_cost_ns(step_cost_ns(pk, 2 * pk.plaintext_space().bits()));
+    let xor_enc: Vec<DgkCiphertext> = xor_par.map(&round1.encrypted_bits, |j, e_bj| {
         if (a >> j) & 1 == 0 {
             e_bj.clone()
         } else {
@@ -165,20 +188,44 @@ pub fn blinder_build_witnesses_par<R: Rng + ?Sized>(
 
     // Per-position witnesses, kept in the top-down order the sequential
     // loop produced: c_i = g^{a_i − 1} · E(b_i)^{u−1} · E(Σ_{j>i} w_j)^3,
-    // blinded by a random unit of Z_u and rerandomized.
+    // blinded by a random unit of Z_u and rerandomized. With the blinding
+    // exponent r folded in, each witness is one 3-way multi-exponentiation
+    // with ~2|u|-bit exponents plus a fixed-base h^{r'} lookup.
+    let ctx = pk.ctx_n();
     let order: Vec<usize> = (0..ell).rev().collect();
-    let mut witnesses = par.map_seeded(&order, rng, |_, &i, item_rng| {
+    let witness_par = par
+        .with_item_cost_ns(step_cost_ns(pk, 4 * pk.plaintext_space().bits() + pk.blind_bits() / 4));
+    let mut witnesses = witness_par.map_seeded(&order, rng, |_, &i, item_rng| {
         let a_i = (a >> i) & 1;
         // Plain part: a_i − 1 ∈ {−1, 0}, encoded mod u.
         let plain = if a_i == 1 { Ubig::zero() } else { u_minus_1.clone() };
-        let mut c = pk.mul_plain(&round1.encrypted_bits[i], &u_minus_1);
-        c = pk.add_plain(&c, &plain);
-        if let Some(suffix) = &suffixes[i] {
-            c = pk.add(&c, &pk.mul_plain(suffix, &three));
+        if let Some(ctx) = ctx {
+            let r = random::gen_range(item_rng, &Ubig::one(), &u);
+            // Exponents folded by r. The g exponent must stay unreduced:
+            // g's order is u·v_p·v_q, so reducing plain·r mod u would
+            // change the group element.
+            let e_bit = &u_minus_1 * &r;
+            let e_plain = &plain * &r;
+            let e_suffix = &three * &r;
+            let mut pairs: Vec<(&Ubig, &Ubig)> =
+                vec![(round1.encrypted_bits[i].as_raw(), &e_bit), (pk.generator_g(), &e_plain)];
+            if let Some(suffix) = &suffixes[i] {
+                pairs.push((suffix.as_raw(), &e_suffix));
+            }
+            let blinded = DgkCiphertext::from_raw(ctx.modpow_multi(&pairs));
+            pk.rerandomize(&blinded, item_rng)
+        } else {
+            // No Montgomery context (even modulus — never a real DGK key):
+            // fall back to the step-by-step pipeline.
+            let mut c = pk.mul_plain(&round1.encrypted_bits[i], &u_minus_1);
+            c = pk.add_plain(&c, &plain);
+            if let Some(suffix) = &suffixes[i] {
+                c = pk.add(&c, &pk.mul_plain(suffix, &three));
+            }
+            let r = random::gen_range(item_rng, &Ubig::one(), &u);
+            c = pk.mul_plain(&c, &r);
+            pk.rerandomize(&c, item_rng)
         }
-        let r = random::gen_range(item_rng, &Ubig::one(), &u);
-        c = pk.mul_plain(&c, &r);
-        pk.rerandomize(&c, item_rng)
     });
 
     // Fisher–Yates shuffle so B cannot tell which position witnessed.
@@ -196,8 +243,9 @@ pub fn blinder_build_witnesses_par<R: Rng + ?Sized>(
 ///
 /// Propagates [`DgkError::MalformedCiphertext`] from the zero test.
 pub fn evaluator_decide(round2: &BlindedWitnesses, sk: &DgkPrivateKey) -> Result<bool, DgkError> {
+    let mut ws = PowScratch::new();
     for w in &round2.witnesses {
-        if sk.is_zero(w)? {
+        if sk.is_zero_scratch(w, &mut ws)? {
             return Ok(true);
         }
     }
@@ -208,9 +256,13 @@ pub fn evaluator_decide(round2: &BlindedWitnesses, sk: &DgkPrivateKey) -> Result
 /// `par`.
 ///
 /// The sequential path early-exits on the first zero; the parallel path
-/// tests every witness but reports results in index order, so a zero at
-/// index `i` shadows any malformed ciphertext at index `> i` exactly as
-/// the sequential loop would.
+/// splits the witnesses into contiguous per-worker chunks (each chunk
+/// reusing one exponentiation scratch, as
+/// [`DgkPrivateKey::is_zero_batch`] does), then scans the per-item
+/// results in index order — so a zero at index `i` shadows any malformed
+/// ciphertext at index `> i` exactly as the sequential loop would. (This
+/// is why it cannot delegate to [`DgkPrivateKey::is_zero_batch_par`],
+/// which always surfaces the lowest-index error.)
 ///
 /// # Errors
 ///
@@ -220,11 +272,18 @@ pub fn evaluator_decide_par(
     sk: &DgkPrivateKey,
     par: &Parallelism,
 ) -> Result<bool, DgkError> {
-    if par.workers_for(round2.witnesses.len()) <= 1 {
+    let par = par.with_item_cost_ns(sk.zero_test_cost_ns());
+    let workers = par.workers_for(round2.witnesses.len());
+    if workers <= 1 {
         return evaluator_decide(round2, sk);
     }
-    let tests = par.map(&round2.witnesses, |_, w| sk.is_zero(w));
-    for test in tests {
+    let chunk = round2.witnesses.len().div_ceil(workers);
+    let chunks: Vec<&[DgkCiphertext]> = round2.witnesses.chunks(chunk).collect();
+    let per_chunk: Vec<Vec<Result<bool, DgkError>>> = par.map(&chunks, |_, slice| {
+        let mut ws = PowScratch::new();
+        slice.iter().map(|w| sk.is_zero_scratch(w, &mut ws)).collect()
+    });
+    for test in per_chunk.into_iter().flatten() {
         if test? {
             return Ok(true);
         }

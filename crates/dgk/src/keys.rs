@@ -17,9 +17,12 @@
 use std::collections::HashMap;
 
 use bigint::modular::{crt_pair, modmul, modpow};
-use bigint::montgomery::{CachedContext, CachedFixedBase, FixedBaseTable, MontgomeryContext};
+use bigint::montgomery::{
+    CachedContext, CachedFixedBase, FixedBaseTable, MontgomeryContext, PowScratch,
+};
 use bigint::prime::{gen_prime, gen_prime_with_divisor, next_prime};
 use bigint::{random, Ubig};
+use parallel::Parallelism;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -331,13 +334,19 @@ impl DgkPublicKey {
         self.ctx_n.modpow(base, exp, &self.n)
     }
 
+    /// The cached `Z_n` Montgomery context, for batch kernels
+    /// (`modpow_multi`) that need more than one exponentiation per call.
+    pub(crate) fn ctx_n(&self) -> Option<&std::sync::Arc<MontgomeryContext>> {
+        self.ctx_n.context(&self.n)
+    }
+
     /// The fixed-base table for `g` (exponents live in `Z_u`).
-    fn g_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
+    pub(crate) fn g_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
         self.ctx_n.context(&self.n).map(|ctx| self.table_g.table(ctx, &self.g, self.u.bits()))
     }
 
     /// The fixed-base table for `h` (exponents are `blind_bits` wide).
-    fn h_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
+    pub(crate) fn h_table(&self) -> Option<&std::sync::Arc<FixedBaseTable>> {
         self.ctx_n.context(&self.n).map(|ctx| self.table_h.table(ctx, &self.h, self.blind_bits))
     }
 
@@ -443,6 +452,69 @@ impl DgkPrivateKey {
             return Err(DgkError::MalformedCiphertext);
         }
         Ok(self.ctx_p.modpow(&(&c.0 % &self.p), &self.v_p, &self.p).is_one())
+    }
+
+    /// [`DgkPrivateKey::is_zero`] with caller-owned working buffers, so a
+    /// loop over many ciphertexts pays zero heap allocation per test
+    /// after the first. Bit-exact with `is_zero`.
+    pub(crate) fn is_zero_scratch(
+        &self,
+        c: &DgkCiphertext,
+        ws: &mut PowScratch,
+    ) -> Result<bool, DgkError> {
+        if c.0 >= self.public.n || c.0.is_zero() {
+            return Err(DgkError::MalformedCiphertext);
+        }
+        let reduced = &c.0 % &self.p;
+        match self.ctx_p.context(&self.p) {
+            Some(ctx) => Ok(ctx.modpow_with_scratch(&reduced, &self.v_p, ws).is_one()),
+            None => Ok(modpow(&reduced, &self.v_p, &self.p).is_one()),
+        }
+    }
+
+    /// Batched zero test: one scratch-reusing half-size exponentiation
+    /// per ciphertext (the CRT form — each test runs mod `p` only, never
+    /// mod `n`). Sequential; for a parallel fan-out see
+    /// [`DgkPrivateKey::is_zero_batch_par`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DgkError::MalformedCiphertext`] in input order.
+    pub fn is_zero_batch(&self, cs: &[DgkCiphertext]) -> Result<Vec<bool>, DgkError> {
+        let mut ws = PowScratch::new();
+        cs.iter().map(|c| self.is_zero_scratch(c, &mut ws)).collect()
+    }
+
+    /// [`DgkPrivateKey::is_zero_batch`] fanned out according to `par`:
+    /// the batch splits into per-worker chunks, each chunk reusing one
+    /// scratch. Results (and the error, if any) are identical to the
+    /// sequential form at every thread count — chunking is
+    /// contiguous and the lowest-index failure wins.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DgkPrivateKey::is_zero_batch`].
+    pub fn is_zero_batch_par(
+        &self,
+        cs: &[DgkCiphertext],
+        par: &Parallelism,
+    ) -> Result<Vec<bool>, DgkError> {
+        let par = par.with_item_cost_ns(self.zero_test_cost_ns());
+        let workers = par.workers_for(cs.len());
+        if workers <= 1 {
+            return self.is_zero_batch(cs);
+        }
+        let chunk = cs.len().div_ceil(workers);
+        let chunks: Vec<&[DgkCiphertext]> = cs.chunks(chunk).collect();
+        let per_chunk = par.try_map(&chunks, |_, slice| self.is_zero_batch(slice))?;
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+
+    /// Rough wall-clock model (ns) for one zero test (`v_p`-bit exponent
+    /// mod `p`), used to hint [`Parallelism`] splitting.
+    pub(crate) fn zero_test_cost_ns(&self) -> u64 {
+        let k = self.p.bits().div_ceil(64).max(1);
+        self.v_p.bits().max(1) * (k * k).max(4) * 5
     }
 
     /// Full decryption by table lookup over `Z_u`.
@@ -574,6 +646,42 @@ mod tests {
         assert_eq!(kp.private_key().is_zero(&big), Err(DgkError::MalformedCiphertext));
         let zero = DgkCiphertext::from_raw(Ubig::zero());
         assert_eq!(kp.private_key().decrypt(&zero), Err(DgkError::MalformedCiphertext));
+    }
+
+    #[test]
+    fn batched_zero_test_matches_per_item() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(10);
+        let pk = kp.public_key();
+        let cs: Vec<DgkCiphertext> =
+            [0u64, 3, 0, 1, 17, 0, 8].iter().map(|&m| pk.encrypt_u64(m, &mut rng)).collect();
+        let expect: Vec<bool> = cs.iter().map(|c| kp.private_key().is_zero(c).unwrap()).collect();
+        assert_eq!(kp.private_key().is_zero_batch(&cs).unwrap(), expect);
+        // The parallel fan-out must agree at every thread count.
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::new(threads).with_min_batch(1);
+            assert_eq!(
+                kp.private_key().is_zero_batch_par(&cs, &par).unwrap(),
+                expect,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_zero_test_error_matches_sequential() {
+        let kp = keys();
+        let mut rng = StdRng::seed_from_u64(12);
+        let pk = kp.public_key();
+        let mut cs: Vec<DgkCiphertext> =
+            (0..6u64).map(|m| pk.encrypt_u64(m % 3, &mut rng)).collect();
+        cs.insert(3, DgkCiphertext::from_raw(Ubig::zero()));
+        assert_eq!(kp.private_key().is_zero_batch(&cs), Err(DgkError::MalformedCiphertext));
+        let par = Parallelism::new(4).with_min_batch(1);
+        assert_eq!(
+            kp.private_key().is_zero_batch_par(&cs, &par),
+            Err(DgkError::MalformedCiphertext)
+        );
     }
 
     #[test]

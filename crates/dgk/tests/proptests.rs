@@ -7,7 +7,7 @@
 use dgk::comparison::{
     blinder_build_witnesses_par, evaluator_decide, evaluator_decide_par, evaluator_encrypt_bits_par,
 };
-use dgk::{DgkKeypair, DgkParams};
+use dgk::{DgkCiphertext, DgkKeypair, DgkParams};
 use parallel::Parallelism;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -58,5 +58,31 @@ proptest! {
         let d_par = evaluator_decide_par(&r2_par, kp.private_key(), &par).unwrap();
         prop_assert_eq!(d_seq, d_par);
         prop_assert_eq!(d_par, y > x);
+    }
+
+    /// The batched zero test (one exponentiation scratch per worker, CRT
+    /// form) agrees with the per-item [`DgkPrivateKey::is_zero`] on every
+    /// input, and its parallel fan-out is thread-count invariant.
+    #[test]
+    fn batched_zero_test_matches_per_item(
+        raw in proptest::collection::vec(any::<u64>(), 0..24),
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let pk = kp.public_key();
+        let sk = kp.private_key();
+        let u = pk.plaintext_space().to_u64().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Every third slot forced to an encryption of zero so both
+        // branches of the test see real traffic.
+        let cs: Vec<DgkCiphertext> = raw
+            .iter()
+            .map(|&m| pk.encrypt_u64(if m % 3 == 0 { 0 } else { m % u }, &mut rng))
+            .collect();
+        let expect: Vec<bool> = cs.iter().map(|c| sk.is_zero(c).unwrap()).collect();
+        prop_assert_eq!(sk.is_zero_batch(&cs).unwrap(), expect.clone());
+        let par = Parallelism::new(threads).with_min_batch(1);
+        prop_assert_eq!(sk.is_zero_batch_par(&cs, &par).unwrap(), expect);
     }
 }

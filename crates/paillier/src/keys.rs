@@ -1,7 +1,7 @@
 //! Key generation and the encrypt/decrypt core of the Paillier scheme.
 
 use bigint::gcd::{gcd, lcm, modinv};
-use bigint::modular::modmul;
+use bigint::modular::{modmul, modsub};
 use bigint::montgomery::CachedContext;
 use bigint::prime::gen_prime;
 use bigint::{random, Ubig};
@@ -61,6 +61,13 @@ pub struct PrivateKey {
     h_p: Ubig,
     /// `h_q = (L_q(g^{q−1} mod q²))⁻¹ mod q`.
     h_q: Ubig,
+    /// `p − 1` and `q − 1`: the CRT exponents, fixed at keygen so the
+    /// decrypt hot path allocates no per-call constants.
+    p_minus_1: Ubig,
+    q_minus_1: Ubig,
+    /// `p⁻¹ mod q`, for Garner recombination without a per-call
+    /// extended GCD.
+    p_inv_q: Ubig,
     /// Montgomery context for `Z_{p²}` (CRT decryption), built lazily.
     #[serde(skip)]
     ctx_p2: CachedContext,
@@ -122,6 +129,7 @@ impl Keypair {
             // L_p(g^{p−1} mod p²) = (p−1)·q mod p (and symmetrically).
             let h_p = modinv(&modmul(&p1, &q, &p), &p).expect("q invertible mod p");
             let h_q = modinv(&modmul(&q1, &p, &q), &q).expect("p invertible mod q");
+            let p_inv_q = modinv(&p, &q).expect("distinct primes are coprime");
             let private = PrivateKey {
                 public: public.clone(),
                 lambda,
@@ -132,6 +140,9 @@ impl Keypair {
                 q,
                 h_p,
                 h_q,
+                p_minus_1: p1,
+                q_minus_1: q1,
+                p_inv_q,
                 ctx_p2: CachedContext::new(),
                 ctx_q2: CachedContext::new(),
             };
@@ -177,6 +188,14 @@ impl PublicKey {
     /// `base^exp mod n²` through the per-key cached Montgomery context.
     pub(crate) fn pow_mod_n2(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         self.ctx_n2.modpow(base, exp, &self.n_squared)
+    }
+
+    /// The cached `n²` Montgomery context itself, for batch kernels
+    /// ([`bigint::montgomery::MontgomeryContext::modpow_multi`]) that need
+    /// more than one exponentiation per call. Always `Some` for RSA-like
+    /// keys (`n²` is odd), `None` only for degenerate test moduli.
+    pub(crate) fn ctx_n2(&self) -> Option<&std::sync::Arc<bigint::montgomery::MontgomeryContext>> {
+        self.ctx_n2.context(&self.n_squared)
     }
 
     /// Encrypts a plaintext `m ∈ Z_n`:
@@ -332,25 +351,30 @@ impl PrivateKey {
     ///
     /// Same as [`PrivateKey::decrypt`].
     pub fn decrypt_crt(&self, c: &Ciphertext) -> Result<Ubig, PaillierError> {
-        let n = &self.public.n;
         let n2 = &self.public.n_squared;
         if c.as_raw() >= n2 || c.as_raw().is_zero() {
             return Err(PaillierError::MalformedCiphertext);
         }
-        if !gcd(c.as_raw(), n).is_one() {
+        // gcd(c, n) = 1 ⟺ p ∤ c and q ∤ c — two half-size remainders
+        // (reused below) instead of a binary GCD over full-width values.
+        let c_p = c.as_raw() % &self.p_squared;
+        let c_q = c.as_raw() % &self.q_squared;
+        if (&c_p % &self.p).is_zero() || (&c_q % &self.q).is_zero() {
             return Err(PaillierError::MalformedCiphertext);
         }
-        let p1 = &self.p - &Ubig::one();
-        let q1 = &self.q - &Ubig::one();
         // m_p = L_p(c^{p−1} mod p²) · h_p mod p.
-        let xp = self.ctx_p2.modpow(&(c.as_raw() % &self.p_squared), &p1, &self.p_squared);
+        let xp = self.ctx_p2.modpow(&c_p, &self.p_minus_1, &self.p_squared);
         let lp = &(&xp - &Ubig::one()) / &self.p;
         let m_p = modmul(&lp, &self.h_p, &self.p);
-        let xq = self.ctx_q2.modpow(&(c.as_raw() % &self.q_squared), &q1, &self.q_squared);
+        let xq = self.ctx_q2.modpow(&c_q, &self.q_minus_1, &self.q_squared);
         let lq = &(&xq - &Ubig::one()) / &self.q;
         let m_q = modmul(&lq, &self.h_q, &self.q);
-        bigint::modular::crt_pair(&m_p, &self.p, &m_q, &self.q)
-            .ok_or(PaillierError::MalformedCiphertext)
+        // Garner recombination with the keygen-time `p⁻¹ mod q`:
+        // m = m_p + p·((m_q − m_p)·p⁻¹ mod q), the unique value in
+        // [0, n) — identical to a general CRT solve, minus its per-call
+        // extended GCD.
+        let t = modmul(&modsub(&m_q, &m_p, &self.q), &self.p_inv_q, &self.q);
+        Ok(&m_p + &(&self.p * &t))
     }
 
     /// Convenience wrapper: decrypt to `u64`.

@@ -21,6 +21,7 @@
 //! keeps the old behavior and returns
 //! [`PaillierError::PoolExhausted`] instead.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use bigint::modular::modmul;
@@ -36,6 +37,39 @@ use crate::keys::PublicKey;
 /// Odd multiplier used to spread overflow indices into distinct fallback
 /// RNG streams (SplitMix64's increment constant).
 const FALLBACK_STREAM_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Number of fixed blind bases a batched refill multi-exponentiates over.
+const BLIND_BASES: usize = 4;
+
+/// Floor on the per-base exponent width in a batched refill, so tiny test
+/// moduli still draw meaningful entropy.
+const MIN_BLIND_EXP_BITS: u64 = 16;
+
+/// Fixed bases for batched randomizer generation: `bases[j] = rⱼ^n mod n²`
+/// for secret uniform `rⱼ`, built once per pool and amortized over every
+/// later [`RandomizerPool::refill_batched`] call.
+///
+/// A batched randomizer is `∏ⱼ bases[j]^{eⱼ} = (∏ⱼ rⱼ^{eⱼ})^n` for short
+/// random exponents `eⱼ` — a legitimate n-th power, computed with **one**
+/// shared squaring chain of `exp_bits` squarings via `modpow_multi`
+/// instead of a full `n.bits()`-deep exponentiation per randomizer.
+#[derive(Debug)]
+struct BlindBases {
+    bases: Vec<Ubig>,
+    /// Bits drawn per short exponent (`⌈n.bits()/BLIND_BASES⌉`, floored
+    /// at [`MIN_BLIND_EXP_BITS`]).
+    exp_bits: u64,
+}
+
+/// Rough wall-clock model (ns) for one full-width `r^n mod n²`
+/// exponentiation, used as a [`Parallelism::with_item_cost_ns`] hint so
+/// small refills stay sequential instead of paying spawn/join overhead.
+/// One Montgomery square over `k` limbs costs ~`k²` word multiplies; a
+/// full exponent walks ~`n.bits()` squarings plus table multiplies.
+fn full_exp_cost_ns(pk: &PublicKey) -> u64 {
+    let k = pk.modulus_squared().bits().div_ceil(64).max(1);
+    pk.modulus().bits().max(1) * (k * k).max(4) * 5
+}
 
 /// A single-use pool of precomputed Paillier randomizers `r^n mod n²`.
 ///
@@ -63,6 +97,9 @@ pub struct RandomizerPool {
     /// is as deterministic (per claimed index) as the pool itself.
     fallback_seed: u64,
     fallback_count: AtomicU64,
+    /// Fixed bases for [`RandomizerPool::refill_batched`], built lazily on
+    /// the first batched call.
+    blind_bases: Option<BlindBases>,
 }
 
 impl RandomizerPool {
@@ -88,6 +125,7 @@ impl RandomizerPool {
         // through the key reference instead of rebuilding per item.
         pk.precompute();
         let fallback_seed: u64 = rng.gen();
+        let par = par.with_item_cost_ns(full_exp_cost_ns(&pk));
         let randomizers =
             par.map_n_seeded(size, rng, |_, item_rng| Self::one_randomizer(&pk, item_rng));
         RandomizerPool {
@@ -97,6 +135,7 @@ impl RandomizerPool {
             strict: false,
             fallback_seed,
             fallback_count: AtomicU64::new(0),
+            blind_bases: None,
         }
     }
 
@@ -170,9 +209,73 @@ impl RandomizerPool {
         rng: &mut R,
     ) {
         let pk = &self.pk;
+        let par = par.with_item_cost_ns(full_exp_cost_ns(pk));
         self.randomizers.extend(
             par.map_n_seeded(additional, rng, |_, item_rng| Self::one_randomizer(pk, item_rng)),
         );
+    }
+
+    /// [`RandomizerPool::refill`] through the batched multi-exponentiation
+    /// kernel: instead of one full `n.bits()`-deep exponentiation per
+    /// randomizer, each new entry is `∏ⱼ Rⱼ^{eⱼ} mod n²` over
+    /// [`BLIND_BASES`] fixed bases `Rⱼ = rⱼ^n` (built once per pool, on
+    /// the first batched call) with short per-base exponents sharing one
+    /// squaring chain — ~`n.bits()/BLIND_BASES` squarings per randomizer
+    /// in steady state.
+    ///
+    /// Every entry is still a legitimate n-th power
+    /// (`∏ Rⱼ^{eⱼ} = (∏ rⱼ^{eⱼ})^n`), consumed exactly once. The
+    /// trade-off is entropy: a batched randomizer carries
+    /// `BLIND_BASES · exp_bits ≥ n.bits()` bits of seed entropy but ranges
+    /// over the subgroup generated by the `rⱼ` rather than all of
+    /// `Z_n^*` — appropriate for the covert/semi-honest setting the
+    /// protocol targets (DESIGN.md, "Exponentiation strategy").
+    ///
+    /// Determinism contract matches [`RandomizerPool::refill_with`]:
+    /// per-item seeded RNG streams, bit-identical at any thread count.
+    pub fn refill_batched<R: Rng + ?Sized>(
+        &mut self,
+        additional: usize,
+        par: &Parallelism,
+        rng: &mut R,
+    ) {
+        self.pk.precompute();
+        if self.blind_bases.is_none() {
+            let n = self.pk.modulus();
+            let exp_bits = n.bits().div_ceil(BLIND_BASES as u64).max(MIN_BLIND_EXP_BITS);
+            let bases = (0..BLIND_BASES)
+                .map(|_| {
+                    let r = random::gen_coprime(rng, n);
+                    self.pk.pow_mod_n2(&r, n)
+                })
+                .collect();
+            self.blind_bases = Some(BlindBases { bases, exp_bits });
+        }
+        let pk = &self.pk;
+        let blind = self.blind_bases.as_ref().expect("built above");
+        let ctx = pk.ctx_n2();
+        // Steady-state cost is one shared chain of exp_bits squarings.
+        let cost = full_exp_cost_ns(pk) * blind.exp_bits / pk.modulus().bits().max(1);
+        let par = par.with_item_cost_ns(cost.max(1));
+        let fresh = par.map_n_seeded(additional, rng, |_, item_rng| {
+            let exps: Vec<Ubig> =
+                (0..BLIND_BASES).map(|_| random::gen_bits(item_rng, blind.exp_bits)).collect();
+            match ctx {
+                Some(ctx) => {
+                    let pairs: Vec<(&Ubig, &Ubig)> = blind.bases.iter().zip(&exps).collect();
+                    ctx.modpow_multi(&pairs)
+                }
+                // Degenerate (even) modulus: fold per-base exponentiations.
+                None => blind
+                    .bases
+                    .iter()
+                    .zip(&exps)
+                    .fold(&Ubig::one() % pk.modulus_squared(), |acc, (base, e)| {
+                        modmul(&acc, &pk.pow_mod_n2(base, e), pk.modulus_squared())
+                    }),
+            }
+        });
+        self.randomizers.extend(fresh);
     }
 
     /// Encrypts `m` using the next unused randomizer. Thread-safe: each
@@ -198,26 +301,50 @@ impl RandomizerPool {
         if m >= self.pk.modulus() {
             return Err(PaillierError::MessageOutOfRange);
         }
-        let fallback;
-        let r_n = match self.randomizers.get(idx) {
-            Some(r_n) => r_n,
+        let r_n = self.randomizer_at(idx)?;
+        let n2 = self.pk.modulus_squared();
+        let g_m = &(Ubig::one() + modmul(m, self.pk.modulus(), n2)) % n2;
+        Ok(Ciphertext::from_raw(modmul(&g_m, &r_n, n2)))
+    }
+
+    /// The randomizer for the already-claimed index `idx`: the pooled
+    /// entry if in range, otherwise (on a non-strict pool) a fallback
+    /// derived deterministically from the pool's fallback seed and `idx`.
+    fn randomizer_at(&self, idx: usize) -> Result<Cow<'_, Ubig>, PaillierError> {
+        match self.randomizers.get(idx) {
+            Some(r_n) => Ok(Cow::Borrowed(r_n)),
             None if self.strict => {
-                return Err(PaillierError::PoolExhausted {
-                    size: self.randomizers.len(),
-                    index: idx,
-                });
+                Err(PaillierError::PoolExhausted { size: self.randomizers.len(), index: idx })
             }
             None => {
                 let seed = self.fallback_seed ^ (idx as u64).wrapping_mul(FALLBACK_STREAM_MUL);
                 let mut item_rng = StdRng::seed_from_u64(seed);
-                fallback = Self::one_randomizer(&self.pk, &mut item_rng);
+                let r_n = Self::one_randomizer(&self.pk, &mut item_rng);
                 self.fallback_count.fetch_add(1, Ordering::Relaxed);
-                &fallback
+                Ok(Cow::Owned(r_n))
             }
-        };
+        }
+    }
+
+    /// Rerandomizes `c` with the next unused pooled blind: one modular
+    /// multiplication on the hot path instead of the full `r^n`
+    /// exponentiation [`PublicKey::rerandomize`] pays. Same claim
+    /// semantics as [`RandomizerPool::encrypt`]: each blind is used
+    /// exactly once, exhaustion falls back (or errors on a strict pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaillierError::MalformedCiphertext`] if `c` is not in
+    /// `Z_{n²}` or is zero; [`PaillierError::PoolExhausted`] on an
+    /// exhausted strict pool.
+    pub fn rerandomize(&self, c: &Ciphertext) -> Result<Ciphertext, PaillierError> {
         let n2 = self.pk.modulus_squared();
-        let g_m = &(Ubig::one() + modmul(m, self.pk.modulus(), n2)) % n2;
-        Ok(Ciphertext::from_raw(modmul(&g_m, r_n, n2)))
+        if c.as_raw() >= n2 || c.as_raw().is_zero() {
+            return Err(PaillierError::MalformedCiphertext);
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        let r_n = self.randomizer_at(idx)?;
+        Ok(Ciphertext::from_raw(modmul(c.as_raw(), &r_n, n2)))
     }
 
     /// Encrypts a batch, fanning out according to `par` and preserving
@@ -398,6 +525,70 @@ mod tests {
             pool.encrypt_batch(&values, &Parallelism::new(2)),
             Err(PaillierError::PoolExhausted { size: 3, index: 4 })
         );
+    }
+
+    #[test]
+    fn batched_refill_decrypts_and_is_thread_count_invariant() {
+        // Same seed, different thread counts → identical batched entries,
+        // and every batched randomizer yields a decryptable ciphertext.
+        let pools: Vec<RandomizerPool> = [1usize, 3]
+            .into_iter()
+            .map(|threads| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let mut pool =
+                    RandomizerPool::generate(keypair().public_key().clone(), 0, &mut rng);
+                pool.refill_batched(12, &Parallelism::new(threads).with_min_batch(1), &mut rng);
+                pool
+            })
+            .collect();
+        assert_eq!(pools[0].randomizers, pools[1].randomizers);
+        assert_eq!(pools[0].capacity(), 12);
+        for m in [0u64, 7, 65535] {
+            let c = pools[0].encrypt(&Ubig::from(m)).unwrap();
+            assert_eq!(keypair().private_key().decrypt_u64(&c), m);
+        }
+    }
+
+    #[test]
+    fn batched_refill_matches_entropy_and_stays_single_use() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut pool = RandomizerPool::generate(keypair().public_key().clone(), 0, &mut rng);
+        pool.refill_batched(8, &Parallelism::sequential(), &mut rng);
+        // A second batched refill reuses the bases (no re-derivation from
+        // the RNG beyond the short exponents) and keeps extending.
+        pool.refill_batched(8, &Parallelism::sequential(), &mut rng);
+        assert_eq!(pool.capacity(), 16);
+        let unique: std::collections::HashSet<_> = pool.randomizers.iter().cloned().collect();
+        assert_eq!(unique.len(), 16, "batched randomizers must be pairwise distinct");
+    }
+
+    #[test]
+    fn pooled_rerandomize_preserves_plaintext() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let pool = RandomizerPool::generate(keypair().public_key().clone(), 4, &mut rng);
+        let c = keypair().public_key().encrypt_u64(77, &mut rng);
+        let c2 = pool.rerandomize(&c).unwrap();
+        assert_ne!(c, c2, "rerandomization must change the ciphertext");
+        assert_eq!(keypair().private_key().decrypt_u64(&c2), 77);
+        assert_eq!(pool.remaining(), 3, "one blind claimed");
+        // Malformed inputs rejected without consuming a blind... the claim
+        // happens after validation.
+        let bad = Ciphertext::from_raw(Ubig::zero());
+        assert_eq!(pool.rerandomize(&bad), Err(PaillierError::MalformedCiphertext));
+        assert_eq!(pool.remaining(), 3);
+    }
+
+    #[test]
+    fn pooled_rerandomize_respects_strict_exhaustion() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let pool =
+            RandomizerPool::generate(keypair().public_key().clone(), 1, &mut rng).with_strict();
+        let c = keypair().public_key().encrypt_u64(5, &mut rng);
+        pool.rerandomize(&c).unwrap();
+        assert!(matches!(
+            pool.rerandomize(&c),
+            Err(PaillierError::PoolExhausted { size: 1, index: 1 })
+        ));
     }
 
     #[test]

@@ -30,6 +30,17 @@ use rand::{Rng, SeedableRng};
 /// arithmetic and the batch runs on the calling thread.
 pub const DEFAULT_MIN_BATCH: usize = 4;
 
+/// Minimum amount of work (in estimated nanoseconds) a worker's chunk
+/// must carry before spawning it pays off.
+///
+/// Spawning and joining one scoped thread costs on the order of tens of
+/// microseconds; a chunk needs several times that in real work for the
+/// split to win. Callers that know their per-item cost pass it via
+/// [`Parallelism::with_item_cost_ns`] and [`Parallelism::workers_for`]
+/// then derives the effective worker count from this floor — the
+/// auto-tuned replacement for hand-picking `min_batch` per call site.
+pub const SPLIT_MIN_WORK_NS: u64 = 100_000;
+
 /// Environment variable consulted by [`Parallelism::from_env`].
 pub const THREADS_ENV: &str = "CONSENSUS_THREADS";
 
@@ -44,6 +55,9 @@ pub const THREADS_ENV: &str = "CONSENSUS_THREADS";
 pub struct Parallelism {
     threads: usize,
     min_batch: usize,
+    /// Estimated per-item cost in nanoseconds, when the call site knows
+    /// it; `None` preserves the plain `threads.min(n)` split.
+    item_cost_ns: Option<u64>,
 }
 
 impl Default for Parallelism {
@@ -55,17 +69,30 @@ impl Default for Parallelism {
 impl Parallelism {
     /// Sequential execution: all loops run on the calling thread.
     pub fn sequential() -> Self {
-        Self { threads: 1, min_batch: DEFAULT_MIN_BATCH }
+        Self { threads: 1, min_batch: DEFAULT_MIN_BATCH, item_cost_ns: None }
     }
 
     /// Use up to `threads` worker threads per batch (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1), min_batch: DEFAULT_MIN_BATCH }
+        Self { threads: threads.max(1), min_batch: DEFAULT_MIN_BATCH, item_cost_ns: None }
     }
 
     /// Set the minimum batch size before a loop is split (clamped to ≥ 1).
     pub fn with_min_batch(mut self, min_batch: usize) -> Self {
         self.min_batch = min_batch.max(1);
+        self
+    }
+
+    /// Declare the estimated per-item cost of the upcoming loop, in
+    /// nanoseconds. [`Parallelism::workers_for`] then spawns only as many
+    /// workers as [`SPLIT_MIN_WORK_NS`]-sized chunks of work exist, so
+    /// cheap loops (a modular multiplication per item) stop paying thread
+    /// spawn/join overhead for no speedup. `0` clears the hint.
+    ///
+    /// `Parallelism` is `Copy`: call sites apply the hint on a by-value
+    /// copy right before the loop without touching the shared config.
+    pub fn with_item_cost_ns(mut self, ns: u64) -> Self {
+        self.item_cost_ns = if ns == 0 { None } else { Some(ns) };
         self
     }
 
@@ -97,12 +124,23 @@ impl Parallelism {
     }
 
     /// Number of workers a batch of `n` items will actually use.
+    ///
+    /// With an [`Parallelism::with_item_cost_ns`] hint, the count is
+    /// additionally capped so every worker's chunk carries at least
+    /// [`SPLIT_MIN_WORK_NS`] of estimated work. The hint only changes how
+    /// a batch is chunked — outputs are split-invariant by construction,
+    /// so results stay bit-identical with or without it.
     pub fn workers_for(&self, n: usize) -> usize {
         if self.threads <= 1 || n < self.min_batch {
-            1
-        } else {
-            self.threads.min(n)
+            return 1;
         }
+        let mut workers = self.threads.min(n);
+        if let Some(cost) = self.item_cost_ns {
+            let total = n as u128 * cost as u128;
+            let by_cost = (total / SPLIT_MIN_WORK_NS as u128).min(usize::MAX as u128) as usize;
+            workers = workers.min(by_cost.max(1));
+        }
+        workers
     }
 
     /// Apply `f` to every item, returning outputs in index order.
@@ -277,6 +315,35 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(Parallelism::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn item_cost_hint_caps_workers_by_chunk_work() {
+        let par = Parallelism::new(8).with_min_batch(1);
+        // 32 items at 1µs each = 32µs total: below one SPLIT_MIN_WORK_NS
+        // chunk, so the loop stays sequential.
+        assert_eq!(par.with_item_cost_ns(1_000).workers_for(32), 1);
+        // 32 items at 10µs each = 320µs: three full chunks of work.
+        assert_eq!(par.with_item_cost_ns(10_000).workers_for(32), 3);
+        // Expensive items saturate the configured thread ceiling.
+        assert_eq!(par.with_item_cost_ns(1_000_000).workers_for(32), 8);
+        // No hint (or a cleared hint) preserves the plain split.
+        assert_eq!(par.workers_for(32), 8);
+        assert_eq!(par.with_item_cost_ns(1_000).with_item_cost_ns(0).workers_for(32), 8);
+    }
+
+    #[test]
+    fn item_cost_hint_keeps_outputs_identical() {
+        let items: Vec<u64> = (0..57).collect();
+        let mut with_hint_rng = StdRng::seed_from_u64(7);
+        let mut plain_rng = StdRng::seed_from_u64(7);
+        let hinted = Parallelism::new(4).with_min_batch(1).with_item_cost_ns(50_000);
+        let plain = Parallelism::new(4).with_min_batch(1);
+        let a: Vec<u64> = hinted
+            .map_seeded(&items, &mut with_hint_rng, |_, &x, item_rng| x ^ item_rng.gen::<u64>());
+        let b: Vec<u64> =
+            plain.map_seeded(&items, &mut plain_rng, |_, &x, item_rng| x ^ item_rng.gen::<u64>());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -18,12 +18,12 @@
 //! "batched vs sequential" ablation DESIGN.md §5 calls for.
 
 use dgk::comparison::{
-    blinder_build_witnesses_par, evaluator_decide, evaluator_encrypt_bits_par, BlindedWitnesses,
-    EvaluatorBits,
+    blinder_build_witnesses_par, evaluator_encrypt_bits_par, BlindedWitnesses, EvaluatorBits,
 };
 use rand::Rng;
 use transport::{Endpoint, PartyId, Step};
 
+use crate::costs;
 use crate::error::SmcError;
 use crate::session::ServerContext;
 
@@ -79,8 +79,9 @@ pub fn server1_argmax_batched<R: Rng + ?Sized>(
     // Round 1: bit-encrypt every left-hand difference in one message.
     // The K(K-1)/2 pairs fan out, each pair's ℓ bit encryptions on its
     // own seed-derived RNG stream.
+    let leg_par = par.with_item_cost_ns(costs::dgk_compare_leg_cost_ns(keys.public_key()));
     let round1: Vec<EvaluatorBits> =
-        par.try_map_seeded(&pairs(k), rng, |_, &(i, j), item_rng| {
+        leg_par.try_map_seeded(&pairs(k), rng, |_, &(i, j), item_rng| {
             let encoded = domain.encode_compare(sequence[i] - sequence[j])?;
             Ok::<_, SmcError>(evaluator_encrypt_bits_par(
                 encoded,
@@ -98,9 +99,15 @@ pub fn server1_argmax_batched<R: Rng + ?Sized>(
     }
 
     // Round 3: zero-test everything, broadcast the outcome bits. The
-    // per-pair zero tests are RNG-free, so the fan-out is a plain map.
-    let outcomes: Vec<bool> =
-        par.try_map(&round2, |_, w| Ok::<_, SmcError>(!evaluator_decide(w, keys.private_key())?))?;
+    // per-pair zero tests are RNG-free, so the fan-out is a plain map;
+    // each pair's ℓ witnesses run through the scratch-reusing batched CRT
+    // zero test. (Unlike the sequential early-exit scan, the batched test
+    // surfaces a malformed ciphertext even when a zero precedes it —
+    // strictly stricter, and identical on honest traffic.)
+    let outcomes: Vec<bool> = leg_par.try_map(&round2, |_, w| {
+        let zeros = keys.private_key().is_zero_batch(&w.witnesses)?;
+        Ok::<_, SmcError>(!zeros.into_iter().any(|z| z))
+    })?;
     endpoint.send(PartyId::Server2, step, &outcomes)?;
 
     Ok(winner_from_outcomes(k, &outcomes))
@@ -136,8 +143,9 @@ pub fn server2_argmax_batched<R: Rng + ?Sized>(
 
     // The witness builds dominate the round's cost: fan out per pair,
     // each pair blinding on its own seed-derived RNG stream.
+    let leg_par = par.with_item_cost_ns(costs::dgk_compare_leg_cost_ns(pk));
     let round2: Vec<BlindedWitnesses> =
-        par.try_map_seeded(&pairs(k), rng, |p, &(i, j), item_rng| {
+        leg_par.try_map_seeded(&pairs(k), rng, |p, &(i, j), item_rng| {
             let encoded = domain.encode_compare(sequence[j] - sequence[i])?;
             Ok::<_, SmcError>(blinder_build_witnesses_par(
                 encoded,

@@ -102,7 +102,8 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
         .map(|(vec, &mask)| {
             expect_len(vec, k)?;
             let mask_enc = codec2.encode_i128(mask)?;
-            Ok(par.map(vec, |_, c| pk2.add_plain(c, &mask_enc)))
+            let add_par = par.with_item_cost_ns(crate::costs::paillier_add_cost_ns(pk2));
+            Ok(add_par.map(vec, |_, c| pk2.add_plain(c, &mask_enc)))
         })
         .collect::<Result<_, SmcError>>()?;
     tap.record_sent(&masked_a);
@@ -125,10 +126,12 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
             Ok(pi1.apply(seq))
         })
         .collect::<Result<_, SmcError>>()?;
-    let enc_r1: Vec<Ciphertext> = par.try_map_seeded(&r1, rng, |_, &mask, item_rng| {
-        let encoded = codec1.encode_i128(mask)?;
-        Ok::<_, SmcError>(ctx.own_public().encrypt(&encoded, item_rng)?)
-    })?;
+    let enc_r1: Vec<Ciphertext> = par
+        .with_item_cost_ns(crate::costs::paillier_encrypt_cost_ns(ctx.own_public()))
+        .try_map_seeded(&r1, rng, |_, &mask, item_rng| {
+            let encoded = codec1.encode_i128(mask)?;
+            Ok::<_, SmcError>(ctx.own_public().encrypt(&encoded, item_rng)?)
+        })?;
     tap.record_sent(&enc_r1);
     endpoint.send(PartyId::Server2, step, &enc_r1)?;
 
@@ -152,11 +155,16 @@ pub fn server1_blind_permute<R: Rng + ?Sized>(
     for (vec, negs) in masked_b.iter().zip(&neg_r3) {
         expect_len(vec, k)?;
         expect_len(negs, k)?;
-        let row: Vec<Ciphertext> = par.try_map_seeded(vec, rng, |i, c, item_rng| {
-            let value = codec1.decode_i128(&ctx.own_private().decrypt(c)?)?;
-            let reenc = pk2.encrypt(&codec2.encode_i128(value)?, item_rng)?;
-            Ok::<_, SmcError>(pk2.add(&reenc, &negs[i]))
-        })?;
+        let row: Vec<Ciphertext> = par
+            .with_item_cost_ns(
+                crate::costs::paillier_decrypt_cost_ns(ctx.own_public())
+                    + crate::costs::paillier_encrypt_cost_ns(pk2),
+            )
+            .try_map_seeded(vec, rng, |i, c, item_rng| {
+                let value = codec1.decode_i128(&ctx.own_private().decrypt_crt(c)?)?;
+                let reenc = pk2.encrypt(&codec2.encode_i128(value)?, item_rng)?;
+                Ok::<_, SmcError>(pk2.add(&reenc, &negs[i]))
+            })?;
         reencrypted.push(pi1.apply(&row));
     }
     tap.record_sent(&reencrypted);
@@ -218,9 +226,11 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
     let mut permuted_a: Vec<Vec<i128>> = Vec::with_capacity(m);
     for (vec, &mask2) in masked_a.iter().zip(&r2) {
         expect_len(vec, k)?;
-        let plain: Vec<i128> = par.try_map(vec, |_, c| {
-            Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)? + mask2)
-        })?;
+        let plain: Vec<i128> = par
+            .with_item_cost_ns(crate::costs::paillier_decrypt_cost_ns(ctx.own_public()))
+            .try_map(vec, |_, c| {
+                Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt_crt(c)?)? + mask2)
+            })?;
         permuted_a.push(pi2.apply(&plain));
     }
     tap.record_sent(&permuted_a);
@@ -240,20 +250,23 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
         expect_len(vec, k)?;
         let mask2_enc = codec1.encode_i128(mask2)?;
         // Bias additions are RNG-free homomorphic ops: fan out per label.
+        let add_par = par.with_item_cost_ns(crate::costs::paillier_add_cost_ns(pk1));
         let biased: Vec<Ciphertext> =
-            par.map(vec, |_, c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc));
+            add_par.map(vec, |_, c| pk1.add_plain(&pk1.add(c, enc_mask1), &mask2_enc));
         let permuted = pi2.apply(&biased);
         // Per-entry r3, applied after the permutation. The mask draws
         // stay on the caller's RNG (cheap); the homomorphic additions and
         // the −r3 encryptions fan out.
         let r3: Vec<i128> = (0..k).map(|_| domain.random_mask(rng)).collect();
-        let row: Vec<Ciphertext> = par.try_map(&permuted, |i, c| {
+        let row: Vec<Ciphertext> = add_par.try_map(&permuted, |i, c| {
             Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r3[i])?))
         })?;
         masked_b.push(row);
-        let negs: Vec<Ciphertext> = par.try_map_seeded(&r3, rng, |_, &mask3, item_rng| {
-            Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(-mask3)?, item_rng)?)
-        })?;
+        let negs: Vec<Ciphertext> = par
+            .with_item_cost_ns(crate::costs::paillier_encrypt_cost_ns(ctx.own_public()))
+            .try_map_seeded(&r3, rng, |_, &mask3, item_rng| {
+                Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(-mask3)?, item_rng)?)
+            })?;
         neg_r3_enc.push(negs);
     }
     endpoint.send(PartyId::Server1, step, &masked_b)?;
@@ -279,9 +292,10 @@ pub fn server2_blind_permute<R: Rng + ?Sized>(
         .iter()
         .map(|vec| {
             expect_len(vec, k)?;
-            par.try_map(vec, |_, c| {
-                Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?)
-            })
+            par.with_item_cost_ns(crate::costs::paillier_decrypt_cost_ns(ctx.own_public()))
+                .try_map(vec, |_, c| {
+                    Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt_crt(c)?)?)
+                })
         })
         .collect::<Result<_, SmcError>>()?;
 

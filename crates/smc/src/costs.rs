@@ -1,0 +1,57 @@
+//! Rough per-item wall-clock models (ns) for the protocol's data-parallel
+//! hot loops.
+//!
+//! Each model is handed to [`parallel::Parallelism::with_item_cost_ns`]
+//! right before a fan-out, so [`parallel::Parallelism::workers_for`] only
+//! splits a batch when every worker's chunk carries at least
+//! [`parallel::SPLIT_MIN_WORK_NS`] of estimated work — spawning a scoped
+//! thread costs tens of microseconds, and small batches of cheap items
+//! (e.g. per-label mask additions at `K = 10`) lose more to the spawn than
+//! they win back. The hints change how batches are *chunked*, never what
+//! they compute: outputs are split-invariant by construction, so results
+//! stay bit-identical with or without them.
+//!
+//! The models only need to be right to an order of magnitude. They all
+//! reduce to "exponent bits × cost of one Montgomery multiplication",
+//! with the multiplication cost quadratic in the modulus limb count —
+//! the same shape the `bigint` ablation benches measure.
+
+use dgk::DgkPublicKey;
+use paillier::PublicKey;
+
+/// ~cost of one Montgomery multiplication mod a `modulus_bits`-wide
+/// modulus: quadratic in the limb count, ~5 ns per limb product.
+fn mont_mul_cost_ns(modulus_bits: u64) -> u64 {
+    let k = modulus_bits.div_ceil(64).max(1);
+    (k * k).max(4) * 5
+}
+
+/// One Paillier encryption: the `r^n` blind dominates — an `|n|`-bit
+/// exponent mod `n²`.
+pub(crate) fn paillier_encrypt_cost_ns(pk: &PublicKey) -> u64 {
+    pk.modulus().bits().max(1) * mont_mul_cost_ns(pk.modulus_squared().bits())
+}
+
+/// One CRT Paillier decryption: two half-width exponentiations under the
+/// quarter-size `p²`/`q²` contexts — about half of one full-size
+/// exponentiation.
+pub(crate) fn paillier_decrypt_cost_ns(pk: &PublicKey) -> u64 {
+    (paillier_encrypt_cost_ns(pk) / 2).max(1)
+}
+
+/// One RNG-free homomorphic step (`add` / `add_plain`): a handful of
+/// modular multiplications mod `n²`. Cheap — the point of hinting it is
+/// to keep small per-label fan-outs sequential.
+pub(crate) fn paillier_add_cost_ns(pk: &PublicKey) -> u64 {
+    4 * mont_mul_cost_ns(pk.modulus_squared().bits())
+}
+
+/// One leg of an `ℓ`-bit DGK comparison: `ℓ` bit-encryptions, `ℓ`
+/// witness multi-exponentiations, or `ℓ` CRT zero tests. All three are
+/// within a small factor of `ℓ · blind_bits / 2` multiplications over
+/// `Z_n`, which is accurate enough to decide whether a pairwise batch is
+/// worth splitting.
+pub(crate) fn dgk_compare_leg_cost_ns(pk: &DgkPublicKey) -> u64 {
+    let ell = pk.compare_bits() as u64;
+    (ell * pk.blind_bits() / 2).max(1) * mont_mul_cost_ns(pk.modulus().bits())
+}

@@ -35,6 +35,7 @@ pub mod audit;
 pub mod batch;
 pub mod blind_permute;
 pub mod compare;
+mod costs;
 pub mod domain;
 mod error;
 pub mod permutation;

@@ -76,9 +76,11 @@ pub fn server1_restore<R: Rng + ?Sized>(
         r1[0] = 0;
     }
     tap.masks(&r1);
-    let masked: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
-        Ok::<_, SmcError>(pk2.add_plain(c, &codec2.encode_i128(r1[i])?))
-    })?;
+    let masked: Vec<Ciphertext> = par
+        .with_item_cost_ns(crate::costs::paillier_add_cost_ns(pk2))
+        .try_map(&reverted, |i, c| {
+            Ok::<_, SmcError>(pk2.add_plain(c, &codec2.encode_i128(r1[i])?))
+        })?;
     tap.record_sent(&masked);
     endpoint.send(PartyId::Server2, step, &masked)?;
 
@@ -91,8 +93,9 @@ pub fn server1_restore<R: Rng + ?Sized>(
 
     // Step 4: strip r1 and re-encrypt under own pk1 — one seed-derived
     // RNG stream per entry, fanned out.
-    let enc_pi2_e: Vec<Ciphertext> =
-        par.try_map_seeded(&plain_masked, rng, |i, &v, item_rng| {
+    let enc_pi2_e: Vec<Ciphertext> = par
+        .with_item_cost_ns(crate::costs::paillier_encrypt_cost_ns(ctx.own_public()))
+        .try_map_seeded(&plain_masked, rng, |i, &v, item_rng| {
             Ok::<_, SmcError>(ctx.own_public().encrypt(&codec1.encode_i128(v - r1[i])?, item_rng)?)
         })?;
     tap.record_sent(&enc_pi2_e);
@@ -108,9 +111,11 @@ pub fn server1_restore<R: Rng + ?Sized>(
     // Challenge-verify S2's opening before decrypting its final frame.
     tap.verify_peer(endpoint, k, 0, &domain)?;
 
-    let mut plain: Vec<i128> = par.try_map(&enc_e_masked, |_, c| {
-        Ok::<_, SmcError>(codec1.decode_i128(&ctx.own_private().decrypt(c)?)?)
-    })?;
+    let mut plain: Vec<i128> = par
+        .with_item_cost_ns(crate::costs::paillier_decrypt_cost_ns(ctx.own_public()))
+        .try_map(&enc_e_masked, |_, c| {
+            Ok::<_, SmcError>(codec1.decode_i128(&ctx.own_private().decrypt_crt(c)?)?)
+        })?;
     tap.record_sent(&plain);
     if tap.byzantine() == Some(ByzantineAction::Equivocate) {
         plain[0] += 1;
@@ -159,8 +164,9 @@ pub fn server2_restore<R: Rng + ?Sized>(
     // Step 1: encrypted indicator at the permuted slot, under own pk2.
     let mut indicator = vec![0i128; k];
     indicator[permuted_slot] = 1;
-    let enc_indicator: Vec<Ciphertext> =
-        par.try_map_seeded(&indicator, rng, |_, &v, item_rng| {
+    let enc_indicator: Vec<Ciphertext> = par
+        .with_item_cost_ns(crate::costs::paillier_encrypt_cost_ns(ctx.own_public()))
+        .try_map_seeded(&indicator, rng, |_, &v, item_rng| {
             Ok::<_, SmcError>(ctx.own_public().encrypt(&codec2.encode_i128(v)?, item_rng)?)
         })?;
     tap.record_sent(&enc_indicator);
@@ -173,9 +179,11 @@ pub fn server2_restore<R: Rng + ?Sized>(
     if masked.len() != k {
         return Err(SmcError::LengthMismatch { expected: k, got: masked.len() });
     }
-    let mut plain_masked: Vec<i128> = par.try_map(&masked, |_, c| {
-        Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt(c)?)?)
-    })?;
+    let mut plain_masked: Vec<i128> = par
+        .with_item_cost_ns(crate::costs::paillier_decrypt_cost_ns(ctx.own_public()))
+        .try_map(&masked, |_, c| {
+            Ok::<_, SmcError>(codec2.decode_i128(&ctx.own_private().decrypt_crt(c)?)?)
+        })?;
     tap.record_sent(&plain_masked);
     if tap.byzantine() == Some(ByzantineAction::Equivocate) {
         plain_masked[0] += 1;
@@ -194,9 +202,11 @@ pub fn server2_restore<R: Rng + ?Sized>(
         r2[0] = 0;
     }
     tap.masks(&r2);
-    let masked_e: Vec<Ciphertext> = par.try_map(&reverted, |i, c| {
-        Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r2[i])?))
-    })?;
+    let masked_e: Vec<Ciphertext> = par
+        .with_item_cost_ns(crate::costs::paillier_add_cost_ns(pk1))
+        .try_map(&reverted, |i, c| {
+            Ok::<_, SmcError>(pk1.add_plain(c, &codec1.encode_i128(r2[i])?))
+        })?;
     tap.record_sent(&masked_e);
     if tap.byzantine() == Some(ByzantineAction::ReplayStaleFrame) {
         // Resend the step-1 indicator frame in place of the masked one;

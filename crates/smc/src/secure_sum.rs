@@ -64,6 +64,7 @@ pub fn encrypt_share_vector<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<Ciphertext>, SmcError> {
     let codec = SignedCodec::new(recipient_key);
+    let par = par.with_item_cost_ns(crate::costs::paillier_encrypt_cost_ns(recipient_key));
     par.try_map_seeded(values, rng, |_, &v, item_rng| {
         let encoded = codec.encode_i128(v)?;
         recipient_key.encrypt(&encoded, item_rng).map_err(SmcError::from)
@@ -152,7 +153,9 @@ pub fn aggregate_user_vectors(
         validator.check(&meter, from, step, seq, &shares, peer_key)?;
         uploads.push(shares);
     }
-    Ok(par.map_n(num_classes, |k| {
+    let fold_par =
+        par.with_item_cost_ns(uploads.len() as u64 * crate::costs::paillier_add_cost_ns(peer_key));
+    Ok(fold_par.map_n(num_classes, |k| {
         let mut slot = peer_key.zero_ciphertext();
         for shares in &uploads {
             slot = peer_key.add(&slot, &shares[k]);
@@ -272,9 +275,11 @@ pub fn aggregate_surviving_vectors(
     // over the survivors, so the per-label products fan out in parallel.
     let surviving: Vec<&Vec<Vec<Ciphertext>>> =
         collected.iter().filter(|(u, _)| survivors.contains(u)).map(|(_, vecs)| vecs).collect();
+    let fold_par = par
+        .with_item_cost_ns(surviving.len() as u64 * crate::costs::paillier_add_cost_ns(peer_key));
     let sums: Vec<Vec<Ciphertext>> = (0..vectors_per_user)
         .map(|v| {
-            par.map_n(num_classes, |k| {
+            fold_par.map_n(num_classes, |k| {
                 let mut slot = peer_key.zero_ciphertext();
                 for vecs in &surviving {
                     slot = peer_key.add(&slot, &vecs[v][k]);

@@ -5,7 +5,7 @@
 # the perf trajectory is tracked by (see DESIGN.md, "Exponentiation
 # strategy").
 #
-# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N] [--audit]
+# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N] [--audit] [--batch]
 #
 #   --smoke      minimal iteration counts and no criterion sweep — the CI
 #                wiring (scripts/ci.sh) uses this to keep the harness from
@@ -20,6 +20,13 @@
 #   --audit      also time the full engine round with the covert-security
 #                audit layer off vs. on (audit_off_/audit_on_ rows in
 #                BENCH_protocol.json).
+#   --batch      also run the batched-kernel ablation (Straus multi-exp,
+#                Karatsuba Montgomery product, fixed CRT recombination,
+#                batched pool refill and DGK zero test, k ∈ {1,4,16,64}).
+#
+# After writing the JSON, scripts/check_bench.sh asserts the kernel
+# invariants (CRT decrypt beats plain, batched kernels no slower at k=1)
+# — warn-only under --smoke, where iteration counts are too low to trust.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,19 +35,21 @@ cd "$repo"
 smoke=0
 offline=0
 audit=0
+batch=0
 threads=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=1 ;;
     --offline) offline=1 ;;
     --audit) audit=1 ;;
+    --batch) batch=1 ;;
     --threads)
       [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
       threads="$2"
       shift
       ;;
     *)
-      echo "usage: $0 [--smoke] [--offline] [--threads N] [--audit]" >&2
+      echo "usage: $0 [--smoke] [--offline] [--threads N] [--audit] [--batch]" >&2
       exit 2
       ;;
   esac
@@ -74,7 +83,16 @@ fi
 if [[ $audit -eq 1 ]]; then
   protocol_args+=(--audit)
 fi
+if [[ $batch -eq 1 ]]; then
+  protocol_args+=(--batch)
+fi
 cargo "${config[@]}" run --release -p benches --bin bench_protocol "${cargo_flags[@]}" \
   -- "${protocol_args[@]}"
+
+check_args=("$repo/BENCH_protocol.json")
+if [[ $smoke -eq 1 ]]; then
+  check_args=(--warn-only "${check_args[@]}")
+fi
+bash "$repo/scripts/check_bench.sh" "${check_args[@]}"
 
 echo "bench artifacts written to $repo/BENCH_protocol.json"

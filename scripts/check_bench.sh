@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Asserts the kernel invariants BENCH_protocol.json must uphold: the CRT
+# decrypt path beats the plain one, and every batched/fixed kernel is no
+# slower than its predecessor at k = 1 (125% tolerance absorbs timer
+# noise on loaded machines). Rows the file does not carry (e.g. a run
+# without --batch) are noted and skipped, never failed.
+#
+# Usage: check_bench.sh [--warn-only] [FILE]
+#   --warn-only  print verdicts but always exit 0 (smoke/CI trend mode)
+#   FILE         defaults to BENCH_protocol.json in the current directory
+set -euo pipefail
+
+warn_only=0
+file=BENCH_protocol.json
+for arg in "$@"; do
+  case "$arg" in
+    --warn-only) warn_only=1 ;;
+    *) file="$arg" ;;
+  esac
+done
+
+if [[ ! -f "$file" ]]; then
+  echo "check_bench: $file not found" >&2
+  exit 1
+fi
+
+# Pull the ns figure of one step. Keys are matched fully quoted so e.g.
+# "ablation_multiexp_iter_k1" never collides with its k16/k64 siblings.
+ns_of() {
+  awk -v key="\"$1\":" '
+    index($0, key) {
+      s = $0
+      sub(/.*"ns":[ ]*/, "", s)
+      sub(/[^0-9].*/, "", s)
+      print s
+      exit
+    }
+  ' "$file"
+}
+
+fails=0
+
+# check NEW OLD TOL_PCT DESC — fail when ns(NEW)*100 > ns(OLD)*TOL_PCT.
+check() {
+  local new=$1 old=$2 tol=$3 desc=$4 new_ns old_ns
+  new_ns=$(ns_of "$new")
+  old_ns=$(ns_of "$old")
+  if [[ -z "$new_ns" || -z "$old_ns" ]]; then
+    echo "  skip  ${desc} (missing row: ${new} or ${old})"
+    return
+  fi
+  if (( new_ns * 100 > old_ns * tol )); then
+    echo "  FAIL  ${desc}: ${new}=${new_ns}ns vs ${old}=${old_ns}ns (limit ${tol}%)"
+    fails=$((fails + 1))
+  else
+    echo "  ok    ${desc}: ${new}=${new_ns}ns vs ${old}=${old_ns}ns"
+  fi
+}
+
+echo "check_bench: ${file}"
+check paillier_decrypt_crt paillier_decrypt 100 \
+  "CRT decrypt faster than plain decrypt"
+check ablation_multiexp_straus_k1 ablation_multiexp_iter_k1 125 \
+  "Straus multi-exp no slower than iterated modpow at k=1"
+check ablation_mont_mul_karatsuba_4096 ablation_mont_mul_school_4096 125 \
+  "Karatsuba Montgomery product no slower than schoolbook"
+check ablation_crt_recombine_fixed ablation_crt_recombine_gcd 125 \
+  "fixed Garner recombination no slower than extended-gcd CRT"
+check ablation_pool_refill_batched_k1 ablation_pool_refill_k1 125 \
+  "batched pool refill no slower than per-item refill at k=1"
+check ablation_dgk_zero_batch_k1 ablation_dgk_zero_loop_k1 125 \
+  "batched DGK zero test no slower than per-item loop at k=1"
+
+if (( fails > 0 )); then
+  if (( warn_only )); then
+    echo "check_bench: ${fails} regression(s) — warn-only mode, exiting 0"
+    exit 0
+  fi
+  echo "check_bench: ${fails} regression(s)" >&2
+  exit 1
+fi
+echo "check_bench: all kernel invariants hold"

@@ -36,7 +36,7 @@ cargo test -q -p consensus-core --test recovery tcp_connection_kill_recovers_two
 echo "==> covert-audit smoke (strict conviction + resilient clean abort, 2 seeds)"
 cargo test -q -p consensus-core --test audit audit_smoke_two_seeds
 
-echo "==> bench harness smoke (scripts/bench.sh --smoke, 2 worker threads)"
-bash scripts/bench.sh --smoke --threads 2
+echo "==> bench harness smoke (scripts/bench.sh --smoke --batch, 2 worker threads)"
+bash scripts/bench.sh --smoke --threads 2 --batch
 
 echo "CI checks passed."
