@@ -36,7 +36,7 @@
 //! trend line notices the first run where they are not.
 //!
 //! Usage:
-//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--batch] [--iters N] [--threads N] [--out PATH]`
+//! `cargo run --release -p benches --bin bench_protocol -- [--smoke] [--batch] [--scale] [--iters N] [--threads N] [--out PATH]`
 //!
 //! `--smoke` runs 2 iterations per step and trims the thread sweep (CI
 //! wiring); `--threads` (default: the `CONSENSUS_THREADS` environment
@@ -51,6 +51,23 @@
 //! pool refill and DGK zero test), each k-sweep reported as per-item
 //! nanoseconds; `--out` defaults to `BENCH_protocol.json` in the current
 //! directory.
+//!
+//! `--scale` runs the simulated streaming-ingest sweep behind the
+//! hierarchical shard layer: |U| ∈ {100k, 300k, 1M} uploads (one
+//! template ciphertext vector cloned per arriving user, so the round's
+//! uploads are never materialized at once) are validated, stream-folded
+//! through per-shard [`smc::ShardAccumulator`]s at shard counts
+//! {1, 64} (+ one 1024-shard row at 1M), and tree-combined. Each
+//! `scale_u<users>_s<shards>` JSON row records users, shards,
+//! bytes-per-user on the wire, ingest throughput, and the process peak /
+//! current RSS (`VmHWM`/`VmRSS` from `/proc/self/status`) — the
+//! committed evidence that server memory tracks shard geometry, not
+//! |U|. The sweep also emits the survivor-intersection ablation at
+//! |U| = 10k (`ablation_survivor_intersect_{linear,sorted}_u10000`):
+//! the O(|U|²) `Vec::contains` reconciliation scan vs the sorted-merge
+//! intersection that replaced it. Every run emits a `meta` object with
+//! the machine's available cores, so trend tooling can discount thread
+//! sweeps measured on single-core boxes.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -68,9 +85,13 @@ use paillier::{Ciphertext, Keypair, RandomizerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smc::secure_sum::aggregate_user_vectors;
-use smc::{AuditPolicy, Parallelism, SessionConfig};
+use smc::shard::{intersect_sorted, STREAM_CHUNK};
+use smc::{
+    AuditPolicy, Parallelism, SessionConfig, ShardAccumulator, ShardConfig, ShardPlan,
+    UploadValidator,
+};
 use std::sync::Arc;
-use transport::{FaultStats, Meter, Network, PartyId, Step};
+use transport::{FaultStats, Meter, Network, PartyId, Step, Wire};
 
 /// The dispatch threshold the pre-change `modular::modpow` used.
 const OLD_MONTGOMERY_EXP_THRESHOLD: u64 = 24;
@@ -119,8 +140,20 @@ fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> u128 {
     (start.elapsed().as_nanos() / iters as u128).max(1)
 }
 
+/// Reads a kB-denominated field (`VmHWM`, `VmRSS`) from
+/// `/proc/self/status`. Returns `None` off Linux or if the field is
+/// missing, in which case the scale rows record 0.
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 struct Report {
     entries: Vec<(String, u128, usize)>,
+    /// Named raw-JSON objects (scale-sweep rows, run metadata) spliced
+    /// verbatim into the top-level map after the timing entries.
+    objects: Vec<(String, String)>,
     /// Reliability counters accumulated by the end-to-end engine rounds:
     /// upload-validation rejections (`rejected_*`), injected/detected
     /// faults, backpressure and socket-level events. All zero on a
@@ -139,6 +172,13 @@ impl Report {
     fn record_at(&mut self, step: &str, ns: u128, threads: usize) {
         println!("  {step:<44} {ns:>12} ns/iter");
         self.entries.push((step.to_string(), ns, threads));
+    }
+
+    /// Records a pre-serialized JSON object under `name` — the richer
+    /// row shape the scale sweep and `meta` entry need.
+    fn record_obj(&mut self, name: &str, body: String) {
+        println!("  {name:<44} {body}");
+        self.objects.push((name.to_string(), body));
     }
 
     fn ns(&self, step: &str) -> u128 {
@@ -162,6 +202,9 @@ impl Report {
         let mut out = String::from("{\n");
         for (step, ns, threads) in &self.entries {
             out.push_str(&format!("  \"{step}\": {{\"ns\": {ns}, \"threads\": {threads}}},\n"));
+        }
+        for (name, body) in &self.objects {
+            out.push_str(&format!("  \"{name}\": {body},\n"));
         }
         let f = &self.faults;
         let counters = [
@@ -205,7 +248,8 @@ fn main() {
     let out_path: String = args.get("out", "BENCH_protocol.json".to_string());
 
     let mut rng = StdRng::seed_from_u64(42);
-    let mut report = Report { entries: Vec::new(), faults: FaultStats::default() };
+    let mut report =
+        Report { entries: Vec::new(), objects: Vec::new(), faults: FaultStats::default() };
     println!(
         "bench_protocol: {} iters/step ({} for heavy steps){}",
         iters,
@@ -724,7 +768,132 @@ fn main() {
         println!("  audit-on / audit-off: {:.3}x", on as f64 / off as f64);
     }
 
+    // ----- Simulated streaming-ingest scale sweep (opt-in: --scale) -------
+    // One template upload is cloned per "arriving" user, so the round's
+    // |U| uploads are never materialized at once — exactly the property
+    // the streaming server has. Every arrival runs the real ingest path:
+    // upload validation, retire-after-fold, chunked per-shard streaming
+    // fold, tree combine. The recorded VmHWM across rows is the evidence
+    // that live memory tracks shard geometry and K, not |U|.
+    if args.has("scale") {
+        let scale_classes = 4usize;
+        let par = Parallelism::new(cli_threads);
+        let template: Vec<Ciphertext> = (0..scale_classes)
+            .map(|_| {
+                let v = random::gen_below(&mut rng, &n);
+                let rr = random::gen_coprime(&mut rng, &n);
+                pk.encrypt_with_randomness(&v, &rr)
+            })
+            .collect();
+        let upload_bytes = template.to_bytes().len();
+        let grid: Vec<(usize, usize)> = if smoke {
+            vec![(2_000, 1), (2_000, 8)]
+        } else {
+            vec![
+                (100_000, 1),
+                (100_000, 64),
+                (300_000, 1),
+                (300_000, 64),
+                (1_000_000, 1),
+                (1_000_000, 64),
+                (1_000_000, 1024),
+            ]
+        };
+        println!(
+            "\nStreaming-ingest scale sweep (K = {scale_classes}, chunk = {STREAM_CHUNK}, {} threads):",
+            par.threads()
+        );
+        for (users, shards) in grid {
+            let roster: Vec<usize> = (0..users).collect();
+            let plan =
+                ShardPlan::derive(0xC0FF_EE00 ^ users as u64, &roster, ShardConfig::new(shards));
+            let rss_before = proc_status_kb("VmRSS:").unwrap_or(0);
+            let mut validator = UploadValidator::new(scale_classes);
+            let mut combined = ShardAccumulator::new(&pk, 1, scale_classes);
+            let start = Instant::now();
+            for shard in plan.shards() {
+                let mut acc = ShardAccumulator::new(&pk, 1, scale_classes);
+                let mut chunk: Vec<(usize, Vec<Vec<Ciphertext>>)> =
+                    Vec::with_capacity(STREAM_CHUNK);
+                for &u in shard {
+                    let arrival = template.clone();
+                    validator
+                        .check(
+                            &meter,
+                            PartyId::User(u),
+                            Step::SecureSumVotes,
+                            u as u64,
+                            &arrival,
+                            &pk,
+                        )
+                        .expect("well-formed template upload");
+                    validator.retire(PartyId::User(u));
+                    chunk.push((u, vec![arrival]));
+                    if chunk.len() == STREAM_CHUNK {
+                        acc.fold_chunk(&pk, &par, std::mem::take(&mut chunk));
+                    }
+                }
+                acc.fold_chunk(&pk, &par, chunk);
+                combined.merge(&pk, acc);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(combined.members().len(), users, "every user folded");
+            assert_eq!(validator.live_senders(), 0, "per-user state retired after fold");
+            black_box(combined.into_sums());
+            let vm_hwm = proc_status_kb("VmHWM:").unwrap_or(0);
+            let vm_rss = proc_status_kb("VmRSS:").unwrap_or(0);
+            // Wire cost per user: the upload itself plus this user's
+            // amortized slice of the shard-aggregate flow (one aggregate
+            // vector per shard up to the final combine).
+            let bytes_per_user =
+                upload_bytes as f64 * (1.0 + plan.num_shards() as f64 / users as f64);
+            let ups = (users as f64 / secs) as u64;
+            report.record_obj(
+                &format!("scale_u{users}_s{shards}"),
+                format!(
+                    "{{\"users\": {users}, \"shards\": {shards}, \"classes\": {scale_classes}, \
+                     \"threads\": {}, \"bytes_per_user\": {bytes_per_user:.1}, \
+                     \"users_per_sec\": {ups}, \"vm_hwm_kb\": {vm_hwm}, \
+                     \"vm_rss_kb\": {vm_rss}, \"rss_delta_kb\": {}}}",
+                    par.threads(),
+                    vm_rss.saturating_sub(rss_before),
+                ),
+            );
+        }
+
+        // Survivor-reconciliation ablation: the old O(|U|²)
+        // `Vec::contains` scan vs the sorted-merge intersection the shard
+        // layer uses (both lists ascending by construction).
+        let ab_users = if smoke { 2_000usize } else { 10_000 };
+        let left: Vec<usize> = (0..ab_users).collect();
+        let right: Vec<usize> = (0..ab_users).filter(|u| u % 17 != 3).collect();
+        let ab_iters: u64 = if smoke { 1 } else { 3 };
+        println!("\nSurvivor-intersection ablation (|U| = {ab_users}):");
+        report.record(
+            &format!("ablation_survivor_intersect_linear_u{ab_users}"),
+            time_ns(ab_iters, || {
+                black_box(
+                    left.iter().filter(|u| right.contains(u)).copied().collect::<Vec<usize>>(),
+                );
+            }),
+        );
+        report.record(
+            &format!("ablation_survivor_intersect_sorted_u{ab_users}"),
+            time_ns(ab_iters, || {
+                black_box(intersect_sorted(&left, &right));
+            }),
+        );
+    }
+
     // ----- Summary + JSON -------------------------------------------------
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    report.record_obj(
+        "meta",
+        format!(
+            "{{\"available_cores\": {cores}, \"smoke\": {smoke}, \"vm_hwm_kb\": {}}}",
+            proc_status_kb("VmHWM:").unwrap_or(0)
+        ),
+    );
     report.faults = meter.fault_stats();
     println!("\nSpeedups vs pre-change baseline (same operands):");
     for step in

@@ -56,10 +56,12 @@ use smc::batch::{server1_argmax_batched, server2_argmax_batched};
 use smc::blind_permute::{server1_blind_permute, server2_blind_permute};
 use smc::compare::{server1_compare_geq, server2_compare_geq};
 use smc::restoration::{server1_restore, server2_restore};
-use smc::secure_sum::{aggregate_surviving_vectors, aggregate_user_vectors, encrypt_share_vector};
+use smc::secure_sum::{
+    aggregate_surviving_vectors_sharded, aggregate_user_vectors_sharded, encrypt_share_vector,
+};
 use smc::{
     AuditCheckpoint, AuditContext, AuditPolicy, CheckpointImage, Parallelism, RoundState,
-    ServerContext, SessionConfig, SessionKeys, SmcError,
+    ServerContext, SessionConfig, SessionKeys, ShardConfig, ShardPlan, SmcError,
 };
 use transport::{
     CheckpointStore, Endpoint, FaultEvent, FaultPlan, FaultStats, Meter, Network, PartyId, Step,
@@ -277,6 +279,10 @@ pub(crate) struct PreparedRound {
     offsets: Vec<i64>,
     seed1: u64,
     seed2: u64,
+    /// Round-shared seed for the shard plan — unlike the private per-server
+    /// `seed1`/`seed2`, both servers derive the identical plan from it, so
+    /// their per-shard survivor exchanges pair up without coordination.
+    shard_seed: u64,
 }
 
 impl SecureEngine {
@@ -594,6 +600,18 @@ impl SecureEngine {
                 s2_noisy: encrypt_share_vector(&noisy_b, user_ctx.pk1(), par, rng)?,
             });
         }
+        let seed1: u64 = rng.gen();
+        let seed2: u64 = rng.gen();
+        // The shard plan must be identical on both servers, so its seed is
+        // a hashed mix of the two server seeds instead of a fresh draw —
+        // the round's RNG stream stays identical to pre-shard builds, and
+        // the mix does not linearly expose either private seed.
+        let shard_seed = {
+            let mut z = seed1 ^ seed2.rotate_left(32);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Ok(PreparedRound {
             roster: roster.to_vec(),
             num_classes,
@@ -602,8 +620,9 @@ impl SecureEngine {
             user_z1,
             user_z2,
             offsets,
-            seed1: rng.gen(),
-            seed2: rng.gen(),
+            seed1,
+            seed2,
+            shard_seed,
         })
     }
 
@@ -666,6 +685,7 @@ impl SecureEngine {
         let roster = &prepared.roster;
         let num_classes = prepared.num_classes;
         let (seed1, seed2) = (prepared.seed1, prepared.seed2);
+        let shard_seed = prepared.shard_seed;
         let policy = self.audit;
         let faults = self.faults.as_ref();
         let (audit1, audit2) = audits;
@@ -678,6 +698,7 @@ impl SecureEngine {
                     roster,
                     num_classes,
                     seed1,
+                    shard_seed,
                     ranking,
                     quorum,
                     state1,
@@ -696,6 +717,7 @@ impl SecureEngine {
                     roster,
                     num_classes,
                     seed2,
+                    shard_seed,
                     ranking,
                     quorum,
                     state2,
@@ -853,7 +875,10 @@ type VotesThreshSurvivors = (Vec<Ciphertext>, Vec<Ciphertext>, Vec<usize>);
 
 /// Step-2 collection for either server: strict (`quorum == None`, every
 /// roster upload must arrive) or resilient (collect what arrives,
-/// reconcile survivors with the peer, enforce the quorum).
+/// reconcile survivors with the peer per shard, enforce the quorum).
+/// Both servers derive the identical shard plan from the round-shared
+/// `shard_seed`, so the streaming folds and per-shard exchanges line up.
+#[allow(clippy::too_many_arguments)]
 fn collect_votes_and_thresh(
     endpoint: &mut Endpoint,
     roster: &[usize],
@@ -861,22 +886,25 @@ fn collect_votes_and_thresh(
     peer_key: &paillier::PublicKey,
     peer_server: PartyId,
     quorum: Option<usize>,
+    shard_seed: u64,
+    shards: ShardConfig,
     par: &Parallelism,
 ) -> Result<VotesThreshSurvivors, SmcError> {
+    let plan = ShardPlan::derive(shard_seed, roster, shards);
     match quorum {
         None => {
-            let votes = aggregate_user_vectors(
+            let votes = aggregate_user_vectors_sharded(
                 endpoint,
                 Step::SecureSumVotes,
-                roster.len(),
+                &plan,
                 num_classes,
                 peer_key,
                 par,
             )?;
-            let thresh = aggregate_user_vectors(
+            let thresh = aggregate_user_vectors_sharded(
                 endpoint,
                 Step::SecureSumVotes,
-                roster.len(),
+                &plan,
                 num_classes,
                 peer_key,
                 par,
@@ -884,10 +912,10 @@ fn collect_votes_and_thresh(
             Ok((votes, thresh, roster.to_vec()))
         }
         Some(q) => {
-            let mut agg = aggregate_surviving_vectors(
+            let mut agg = aggregate_surviving_vectors_sharded(
                 endpoint,
                 Step::SecureSumVotes,
-                roster,
+                &plan,
                 num_classes,
                 2,
                 peer_key,
@@ -903,6 +931,7 @@ fn collect_votes_and_thresh(
 }
 
 /// Step-6 collection for either server, over the step-2 survivors.
+#[allow(clippy::too_many_arguments)]
 fn collect_noisy(
     endpoint: &mut Endpoint,
     survivors: &[usize],
@@ -910,14 +939,17 @@ fn collect_noisy(
     peer_key: &paillier::PublicKey,
     peer_server: PartyId,
     quorum: Option<usize>,
+    shard_seed: u64,
+    shards: ShardConfig,
     par: &Parallelism,
 ) -> Result<(Vec<Ciphertext>, Vec<usize>), SmcError> {
+    let plan = ShardPlan::derive(shard_seed, survivors, shards);
     match quorum {
         None => {
-            let noisy = aggregate_user_vectors(
+            let noisy = aggregate_user_vectors_sharded(
                 endpoint,
                 Step::SecureSumNoisy,
-                survivors.len(),
+                &plan,
                 num_classes,
                 peer_key,
                 par,
@@ -925,10 +957,10 @@ fn collect_noisy(
             Ok((noisy, survivors.to_vec()))
         }
         Some(q) => {
-            let mut agg = aggregate_surviving_vectors(
+            let mut agg = aggregate_surviving_vectors_sharded(
                 endpoint,
                 Step::SecureSumNoisy,
-                survivors,
+                &plan,
                 num_classes,
                 1,
                 peer_key,
@@ -970,6 +1002,7 @@ fn server1_advance(
     roster: &[usize],
     num_classes: usize,
     root_seed: u64,
+    shard_seed: u64,
     ranking: RankingStrategy,
     quorum: Option<usize>,
     state: RoundState,
@@ -993,6 +1026,8 @@ fn server1_advance(
                     &pk2,
                     PartyId::Server2,
                     quorum,
+                    shard_seed,
+                    ctx.config().shards,
                     ctx.parallelism(),
                 )
             })?;
@@ -1050,6 +1085,8 @@ fn server1_advance(
                     &pk2,
                     PartyId::Server2,
                     quorum,
+                    shard_seed,
+                    ctx.config().shards,
                     ctx.parallelism(),
                 )
             })?;
@@ -1108,6 +1145,7 @@ fn server2_advance(
     roster: &[usize],
     num_classes: usize,
     root_seed: u64,
+    shard_seed: u64,
     ranking: RankingStrategy,
     quorum: Option<usize>,
     state: RoundState,
@@ -1128,6 +1166,8 @@ fn server2_advance(
                 &pk1,
                 PartyId::Server1,
                 quorum,
+                shard_seed,
+                ctx.config().shards,
                 ctx.parallelism(),
             )?;
             RoundState::Summed { votes, thresh, survivors }
@@ -1180,6 +1220,8 @@ fn server2_advance(
                 &pk1,
                 PartyId::Server1,
                 quorum,
+                shard_seed,
+                ctx.config().shards,
                 ctx.parallelism(),
             )?;
             RoundState::SummedNoisy { noisy, survivors, noisy_survivors: Some(noisy_survivors) }
@@ -1239,6 +1281,7 @@ fn server_drive(
     roster: &[usize],
     num_classes: usize,
     root_seed: u64,
+    shard_seed: u64,
     ranking: RankingStrategy,
     quorum: Option<usize>,
     mut state: RoundState,
@@ -1260,6 +1303,7 @@ fn server_drive(
                 roster,
                 num_classes,
                 root_seed,
+                shard_seed,
                 ranking,
                 quorum,
                 state,
@@ -1272,6 +1316,7 @@ fn server_drive(
                 roster,
                 num_classes,
                 root_seed,
+                shard_seed,
                 ranking,
                 quorum,
                 state,

@@ -10,6 +10,10 @@
 //!   Paillier key, who evaluates DGK);
 //! * [`secure_sum`] — step 2/6 of Alg. 5: users upload encrypted additive
 //!   shares, servers aggregate homomorphically;
+//! * [`shard`] — hierarchical sharded streaming aggregation: the
+//!   deterministic shard plan, running partial-sum accumulators, and the
+//!   sorted-merge survivor intersection that keep server memory bounded
+//!   by shard geometry instead of |U|;
 //! * [`blind_permute`] — Alg. 2, the Blind-and-Permute protocol;
 //! * [`compare`] — the DGK comparison of §III-B run over channels between
 //!   the servers, plus the shared-value comparison forms of Eqn. 6/7;
@@ -42,6 +46,7 @@ pub mod permutation;
 pub mod restoration;
 pub mod secure_sum;
 pub mod session;
+pub mod shard;
 pub mod state;
 pub mod validate;
 
@@ -51,5 +56,6 @@ pub use error::SmcError;
 pub use parallel::Parallelism;
 pub use permutation::Permutation;
 pub use session::{ServerContext, ServerRole, SessionConfig, SessionKeys, UserContext};
+pub use shard::{ShardAccumulator, ShardConfig, ShardPlan};
 pub use state::{CheckpointImage, RoundState};
 pub use validate::UploadValidator;

@@ -6,6 +6,16 @@
 //! ciphertexts it cannot read. The server-side aggregation is the
 //! ciphertext product of Eqn. 1.
 //!
+//! Since the sharded streaming layer ([`crate::shard`]) landed, the
+//! server side is no longer a flat buffer-then-fold over all `|U|`
+//! uploads: uploads stream into per-shard running partial sums as they
+//! arrive and are dropped immediately, so live server memory is bounded
+//! by the shard geometry and `K` — never by `|U|`. The unsharded entry
+//! points below are the exact 1-shard instance of the same machinery
+//! and produce bit-identical aggregates (Paillier addition is a
+//! canonical modular multiplication, so fold grouping cannot change the
+//! product).
+//!
 //! Every `r^n mod n²` here runs under the public key's cached Montgomery
 //! context (see [`paillier::PublicKey::precompute`]); the per-user
 //! encryption cost is the exponentiation itself, with no per-call
@@ -18,6 +28,7 @@ use transport::{Endpoint, PartyId, Step, TransportError};
 
 use crate::error::SmcError;
 use crate::session::UserContext;
+use crate::shard::{intersect_sorted, ShardAccumulator, ShardPlan, STREAM_CHUNK};
 use crate::validate::UploadValidator;
 
 /// User side: encrypts the signed vector `values` under `recipient_key`
@@ -121,12 +132,8 @@ pub fn send_share_to_server2<R: Rng + ?Sized>(
 /// users and aggregates them homomorphically under `peer_key` (the key
 /// the users encrypted with — i.e. this server's *peer's* key).
 ///
-/// Uploads are drained in user-id order, which is safe under any arrival
-/// order: since PR 1 the endpoint matches each receive by
-/// `(sender, step)`, so user `u+1` arriving first is stashed, not
-/// misread as user `u`. Once everything is collected, the per-label
-/// ciphertext products of Eqn. 1 fan out across labels according to
-/// `par` — each label's product is an independent fold.
+/// The flat entry point: exactly [`aggregate_user_vectors_sharded`] over
+/// the single-shard plan, so the two paths cannot drift.
 ///
 /// Returns the element-wise encrypted sum `E[Σ_u v^u]`.
 ///
@@ -144,24 +151,72 @@ pub fn aggregate_user_vectors(
     peer_key: &PublicKey,
     par: &Parallelism,
 ) -> Result<Vec<Ciphertext>, SmcError> {
+    let roster: Vec<usize> = (0..num_users).collect();
+    aggregate_user_vectors_sharded(
+        endpoint,
+        step,
+        &ShardPlan::flat(&roster),
+        num_classes,
+        peer_key,
+        par,
+    )
+}
+
+/// Sharded streaming variant of [`aggregate_user_vectors`]: walks the
+/// plan's shards in index order, streaming each member's upload into the
+/// shard's running partial sum the moment it validates (validate → add
+/// into slot → drop the upload), then tree-combines the shard
+/// aggregates. Live memory is O([`STREAM_CHUNK`] · K) — never O(|U|·K).
+///
+/// Uploads are drained in plan order, which is safe under any arrival
+/// order: since PR 1 the endpoint matches each receive by
+/// `(sender, step)`, so an early arrival from a later user is stashed,
+/// not misread. Each chunk's per-label ciphertext products of Eqn. 1 fan
+/// out across labels according to `par` — each label's product is an
+/// independent fold, and because Paillier addition is a canonical
+/// modular multiplication the result is bit-identical for every shard
+/// count, chunk size, and thread count.
+///
+/// # Errors
+///
+/// See [`aggregate_user_vectors`] — strict collection treats every
+/// failure as fatal.
+pub fn aggregate_user_vectors_sharded(
+    endpoint: &mut Endpoint,
+    step: Step,
+    plan: &ShardPlan,
+    num_classes: usize,
+    peer_key: &PublicKey,
+    par: &Parallelism,
+) -> Result<Vec<Ciphertext>, SmcError> {
     let meter = std::sync::Arc::clone(endpoint.meter());
     let mut validator = UploadValidator::new(num_classes);
-    let mut uploads: Vec<Vec<Ciphertext>> = Vec::with_capacity(num_users);
-    for u in 0..num_users {
-        let from = PartyId::User(u);
-        let (seq, shares): (u64, Vec<Ciphertext>) = endpoint.recv_tagged(from, step)?;
-        validator.check(&meter, from, step, seq, &shares, peer_key)?;
-        uploads.push(shares);
-    }
-    let fold_par =
-        par.with_item_cost_ns(uploads.len() as u64 * crate::costs::paillier_add_cost_ns(peer_key));
-    Ok(fold_par.map_n(num_classes, |k| {
-        let mut slot = peer_key.zero_ciphertext();
-        for shares in &uploads {
-            slot = peer_key.add(&slot, &shares[k]);
+    let mut combined = ShardAccumulator::new(peer_key, 1, num_classes);
+    for shard in plan.shards() {
+        if shard.is_empty() {
+            continue;
         }
-        slot
-    }))
+        let mut acc = ShardAccumulator::new(peer_key, 1, num_classes);
+        let mut chunk: Vec<(usize, Vec<Vec<Ciphertext>>)> =
+            Vec::with_capacity(STREAM_CHUNK.min(shard.len()));
+        for &u in shard {
+            let from = PartyId::User(u);
+            let (seq, shares): (u64, Vec<Ciphertext>) = endpoint.recv_tagged(from, step)?;
+            validator.check(&meter, from, step, seq, &shares, peer_key)?;
+            // The upload is about to be folded and dropped; nothing is
+            // ever received from this user under this call again, so its
+            // freshness window can go with it.
+            validator.retire(from);
+            chunk.push((u, vec![shares]));
+            if chunk.len() == STREAM_CHUNK {
+                acc.fold_chunk(peer_key, par, std::mem::take(&mut chunk));
+            }
+        }
+        acc.fold_chunk(peer_key, par, chunk);
+        combined.merge(peer_key, acc);
+    }
+    let mut sums = combined.into_sums();
+    Ok(sums.pop().expect("accumulator holds exactly one vector kind"))
 }
 
 /// Result of a dropout-tolerant aggregation ([`aggregate_surviving_vectors`]):
@@ -178,7 +233,9 @@ pub struct SurvivorAggregate {
 }
 
 /// Dropout-tolerant variant of [`aggregate_user_vectors`] — the
-/// collection step of the resilient protocol rounds.
+/// collection step of the resilient protocol rounds. The flat entry
+/// point: exactly [`aggregate_surviving_vectors_sharded`] over the
+/// single-shard plan, so the two paths cannot drift.
 ///
 /// Each user in `users` is expected to upload `vectors_per_user`
 /// encrypted vectors under `step`. Any per-user receive failure
@@ -207,88 +264,154 @@ pub fn aggregate_surviving_vectors(
     min_users: usize,
     par: &Parallelism,
 ) -> Result<SurvivorAggregate, SmcError> {
+    aggregate_surviving_vectors_sharded(
+        endpoint,
+        step,
+        &ShardPlan::flat(users),
+        num_classes,
+        vectors_per_user,
+        peer_key,
+        peer_server,
+        min_users,
+        par,
+    )
+}
+
+/// Sharded streaming variant of [`aggregate_surviving_vectors`].
+///
+/// Additive two-server shares only recombine over the *intersection* of
+/// both servers' survivor sets, which is known only after a survivor
+/// exchange — so the resilient path cannot fold an upload the instant it
+/// arrives the way the strict path does. Instead the live window is one
+/// shard: each shard's uploads are buffered, that shard's survivor list
+/// is exchanged with `peer_server` and intersected (sorted merge, both
+/// lists ascending by construction), the surviving uploads are
+/// stream-folded into the shard's partial sum, and the buffer is freed
+/// before the next shard starts. Peak memory is O(max_shard · K), not
+/// O(|U| · K).
+///
+/// Both servers derive the identical plan from the round-shared shard
+/// seed and walk its shards in index order, so the per-shard exchanges
+/// pair up without any extra framing: shard `i`'s list is the `i`-th
+/// server↔server message under `step` (empty shards are skipped on both
+/// sides identically). Quorum stays a *global* property: the union of
+/// per-shard intersections equals the global intersection, and
+/// `min_users` is checked once after all shards reconcile — sharding
+/// cannot change a round's `QuorumLost` outcome.
+///
+/// # Errors
+///
+/// See [`aggregate_surviving_vectors`].
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_surviving_vectors_sharded(
+    endpoint: &mut Endpoint,
+    step: Step,
+    plan: &ShardPlan,
+    num_classes: usize,
+    vectors_per_user: usize,
+    peer_key: &PublicKey,
+    peer_server: PartyId,
+    min_users: usize,
+    par: &Parallelism,
+) -> Result<SurvivorAggregate, SmcError> {
     let meter = std::sync::Arc::clone(endpoint.meter());
     let mut validator = UploadValidator::new(num_classes);
-    let mut collected: Vec<(usize, Vec<Vec<Ciphertext>>)> = Vec::with_capacity(users.len());
-    for &u in users {
-        let from = PartyId::User(u);
-        let mut vecs: Vec<Vec<Ciphertext>> = Vec::with_capacity(vectors_per_user);
-        for _ in 0..vectors_per_user {
-            match endpoint.recv_tagged::<Vec<Ciphertext>>(from, step) {
-                // Validation failure (arity, malformed ciphertext,
-                // replayed seq) is a dropout here, not an abort — the
-                // validator has already counted the rejection on the
-                // meter.
-                Ok((seq, v)) => {
-                    if validator.check(&meter, from, step, seq, &v, peer_key).is_err() {
-                        vecs.clear();
-                        break;
-                    }
-                    vecs.push(v);
-                }
-                // Lost, late, or damaged: the user is out for this
-                // step. Its remaining messages (if any) stay stashed
-                // under their own step tags and are never misread as
-                // another user's data.
-                Err(
-                    TransportError::Timeout(_)
-                    | TransportError::Corrupt(_)
-                    | TransportError::Codec(_)
-                    | TransportError::Disconnected(_)
-                    | TransportError::UnknownParty(_),
-                ) => {
-                    vecs.clear();
-                    break;
-                }
-            }
-        }
-        if vecs.len() == vectors_per_user {
-            collected.push((u, vecs));
-        }
-    }
-
-    // Reconcile: both servers must aggregate the same survivor set or
-    // the additive shares stop lining up. Failures here are fatal — the
-    // server↔server link is the protocol's backbone.
-    let local: Vec<u64> = collected.iter().map(|(u, _)| *u as u64).collect();
-    endpoint.send(peer_server, step, &local)?;
-    // The peer may still be stalled timing out its own missing uploads:
-    // give its list one full receive budget per expected message plus
-    // one for the list itself, so a slow peer is not mistaken for a
-    // dead one (the wait stays finite either way).
+    // The peer may still be stalled timing out its own missing uploads
+    // (possibly across earlier shards it has not finished draining):
+    // give each list one full receive budget per expected message in the
+    // whole round plus one per exchange, so a slow peer is not mistaken
+    // for a dead one (the wait stays finite either way).
     let worst_stall = endpoint
         .timeout_policy()
         .total_budget()
-        .saturating_mul((users.len() * vectors_per_user + 1) as u32);
-    let peer: Vec<u64> = endpoint.recv_with_timeout(
-        peer_server,
-        step,
-        transport::TimeoutPolicy::new(worst_stall),
-    )?;
-    let survivors: Vec<usize> =
-        collected.iter().map(|(u, _)| *u).filter(|&u| peer.contains(&(u as u64))).collect();
+        .saturating_mul((plan.num_users() * vectors_per_user + plan.num_shards()) as u32);
+    let mut combined = ShardAccumulator::new(peer_key, vectors_per_user, num_classes);
+    for shard in plan.shards() {
+        if shard.is_empty() {
+            continue;
+        }
+        // Collect this shard's uploads — the one live buffer.
+        let mut collected: Vec<(usize, Vec<Vec<Ciphertext>>)> = Vec::with_capacity(shard.len());
+        for &u in shard {
+            let from = PartyId::User(u);
+            let mut vecs: Vec<Vec<Ciphertext>> = Vec::with_capacity(vectors_per_user);
+            for _ in 0..vectors_per_user {
+                match endpoint.recv_tagged::<Vec<Ciphertext>>(from, step) {
+                    // Validation failure (arity, malformed ciphertext,
+                    // replayed seq) is a dropout here, not an abort —
+                    // the validator has already counted the rejection
+                    // on the meter.
+                    Ok((seq, v)) => {
+                        if validator.check(&meter, from, step, seq, &v, peer_key).is_err() {
+                            vecs.clear();
+                            break;
+                        }
+                        vecs.push(v);
+                    }
+                    // Lost, late, or damaged: the user is out for this
+                    // step. Its remaining messages (if any) stay stashed
+                    // under their own step tags and are never misread as
+                    // another user's data.
+                    Err(
+                        TransportError::Timeout(_)
+                        | TransportError::Corrupt(_)
+                        | TransportError::Codec(_)
+                        | TransportError::Disconnected(_)
+                        | TransportError::UnknownParty(_),
+                    ) => {
+                        vecs.clear();
+                        break;
+                    }
+                }
+            }
+            // Folded or dropped, this user's stream is fully drained —
+            // its freshness window goes with it, keeping validator state
+            // bounded by the in-flight user, not |U|.
+            validator.retire(from);
+            if vecs.len() == vectors_per_user {
+                collected.push((u, vecs));
+            }
+        }
+
+        // Reconcile this shard: both servers must fold the same survivor
+        // set or the additive shares stop lining up. Failures here are
+        // fatal — the server↔server link is the protocol's backbone.
+        let local: Vec<u64> = collected.iter().map(|(u, _)| *u as u64).collect();
+        endpoint.send(peer_server, step, &local)?;
+        let peer: Vec<u64> = endpoint.recv_with_timeout(
+            peer_server,
+            step,
+            transport::TimeoutPolicy::new(worst_stall),
+        )?;
+        let local_ids: Vec<usize> = local.iter().map(|&u| u as usize).collect();
+        let peer_ids: Vec<usize> = peer.iter().map(|&u| u as usize).collect();
+        let shard_survivors = intersect_sorted(&local_ids, &peer_ids);
+
+        // Stream-fold the shard's surviving uploads; everything else —
+        // including contributions the peer never saw — is dropped here,
+        // and the shard buffer is freed before the next shard starts.
+        let mut acc = ShardAccumulator::new(peer_key, vectors_per_user, num_classes);
+        let mut chunk: Vec<(usize, Vec<Vec<Ciphertext>>)> =
+            Vec::with_capacity(STREAM_CHUNK.min(shard_survivors.len()));
+        for (u, vecs) in collected {
+            if shard_survivors.binary_search(&u).is_err() {
+                continue;
+            }
+            chunk.push((u, vecs));
+            if chunk.len() == STREAM_CHUNK {
+                acc.fold_chunk(peer_key, par, std::mem::take(&mut chunk));
+            }
+        }
+        acc.fold_chunk(peer_key, par, chunk);
+        combined.merge(peer_key, acc);
+    }
+
+    let mut survivors = combined.members().to_vec();
+    survivors.sort_unstable();
     if survivors.len() < min_users {
         return Err(SmcError::QuorumLost { step, survivors: survivors.len(), required: min_users });
     }
-
-    // Each (vector kind, label) cell is an independent ciphertext fold
-    // over the survivors, so the per-label products fan out in parallel.
-    let surviving: Vec<&Vec<Vec<Ciphertext>>> =
-        collected.iter().filter(|(u, _)| survivors.contains(u)).map(|(_, vecs)| vecs).collect();
-    let fold_par = par
-        .with_item_cost_ns(surviving.len() as u64 * crate::costs::paillier_add_cost_ns(peer_key));
-    let sums: Vec<Vec<Ciphertext>> = (0..vectors_per_user)
-        .map(|v| {
-            fold_par.map_n(num_classes, |k| {
-                let mut slot = peer_key.zero_ciphertext();
-                for vecs in &surviving {
-                    slot = peer_key.add(&slot, &vecs[v][k]);
-                }
-                slot
-            })
-        })
-        .collect();
-    Ok(SurvivorAggregate { sums, survivors })
+    Ok(SurvivorAggregate { sums: combined.into_sums(), survivors })
 }
 
 #[cfg(test)]

@@ -41,6 +41,12 @@ pub struct SessionConfig {
     pub dgk: DgkParams,
     /// Share/mask/comparison bit budget.
     pub domain: ShareDomain,
+    /// How the roster is partitioned for streaming aggregation. Defaults
+    /// to the flat single-shard path; every shard count produces the
+    /// identical consensus fingerprint (`serde(default)` keeps old
+    /// serialized configs valid).
+    #[serde(default)]
+    pub shards: crate::shard::ShardConfig,
 }
 
 impl SessionConfig {
@@ -56,6 +62,7 @@ impl SessionConfig {
             paillier_bits: 96,
             dgk: DgkParams::paper(),
             domain: ShareDomain::paper(),
+            shards: crate::shard::ShardConfig::flat(),
         };
         cfg.validate();
         cfg
@@ -73,9 +80,19 @@ impl SessionConfig {
             paillier_bits: 64,
             dgk: DgkParams::insecure_test(),
             domain: ShareDomain::test(),
+            shards: crate::shard::ShardConfig::flat(),
         };
         cfg.validate();
         cfg
+    }
+
+    /// Selects the sharded streaming aggregation geometry. The shard
+    /// count only changes *how* the servers fold uploads (memory and
+    /// parallel shape), never *what* they compute — fingerprints are
+    /// identical for every value.
+    pub fn with_shards(mut self, shards: crate::shard::ShardConfig) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Checks internal consistency.

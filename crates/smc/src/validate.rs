@@ -25,7 +25,7 @@
 //! counter on the round's [`Meter`], so chaos runs and operators can see
 //! exactly what was refused and why.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use bigint::gcd::gcd;
 use paillier::{Ciphertext, PublicKey};
@@ -38,16 +38,44 @@ use crate::error::SmcError;
 /// Keep one instance per collection phase (its replay window is the set
 /// of tuples it has seen); it is cheap — the per-ciphertext gcd is the
 /// only non-trivial work, and it runs once per upload element.
+///
+/// The replay window is keyed per sender so the streaming aggregation
+/// paths can [`UploadValidator::retire`] a user the moment its upload is
+/// folded: a million-user round then holds freshness state only for the
+/// handful of users currently in flight, not O(|U|) tuples for the whole
+/// collection. Retiring is safe because the server *pulls* per-sender
+/// streams — once a user's expected messages are drained and folded,
+/// nothing is ever received from that user under that step again, so a
+/// late replay is simply never read.
 #[derive(Debug)]
 pub struct UploadValidator {
     num_classes: usize,
-    seen: HashSet<(PartyId, Step, u64)>,
+    /// Per-sender freshness window: the (step, seq) tuples seen from each
+    /// sender that has not been retired yet. A sender contributes at most
+    /// a few entries (one per expected vector), so the inner scan is a
+    /// short linear probe.
+    seen: HashMap<PartyId, Vec<(Step, u64)>>,
 }
 
 impl UploadValidator {
     /// A validator expecting `num_classes` entries per uploaded vector.
     pub fn new(num_classes: usize) -> UploadValidator {
-        UploadValidator { num_classes, seen: HashSet::new() }
+        UploadValidator { num_classes, seen: HashMap::new() }
+    }
+
+    /// Drops all freshness state held for `from` — called by the
+    /// streaming aggregation paths once the sender's upload has been
+    /// folded into a running partial sum (or the sender has been marked
+    /// dropped), so validator memory tracks the in-flight window instead
+    /// of growing O(|U|) over the round.
+    pub fn retire(&mut self, from: PartyId) {
+        self.seen.remove(&from);
+    }
+
+    /// Number of senders currently holding live freshness state — the
+    /// streaming paths keep this bounded by one shard, not |U|.
+    pub fn live_senders(&self) -> usize {
+        self.seen.len()
     }
 
     /// Validates one received upload. On failure, records the matching
@@ -68,10 +96,12 @@ impl UploadValidator {
         shares: &[Ciphertext],
         key: &PublicKey,
     ) -> Result<(), SmcError> {
-        if !self.seen.insert((from, step, seq)) {
+        let window = self.seen.entry(from).or_default();
+        if window.contains(&(step, seq)) {
             meter.record_fault(FaultEvent::RejectedDuplicate);
             return Err(SmcError::DuplicateSubmission { from, step, seq });
         }
+        window.push((step, seq));
         if shares.len() != self.num_classes {
             meter.record_fault(FaultEvent::RejectedArity);
             return Err(SmcError::LengthMismatch { expected: self.num_classes, got: shares.len() });
@@ -140,6 +170,29 @@ mod tests {
         // Same seq from a different sender or step is fine.
         v.check(&meter, PartyId::User(1), Step::SecureSumVotes, 1, &good, key).unwrap();
         v.check(&meter, PartyId::User(0), Step::SecureSumNoisy, 1, &good, key).unwrap();
+    }
+
+    #[test]
+    fn retired_senders_free_their_state() {
+        let (key, good) = setup();
+        let key = &key;
+        let meter = Meter::new();
+        let mut v = UploadValidator::new(2);
+        for u in 0..8 {
+            v.check(&meter, PartyId::User(u), Step::SecureSumVotes, 1, &good, key).unwrap();
+            v.check(&meter, PartyId::User(u), Step::SecureSumVotes, 2, &good, key).unwrap();
+        }
+        assert_eq!(v.live_senders(), 8);
+        // Streaming fold retires each user once its upload is absorbed:
+        // the validator's window must shrink, not grow O(|U|).
+        for u in 0..8 {
+            v.retire(PartyId::User(u));
+        }
+        assert_eq!(v.live_senders(), 0);
+        // Retiring is idempotent and does not disturb later senders.
+        v.retire(PartyId::User(3));
+        v.check(&meter, PartyId::User(9), Step::SecureSumVotes, 1, &good, key).unwrap();
+        assert_eq!(v.live_senders(), 1);
     }
 
     #[test]

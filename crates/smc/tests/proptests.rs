@@ -8,8 +8,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smc::audit::{commit_seed, fnv1a, fnv1a_start};
 use smc::blind_permute::{server1_blind_permute, server2_blind_permute, BlindPermuteOutput};
-use smc::secure_sum::{aggregate_user_vectors, send_encrypted_vector};
-use smc::{AuditTap, Parallelism, Permutation, SessionConfig, SessionKeys, ShareDomain};
+use smc::secure_sum::{
+    aggregate_user_vectors, aggregate_user_vectors_sharded, send_encrypted_vector,
+};
+use smc::shard::intersect_sorted;
+use smc::{
+    AuditTap, Parallelism, Permutation, SessionConfig, SessionKeys, ShardConfig, ShardPlan,
+    ShareDomain,
+};
 use transport::{Network, PartyId, Step};
 
 proptest! {
@@ -214,6 +220,32 @@ fn aggregate_uploads(uploads: &[Vec<Ciphertext>], par: &Parallelism) -> Vec<Ciph
     .unwrap()
 }
 
+/// Like [`aggregate_uploads`], but drains the same uploads through the
+/// sharded streaming path under the given plan.
+fn aggregate_uploads_sharded(
+    uploads: &[Vec<Ciphertext>],
+    plan: &ShardPlan,
+    par: &Parallelism,
+) -> Vec<Ciphertext> {
+    let num_users = uploads.len();
+    let num_classes = uploads[0].len();
+    let mut net = Network::new(num_users);
+    let mut server = net.take_endpoint(PartyId::Server1);
+    for (u, vec) in uploads.iter().enumerate() {
+        let ep = net.take_endpoint(PartyId::User(u));
+        ep.send(PartyId::Server1, Step::SecureSumVotes, vec).unwrap();
+    }
+    aggregate_user_vectors_sharded(
+        &mut server,
+        Step::SecureSumVotes,
+        plan,
+        num_classes,
+        agg_keypair().public_key(),
+        par,
+    )
+    .unwrap()
+}
+
 /// Runs a batched blind-and-permute over real channels with the given
 /// per-server parallelism, deterministically in every RNG stream.
 fn run_blind_permute(
@@ -312,6 +344,71 @@ proptest! {
         let seq = aggregate_uploads(&uploads, &Parallelism::sequential());
         let par = aggregate_uploads(&uploads, &Parallelism::new(threads));
         prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sharded_aggregation_is_bit_identical_to_flat(
+        votes in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 1..6), 1..40),
+        num_shards in 1usize..9,
+        threads in 1usize..5,
+        shard_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        // The tentpole invariant: hashing the roster into any number of
+        // shards, streaming each shard's uploads through chunked running
+        // folds and tree-combining the partials must reproduce the flat
+        // fold bit for bit — Paillier addition is a canonical modular
+        // multiplication, so grouping cannot change the product.
+        let num_classes = votes[0].len();
+        let pk = agg_keypair().public_key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uploads: Vec<Vec<Ciphertext>> = votes
+            .iter()
+            .map(|row| {
+                (0..num_classes)
+                    .map(|k| pk.encrypt_u64(row[k % row.len()] as u64, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let roster: Vec<usize> = (0..uploads.len()).collect();
+        let plan = ShardPlan::derive(shard_seed, &roster, ShardConfig::new(num_shards));
+        let flat = aggregate_uploads(&uploads, &Parallelism::sequential());
+        let sharded = aggregate_uploads_sharded(&uploads, &plan, &Parallelism::new(threads));
+        prop_assert_eq!(flat, sharded);
+    }
+
+    #[test]
+    fn shard_plan_partitions_exactly(
+        roster_len in 1usize..200,
+        num_shards in 1usize..40,
+        shard_seed in any::<u64>(),
+    ) {
+        let roster: Vec<usize> = (0..roster_len).collect();
+        let plan = ShardPlan::derive(shard_seed, &roster, ShardConfig::new(num_shards));
+        prop_assert_eq!(plan.num_shards(), num_shards.min(roster_len));
+        let mut all: Vec<usize> = plan.shards().iter().flatten().copied().collect();
+        for shard in plan.shards() {
+            prop_assert!(shard.windows(2).all(|w| w[0] < w[1]));
+        }
+        all.sort_unstable();
+        prop_assert_eq!(all, roster);
+    }
+
+    #[test]
+    fn intersect_sorted_matches_set_semantics(
+        a_raw in proptest::collection::vec(0usize..500, 0..60),
+        b_raw in proptest::collection::vec(0usize..500, 0..60),
+    ) {
+        let ascending = |mut v: Vec<usize>| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let a = ascending(a_raw);
+        let b = ascending(b_raw);
+        let expect: Vec<usize> = a.iter().copied().filter(|u| b.contains(u)).collect();
+        prop_assert_eq!(intersect_sorted(&a, &b), expect);
     }
 
     #[test]

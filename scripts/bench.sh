@@ -5,7 +5,7 @@
 # the perf trajectory is tracked by (see DESIGN.md, "Exponentiation
 # strategy").
 #
-# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N] [--audit] [--batch]
+# Usage: scripts/bench.sh [--smoke] [--offline] [--threads N] [--audit] [--batch] [--scale]
 #
 #   --smoke      minimal iteration counts and no criterion sweep — the CI
 #                wiring (scripts/ci.sh) uses this to keep the harness from
@@ -23,6 +23,11 @@
 #   --batch      also run the batched-kernel ablation (Straus multi-exp,
 #                Karatsuba Montgomery product, fixed CRT recombination,
 #                batched pool refill and DGK zero test, k ∈ {1,4,16,64}).
+#   --scale      also run the simulated streaming-ingest scale sweep
+#                (|U| ∈ {100k, 300k, 1M} × shard counts, scale_* rows
+#                with bytes/user, throughput and VmHWM/VmRSS) plus the
+#                survivor-intersection ablation at |U| = 10k. Under
+#                --smoke the sweep shrinks to |U| = 2k.
 #
 # After writing the JSON, scripts/check_bench.sh asserts the kernel
 # invariants (CRT decrypt beats plain, batched kernels no slower at k=1)
@@ -36,6 +41,7 @@ smoke=0
 offline=0
 audit=0
 batch=0
+scale=0
 threads=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -43,13 +49,14 @@ while [[ $# -gt 0 ]]; do
     --offline) offline=1 ;;
     --audit) audit=1 ;;
     --batch) batch=1 ;;
+    --scale) scale=1 ;;
     --threads)
       [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
       threads="$2"
       shift
       ;;
     *)
-      echo "usage: $0 [--smoke] [--offline] [--threads N] [--audit] [--batch]" >&2
+      echo "usage: $0 [--smoke] [--offline] [--threads N] [--audit] [--batch] [--scale]" >&2
       exit 2
       ;;
   esac
@@ -85,6 +92,9 @@ if [[ $audit -eq 1 ]]; then
 fi
 if [[ $batch -eq 1 ]]; then
   protocol_args+=(--batch)
+fi
+if [[ $scale -eq 1 ]]; then
+  protocol_args+=(--scale)
 fi
 cargo "${config[@]}" run --release -p benches --bin bench_protocol "${cargo_flags[@]}" \
   -- "${protocol_args[@]}"

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Asserts the kernel invariants BENCH_protocol.json must uphold: the CRT
-# decrypt path beats the plain one, and every batched/fixed kernel is no
+# decrypt path beats the plain one, every batched/fixed kernel is no
 # slower than its predecessor at k = 1 (125% tolerance absorbs timer
-# noise on loaded machines). Rows the file does not carry (e.g. a run
-# without --batch) are noted and skipped, never failed.
+# noise on loaded machines), the sorted-merge survivor intersection beats
+# the linear scan it replaced, and — across the --scale sweep — sharded
+# streaming never costs more than flat + 5% bytes/user at equal |U|.
+# Rows the file does not carry (e.g. a run without --batch or --scale)
+# are noted and skipped, never failed. When the meta object says the box
+# has one core, thread-sweep rows get a warning: their scaling curves are
+# flat by construction, not by regression.
 #
 # Usage: check_bench.sh [--warn-only] [FILE]
 #   --warn-only  print verdicts but always exit 0 (smoke/CI trend mode)
@@ -32,6 +37,19 @@ ns_of() {
       s = $0
       sub(/.*"ns":[ ]*/, "", s)
       sub(/[^0-9].*/, "", s)
+      print s
+      exit
+    }
+  ' "$file"
+}
+
+# Pull one numeric field out of a named JSON object row (scale_*, meta).
+field_of() {
+  awk -v key="\"$1\":" -v field="\"$2\":" '
+    index($0, key) && index($0, field) {
+      s = $0
+      sub(".*" field "[ ]*", "", s)
+      sub(/[,}].*/, "", s)
       print s
       exit
     }
@@ -70,6 +88,44 @@ check ablation_pool_refill_batched_k1 ablation_pool_refill_k1 125 \
   "batched pool refill no slower than per-item refill at k=1"
 check ablation_dgk_zero_batch_k1 ablation_dgk_zero_loop_k1 125 \
   "batched DGK zero test no slower than per-item loop at k=1"
+
+# Survivor-intersection ablation (full runs record |U| = 10k, smoke 2k):
+# the sorted merge must beat the linear scan outright.
+for ab in 10000 2000; do
+  if [[ -n "$(ns_of "ablation_survivor_intersect_sorted_u${ab}")" ]]; then
+    check "ablation_survivor_intersect_sorted_u${ab}" \
+      "ablation_survivor_intersect_linear_u${ab}" 100 \
+      "sorted-merge survivor intersection beats linear scan at |U|=${ab}"
+    break
+  fi
+done
+
+# Scale sweep: at equal |U|, sharded streaming may exceed the flat
+# bytes/user only by the amortized shard-aggregate flow (5% tolerance).
+for key in $(grep -o '"scale_u[0-9]*_s[0-9]*"' "$file" | tr -d '"'); do
+  users="${key#scale_u}"; users="${users%%_s*}"
+  shards="${key##*_s}"
+  [[ "$shards" == "1" ]] && continue
+  flat_bpu=$(field_of "scale_u${users}_s1" bytes_per_user)
+  shard_bpu=$(field_of "$key" bytes_per_user)
+  if [[ -z "$flat_bpu" || -z "$shard_bpu" ]]; then
+    echo "  skip  sharded-vs-flat bytes/user at |U|=${users} (missing flat row)"
+    continue
+  fi
+  if awk -v s="$shard_bpu" -v f="$flat_bpu" 'BEGIN { exit !(s * 100 > f * 105) }'; then
+    echo "  FAIL  sharded bytes/user exceeds flat+5% at |U|=${users} shards=${shards}: ${shard_bpu} vs ${flat_bpu}"
+    fails=$((fails + 1))
+  else
+    echo "  ok    sharded bytes/user within flat+5% at |U|=${users} shards=${shards}: ${shard_bpu} vs ${flat_bpu}"
+  fi
+done
+
+# Thread sweeps on a single-core box are flat by construction, not by
+# regression — say so rather than letting a trend line cry wolf.
+cores=$(field_of meta available_cores)
+if [[ "${cores:-0}" == "1" ]] && grep -q '"par_[a-z0-9_]*_t[2-9][0-9]*"' "$file"; then
+  echo "  warn  thread-sweep rows were measured on a single-core machine; scaling curves are flat by construction"
+fi
 
 if (( fails > 0 )); then
   if (( warn_only )); then

@@ -36,7 +36,10 @@ cargo test -q -p consensus-core --test recovery tcp_connection_kill_recovers_two
 echo "==> covert-audit smoke (strict conviction + resilient clean abort, 2 seeds)"
 cargo test -q -p consensus-core --test audit audit_smoke_two_seeds
 
-echo "==> bench harness smoke (scripts/bench.sh --smoke --batch, 2 worker threads)"
-bash scripts/bench.sh --smoke --threads 2 --batch
+echo "==> sharded aggregation smoke (fingerprint parity across shard/thread counts)"
+cargo test -q -p consensus-core --test shard
+
+echo "==> bench harness smoke (scripts/bench.sh --smoke --batch --scale, 2 worker threads)"
+bash scripts/bench.sh --smoke --threads 2 --batch --scale
 
 echo "CI checks passed."
