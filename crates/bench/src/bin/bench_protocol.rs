@@ -68,6 +68,13 @@
 //! intersection that replaced it. Every run emits a `meta` object with
 //! the machine's available cores, so trend tooling can discount thread
 //! sweeps measured on single-core boxes.
+//!
+//! Every run also drives a short durable campaign through
+//! [`consensus_core::campaign::CampaignRunner`] and emits one
+//! `campaign_round_<i>` JSON row per round (epsilon trajectory,
+//! wall/compute split, per-link bytes) plus a `campaign_summary` row
+//! with rounds-per-second — the cost time series
+//! `scripts/check_bench.sh` gates on.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -77,6 +84,7 @@ use bigint::modular::{crt_pair, modinverse, modmul, modpow_basic, modsub};
 use bigint::montgomery::{FixedBaseTable, MontgomeryContext};
 use bigint::prime::gen_prime;
 use bigint::{random, Ubig};
+use consensus_core::campaign::{CampaignConfig, CampaignRunner};
 use consensus_core::config::ConsensusConfig;
 use consensus_core::secure::{RankingStrategy, SecureEngine};
 use dgk::comparison::{blinder_build_witnesses_par, evaluator_encrypt_bits_par};
@@ -883,6 +891,61 @@ fn main() {
                 black_box(intersect_sorted(&left, &right));
             }),
         );
+    }
+
+    // ----- Campaign daemon cost telemetry ---------------------------------
+    // A short durable campaign over the secure engine: per-round cost
+    // rows (communication split, wall/compute time, epsilon trajectory)
+    // plus a summary with rounds/sec — the time series the campaign
+    // runtime appends in production, gated by scripts/check_bench.sh.
+    {
+        let campaign_rounds = if smoke { 4usize } else { 10 };
+        let campaign_users = 5usize;
+        let campaign_classes = 3usize;
+        let dir = std::env::temp_dir().join(format!("bench-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CampaignConfig::new(
+            ConsensusConfig::paper_default(1.5, 1.5).with_min_users(2),
+            campaign_users,
+            campaign_classes,
+            1e6,
+            1e-6,
+        )
+        .with_seed(0xBE7C);
+        let mut runner = CampaignRunner::open(&dir, config).expect("open bench campaign");
+        let instances: Vec<Vec<Vec<f64>>> = (0..campaign_rounds)
+            .map(|i| {
+                let mut v = vec![0.0; campaign_classes];
+                v[i % campaign_classes] = 1.0;
+                vec![v; campaign_users]
+            })
+            .collect();
+        println!("\nCampaign daemon telemetry ({campaign_rounds} rounds, |U| = {campaign_users}):");
+        let campaign_meter = Meter::new();
+        let start = Instant::now();
+        let campaign =
+            runner.run(&instances, Arc::clone(&campaign_meter)).expect("bench campaign completes");
+        let secs = start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(campaign.rounds.len(), campaign_rounds, "every bench instance answers");
+        for cost in &campaign.rounds {
+            println!(
+                "  round {:<3} eps_total {:>8.3}  wall {:>8.2} ms  {:>8} B user  {:>8} B server",
+                cost.round, cost.epsilon_total, cost.wall_ms, cost.user_bytes, cost.server_bytes
+            );
+            report.record_obj(&format!("campaign_round_{}", cost.round), cost.to_json());
+        }
+        let rps = campaign_rounds as f64 / secs;
+        report.record_obj(
+            "campaign_summary",
+            format!(
+                "{{\"rounds\": {campaign_rounds}, \"users\": {campaign_users}, \
+                 \"rounds_per_sec\": {rps:.3}, \"epsilon_spent\": {:.6}, \"released\": {}}}",
+                campaign.epsilon_spent,
+                campaign.released.len(),
+            ),
+        );
+        println!("  {rps:.2} rounds/sec, final epsilon {:.3}", campaign.epsilon_spent);
     }
 
     // ----- Summary + JSON -------------------------------------------------

@@ -22,6 +22,10 @@
 //! * [`recovery`] — crash-recoverable rounds: durable per-step
 //!   checkpoints, a resuming round supervisor, and exactly-once RDP
 //!   accounting across resumptions;
+//! * [`campaign`] — budget-gated labeling campaigns, from the in-memory
+//!   clear-path [`Campaign`] to the durable [`CampaignRunner`] daemon
+//!   with its crash-safe RDP ledger, roster churn, and per-round cost
+//!   telemetry;
 //! * [`pipeline`] — end-to-end experiment drivers (teachers → consensus
 //!   labeling → student) for the single-label and multi-label workloads.
 //!
@@ -50,7 +54,10 @@ pub mod pipeline;
 pub mod recovery;
 pub mod secure;
 
-pub use campaign::{Campaign, CampaignOutcome};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignOutcome, CampaignReport, CampaignRunner,
+    CampaignStall, CampaignStop, RosterChange, RosterEvent, RoundCost, StopReason,
+};
 pub use config::{ConsensusConfig, VoteKind};
 pub use pipeline::{ExperimentOutcome, LabelingMode};
 pub use recovery::{RdpLedger, RoundSupervisor};

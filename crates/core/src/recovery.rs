@@ -135,6 +135,19 @@ impl<'e> RoundSupervisor<'e> {
         self
     }
 
+    /// Starts round numbering at `round` instead of 0.
+    ///
+    /// A restarted campaign daemon replays its instance queue from the
+    /// beginning, so logical round ids must be a pure function of queue
+    /// position — this pin makes them independent of how many supervisor
+    /// values have existed. Durable ledgers keyed by round id then
+    /// deduplicate charges across process lifetimes.
+    #[must_use]
+    pub fn with_start_round(mut self, round: u64) -> Self {
+        self.next_round = round;
+        self
+    }
+
     /// The id the next [`RoundSupervisor::run_round`] call will use.
     pub fn next_round_id(&self) -> u64 {
         self.next_round

@@ -813,13 +813,16 @@ impl SecureEngine {
                 survivors.iter().filter(|u| !nv.contains(u)).map(|&u| (u, Step::SecureSumNoisy)),
             );
         }
-        let share_fraction = |cohort: usize| (cohort as f64 / num_users as f64).sqrt();
         let health = RoundHealth {
             intended_users: roster.to_vec(),
-            realized_sigma1: self.consensus.sigma1 * share_fraction(survivors.len()),
-            realized_sigma2: noisy_survivors
-                .as_ref()
-                .map(|nv| self.consensus.sigma2 * share_fraction(nv.len())),
+            realized_sigma1: smc::shard::recalibrate_sigma(
+                self.consensus.sigma1,
+                num_users,
+                survivors.len(),
+            ),
+            realized_sigma2: noisy_survivors.as_ref().map(|nv| {
+                smc::shard::recalibrate_sigma(self.consensus.sigma2, num_users, nv.len())
+            }),
             survivors,
             noisy_survivors,
             dropouts,

@@ -1,6 +1,6 @@
 //! Differential-privacy toolkit for the private consensus protocol.
 //!
-//! Three concerns live here:
+//! Four concerns live here:
 //!
 //! * [`gaussian`] — Gaussian sampling (Box–Muller; the offline crate set
 //!   has no `rand_distr`) and the *distributed* noise generation of §IV-D:
@@ -14,6 +14,10 @@
 //! * [`mechanisms`] — plaintext reference implementations of the noisy
 //!   threshold test and noisy argmax used by Alg. 4/5, shared by the
 //!   clear-path consensus engine and the secure path's noise generation.
+//! * [`ledger`] — the crash-safe [`DurableRdpLedger`]: an append-only,
+//!   fsynced journal of exactly-once per-round RDP charges that lets a
+//!   restarted campaign daemon resume at the exact epsilon spent and
+//!   refuse rounds whose worst-case spend would exceed the budget.
 //!
 //! # Examples
 //!
@@ -30,9 +34,11 @@
 
 pub mod curves;
 pub mod gaussian;
+pub mod ledger;
 pub mod mechanisms;
 pub mod rdp;
 
 pub use curves::GridRdp;
 pub use gaussian::{DistributedNoise, Gaussian};
+pub use ledger::{DurableRdpLedger, LedgerError};
 pub use rdp::{consensus_epsilon, LinearRdp, PrivacyLedger};

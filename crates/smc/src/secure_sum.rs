@@ -386,6 +386,15 @@ pub fn aggregate_surviving_vectors_sharded(
         let local_ids: Vec<usize> = local.iter().map(|&u| u as usize).collect();
         let peer_ids: Vec<usize> = peer.iter().map(|&u| u as usize).collect();
         let shard_survivors = intersect_sorted(&local_ids, &peer_ids);
+        // A planned shard whose entire membership dropped is a degraded
+        // round, not an abort: the shard simply contributes nothing, the
+        // global quorum check below still governs releasability, and the
+        // engine charges RDP at the σ the surviving shares realize. The
+        // meter records the event so soak harnesses can assert the
+        // degradation actually happened.
+        if shard_survivors.is_empty() {
+            meter.record_fault(transport::FaultEvent::ShardDropped);
+        }
 
         // Stream-fold the shard's surviving uploads; everything else —
         // including contributions the peer never saw — is dropped here,

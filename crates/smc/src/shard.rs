@@ -130,6 +130,29 @@ impl ShardPlan {
     }
 }
 
+/// Rescales a calibrated noise σ to the survivor count a round actually
+/// realized — the degraded-mode noise recalibration shared by the
+/// engine's honest RDP charge and the campaign's worst-case admission
+/// check.
+///
+/// Each user contributes a noise share of variance `σ²/(2·intended)`
+/// calibrated for the intended roster; when only `realized` shares land
+/// (dropouts up to and including an *entire shard* vanishing), each
+/// server's aggregate noise is `N(0, σ²·realized / (2·intended))`, so
+/// the effective σ of the released statistic is
+/// `σ·√(realized/intended)`. Charging RDP at this realized σ is the
+/// honest accounting for a degraded round — rather than aborting it, or
+/// claiming the full-roster σ that was never achieved.
+///
+/// Returns `0.0` when either count is zero (no noise was realized; the
+/// caller must treat the round as unreleasable).
+pub fn recalibrate_sigma(sigma: f64, intended: usize, realized: usize) -> f64 {
+    if intended == 0 || realized == 0 {
+        return 0.0;
+    }
+    sigma * (realized.min(intended) as f64 / intended as f64).sqrt()
+}
+
 /// Intersection of two ascending `usize` lists by sorted merge — O(n+m)
 /// where the old `Vec::contains` scan was O(n·m). Survivor lists are
 /// ascending by construction (roster order), which the debug assertion
@@ -287,6 +310,17 @@ mod tests {
         let c = ShardPlan::derive(8, &roster, ShardConfig::new(5));
         assert_eq!(a, b, "same seed, same plan");
         assert_ne!(a, c, "different seed reshuffles (overwhelmingly likely at 40 users)");
+    }
+
+    #[test]
+    fn recalibrated_sigma_tracks_survivor_fraction() {
+        assert_eq!(recalibrate_sigma(20.0, 100, 100), 20.0);
+        let half = recalibrate_sigma(20.0, 100, 50);
+        assert!((half - 20.0 * 0.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(recalibrate_sigma(20.0, 0, 5), 0.0);
+        assert_eq!(recalibrate_sigma(20.0, 5, 0), 0.0);
+        // A miscounted survivor set can never inflate σ past calibration.
+        assert_eq!(recalibrate_sigma(20.0, 5, 9), 20.0);
     }
 
     #[test]

@@ -25,11 +25,10 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::journal::{AppendJournal, TOMBSTONE};
 use crate::metrics::Step;
 use crate::network::PartyId;
 
@@ -212,84 +211,21 @@ impl CheckpointStore for MemoryCheckpointStore {
     }
 }
 
-/// Journal record framing constants.
-const MAGIC: u32 = 0x434B_5054; // "CKPT"
-/// Step byte marking a clear-round tombstone rather than a snapshot.
-const TOMBSTONE: u8 = 0xFF;
-/// Fixed bytes before the payload: magic + round + party + step + len.
-const HEADER_LEN: usize = 4 + 8 + 8 + 1 + 4;
-/// Sanity cap on a record's declared payload length.
-const MAX_PAYLOAD: u32 = 1 << 28;
-
-/// FNV-1a over the serialized record body — cheap, and plenty to detect
-/// the torn or bit-rotted tail of a crashed append.
-fn record_checksum(body: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in body {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn encode_record(round: u64, party: u64, step: u8, payload: &[u8]) -> Vec<u8> {
-    let mut rec = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
-    rec.extend_from_slice(&MAGIC.to_le_bytes());
-    rec.extend_from_slice(&round.to_le_bytes());
-    rec.extend_from_slice(&party.to_le_bytes());
-    rec.push(step);
-    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    rec.extend_from_slice(payload);
-    let sum = record_checksum(&rec);
-    rec.extend_from_slice(&sum.to_le_bytes());
-    rec
-}
-
-/// One decoded journal record.
-struct JournalRecord {
-    round: u64,
-    party: u64,
-    step: u8,
-    payload: Vec<u8>,
-}
-
-/// Attempts to decode one record at `buf[at..]`. Returns the record and
-/// the offset just past it, or `None` for a torn/invalid record (replay
-/// treats that as the end of the valid prefix).
-fn decode_record(buf: &[u8], at: usize) -> Option<(JournalRecord, usize)> {
-    let header = buf.get(at..at + HEADER_LEN)?;
-    if header[0..4] != MAGIC.to_le_bytes() {
-        return None;
-    }
-    let round = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-    let party = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-    let step = header[20];
-    let len = u32::from_le_bytes(header[21..25].try_into().expect("4 bytes"));
-    if len > MAX_PAYLOAD {
-        return None;
-    }
-    let body_end = at + HEADER_LEN + len as usize;
-    let payload = buf.get(at + HEADER_LEN..body_end)?.to_vec();
-    let sum_bytes = buf.get(body_end..body_end + 8)?;
-    let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
-    if sum != record_checksum(&buf[at..body_end]) {
-        return None;
-    }
-    Some((JournalRecord { round, party, step, payload }, body_end + 8))
-}
-
 struct FileStoreInner {
-    file: File,
+    journal: AppendJournal,
     index: RoundIndex,
 }
 
 /// File-backed [`CheckpointStore`]: an append-only, checksummed journal
-/// that survives process restarts.
+/// that survives process restarts. The framing and crash discipline live
+/// in [`crate::journal`]; this type layers the snapshot index and
+/// tombstone semantics on top.
 ///
 /// Every [`CheckpointStore::save`] and [`CheckpointStore::clear_round`]
-/// appends one flushed record; [`FileCheckpointStore::open`] replays the
-/// journal to rebuild the in-memory index, discarding a torn trailing
-/// record if the previous process died mid-append.
+/// appends one *fsynced* record (a `kill -9` immediately after a save
+/// cannot lose it); [`FileCheckpointStore::open`] replays the journal to
+/// rebuild the in-memory index, discarding a torn trailing record if the
+/// previous process died mid-append.
 pub struct FileCheckpointStore {
     path: PathBuf,
     inner: Mutex<FileStoreInner>,
@@ -302,58 +238,35 @@ impl fmt::Debug for FileCheckpointStore {
 }
 
 impl FileCheckpointStore {
-    /// Opens (or creates) the journal at `dir/journal.ckpt`, replaying any
-    /// existing records. A torn trailing record — the signature of a crash
-    /// mid-append — is truncated away; fully-flushed records all survive.
+    /// Opens (or creates) the journal at `dir/journal.ckpt`, creating the
+    /// directory first and replaying any existing records. A torn
+    /// trailing record — the signature of a crash mid-append — is
+    /// truncated away; fully-persisted records all survive.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] if the directory or journal cannot
-    /// be created or read.
+    /// be created or read, and [`CheckpointError::CorruptJournal`] if a
+    /// fully-checksummed record carries an impossible step ordinal.
     pub fn open(dir: impl AsRef<Path>) -> Result<FileCheckpointStore, CheckpointError> {
-        fs::create_dir_all(dir.as_ref())?;
-        let path = dir.as_ref().join("journal.ckpt");
-        let mut file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
-
+        let (journal, records) = AppendJournal::open(dir, "journal.ckpt")?;
         let mut index = RoundIndex::new();
-        let mut at = 0usize;
-        while at < buf.len() {
-            match decode_record(&buf, at) {
-                Some((rec, next)) => {
-                    if rec.step == TOMBSTONE {
-                        index_clear_round(&mut index, rec.round);
-                    } else if Step::from_ordinal(rec.step).is_some() {
-                        index
-                            .entry((rec.round, rec.party))
-                            .or_default()
-                            .insert(rec.step, rec.payload);
-                    } else {
-                        return Err(CheckpointError::CorruptJournal("unknown step ordinal"));
-                    }
-                    at = next;
-                }
-                // Torn tail: drop it so fresh appends extend a valid prefix.
-                None => break,
+        for rec in records {
+            if rec.step == TOMBSTONE {
+                index_clear_round(&mut index, rec.round);
+            } else if Step::from_ordinal(rec.step).is_some() {
+                index.entry((rec.round, rec.party)).or_default().insert(rec.step, rec.payload);
+            } else {
+                return Err(CheckpointError::CorruptJournal("unknown step ordinal"));
             }
         }
-        if at < buf.len() {
-            file.set_len(at as u64)?;
-            file.seek(SeekFrom::End(0))?;
-        }
-        Ok(FileCheckpointStore { path, inner: Mutex::new(FileStoreInner { file, index }) })
+        let path = journal.path().to_path_buf();
+        Ok(FileCheckpointStore { path, inner: Mutex::new(FileStoreInner { journal, index }) })
     }
 
     /// The journal file's path.
     pub fn path(&self) -> &Path {
         &self.path
-    }
-
-    fn append(inner: &mut FileStoreInner, record: &[u8]) -> Result<(), CheckpointError> {
-        inner.file.write_all(record)?;
-        inner.file.flush()?;
-        Ok(())
     }
 }
 
@@ -365,9 +278,8 @@ impl CheckpointStore for FileCheckpointStore {
         step: Step,
         payload: &[u8],
     ) -> Result<(), CheckpointError> {
-        let record = encode_record(round, party_key(party), step.ordinal(), payload);
         let mut inner = self.inner.lock().expect("checkpoint lock");
-        FileCheckpointStore::append(&mut inner, &record)?;
+        inner.journal.append(round, party_key(party), step.ordinal(), payload)?;
         inner
             .index
             .entry((round, party_key(party)))
@@ -394,9 +306,8 @@ impl CheckpointStore for FileCheckpointStore {
     }
 
     fn clear_round(&self, round: u64) -> Result<(), CheckpointError> {
-        let record = encode_record(round, 0, TOMBSTONE, &[]);
         let mut inner = self.inner.lock().expect("checkpoint lock");
-        FileCheckpointStore::append(&mut inner, &record)?;
+        inner.journal.append(round, 0, TOMBSTONE, &[])?;
         index_clear_round(&mut inner.index, round);
         Ok(())
     }
@@ -405,6 +316,9 @@ impl CheckpointStore for FileCheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::encode_record;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -538,6 +452,32 @@ mod tests {
             (latest.step, latest.payload.as_slice()),
             (Step::SecureSumVotes, b"keep".as_slice())
         );
+    }
+
+    /// Durability regression: `save` must fsync, so a process killed the
+    /// instant after a save returns (simulated here by never running the
+    /// store's teardown) cannot lose the record — even when the kill
+    /// leaves a torn half-record behind it.
+    #[test]
+    fn synced_append_survives_simulated_kill_with_torn_tail() {
+        let tmp = TempDir::new("fsync");
+        let store = FileCheckpointStore::open(&tmp.0).unwrap();
+        store.save(9, PartyId::Server1, Step::SecureSumVotes, b"charged").unwrap();
+        // The record must already be fully on disk, not sitting in a
+        // userspace buffer waiting for a flush that a kill -9 skips.
+        let bytes = fs::read(tmp.0.join("journal.ckpt")).unwrap();
+        let (rec, _) = crate::journal::decode_record(&bytes, 0).expect("record fully persisted");
+        assert_eq!(rec.payload, b"charged");
+        // A torn half-record written after the kill point must not take
+        // the synced record with it on replay.
+        let half = encode_record(9, 1, Step::BlindPermute1.ordinal(), b"lost");
+        let mut f = OpenOptions::new().append(true).open(tmp.0.join("journal.ckpt")).unwrap();
+        f.write_all(&half[..half.len() / 3]).unwrap();
+        drop(f);
+        std::mem::forget(store); // the "killed" process never runs Drop
+        let store = FileCheckpointStore::open(&tmp.0).unwrap();
+        let latest = store.load_latest(9, PartyId::Server1).unwrap().unwrap();
+        assert_eq!(latest.payload, b"charged");
     }
 
     #[test]

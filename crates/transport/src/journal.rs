@@ -1,0 +1,253 @@
+//! Reusable append-only journal framing.
+//!
+//! The checkpoint store and the durable privacy ledger both persist
+//! their state as an append-only file of checksummed records and both
+//! need the same crash discipline: a record is either fully on disk or
+//! it is a *torn tail* that replay silently truncates away. This module
+//! is that discipline, factored out of [`crate::checkpoint`] so other
+//! journals (the RDP charge ledger in `crates/dp`) reuse the framing
+//! instead of reinventing it.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! magic(4) | round(8) | party(8) | step(1) | len(4) | payload(len) | fnv1a(8)
+//! ```
+//!
+//! The checksum covers everything before it, so replay can tell a torn
+//! or bit-rotted tail (checksum mismatch → truncate) from a fully
+//! persisted record. `step == 0xFF` is reserved as a tombstone marker by
+//! convention; this layer does not interpret it.
+//!
+//! Durability: [`AppendJournal::append`] calls `sync_data` after the
+//! write, so once `append` returns the record survives `kill -9` — a
+//! `flush` alone only drains userspace buffers and guarantees nothing
+//! about the page cache. [`AppendJournal::open`] creates the parent
+//! directory and fsyncs it after creating the file, so the directory
+//! entry itself is durable too.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal record framing magic: "CKPT".
+pub const MAGIC: u32 = 0x434B_5054;
+/// Step byte conventionally marking a tombstone rather than a payload
+/// record. The framing layer treats it as any other step; replayers
+/// decide what it means.
+pub const TOMBSTONE: u8 = 0xFF;
+/// Fixed bytes before the payload: magic + round + party + step + len.
+pub const HEADER_LEN: usize = 4 + 8 + 8 + 1 + 4;
+/// Sanity cap on a record's declared payload length.
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// FNV-1a over the serialized record body — cheap, and plenty to detect
+/// the torn or bit-rotted tail of a crashed append.
+pub fn record_checksum(body: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in body {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes one record (header, payload, trailing checksum).
+pub fn encode_record(round: u64, party: u64, step: u8, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    rec.extend_from_slice(&MAGIC.to_le_bytes());
+    rec.extend_from_slice(&round.to_le_bytes());
+    rec.extend_from_slice(&party.to_le_bytes());
+    rec.push(step);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    let sum = record_checksum(&rec);
+    rec.extend_from_slice(&sum.to_le_bytes());
+    rec
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Round id the record belongs to.
+    pub round: u64,
+    /// Journal-specific party / namespace key.
+    pub party: u64,
+    /// Journal-specific record kind ([`TOMBSTONE`] by convention).
+    pub step: u8,
+    /// Opaque record payload.
+    pub payload: Vec<u8>,
+}
+
+/// Attempts to decode one record at `buf[at..]`. Returns the record and
+/// the offset just past it, or `None` for a torn/invalid record (replay
+/// treats that as the end of the valid prefix).
+pub fn decode_record(buf: &[u8], at: usize) -> Option<(JournalRecord, usize)> {
+    let header = buf.get(at..at + HEADER_LEN)?;
+    if header[0..4] != MAGIC.to_le_bytes() {
+        return None;
+    }
+    let round = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let party = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let step = header[20];
+    let len = u32::from_le_bytes(header[21..25].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let body_end = at + HEADER_LEN + len as usize;
+    let payload = buf.get(at + HEADER_LEN..body_end)?.to_vec();
+    let sum_bytes = buf.get(body_end..body_end + 8)?;
+    let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if sum != record_checksum(&buf[at..body_end]) {
+        return None;
+    }
+    Some((JournalRecord { round, party, step, payload }, body_end + 8))
+}
+
+/// An open append-only journal file with the torn-tail recovery and
+/// fsync-on-append discipline.
+pub struct AppendJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl std::fmt::Debug for AppendJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppendJournal({})", self.path.display())
+    }
+}
+
+impl AppendJournal {
+    /// Opens (or creates) `dir/name`, creating `dir` first, and replays
+    /// every fully-persisted record. A torn trailing record — the
+    /// signature of a crash mid-append — is truncated away so fresh
+    /// appends extend a valid prefix. The directory is fsynced after the
+    /// file is created so the entry itself survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or journal cannot be
+    /// created or read. A torn tail is not an error.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        name: &str,
+    ) -> io::Result<(AppendJournal, Vec<JournalRecord>)> {
+        fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join(name);
+        let mut file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        // Make the directory entry durable: a file that exists only in a
+        // dirty directory page vanishes with the page cache.
+        if let Ok(dirfd) = File::open(dir.as_ref()) {
+            let _ = dirfd.sync_all();
+        }
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while at < buf.len() {
+            match decode_record(&buf, at) {
+                Some((rec, next)) => {
+                    records.push(rec);
+                    at = next;
+                }
+                // Torn tail: drop it so fresh appends extend a valid prefix.
+                None => break,
+            }
+        }
+        if at < buf.len() {
+            file.set_len(at as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok((AppendJournal { path, file }, records))
+    }
+
+    /// Appends one record and fsyncs it to stable storage: when this
+    /// returns `Ok`, the record survives an immediate `kill -9` or power
+    /// loss (modulo lying hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write or sync fails; the journal may
+    /// then hold a torn tail, which the next [`AppendJournal::open`]
+    /// truncates.
+    pub fn append(&mut self, round: u64, party: u64, step: u8, payload: &[u8]) -> io::Result<()> {
+        let record = encode_record(round, party, step, payload);
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("journal-test-{}-{tag}-{n}", std::process::id()));
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = encode_record(7, 3, 2, b"payload");
+        let (decoded, next) = decode_record(&rec, 0).unwrap();
+        assert_eq!(
+            decoded,
+            JournalRecord { round: 7, party: 3, step: 2, payload: b"payload".to_vec() }
+        );
+        assert_eq!(next, rec.len());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let tmp = TempDir::new("torn");
+        {
+            let (mut j, _) = AppendJournal::open(&tmp.0, "j.log").unwrap();
+            j.append(1, 0, 1, b"whole").unwrap();
+        }
+        let half = encode_record(1, 0, 2, b"torn-away");
+        {
+            let mut f = OpenOptions::new().append(true).open(tmp.0.join("j.log")).unwrap();
+            f.write_all(&half[..half.len() / 2]).unwrap();
+        }
+        let (mut j, records) = AppendJournal::open(&tmp.0, "j.log").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"whole");
+        // Appends after recovery land on the valid prefix.
+        j.append(1, 0, 3, b"after").unwrap();
+        drop(j);
+        let (_, records) = AppendJournal::open(&tmp.0, "j.log").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].step, 3);
+    }
+
+    #[test]
+    fn open_creates_missing_parent_dirs() {
+        let tmp = TempDir::new("mkdir");
+        let nested = tmp.0.join("a").join("b");
+        let (mut j, records) = AppendJournal::open(&nested, "j.log").unwrap();
+        assert!(records.is_empty());
+        j.append(0, 0, 0, b"x").unwrap();
+        assert!(nested.join("j.log").exists());
+    }
+}

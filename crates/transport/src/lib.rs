@@ -49,6 +49,7 @@
 
 pub mod checkpoint;
 pub mod faults;
+pub mod journal;
 pub mod latency;
 mod link;
 pub mod metrics;
@@ -62,6 +63,7 @@ pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
 };
 pub use faults::{ByzantineAction, FaultDecision, FaultPlan, SocketFault};
+pub use journal::{AppendJournal, JournalRecord};
 pub use latency::{LinkProfile, NetworkProfile};
 pub use metrics::{FaultEvent, FaultStats, LinkKind, Meter, MeterReport, Step};
 pub use network::{

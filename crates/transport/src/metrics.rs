@@ -222,6 +222,10 @@ pub enum FaultEvent {
     /// attested to differ from the frames it put on the wire, or its
     /// opening does not match its pre-step commitment.
     EquivocationDetected,
+    /// A planned aggregation shard lost its *entire* membership: every
+    /// member dropped before reconciliation, and the round degraded to
+    /// the surviving shards with rescaled noise instead of aborting.
+    ShardDropped,
 }
 
 /// Totals of reliability events, one counter per [`FaultEvent`].
@@ -270,6 +274,9 @@ pub struct FaultStats {
     /// Audit verifications that caught a server equivocating between its
     /// attested transcript and the frames it actually sent.
     pub equivocation_detected: u64,
+    /// Aggregation shards whose entire membership dropped mid-round
+    /// (the round completed on the surviving shards).
+    pub shards_dropped: u64,
 }
 
 impl FaultEvent {
@@ -297,12 +304,13 @@ impl FaultEvent {
             FaultEvent::AuditChallenge => 18,
             FaultEvent::AuditFailureDetected => 19,
             FaultEvent::EquivocationDetected => 20,
+            FaultEvent::ShardDropped => 21,
         }
     }
 }
 
 /// Number of [`FaultEvent`] variants (fault-counter array length).
-const FAULT_KINDS: usize = 21;
+const FAULT_KINDS: usize = 22;
 
 impl FaultStats {
     /// True if no event was ever recorded.
@@ -408,6 +416,7 @@ impl Meter {
             audit_challenges: read(FaultEvent::AuditChallenge),
             audit_failures: read(FaultEvent::AuditFailureDetected),
             equivocation_detected: read(FaultEvent::EquivocationDetected),
+            shards_dropped: read(FaultEvent::ShardDropped),
         }
     }
 
@@ -542,6 +551,7 @@ impl MeterReport {
             ("audit challenges run", f.audit_challenges),
             ("audit failures detected", f.audit_failures),
             ("equivocations detected", f.equivocation_detected),
+            ("whole shards dropped", f.shards_dropped),
         ] {
             if count > 0 {
                 out.push_str(&format!("{label:<28} | {count}\n"));

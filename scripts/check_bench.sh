@@ -3,8 +3,10 @@
 # decrypt path beats the plain one, every batched/fixed kernel is no
 # slower than its predecessor at k = 1 (125% tolerance absorbs timer
 # noise on loaded machines), the sorted-merge survivor intersection beats
-# the linear scan it replaced, and — across the --scale sweep — sharded
-# streaming never costs more than flat + 5% bytes/user at equal |U|.
+# the linear scan it replaced, across the --scale sweep sharded
+# streaming never costs more than flat + 5% bytes/user at equal |U|, and
+# the campaign daemon telemetry (campaign_summary + campaign_round_*) is
+# present with a positive rounds/sec and a monotone epsilon trajectory.
 # Rows the file does not carry (e.g. a run without --batch or --scale)
 # are noted and skipped, never failed. When the meta object says the box
 # has one core, thread-sweep rows get a warning: their scaling curves are
@@ -119,6 +121,43 @@ for key in $(grep -o '"scale_u[0-9]*_s[0-9]*"' "$file" | tr -d '"'); do
     echo "  ok    sharded bytes/user within flat+5% at |U|=${users} shards=${shards}: ${shard_bpu} vs ${flat_bpu}"
   fi
 done
+
+# Campaign daemon telemetry: every bench run drives a short durable
+# campaign, so the campaign_* rows must be present and sane — a summary
+# with a positive rounds/sec, and a per-round epsilon trajectory that is
+# positive and non-decreasing (the durable ledger only ever composes).
+camp_rps=$(field_of campaign_summary rounds_per_sec)
+if [[ -z "$camp_rps" ]]; then
+  echo "  FAIL  campaign_summary row missing (campaign telemetry not emitted)"
+  fails=$((fails + 1))
+elif awk -v r="$camp_rps" 'BEGIN { exit !(r <= 0) }'; then
+  echo "  FAIL  campaign rounds/sec not positive: ${camp_rps}"
+  fails=$((fails + 1))
+else
+  echo "  ok    campaign summary present (${camp_rps} rounds/sec)"
+fi
+camp_rounds=$(field_of campaign_summary rounds)
+eps_prev=0
+eps_rows=0
+eps_bad=0
+for ((r = 0; r < ${camp_rounds:-0}; r++)); do
+  eps=$(field_of "campaign_round_${r}" epsilon_total)
+  [[ -z "$eps" ]] && continue
+  eps_rows=$((eps_rows + 1))
+  if awk -v e="$eps" -v p="$eps_prev" 'BEGIN { exit !(e <= 0 || e < p) }'; then
+    eps_bad=$((eps_bad + 1))
+  fi
+  eps_prev="$eps"
+done
+if [[ -z "$camp_rounds" ]] || (( eps_rows < camp_rounds )); then
+  echo "  FAIL  campaign epsilon trajectory incomplete: ${eps_rows}/${camp_rounds:-?} campaign_round_* rows"
+  fails=$((fails + 1))
+elif (( eps_bad > 0 )); then
+  echo "  FAIL  campaign epsilon trajectory not positive/monotone (${eps_bad} bad rows)"
+  fails=$((fails + 1))
+else
+  echo "  ok    campaign epsilon trajectory monotone over ${eps_rows} rounds (final ${eps_prev})"
+fi
 
 # Thread sweeps on a single-core box are flat by construction, not by
 # regression — say so rather than letting a trend line cry wolf.

@@ -39,6 +39,9 @@ cargo test -q -p consensus-core --test audit audit_smoke_two_seeds
 echo "==> sharded aggregation smoke (fingerprint parity across shard/thread counts)"
 cargo test -q -p consensus-core --test shard
 
+echo "==> campaign-soak smoke (2 seeds, kill at seed-derived rounds, exactly-once charges)"
+cargo test -q -p consensus-core --test campaign campaign_soak_smoke
+
 echo "==> bench harness smoke (scripts/bench.sh --smoke --batch --scale, 2 worker threads)"
 bash scripts/bench.sh --smoke --threads 2 --batch --scale
 
