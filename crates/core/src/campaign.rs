@@ -40,7 +40,7 @@ use dp::PrivacyLedger;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smc::shard::recalibrate_sigma;
-use smc::{SessionConfig, SessionKeys, ShardConfig};
+use smc::{SessionConfig, SessionKeys, ShardConfig, SmcError};
 use transport::{
     CheckpointError, CheckpointStore, FaultPlan, FaultStats, FileCheckpointStore, LinkKind, Meter,
     MeterReport, TimeoutPolicy,
@@ -99,6 +99,17 @@ pub enum CampaignError {
     Ledger(LedgerError),
     /// The round checkpoint store failed to open.
     Checkpoint(CheckpointError),
+    /// A round died with a failure retries cannot fix: a vote-shape or
+    /// protocol violation, a cryptographic failure, an audit conviction.
+    /// Only the typed liveness aborts — [`SmcError::QuorumLost`] and its
+    /// strict-path twin [`SmcError::Transport`] — burn retries and park;
+    /// everything else surfaces here instead of masquerading as a stall.
+    Round {
+        /// The instance whose round failed.
+        instance: usize,
+        /// The underlying protocol failure.
+        source: SmcError,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -125,6 +136,9 @@ impl std::fmt::Display for CampaignError {
             ),
             CampaignError::Ledger(e) => write!(f, "durable ledger: {e}"),
             CampaignError::Checkpoint(e) => write!(f, "checkpoint store: {e}"),
+            CampaignError::Round { instance, source } => {
+                write!(f, "instance {instance}: unrecoverable round failure: {source}")
+            }
         }
     }
 }
@@ -669,8 +683,18 @@ impl CampaignRunner {
     /// the charge at the smallest cohort quorum admits. Dropouts shrink
     /// the realized noise, so the *minimum* surviving cohort maximizes
     /// the spend — admission must budget for it.
+    ///
+    /// The assumed quorum mirrors `SecureEngine::quorum` exactly:
+    /// resilient rounds (a configured `min_users`, or a fault plan
+    /// alone) can complete with as few as `min_users.unwrap_or(1)`
+    /// survivors, while strict rounds need every member. Budgeting at
+    /// any larger cohort would admit rounds whose *legal* realized
+    /// charge exceeds the admitted worst case — and the ledger appends
+    /// whatever the round actually charges.
     fn worst_case_round(&self, members: usize) -> LinearRdp {
-        let quorum = self.config.consensus.min_users.unwrap_or(members).clamp(1, members);
+        let resilient = self.faults.is_some() || self.config.consensus.min_users.is_some();
+        let quorum = if resilient { self.config.consensus.min_users.unwrap_or(1) } else { members }
+            .clamp(1, members);
         let s1 = recalibrate_sigma(self.config.consensus.sigma1, members, quorum);
         let s2 = recalibrate_sigma(self.config.consensus.sigma2, members, quorum);
         LinearRdp::sparse_vector(s1).compose(&LinearRdp::report_noisy_max(s2))
@@ -689,8 +713,11 @@ impl CampaignRunner {
     /// # Errors
     ///
     /// Roster underflow, vote-shape mismatches, checkpoint-store and
-    /// ledger failures. Budget exhaustion and stalls are *not* errors —
-    /// they are ordinary [`CampaignStop`] outcomes in the report.
+    /// ledger failures, and unrecoverable round failures
+    /// ([`CampaignError::Round`]: any protocol error other than the
+    /// typed quorum-loss/transport liveness aborts, which burn retries
+    /// and park instead). Budget exhaustion and stalls are *not* errors
+    /// — they are ordinary [`CampaignStop`] outcomes in the report.
     ///
     /// # Panics
     ///
@@ -779,12 +806,22 @@ impl CampaignRunner {
                 let before = meter.report();
                 let before_faults: FaultStats = meter.fault_stats();
                 let start = Instant::now();
-                // A failed attempt burns one retry, or falls through to park.
-                if let Ok(outcome) =
-                    supervisor.run_round(round_votes, &roster, Arc::clone(&meter), &mut rng)
-                {
-                    success = Some((outcome, start.elapsed(), before, before_faults));
-                    break;
+                match supervisor.run_round(round_votes, &roster, Arc::clone(&meter), &mut rng) {
+                    Ok(outcome) => {
+                        success = Some((outcome, start.elapsed(), before, before_faults));
+                        break;
+                    }
+                    // The typed liveness aborts — quorum loss, and
+                    // transport loss on the strict path — are what the
+                    // retry/park/stall machinery exists for: a failed
+                    // attempt burns one retry, or falls through to park.
+                    Err(SmcError::QuorumLost { .. } | SmcError::Transport(_)) => {}
+                    // Everything else is deterministic (vote shapes,
+                    // crypto, audit convictions): retrying cannot fix it
+                    // and parking would disguise it as a stall.
+                    Err(source) => {
+                        return Err(CampaignError::Round { instance: idx, source });
+                    }
                 }
             }
             queried += 1;

@@ -127,7 +127,8 @@ impl AppendJournal {
     /// # Errors
     ///
     /// Returns an I/O error if the directory or journal cannot be
-    /// created or read. A torn tail is not an error.
+    /// created or read, or if the directory fsync that makes the new
+    /// entry durable fails. A torn tail is not an error.
     pub fn open(
         dir: impl AsRef<Path>,
         name: &str,
@@ -136,10 +137,9 @@ impl AppendJournal {
         let path = dir.as_ref().join(name);
         let mut file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
         // Make the directory entry durable: a file that exists only in a
-        // dirty directory page vanishes with the page cache.
-        if let Ok(dirfd) = File::open(dir.as_ref()) {
-            let _ = dirfd.sync_all();
-        }
+        // dirty directory page vanishes with the page cache. A failure
+        // here is a real durability hole, so it propagates.
+        File::open(dir.as_ref())?.sync_all()?;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
 

@@ -203,6 +203,67 @@ fn admission_refuses_first_over_budget_round() {
     assert!(matches!(second.stop, CampaignStop::BudgetExhausted { refused_instance: 1, .. }));
 }
 
+/// A fault plan alone (no configured `min_users`) makes the engine
+/// resilient with an effective quorum of **one** survivor — admission
+/// must budget for that deepest legal cohort, not the full roster,
+/// or a ragged round could charge past the admitted worst case.
+#[test]
+fn fault_plan_without_quorum_budgets_for_single_survivor() {
+    let (s1, s2) = (1.5, 1.5);
+    let delta = 1e-6;
+    let round_at = |sigma: f64| {
+        dp::rdp::LinearRdp::sparse_vector(sigma)
+            .compose(&dp::rdp::LinearRdp::report_noisy_max(sigma))
+            .to_epsilon(delta)
+    };
+    let clean = round_at(s1);
+    let worst_single = round_at(recalibrate_sigma(s1, USERS, 1));
+    assert!(worst_single > clean);
+    // Admits one strict (all-members) round, refuses the quorum-1 worst case.
+    let budget = (clean + worst_single) / 2.0;
+    let config = CampaignConfig::new(
+        ConsensusConfig::paper_default(s1, s2), // deliberately no min_users
+        USERS,
+        CLASSES,
+        budget,
+        delta,
+    )
+    .with_seed(1234);
+    let instances = unanimous_instances(1, USERS);
+
+    // Without a fault plan the rounds are strict: every member survives
+    // or the round aborts, so the worst case is the clean charge — fits.
+    let dir = TempDir::new("strict-fits");
+    let strict = CampaignRunner::open(&dir.0, config.clone())
+        .expect("open strict campaign")
+        .with_timeout(fast_timeout())
+        .run(&instances, Meter::new())
+        .expect("strict run");
+    assert_eq!(strict.stop, CampaignStop::InstancesExhausted);
+    assert_eq!(strict.rounds.len(), 1, "the strict round fits the budget");
+    assert!(strict.epsilon_spent <= budget);
+
+    // Attaching a fault plan — even one that never fires — drops the
+    // engine's effective quorum to 1, so a round may legally realize
+    // the single-survivor charge. Admission must refuse it up front.
+    let dir = TempDir::new("resilient-refuses");
+    let resilient = CampaignRunner::open(&dir.0, config)
+        .expect("open resilient campaign")
+        .with_timeout(fast_timeout())
+        .with_fault_plan(FaultPlan::new(7))
+        .run(&instances, Meter::new())
+        .expect("resilient run");
+    match resilient.stop {
+        CampaignStop::BudgetExhausted { refused_instance, worst_case_epsilon } => {
+            assert_eq!(refused_instance, 0, "refused before any spend");
+            assert!(worst_case_epsilon > budget, "the worst case overshoots");
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert!(resilient.rounds.is_empty());
+    assert_eq!(resilient.epsilon_spent, 0.0, "a refused round charges nothing");
+}
+
 /// Roster churn between rounds: leaves shrink the session, joins grow
 /// it, crashes are counted separately — and every epoch still answers.
 #[test]
