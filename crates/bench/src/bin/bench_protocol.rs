@@ -69,6 +69,13 @@
 //! the machine's available cores, so trend tooling can discount thread
 //! sweeps measured on single-core boxes.
 //!
+//! Every run also drives the multi-session reactor at 128 concurrent
+//! sessions (16 in smoke mode) and emits one `reactor_sessions` JSON row
+//! with sessions/sec and p50/p99 admission→completion latency, plus one
+//! deliberately shed over-cap admission so the `sessions_rejected`
+//! counter is exercised; the `sessions_{admitted,rejected,evicted}`
+//! scheduler counters ride in `fault_counters`.
+//!
 //! Every run also drives a short durable campaign through
 //! [`consensus_core::campaign::CampaignRunner`] and emits one
 //! `campaign_round_<i>` JSON row per round (epsilon trajectory,
@@ -77,7 +84,7 @@
 //! `scripts/check_bench.sh` gates on.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use benches::Args;
 use bigint::modular::{crt_pair, modinverse, modmul, modpow_basic, modsub};
@@ -86,6 +93,7 @@ use bigint::prime::gen_prime;
 use bigint::{random, Ubig};
 use consensus_core::campaign::{CampaignConfig, CampaignRunner};
 use consensus_core::config::ConsensusConfig;
+use consensus_core::reactor::{Reactor, ReactorConfig, SessionMachine, SessionResult};
 use consensus_core::secure::{RankingStrategy, SecureEngine};
 use dgk::comparison::{blinder_build_witnesses_par, evaluator_encrypt_bits_par};
 use dgk::{DgkKeypair, DgkParams};
@@ -237,6 +245,9 @@ impl Report {
             ("audit_challenges", f.audit_challenges),
             ("audit_failures", f.audit_failures),
             ("equivocation_detected", f.equivocation_detected),
+            ("sessions_admitted", f.sessions_admitted),
+            ("sessions_rejected", f.sessions_rejected),
+            ("sessions_evicted", f.sessions_evicted),
         ];
         out.push_str("  \"fault_counters\": {");
         for (i, (name, count)) in counters.iter().enumerate() {
@@ -946,6 +957,95 @@ fn main() {
             ),
         );
         println!("  {rps:.2} rounds/sec, final epsilon {:.3}", campaign.epsilon_spent);
+    }
+
+    // ----- Multi-session reactor throughput -------------------------------
+    // Every bench round so far was one blocking round at a time; the
+    // reactor multiplexes many. 128 concurrent sessions (16 in smoke)
+    // are admitted, fed through the session-frame codec, and driven
+    // round-robin to completion; one extra admission past the cap is
+    // shed on purpose so the `sessions_rejected` counter in
+    // `fault_counters` exercises the overload path deterministically.
+    // The row records sessions/sec plus p50/p99 admission→completion
+    // latency — the concurrency numbers `scripts/check_bench.sh` gates.
+    {
+        let n_sessions = if smoke { 16usize } else { 128 };
+        let r_users = 5usize;
+        let r_classes = 3usize;
+        let mut r_rng = StdRng::seed_from_u64(0x5E55);
+        let r_engine = Arc::new(SecureEngine::new(
+            SessionConfig::test(r_users, r_classes),
+            ConsensusConfig::paper_default(1.5, 1.5),
+            &mut r_rng,
+        ));
+        let r_roster: Vec<usize> = (0..r_users).collect();
+        let r_votes: Vec<Vec<f64>> = (0..r_users)
+            .map(|_| {
+                let mut v = vec![0.0; r_classes];
+                v[1] = 1.0;
+                v
+            })
+            .collect();
+        println!("\nMulti-session reactor ({n_sessions} concurrent sessions, |U| = {r_users}):");
+        let mut reactor = Reactor::new(
+            ReactorConfig { max_sessions: n_sessions, deadline: Duration::from_secs(600) },
+            Arc::clone(&meter),
+        );
+        let start = Instant::now();
+        let mut frame_sets = Vec::with_capacity(n_sessions);
+        for i in 0..n_sessions {
+            let (machine, frames) = SessionMachine::new(
+                i as u64,
+                Arc::clone(&r_engine),
+                &r_votes,
+                &r_roster,
+                Arc::clone(&meter),
+                &mut r_rng,
+            )
+            .expect("prepare bench session");
+            reactor.admit(machine).expect("admit under the bench cap");
+            frame_sets.push(frames);
+        }
+        let (overflow, _) = SessionMachine::new(
+            n_sessions as u64,
+            Arc::clone(&r_engine),
+            &r_votes,
+            &r_roster,
+            Arc::clone(&meter),
+            &mut r_rng,
+        )
+        .expect("prepare overflow session");
+        assert!(reactor.admit(overflow).is_err(), "the session past the cap must be shed");
+        for frames in frame_sets {
+            for frame in frames {
+                reactor.ingest(frame).expect("admitted bench session");
+            }
+        }
+        reactor.run_until_idle();
+        let secs = start.elapsed().as_secs_f64();
+        for i in 0..n_sessions {
+            match reactor.take_result(i as u64) {
+                Some(SessionResult::Done(_)) => {}
+                other => panic!("bench session {i} must complete, got {other:?}"),
+            }
+        }
+        let mut lat: Vec<u128> = reactor.latencies().iter().map(|&(_, d)| d.as_nanos()).collect();
+        lat.sort_unstable();
+        let p50 = lat[lat.len() / 2];
+        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+        let sps = n_sessions as f64 / secs;
+        report.record_obj(
+            "reactor_sessions",
+            format!(
+                "{{\"sessions\": {n_sessions}, \"users\": {r_users}, \
+                 \"sessions_per_sec\": {sps:.3}, \"p50_ns\": {p50}, \"p99_ns\": {p99}}}"
+            ),
+        );
+        println!(
+            "  {sps:.2} sessions/sec, p50 {:.2} ms, p99 {:.2} ms",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6
+        );
     }
 
     // ----- Summary + JSON -------------------------------------------------

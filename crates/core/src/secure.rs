@@ -253,15 +253,15 @@ impl std::fmt::Debug for SecureEngine {
 /// crash and re-inject the *same* ciphertexts, which is what keeps a
 /// recovered round bit-identical to an uninterrupted one.
 pub(crate) struct UserUpload {
-    user: usize,
+    pub(crate) user: usize,
     /// S1-bound: votes + threshold shares (step 2), noisy shares (step 6).
-    s1_votes: Vec<Ciphertext>,
-    s1_thresh: Vec<Ciphertext>,
-    s1_noisy: Vec<Ciphertext>,
+    pub(crate) s1_votes: Vec<Ciphertext>,
+    pub(crate) s1_thresh: Vec<Ciphertext>,
+    pub(crate) s1_noisy: Vec<Ciphertext>,
     /// S2-bound mirrors.
-    s2_votes: Vec<Ciphertext>,
-    s2_thresh: Vec<Ciphertext>,
-    s2_noisy: Vec<Ciphertext>,
+    pub(crate) s2_votes: Vec<Ciphertext>,
+    pub(crate) s2_thresh: Vec<Ciphertext>,
+    pub(crate) s2_noisy: Vec<Ciphertext>,
 }
 
 /// Everything drawn ONCE per logical round, before the first attempt:
@@ -269,20 +269,20 @@ pub(crate) struct UserUpload {
 /// two server seeds. Crash-recovery attempts replay this; nothing in it
 /// is re-drawn, so every attempt reruns the *same* round.
 pub(crate) struct PreparedRound {
-    roster: Vec<usize>,
-    num_classes: usize,
-    uploads: Vec<UserUpload>,
-    user_counts: Vec<Vec<i64>>,
-    user_z1: Vec<Vec<i64>>,
-    user_z2: Vec<Vec<i64>>,
+    pub(crate) roster: Vec<usize>,
+    pub(crate) num_classes: usize,
+    pub(crate) uploads: Vec<UserUpload>,
+    pub(crate) user_counts: Vec<Vec<i64>>,
+    pub(crate) user_z1: Vec<Vec<i64>>,
+    pub(crate) user_z2: Vec<Vec<i64>>,
     /// Exact integer split of T across 2|U| share slots.
-    offsets: Vec<i64>,
-    seed1: u64,
-    seed2: u64,
+    pub(crate) offsets: Vec<i64>,
+    pub(crate) seed1: u64,
+    pub(crate) seed2: u64,
     /// Round-shared seed for the shard plan — unlike the private per-server
     /// `seed1`/`seed2`, both servers derive the identical plan from it, so
     /// their per-shard survivor exchanges pair up without coordination.
-    shard_seed: u64,
+    pub(crate) shard_seed: u64,
 }
 
 impl SecureEngine {
@@ -410,7 +410,7 @@ impl SecureEngine {
 
     /// The quorum resilient rounds enforce: the configured `min_users`,
     /// or 1 when resilience was triggered by a fault plan alone.
-    fn quorum(&self) -> usize {
+    pub(crate) fn quorum(&self) -> usize {
         self.consensus.min_users.unwrap_or(1)
     }
 
@@ -522,6 +522,21 @@ impl SecureEngine {
     /// The attached fault-injection plan, if any.
     pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The two server-side decryption/evaluation contexts, for callers
+    /// that drive [`server1_advance`]/[`server2_advance`] step by step
+    /// instead of through [`SecureEngine::drive_servers`] (the
+    /// multi-session reactor).
+    pub(crate) fn server_contexts(&self) -> (ServerContext, ServerContext) {
+        (self.keys.server1(), self.keys.server2())
+    }
+
+    /// Claims the next audit round id from the engine's monotonic
+    /// counter — one id per driven round, feeding the audit challenge
+    /// schedule exactly as [`SecureEngine::run_round`] does.
+    pub(crate) fn next_audit_round(&self) -> u64 {
+        self.audit_rounds.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The user phase, run once per *logical* round: shares, noise,
@@ -999,7 +1014,7 @@ fn step_seed(root_seed: u64, step: Step) -> u64 {
 /// clock (S2's overlapping work is covered by the same clock, matching
 /// how the paper reports per-step costs).
 #[allow(clippy::too_many_arguments)]
-fn server1_advance(
+pub(crate) fn server1_advance(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     roster: &[usize],
@@ -1142,7 +1157,7 @@ fn server1_advance(
 /// Executes the single next step of S2's pipeline (mirror of
 /// [`server1_advance`], no timing records).
 #[allow(clippy::too_many_arguments)]
-fn server2_advance(
+pub(crate) fn server2_advance(
     endpoint: &mut Endpoint,
     ctx: &ServerContext,
     roster: &[usize],

@@ -15,6 +15,9 @@
 //! * [`tcp`] — the TCP backend: length-prefixed framing, a versioned
 //!   session handshake, heartbeats with a liveness deadline, and
 //!   reconnect-and-resume from the last acknowledged sequence number;
+//! * [`session`] — session-tagged frames and per-session demultiplexing,
+//!   so one link can carry many concurrent consensus rounds (see
+//!   `core::reactor`);
 //! * [`proxy`] — a socket-level chaos proxy (mid-frame severs, stalled
 //!   reads, fragmented writes) driven by [`FaultPlan`] socket faults;
 //! * [`metrics`] — per-protocol-step counters of bytes, messages and wall
@@ -56,11 +59,13 @@ pub mod metrics;
 pub mod network;
 pub mod proxy;
 pub mod segment;
+pub mod session;
 pub mod tcp;
 pub mod wire;
 
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore,
+    SessionScopedStore,
 };
 pub use faults::{ByzantineAction, FaultDecision, FaultPlan, SocketFault};
 pub use journal::{AppendJournal, JournalRecord};
@@ -71,5 +76,9 @@ pub use network::{
     TransportError,
 };
 pub use proxy::ChaosProxy;
+pub use session::{
+    read_session_frame, session_scoped_round, write_session_frame, SessionDemux, SessionError,
+    SessionFrame,
+};
 pub use tcp::TcpConfig;
 pub use wire::{Wire, WireError};

@@ -226,6 +226,15 @@ pub enum FaultEvent {
     /// member dropped before reconciliation, and the round degraded to
     /// the surviving shards with rescaled noise instead of aborting.
     ShardDropped,
+    /// A reactor admitted a new concurrent consensus session.
+    SessionAdmitted,
+    /// A reactor refused a new session (capacity cap or privacy budget)
+    /// with a typed `SessionRejected` instead of queueing it.
+    SessionRejected,
+    /// A reactor evicted a stalled session whose per-session deadline
+    /// passed, failing it over to the dropout/`QuorumLost` path without
+    /// touching its neighbors.
+    SessionEvicted,
 }
 
 /// Totals of reliability events, one counter per [`FaultEvent`].
@@ -277,6 +286,12 @@ pub struct FaultStats {
     /// Aggregation shards whose entire membership dropped mid-round
     /// (the round completed on the surviving shards).
     pub shards_dropped: u64,
+    /// Concurrent consensus sessions admitted by a reactor.
+    pub sessions_admitted: u64,
+    /// Sessions refused at admission (capacity cap or privacy budget).
+    pub sessions_rejected: u64,
+    /// Stalled sessions evicted by a per-session deadline watchdog.
+    pub sessions_evicted: u64,
 }
 
 impl FaultEvent {
@@ -305,12 +320,15 @@ impl FaultEvent {
             FaultEvent::AuditFailureDetected => 19,
             FaultEvent::EquivocationDetected => 20,
             FaultEvent::ShardDropped => 21,
+            FaultEvent::SessionAdmitted => 22,
+            FaultEvent::SessionRejected => 23,
+            FaultEvent::SessionEvicted => 24,
         }
     }
 }
 
 /// Number of [`FaultEvent`] variants (fault-counter array length).
-const FAULT_KINDS: usize = 22;
+const FAULT_KINDS: usize = 25;
 
 impl FaultStats {
     /// True if no event was ever recorded.
@@ -417,6 +435,9 @@ impl Meter {
             audit_failures: read(FaultEvent::AuditFailureDetected),
             equivocation_detected: read(FaultEvent::EquivocationDetected),
             shards_dropped: read(FaultEvent::ShardDropped),
+            sessions_admitted: read(FaultEvent::SessionAdmitted),
+            sessions_rejected: read(FaultEvent::SessionRejected),
+            sessions_evicted: read(FaultEvent::SessionEvicted),
         }
     }
 
@@ -552,6 +573,9 @@ impl MeterReport {
             ("audit failures detected", f.audit_failures),
             ("equivocations detected", f.equivocation_detected),
             ("whole shards dropped", f.shards_dropped),
+            ("sessions admitted", f.sessions_admitted),
+            ("sessions rejected (shedding)", f.sessions_rejected),
+            ("sessions evicted (stalled)", f.sessions_evicted),
         ] {
             if count > 0 {
                 out.push_str(&format!("{label:<28} | {count}\n"));
@@ -763,6 +787,23 @@ mod tests {
         assert!(summary.contains("audit challenges run"), "{summary}");
         assert!(summary.contains("audit failures detected"), "{summary}");
         assert!(summary.contains("equivocations detected"), "{summary}");
+    }
+
+    #[test]
+    fn session_counters_accumulate_and_render() {
+        let meter = Meter::new();
+        meter.record_fault(FaultEvent::SessionAdmitted);
+        meter.record_fault(FaultEvent::SessionAdmitted);
+        meter.record_fault(FaultEvent::SessionRejected);
+        meter.record_fault(FaultEvent::SessionEvicted);
+        let stats = meter.fault_stats();
+        assert_eq!(stats.sessions_admitted, 2);
+        assert_eq!(stats.sessions_rejected, 1);
+        assert_eq!(stats.sessions_evicted, 1);
+        let summary = meter.report().render_fault_summary();
+        assert!(summary.contains("sessions admitted"), "{summary}");
+        assert!(summary.contains("sessions rejected (shedding)"), "{summary}");
+        assert!(summary.contains("sessions evicted (stalled)"), "{summary}");
     }
 
     #[test]

@@ -280,6 +280,10 @@ pub struct Endpoint {
     timeout: TimeoutPolicy,
     faults: Option<Arc<FaultPlan>>,
     meter: Arc<Meter>,
+    /// The network's session id: liveness records on a shared link are
+    /// keyed per `(peer, session)` so one stale session never fast-fails
+    /// a healthy neighbor session.
+    session: u64,
     /// TCP backend only: when each connected peer was last heard from.
     liveness: Option<Arc<Liveness>>,
     /// TCP backend only: keeps the socket fabric alive for as long as any
@@ -307,6 +311,18 @@ impl Endpoint {
     /// The receive policy this endpoint inherited from its network.
     pub fn timeout_policy(&self) -> TimeoutPolicy {
         self.timeout
+    }
+
+    /// The session id this endpoint's network was assembled with.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// How many receives on this endpoint have failed over to the
+    /// dropout path because a peer's per-session liveness deadline
+    /// lapsed (TCP backend only; always 0 in-process).
+    pub fn liveness_expired_count(&self) -> u64 {
+        self.liveness.as_ref().map_or(0, |l| l.expired_count(self.session))
     }
 
     /// Sends `value` to `to`, tagged with `step`.
@@ -490,10 +506,15 @@ impl Endpoint {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if self.liveness.as_ref().is_some_and(|l| l.expired(from)) {
+                    if self.liveness.as_ref().is_some_and(|l| l.expired(from, self.session)) {
                         // The peer connected and then went silent past the
-                        // heartbeat deadline: declare it dead now instead
-                        // of waiting out the full receive budget.
+                        // heartbeat deadline in *this* session: declare it
+                        // dead here instead of waiting out the full
+                        // receive budget. Sessions sharing the link keep
+                        // their own deadlines.
+                        if let Some(live) = &self.liveness {
+                            live.note_expired(self.session);
+                        }
                         self.meter.record_fault(FaultEvent::LivenessExpired);
                         self.meter.record_fault(FaultEvent::Timeout);
                         return Err(TransportError::Timeout(from));
@@ -757,6 +778,7 @@ impl Network {
                     timeout,
                     faults: faults.clone(),
                     meter: Arc::clone(&meter),
+                    session,
                     liveness: liveness.get(&p).cloned(),
                     _fabric: fabric.clone(),
                 };

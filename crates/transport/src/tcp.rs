@@ -8,11 +8,15 @@
 //! followed by a [`Wire`]-encoded [`Frame`] body:
 //!
 //! * **Hello / HelloAck** — a versioned session handshake. `Hello`
-//!   carries a magic tag, the protocol version, the network's session
-//!   (round) id and the claimed `(from, to)` identities; the receiver
-//!   rejects mismatches by dropping the connection. `HelloAck` answers
-//!   with the highest sequence number the receiver has already accepted
-//!   on this link, which is where resume starts.
+//!   carries a magic tag, the protocol version, the network's session id
+//!   and the claimed `(from, to)` identities; the receiver rejects
+//!   mismatches by dropping the connection. `HelloAck` answers with the
+//!   highest sequence number the receiver has already accepted on this
+//!   link, which is where resume starts. A link is *not* tied to a
+//!   single round: the session id identifies a network instance, and the
+//!   multi-session reactor (`core::reactor`) multiplexes many concurrent
+//!   rounds over shared infrastructure via session-tagged frames
+//!   ([`crate::session`]).
 //! * **Data** — one [`Envelope`]: step, per-link sequence number, the
 //!   sender-side frame checksum, any injected delivery delay (encoded as
 //!   remaining nanoseconds) and the payload. The receiver answers each
@@ -20,9 +24,12 @@
 //!   retransmit buffer.
 //! * **Heartbeat** — emitted by an idle link writer every
 //!   [`TcpConfig::heartbeat`]; any inbound frame refreshes the sender's
-//!   liveness record. A peer silent past [`TcpConfig::liveness`] is
-//!   declared dead and the pending receive fails over to the existing
-//!   dropout path ([`crate::TransportError::Timeout`]).
+//!   liveness record. Liveness is tracked per *(peer, session)*, not per
+//!   connection: on a multiplexed link one idle session going stale
+//!   never fast-fails a healthy neighbor session's receives. A peer
+//!   silent past [`TcpConfig::liveness`] in a session is declared dead
+//!   there and that session's pending receive fails over to the
+//!   existing dropout path ([`crate::TransportError::Timeout`]).
 //!
 //! **Reconnect-and-resume**: a link writer that loses its connection
 //! (write failure, severed socket, torn frame) redials with exponential
@@ -231,10 +238,18 @@ pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<Frame> {
 /// Per-endpoint record of when each connected peer was last heard from
 /// (any frame counts, heartbeats included). Consulted by the receive
 /// loop to convert a silent peer into a timely dropout.
+///
+/// Records are keyed per *(peer, session)*, not per connection: one
+/// physical link may multiplex several sessions, and an idle session
+/// whose deadline lapses must not fast-fail the receives of a healthy
+/// neighbor session sharing the socket.
 pub(crate) struct Liveness {
     deadline: Duration,
     poll: Duration,
-    last: Mutex<HashMap<PartyId, Instant>>,
+    last: Mutex<HashMap<(PartyId, u64), Instant>>,
+    /// How many receives each session has failed over to the dropout
+    /// path on a lapsed liveness deadline.
+    expirations: Mutex<HashMap<u64, u64>>,
 }
 
 impl Liveness {
@@ -243,18 +258,30 @@ impl Liveness {
             deadline: cfg.liveness,
             poll: cfg.heartbeat.clamp(Duration::from_millis(1), Duration::from_millis(25)),
             last: Mutex::new(HashMap::new()),
+            expirations: Mutex::new(HashMap::new()),
         }
     }
 
-    fn touch(&self, from: PartyId) {
-        self.last.lock().insert(from, Instant::now());
+    fn touch(&self, from: PartyId, session: u64) {
+        self.last.lock().insert((from, session), Instant::now());
     }
 
-    /// True when `from` once connected and has now been silent past the
-    /// deadline. A peer that never connected is governed by the receive
-    /// policy alone.
-    pub(crate) fn expired(&self, from: PartyId) -> bool {
-        self.last.lock().get(&from).is_some_and(|at| at.elapsed() > self.deadline)
+    /// True when `from` once connected in `session` and has now been
+    /// silent past the deadline there. A peer that never connected is
+    /// governed by the receive policy alone, and a peer stale in one
+    /// session stays live in every other.
+    pub(crate) fn expired(&self, from: PartyId, session: u64) -> bool {
+        self.last.lock().get(&(from, session)).is_some_and(|at| at.elapsed() > self.deadline)
+    }
+
+    /// Records one liveness-expiry failover for `session`.
+    pub(crate) fn note_expired(&self, session: u64) {
+        *self.expirations.lock().entry(session).or_insert(0) += 1;
+    }
+
+    /// Liveness-expiry failovers recorded for `session`.
+    pub(crate) fn expired_count(&self, session: u64) -> u64 {
+        self.expirations.lock().get(&session).copied().unwrap_or(0)
     }
 
     /// How often a blocking receive should wake to re-check liveness.
@@ -589,11 +616,11 @@ fn run_reader(stream: TcpStream, inbox: Arc<Inbox>) {
     if stream.set_read_timeout(None).is_err() {
         return;
     }
-    inbox.liveness.touch(from);
+    inbox.liveness.touch(from, inbox.session);
     loop {
         match read_frame(&mut (&stream)) {
             Ok(Frame::Data { step, seq, checksum, delay_nanos, payload }) => {
-                inbox.liveness.touch(from);
+                inbox.liveness.touch(from, inbox.session);
                 let deliver_after =
                     (delay_nanos > 0).then(|| Instant::now() + Duration::from_nanos(delay_nanos));
                 let env = Envelope { from, step, seq, checksum, deliver_after, payload };
@@ -611,7 +638,7 @@ fn run_reader(stream: TcpStream, inbox: Arc<Inbox>) {
                     break;
                 }
             }
-            Ok(Frame::Heartbeat) => inbox.liveness.touch(from),
+            Ok(Frame::Heartbeat) => inbox.liveness.touch(from, inbox.session),
             Ok(_) => {} // stray handshake frames: ignore
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 // Garbage length prefix or undecodable body: the stream
@@ -951,6 +978,29 @@ mod tests {
             start.elapsed()
         );
         assert!(net.meter().fault_stats().liveness_expired >= 1);
+    }
+
+    #[test]
+    fn liveness_is_tracked_per_session_not_per_connection() {
+        let cfg = TcpConfig { liveness: Duration::from_millis(40), ..TcpConfig::fast_local() };
+        let live = Liveness::new(&cfg);
+        let peer = PartyId::User(0);
+        // The same peer is active in two sessions sharing the link; only
+        // session 1 goes idle.
+        live.touch(peer, 1);
+        live.touch(peer, 2);
+        std::thread::sleep(Duration::from_millis(60));
+        live.touch(peer, 2);
+        assert!(live.expired(peer, 1), "idle session must expire");
+        assert!(!live.expired(peer, 2), "a fresh neighbor session must stay live");
+        // A session the peer never connected in is governed by the
+        // receive policy alone.
+        assert!(!live.expired(peer, 3));
+        // Per-session expiry counting.
+        live.note_expired(1);
+        live.note_expired(1);
+        assert_eq!(live.expired_count(1), 2);
+        assert_eq!(live.expired_count(2), 0);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 # the linear scan it replaced, across the --scale sweep sharded
 # streaming never costs more than flat + 5% bytes/user at equal |U|, and
 # the campaign daemon telemetry (campaign_summary + campaign_round_*) is
-# present with a positive rounds/sec and a monotone epsilon trajectory.
+# present with a positive rounds/sec and a monotone epsilon trajectory,
+# and the multi-session reactor row (reactor_sessions) carries a
+# positive sessions/sec with p99 round latency no smaller than p50.
 # Rows the file does not carry (e.g. a run without --batch or --scale)
 # are noted and skipped, never failed. When the meta object says the box
 # has one core, thread-sweep rows get a warning: their scaling curves are
@@ -157,6 +159,32 @@ elif (( eps_bad > 0 )); then
   fails=$((fails + 1))
 else
   echo "  ok    campaign epsilon trajectory monotone over ${eps_rows} rounds (final ${eps_prev})"
+fi
+
+# Multi-session reactor: every bench run multiplexes 100+ concurrent
+# sessions (16 in smoke) through the reactor, so the reactor_sessions
+# row must be present with a positive throughput and an internally
+# consistent latency distribution (p99 never below p50).
+reactor_sps=$(field_of reactor_sessions sessions_per_sec)
+if [[ -z "$reactor_sps" ]]; then
+  echo "  FAIL  reactor_sessions row missing (multi-session telemetry not emitted)"
+  fails=$((fails + 1))
+elif awk -v r="$reactor_sps" 'BEGIN { exit !(r <= 0) }'; then
+  echo "  FAIL  reactor sessions/sec not positive: ${reactor_sps}"
+  fails=$((fails + 1))
+else
+  echo "  ok    reactor throughput present (${reactor_sps} sessions/sec)"
+fi
+reactor_p50=$(field_of reactor_sessions p50_ns)
+reactor_p99=$(field_of reactor_sessions p99_ns)
+if [[ -z "$reactor_p50" || -z "$reactor_p99" ]]; then
+  echo "  FAIL  reactor_sessions latency percentiles missing (p50/p99)"
+  fails=$((fails + 1))
+elif awk -v lo="$reactor_p50" -v hi="$reactor_p99" 'BEGIN { exit !(hi < lo) }'; then
+  echo "  FAIL  reactor round latency p99 below p50: ${reactor_p99} < ${reactor_p50}"
+  fails=$((fails + 1))
+else
+  echo "  ok    reactor round latency p50 ${reactor_p50} ns <= p99 ${reactor_p99} ns"
 fi
 
 # Thread sweeps on a single-core box are flat by construction, not by

@@ -42,6 +42,9 @@ cargo test -q -p consensus-core --test shard
 echo "==> campaign-soak smoke (2 seeds, kill at seed-derived rounds, exactly-once charges)"
 cargo test -q -p consensus-core --test campaign campaign_soak_smoke
 
+echo "==> multi-session reactor smoke (16 concurrent sessions, 2 seeds)"
+cargo test -q -p consensus-core --test reactor sixteen_session_smoke
+
 echo "==> bench harness smoke (scripts/bench.sh --smoke --batch --scale, 2 worker threads)"
 bash scripts/bench.sh --smoke --threads 2 --batch --scale
 
